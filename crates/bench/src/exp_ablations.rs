@@ -1,0 +1,275 @@
+//! Ablations of the design choices the paper's analysis singles out
+//! (DESIGN.md's ablation index):
+//!
+//! 1. **BBR's `+quanta` term** (§5.2): the paper argues the additive `α`
+//!    in `cwnd = 2·BtlBw·RTprop + α` is what gives the cwnd-limited mode a
+//!    unique fair fixed point — "if we remove the +α term … any value of
+//!    cwnd₁ and cwnd₂ can be a fixed point". Two same-`Rm` BBR flows, the
+//!    second starting late: with quanta the latecomer claws back a share;
+//!    without it the initial split freezes.
+//! 2. **Copa poison magnitude** (§4.1's arithmetic): the starved flow's
+//!    ceiling is `1/(δ·q̂)`, so doubling the phantom queueing delay `q̂`
+//!    should roughly double the starvation ratio.
+//! 3. **Algorithm 1's design margin** (§6.3 / Theorem 1's boundary): a CCA
+//!    designed for jitter `D` stays `s`-fair while the actual jitter is
+//!    ≤ `D` and degrades once the actual jitter exceeds the design point —
+//!    the impossibility result reasserting itself.
+//! 4. **AIMD-on-delay threshold** (§6.2): with the MD threshold *below*
+//!    the jitter bound the oscillation no longer dominates the ambiguity
+//!    and fairness degrades; at `2·D` it holds.
+
+use crate::table::{fnum, TextTable};
+use cca::delay_aimd::DelayAimdConfig;
+use cca::jitter_aware::JitterAwareConfig;
+use cca::BoxCca;
+use netsim::{FlowConfig, Jitter, LinkConfig, Network, SimConfig};
+use simcore::rng::Xoshiro256;
+use simcore::units::{Dur, Rate, Time};
+use std::fmt;
+
+/// One ablation row: configuration label and the two flows' throughputs.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Which ablation this row belongs to.
+    pub group: &'static str,
+    /// The varied parameter, rendered.
+    pub setting: String,
+    /// Flow throughputs in Mbit/s.
+    pub flows: (f64, f64),
+}
+
+impl AblationRow {
+    /// max/min ratio.
+    pub fn ratio(&self) -> f64 {
+        let (a, b) = self.flows;
+        a.max(b) / a.min(b).max(1e-9)
+    }
+}
+
+/// All ablation results.
+pub struct AblationsReport {
+    /// Every row, grouped by `group`.
+    pub rows: Vec<AblationRow>,
+}
+
+// ---- 1. BBR quanta ----
+
+/// The §5.2 cwnd-limited fixed-point iteration, verbatim: each flow's ACK
+/// rate is `C·cwnd_i/Σcwnd` (FIFO sharing), its bandwidth estimate tracks
+/// that rate, and `cwnd_i ← 2·Rm·bw_i + α`. Starting from a 90/10 split,
+/// the `+α` term pulls the windows together; with `α = 0` *every* split
+/// with `Σcwnd = 2·Rm·C` is a fixed point and the split freezes — the
+/// paper's "even cwnd₁ = 0 and cwnd₂ = 2RmC" observation.
+pub fn bbr_quanta_fixed_point(with_quanta: bool) -> AblationRow {
+    let c = Rate::from_mbps(96.0).bytes_per_sec();
+    let rm = 0.050f64;
+    let alpha = if with_quanta { 3.0 * 1500.0 } else { 0.0 };
+    // Start from a 90/10 split of the pipe's 2·Rm·C bytes.
+    let total = 2.0 * rm * c;
+    let mut w = [0.9 * total, 0.1 * total];
+    for _ in 0..2000 {
+        let sum = w[0] + w[1];
+        for wi in &mut w {
+            let bw = c * (*wi / sum);
+            *wi = 2.0 * rm * bw + alpha;
+        }
+    }
+    // Report the implied steady sending rates (share of C), in Mbit/s.
+    let sum = w[0] + w[1];
+    let to_mbps = |wi: f64| c * (wi / sum) * 8.0 / 1e6;
+    AblationRow {
+        group: "bbr-quanta",
+        setting: if with_quanta {
+            "with +quanta (fixed-point iteration)"
+        } else {
+            "without +quanta (fixed-point iteration)"
+        }
+        .into(),
+        flows: (to_mbps(w[0]), to_mbps(w[1])),
+    }
+}
+
+// ---- 2. Copa poison magnitude ----
+
+fn copa_poison_case(poison_ms: f64, secs: u64) -> AblationRow {
+    let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
+    let rm_poisoned = Dur::from_millis(60) - Dur::from_millis_f64(poison_ms);
+    let poisoned = FlowConfig::bulk(Box::new(cca::Copa::default_params()), rm_poisoned)
+        .with_jitter(Jitter::ExtraExcept {
+            extra: Dur::from_millis_f64(poison_ms),
+            period: 5_000,
+            offset: 0,
+        });
+    let clean = FlowConfig::bulk(Box::new(cca::Copa::default_params()), Dur::from_millis(60));
+    let r = Network::new(SimConfig::new(
+        link,
+        vec![poisoned, clean],
+        Dur::from_secs(secs),
+    ))
+    .run();
+    AblationRow {
+        group: "copa-poison",
+        setting: format!("{poison_ms} ms"),
+        flows: (
+            r.flows[0].throughput_at(r.end).mbps(),
+            r.flows[1].throughput_at(r.end).mbps(),
+        ),
+    }
+}
+
+// ---- 3. Algorithm 1 design margin ----
+
+fn algo1_margin_case(actual_jitter_ms: u64, secs: u64) -> AblationRow {
+    let link = LinkConfig::ample_buffer(Rate::from_mbps(40.0));
+    let rm = Dur::from_millis(50);
+    let mk = || -> BoxCca {
+        let mut cfg = JitterAwareConfig::example(rm); // designed for D = 10 ms
+        cfg.a = Rate::from_mbps(0.4);
+        Box::new(cca::JitterAware::new(cfg))
+    };
+    let jittered = FlowConfig::bulk(mk(), rm).with_jitter(Jitter::Random {
+        max: Dur::from_millis(actual_jitter_ms),
+        rng: Xoshiro256::new(11),
+    });
+    let clean = FlowConfig::bulk(mk(), rm);
+    let r = Network::new(SimConfig::new(link, vec![jittered, clean], Dur::from_secs(secs))).run();
+    let half = Time(r.end.as_nanos() / 2);
+    AblationRow {
+        group: "algo1-margin",
+        setting: format!("actual jitter {actual_jitter_ms} ms (designed 10 ms)"),
+        flows: (
+            r.flows[0].throughput_over(half, r.end).mbps(),
+            r.flows[1].throughput_over(half, r.end).mbps(),
+        ),
+    }
+}
+
+// ---- 4. AIMD-on-delay threshold ----
+
+fn delay_aimd_case(q_hi_ms: u64, secs: u64) -> AblationRow {
+    let rm = Dur::from_millis(50);
+    let mk = || -> BoxCca {
+        Box::new(cca::DelayAimd::new(DelayAimdConfig {
+            rm,
+            q_hi: Dur::from_millis(q_hi_ms),
+            q_lo: Dur::from_millis(q_hi_ms / 4),
+            a: Rate::from_mbps(0.5),
+            b: 0.7,
+        }))
+    };
+    let link = LinkConfig::ample_buffer(Rate::from_mbps(40.0));
+    let jittered = FlowConfig::bulk(mk(), rm).with_jitter(Jitter::Random {
+        max: Dur::from_millis(10),
+        rng: Xoshiro256::new(11),
+    });
+    let clean = FlowConfig::bulk(mk(), rm);
+    let r = Network::new(SimConfig::new(link, vec![jittered, clean], Dur::from_secs(secs))).run();
+    let half = Time(r.end.as_nanos() / 2);
+    AblationRow {
+        group: "delay-aimd-threshold",
+        setting: format!("q_hi = {q_hi_ms} ms (jitter 10 ms)"),
+        flows: (
+            r.flows[0].throughput_over(half, r.end).mbps(),
+            r.flows[1].throughput_over(half, r.end).mbps(),
+        ),
+    }
+}
+
+/// Run all four ablations.
+pub fn run(quick: bool) -> AblationsReport {
+    let secs = if quick { 40 } else { 90 };
+    let mut rows = Vec::new();
+    rows.push(bbr_quanta_fixed_point(true));
+    rows.push(bbr_quanta_fixed_point(false));
+    for poison in [0.5, 1.0, 2.0, 4.0] {
+        rows.push(copa_poison_case(poison, secs.min(60)));
+    }
+    for jit in [5, 10, 20, 40] {
+        rows.push(algo1_margin_case(jit, secs.min(60)));
+    }
+    for q_hi in [5, 20] {
+        rows.push(delay_aimd_case(q_hi, secs.min(60)));
+    }
+    AblationsReport { rows }
+}
+
+impl AblationsReport {
+    /// Rows of one group.
+    pub fn group(&self, name: &str) -> Vec<&AblationRow> {
+        self.rows.iter().filter(|r| r.group == name).collect()
+    }
+
+    /// Render everything.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "ablation",
+            "setting",
+            "flow A (Mbit/s)",
+            "flow B (Mbit/s)",
+            "ratio",
+        ]);
+        for r in &self.rows {
+            t.row(&[
+                r.group.into(),
+                r.setting.clone(),
+                fnum(r.flows.0),
+                fnum(r.flows.1),
+                fnum(r.ratio()),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for AblationsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablations of the paper's design claims")?;
+        write!(f, "{}", self.table().render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copa_poison_ratio_grows_with_magnitude() {
+        let small = copa_poison_case(0.5, 25);
+        let large = copa_poison_case(4.0, 25);
+        assert!(
+            large.ratio() > small.ratio(),
+            "0.5ms → {:.1}, 4ms → {:.1}",
+            small.ratio(),
+            large.ratio()
+        );
+        // 4 ms of phantom queue caps the victim near 1/(0.5·4 ms) = 6 Mbit/s.
+        assert!(large.flows.0 < 15.0, "victim={}", large.flows.0);
+    }
+
+    #[test]
+    fn algo1_fair_at_design_point_degrades_beyond() {
+        let at_design = algo1_margin_case(10, 40);
+        let beyond = algo1_margin_case(40, 40);
+        assert!(at_design.ratio() < 3.0, "at design: {:.2}", at_design.ratio());
+        assert!(
+            beyond.ratio() > at_design.ratio(),
+            "design {:.2} vs beyond {:.2}",
+            at_design.ratio(),
+            beyond.ratio()
+        );
+    }
+
+    #[test]
+    fn bbr_quanta_restores_convergence() {
+        // §5.2's unique-fixed-point argument, verbatim: with +α the 90/10
+        // split converges to fair; without it the split never moves.
+        let with = bbr_quanta_fixed_point(true);
+        let without = bbr_quanta_fixed_point(false);
+        assert!(with.ratio() < 1.05, "with quanta: ratio={:.3}", with.ratio());
+        assert!(
+            without.ratio() > 8.5,
+            "without quanta: ratio={:.3} (should stay ≈ 9)",
+            without.ratio()
+        );
+    }
+}

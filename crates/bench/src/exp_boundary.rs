@@ -1,0 +1,164 @@
+//! The theorem's boundary as a phase diagram.
+//!
+//! Theorem 1 says starvation is constructible whenever the non-congestive
+//! delay bound exceeds twice the CCA's equilibrium oscillation
+//! (`D > 2·δ_max`), and §6.2 argues the converse design direction:
+//! oscillate *more* than the jitter and the ambiguity can be out-signaled.
+//!
+//! [`cca::DelayAimd`] makes the oscillation a dial: its RTT sawtooth sweeps
+//! `[q_lo, q_hi]`, so `δ ≈ q_hi − q_lo`. We sweep the oscillation width
+//! `Δ` against the actual jitter bound `D` (random jitter on one of two
+//! flows' paths) and record the throughput ratio in each cell. The
+//! expected shape: fair (ratio ≈ 1) below the diagonal where `Δ ≫ D`,
+//! increasingly unfair above it — the paper's inequality, visible as a
+//! phase boundary.
+//!
+//! (Random jitter is a *weaker* adversary than the theorem's
+//! non-deterministic one, so the transition is gradual rather than sharp —
+//! the theorem guarantees a worst case, and §5 shows even benign-looking
+//! paths realize it.)
+
+use crate::table::{fnum, TextTable};
+use cca::delay_aimd::DelayAimdConfig;
+use cca::BoxCca;
+use netsim::{FlowConfig, Jitter, LinkConfig, Network, SimConfig};
+use simcore::rng::Xoshiro256;
+use simcore::units::{Dur, Rate, Time};
+use std::fmt;
+
+/// One cell of the phase diagram.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundaryCell {
+    /// The CCA's designed oscillation width `Δ = q_hi − q_lo`, ms.
+    pub osc_ms: u64,
+    /// The path's jitter bound `D`, ms.
+    pub jitter_ms: u64,
+    /// Measured throughput ratio between the two flows.
+    pub ratio: f64,
+}
+
+/// The full sweep.
+pub struct BoundaryReport {
+    /// Row-major cells (oscillation outer, jitter inner).
+    pub cells: Vec<BoundaryCell>,
+    /// The oscillation values swept, ms.
+    pub osc_values: Vec<u64>,
+    /// The jitter values swept, ms.
+    pub jitter_values: Vec<u64>,
+}
+
+fn cell(osc_ms: u64, jitter_ms: u64, secs: u64) -> BoundaryCell {
+    let rm = Dur::from_millis(50);
+    let mk = || -> BoxCca {
+        // Sawtooth sweeps [Δ/5, Δ/5 + Δ] of queueing delay: width Δ.
+        Box::new(cca::DelayAimd::new(DelayAimdConfig {
+            rm,
+            q_hi: Dur::from_millis(osc_ms / 5 + osc_ms),
+            q_lo: Dur::from_millis(osc_ms / 5),
+            a: Rate::from_mbps(0.5),
+            b: 0.7,
+        }))
+    };
+    let link = LinkConfig::ample_buffer(Rate::from_mbps(40.0));
+    let jittered = FlowConfig::bulk(mk(), rm).with_jitter(Jitter::Random {
+        max: Dur::from_millis(jitter_ms),
+        rng: Xoshiro256::new(7 + osc_ms * 31 + jitter_ms),
+    });
+    let clean = FlowConfig::bulk(mk(), rm);
+    let r = Network::new(SimConfig::new(link, vec![jittered, clean], Dur::from_secs(secs))).run();
+    let half = Time(r.end.as_nanos() / 2);
+    let a = r.flows[0].throughput_over(half, r.end).mbps();
+    let b = r.flows[1].throughput_over(half, r.end).mbps();
+    BoundaryCell {
+        osc_ms,
+        jitter_ms,
+        ratio: a.max(b) / a.min(b).max(1e-9),
+    }
+}
+
+/// Sweep the `Δ × D` grid.
+pub fn run(quick: bool) -> BoundaryReport {
+    let secs = if quick { 30 } else { 60 };
+    let osc_values = vec![2u64, 5, 10, 20, 40];
+    let jitter_values = vec![2u64, 5, 10, 20, 40];
+    let cells: Vec<BoundaryCell> = std::thread::scope(|scope| {
+        let handles: Vec<_> = osc_values
+            .iter()
+            .flat_map(|&o| jitter_values.iter().map(move |&j| (o, j)))
+            .map(|(o, j)| scope.spawn(move || cell(o, j, secs)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("cell worker")).collect()
+    });
+    BoundaryReport {
+        cells,
+        osc_values,
+        jitter_values,
+    }
+}
+
+impl BoundaryReport {
+    /// Ratio at a given cell.
+    pub fn ratio_at(&self, osc_ms: u64, jitter_ms: u64) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.osc_ms == osc_ms && c.jitter_ms == jitter_ms)
+            .map(|c| c.ratio)
+    }
+
+    /// Matrix rendering: rows = oscillation, columns = jitter.
+    pub fn table(&self) -> TextTable {
+        let mut header: Vec<String> = vec!["osc Δ \\ jitter D".into()];
+        header.extend(self.jitter_values.iter().map(|j| format!("{j} ms")));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = TextTable::new(&header_refs);
+        for &o in &self.osc_values {
+            let mut row = vec![format!("{o} ms")];
+            for &j in &self.jitter_values {
+                row.push(fnum(self.ratio_at(o, j).unwrap_or(f64::NAN)));
+            }
+            t.row(&row);
+        }
+        t
+    }
+}
+
+impl fmt::Display for BoundaryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Theorem 1's boundary as a phase diagram — throughput ratio of two\n\
+             delay-AIMD flows (oscillation Δ) with jitter D on one path:"
+        )?;
+        write!(f, "{}", self.table().render())?;
+        writeln!(
+            f,
+            "fair below the diagonal (Δ ≳ D), unfair above it (D ≫ Δ) — the\n\
+             paper's `starve unless δ > D/2` inequality, measured."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oscillation_dominating_jitter_is_fair() {
+        let c = cell(40, 2, 30);
+        assert!(c.ratio < 2.0, "Δ=40,D=2: ratio={}", c.ratio);
+    }
+
+    #[test]
+    fn jitter_dominating_oscillation_is_unfair() {
+        let c = cell(2, 40, 30);
+        assert!(c.ratio > 3.0, "Δ=2,D=40: ratio={}", c.ratio);
+    }
+
+    #[test]
+    fn boundary_is_monotone_along_the_extremes() {
+        // Fixing a small oscillation, growing jitter makes things worse.
+        let lo = cell(5, 2, 30);
+        let hi = cell(5, 40, 30);
+        assert!(hi.ratio > lo.ratio, "lo={} hi={}", lo.ratio, hi.ratio);
+    }
+}

@@ -1,0 +1,117 @@
+//! §5.4 + Appendix C — the model-checker queries.
+//!
+//! 1. **AIMD bounded unfairness**: over every adversary trace in the
+//!    discretized grid (exhaustive, short horizon) and the best trace beam
+//!    search finds over a 10-RTT horizon, two NewReno flows with a 1-BDP
+//!    buffer never reach unbounded starvation (the paper used CCAC to show
+//!    the same for traces of 10 RTTs).
+//! 2. **Delay-convergent CCAs break**: the same adversary budget finds
+//!    heavy unfairness traces against Vegas.
+
+use crate::table::{fnum, TextTable};
+use ccmc::{search_max_ratio, ModelConfig, ModelState, SearchConfig};
+use simcore::units::{Dur, Rate};
+use std::fmt;
+
+/// The queries' outcomes.
+pub struct CcmcReport {
+    /// Exhaustive AIMD check: (horizon steps, max ratio over all traces,
+    /// states explored).
+    pub aimd_exhaustive: (u32, f64, u64),
+    /// Beam AIMD check over ~10 RTTs: best ratio a 64-wide beam found.
+    pub aimd_beam: (u32, f64),
+    /// Beam Vegas attack: best ratio found.
+    pub vegas_beam: (u32, f64),
+}
+
+fn model(ccas: Vec<cca::BoxCca>, horizon: u32) -> ModelState {
+    ModelState::new(
+        ModelConfig {
+            rate: Rate::from_mbps(12.0),
+            tau: Dur::from_millis(20), // Rm/2
+            d_steps: 2,
+            buffer: 40 * 1500, // 1 BDP at 12 Mbit/s × 40 ms
+            rm: Dur::from_millis(40),
+            horizon,
+        },
+        ccas,
+    )
+}
+
+fn two<F: Fn() -> cca::BoxCca>(mk: F) -> Vec<cca::BoxCca> {
+    vec![mk(), mk()]
+}
+
+/// Run the queries.
+pub fn run(quick: bool) -> CcmcReport {
+    let exh_h = if quick { 5 } else { 6 };
+    let beam_h = if quick { 12 } else { 20 }; // 20 steps × 20 ms = 10 RTTs
+    let cfg = SearchConfig::default();
+
+    let m = model(two(|| Box::new(cca::NewReno::default_params())), exh_h);
+    let exh = search_max_ratio(&m, exh_h, cfg);
+    assert!(exh.exhaustive);
+
+    let m = model(two(|| Box::new(cca::NewReno::default_params())), beam_h);
+    let aimd_beam = search_max_ratio(&m, beam_h, cfg);
+
+    let m = model(two(|| Box::new(cca::Vegas::default_params())), beam_h);
+    let vegas_beam = search_max_ratio(&m, beam_h, cfg);
+
+    CcmcReport {
+        aimd_exhaustive: (exh_h, exh.best_value, exh.states_explored),
+        aimd_beam: (beam_h, aimd_beam.best_value),
+        vegas_beam: (beam_h, vegas_beam.best_value),
+    }
+}
+
+impl CcmcReport {
+    /// Summary table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&["query", "horizon (steps)", "max delivered ratio", "kind"]);
+        t.row(&[
+            "NewReno × 2, 1 BDP".into(),
+            self.aimd_exhaustive.0.to_string(),
+            fnum(self.aimd_exhaustive.1),
+            format!("exhaustive ({} states)", self.aimd_exhaustive.2),
+        ]);
+        t.row(&[
+            "NewReno × 2, 1 BDP".into(),
+            self.aimd_beam.0.to_string(),
+            fnum(self.aimd_beam.1),
+            "beam".into(),
+        ]);
+        t.row(&[
+            "Vegas × 2".into(),
+            self.vegas_beam.0.to_string(),
+            fnum(self.vegas_beam.1),
+            "beam".into(),
+        ]);
+        t
+    }
+}
+
+impl fmt::Display for CcmcReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Appendix C — multi-flow model-checker queries (12 Mbit/s, Rm = 40 ms, D = 2 steps)"
+        )?;
+        write!(f, "{}", self.table().render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aimd_ratio_bounded_on_grid() {
+        let r = run(true);
+        assert!(
+            r.aimd_exhaustive.1.is_finite(),
+            "AIMD starved on the exhaustive grid"
+        );
+        assert!(r.aimd_beam.1.is_finite());
+    }
+}

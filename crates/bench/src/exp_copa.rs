@@ -1,0 +1,145 @@
+//! §5.1 — Copa starvation via min-RTT poisoning.
+//!
+//! The paper's scenario: a 120 Mbit/s link with `Rm` = 60 ms, where a
+//! single packet experienced a 59 ms RTT. Copa's `dq = standing RTT −
+//! min RTT` is then over-estimated by 1 ms forever, capping its target
+//! rate near `1/(δ·1 ms)` = 2000 pkt/s regardless of the link rate.
+//!
+//! We realize it exactly as the paper describes the root cause —
+//! *persistent non-congestive delay*: the path's propagation RTT is 59 ms
+//! and every packet gets +1 ms of jitter except one packet every few
+//! seconds (refreshing the poisoned 59 ms minimum within Copa's 10 s
+//! min-RTT window). Paper numbers: single flow 8 Mbit/s of 120; two flows
+//! 8.8 vs 95 Mbit/s.
+
+use crate::table::{fnum, TextTable};
+use netsim::{FlowConfig, Jitter, LinkConfig, Network, SimConfig};
+use simcore::units::{Dur, Rate};
+use std::fmt;
+
+/// Results of both §5.1 experiments.
+pub struct CopaReport {
+    /// Single poisoned flow's throughput, Mbit/s (paper: 8).
+    pub single_mbps: f64,
+    /// Two-flow scenario: the poisoned flow (paper: 8.8).
+    pub two_poisoned_mbps: f64,
+    /// Two-flow scenario: the clean flow (paper: 95).
+    pub two_clean_mbps: f64,
+    /// Link rate for context.
+    pub link_mbps: f64,
+}
+
+fn poisoned_flow() -> FlowConfig {
+    // Rm = 59 ms; +1 ms on every packet except one every 30000 packets
+    // (≈ every 3–5 s at the rates Copa reaches here, always within the
+    // 10 s min-RTT window at the poisoned flow's poisoned-rate packet
+    // clock).
+    FlowConfig::bulk(Box::new(cca::Copa::default_params()), Dur::from_millis(59)).with_jitter(
+        Jitter::ExtraExcept {
+            extra: Dur::from_millis(1),
+            period: 5_000,
+            offset: 0,
+        },
+    )
+}
+
+fn clean_flow() -> FlowConfig {
+    FlowConfig::bulk(Box::new(cca::Copa::default_params()), Dur::from_millis(60))
+}
+
+/// Run both experiments.
+pub fn run(quick: bool) -> CopaReport {
+    let secs = if quick { 20 } else { 60 };
+    let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
+
+    let r1 = Network::new(SimConfig::new(
+        link,
+        vec![poisoned_flow()],
+        Dur::from_secs(secs),
+    ))
+    .run();
+    let r2 = Network::new(SimConfig::new(
+        link,
+        vec![poisoned_flow(), clean_flow()],
+        Dur::from_secs(secs),
+    ))
+    .run();
+
+    CopaReport {
+        single_mbps: r1.flows[0].throughput_at(r1.end).mbps(),
+        two_poisoned_mbps: r2.flows[0].throughput_at(r2.end).mbps(),
+        two_clean_mbps: r2.flows[1].throughput_at(r2.end).mbps(),
+        link_mbps: 120.0,
+    }
+}
+
+impl CopaReport {
+    /// Summary table with paper numbers.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&["scenario", "flow", "measured (Mbit/s)", "paper (Mbit/s)"]);
+        t.row(&[
+            "single".into(),
+            "poisoned".into(),
+            fnum(self.single_mbps),
+            "8".into(),
+        ]);
+        t.row(&[
+            "two-flow".into(),
+            "poisoned".into(),
+            fnum(self.two_poisoned_mbps),
+            "8.8".into(),
+        ]);
+        t.row(&[
+            "two-flow".into(),
+            "clean".into(),
+            fnum(self.two_clean_mbps),
+            "95".into(),
+        ]);
+        t
+    }
+
+    /// Two-flow starvation ratio.
+    pub fn ratio(&self) -> f64 {
+        self.two_clean_mbps / self.two_poisoned_mbps
+    }
+}
+
+impl fmt::Display for CopaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "§5.1 — Copa min-RTT poisoning, {} Mbit/s link, Rm = 60 ms (1 ms persistent jitter)",
+            self.link_mbps
+        )?;
+        write!(f, "{}", self.table().render())?;
+        writeln!(f, "two-flow ratio: {:.1}:1", self.ratio())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copa_single_flow_starves_itself() {
+        let r = run(true);
+        // The poisoned flow is pinned an order of magnitude below the link
+        // rate (paper: 8 of 120; our target-rate math says ≈ 2000 pkt/s =
+        // 24 Mbit/s ceiling, and dynamics keep it below that).
+        assert!(r.single_mbps < 40.0, "single={}", r.single_mbps);
+        assert!(r.single_mbps > 1.0, "flow should not be dead");
+    }
+
+    #[test]
+    fn copa_two_flow_starvation() {
+        let r = run(true);
+        assert!(
+            r.ratio() > 3.0,
+            "poisoned={} clean={}",
+            r.two_poisoned_mbps,
+            r.two_clean_mbps
+        );
+        // Clean flow takes most of the link.
+        assert!(r.two_clean_mbps > 60.0, "clean={}", r.two_clean_mbps);
+    }
+}

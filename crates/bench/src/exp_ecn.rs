@@ -1,0 +1,144 @@
+//! §6.4 — explicit congestion signaling as a way out of starvation.
+//!
+//! The paper's conjecture: "if the router set ECN bits when the queue
+//! exceeds a threshold, and a CCA reacted to that and not to small amounts
+//! of loss, then it may avoid starvation". The §5.4 counterpart showed that
+//! AIMD *does* starve when only one flow experiences non-congestive
+//! (random) loss.
+//!
+//! Scenario: a 12 Mbit/s, 40 ms link with a 1-BDP buffer; flow 1 sees 1 %
+//! random (non-congestive) loss, flow 2 none.
+//!
+//! * **loss-reactive AIMD** (plain NewReno): the lossy flow halves on
+//!   phantom congestion and collapses — heavy unfairness.
+//! * **ECN-reactive, loss-tolerant AIMD** (`NewReno::with_ecn()
+//!   .loss_tolerant()` with threshold marking at ¼ BDP): both flows see
+//!   the *same unambiguous* congestion signal; the random loss no longer
+//!   drives the window, and the flows share fairly at high utilization.
+
+use crate::table::{fnum, TextTable};
+use cca::BoxCca;
+use netsim::{FlowConfig, LinkConfig, Network, SimConfig};
+use simcore::units::{Dur, Rate, Time};
+use std::fmt;
+
+/// Outcome of the two §6.4 scenarios.
+pub struct EcnReport {
+    /// Loss-reactive AIMD under asymmetric 1 % loss: (lossy, clean) Mbit/s.
+    pub loss_reactive: (f64, f64),
+    /// ECN-reactive, loss-tolerant AIMD in the same scenario.
+    pub ecn_reactive: (f64, f64),
+    /// Link utilization of the ECN run.
+    pub ecn_utilization: f64,
+}
+
+fn scenario(mk: impl Fn() -> BoxCca, ecn: bool, secs: u64) -> (f64, f64, f64) {
+    let rate = Rate::from_mbps(12.0);
+    let rtt = Dur::from_millis(40);
+    let bdp = rate.bdp_bytes(rtt);
+    let mut link = LinkConfig::bdp_buffer(rate, rtt, 1.0);
+    if ecn {
+        link = link.with_ecn(bdp / 4);
+    }
+    let lossy = FlowConfig::bulk(mk(), rtt).with_loss(0.01, 5);
+    let clean = FlowConfig::bulk(mk(), rtt);
+    let r = Network::new(SimConfig::new(link, vec![lossy, clean], Dur::from_secs(secs))).run();
+    let half = Time(r.end.as_nanos() / 2);
+    (
+        r.flows[0].throughput_over(half, r.end).mbps(),
+        r.flows[1].throughput_over(half, r.end).mbps(),
+        r.utilization,
+    )
+}
+
+/// Run both variants.
+pub fn run(quick: bool) -> EcnReport {
+    let secs = if quick { 40 } else { 90 };
+    let (l1, c1, _) = scenario(|| Box::new(cca::NewReno::default_params()), false, secs);
+    let (l2, c2, util) = scenario(
+        || Box::new(cca::NewReno::default_params().with_ecn().loss_tolerant()),
+        true,
+        secs,
+    );
+    EcnReport {
+        loss_reactive: (l1, c1),
+        ecn_reactive: (l2, c2),
+        ecn_utilization: util,
+    }
+}
+
+impl EcnReport {
+    fn ratio(pair: (f64, f64)) -> f64 {
+        let (a, b) = pair;
+        a.max(b) / a.min(b).max(1e-9)
+    }
+
+    /// Loss-reactive unfairness.
+    pub fn loss_ratio(&self) -> f64 {
+        Self::ratio(self.loss_reactive)
+    }
+
+    /// ECN-reactive unfairness.
+    pub fn ecn_ratio(&self) -> f64 {
+        Self::ratio(self.ecn_reactive)
+    }
+
+    /// Render.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "CCA variant",
+            "1%-loss flow (Mbit/s)",
+            "clean flow (Mbit/s)",
+            "ratio",
+        ]);
+        t.row(&[
+            "loss-reactive AIMD".into(),
+            fnum(self.loss_reactive.0),
+            fnum(self.loss_reactive.1),
+            fnum(self.loss_ratio()),
+        ]);
+        t.row(&[
+            "ECN-reactive, loss-tolerant".into(),
+            fnum(self.ecn_reactive.0),
+            fnum(self.ecn_reactive.1),
+            fnum(self.ecn_ratio()),
+        ]);
+        t
+    }
+}
+
+impl fmt::Display for EcnReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "§6.4 — ECN vs loss as the congestion signal (12 Mbit/s, 40 ms, 1 BDP, one flow with 1% random loss)"
+        )?;
+        write!(f, "{}", self.table().render())?;
+        writeln!(
+            f,
+            "ECN run utilization: {:.2} (the conjecture needs fairness *and* efficiency)",
+            self.ecn_utilization
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecn_restores_fairness_under_asymmetric_loss() {
+        let r = run(true);
+        assert!(
+            r.ecn_ratio() < r.loss_ratio(),
+            "ecn={:.2} loss={:.2}",
+            r.ecn_ratio(),
+            r.loss_ratio()
+        );
+        // The ECN pair shares within a factor ~2 and stays efficient.
+        assert!(r.ecn_ratio() < 2.5, "ecn ratio={:.2}", r.ecn_ratio());
+        assert!(r.ecn_utilization > 0.8, "util={:.2}", r.ecn_utilization);
+        // The loss-reactive pair is meaningfully unfair.
+        assert!(r.loss_ratio() > 1.5, "loss ratio={:.2}", r.loss_ratio());
+    }
+}

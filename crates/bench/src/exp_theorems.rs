@@ -1,0 +1,177 @@
+//! Theorems 1–3 end to end, plus the proof-illustration figures (4, 5, 6)
+//! which are direct by-products of Theorem 1's pipeline:
+//!
+//! * Figure 4 — the pigeonhole sweep (rate → delay range, with the chosen
+//!   `C₁, C₂` pair);
+//! * Figure 5 — the recorded single-flow trajectories `d̄₁, d̄₂`;
+//! * Figure 6 — `d*(t)` against `d̄₁(t), d̄₂(t)` with the η feasibility
+//!   band.
+
+use crate::table::{fnum, TextTable};
+use cca::factory;
+use simcore::units::{Dur, Time};
+use starvation::theorem1::{run_theorem1, Theorem1Config, Theorem1Report};
+use starvation::theorem2::{run_theorem2, Theorem2Config, Theorem2Report};
+use starvation::theorem3::{run_theorem3, Theorem3Config, Theorem3Report};
+use std::fmt;
+
+/// All three constructions' outcomes.
+pub struct TheoremsReport {
+    /// Theorem 1 on Vegas.
+    pub thm1: Theorem1Report,
+    /// Theorem 2 on Vegas.
+    pub thm2: Theorem2Report,
+    /// Theorem 3 on Vegas.
+    pub thm3: Theorem3Report,
+}
+
+/// Run all three constructions (on Vegas, the sharpest delay-convergent
+/// CCA).
+pub fn run(quick: bool) -> TheoremsReport {
+    let f = factory(|| Box::new(cca::Vegas::default_params()));
+    let mut cfg1 = Theorem1Config::quick();
+    let mut cfg2 = Theorem2Config::quick();
+    let mut cfg3 = Theorem3Config::quick();
+    if !quick {
+        cfg1.record_duration = Dur::from_secs(40);
+        cfg1.emulate_duration = Dur::from_secs(40);
+        cfg1.sweep_steps = 4;
+        cfg2.duration = Dur::from_secs(40);
+        cfg2.c_prime_factor = 50.0;
+        cfg3.duration = Dur::from_secs(25);
+    }
+    TheoremsReport {
+        thm1: run_theorem1(&f, cfg1).expect("theorem 1 construction failed"),
+        thm2: run_theorem2(&f, cfg2),
+        thm3: run_theorem3(&f, cfg3),
+    }
+}
+
+impl TheoremsReport {
+    /// Figure 4's data: the pigeonhole sweep.
+    pub fn fig4_table(&self) -> TextTable {
+        let mut t = TextTable::new(&["lambda_i (Mbit/s)", "d_min (ms)", "d_max (ms)", "chosen"]);
+        for (rate, rep) in &self.thm1.pigeonhole.sweep {
+            let chosen = if (rate.mbps() - self.thm1.pigeonhole.c1.mbps()).abs() < 1e-9 {
+                "C1"
+            } else if (rate.mbps() - self.thm1.pigeonhole.c2.mbps()).abs() < 1e-9 {
+                "C2"
+            } else {
+                ""
+            };
+            t.row(&[
+                fnum(rate.mbps()),
+                fnum(rep.d_min * 1e3),
+                fnum(rep.d_max * 1e3),
+                chosen.into(),
+            ]);
+        }
+        t
+    }
+
+    /// Figure 5/6's data: `(t s, d̄₁ ms, d̄₂ ms, d* ms, η₁ ms, η₂ ms)` on the
+    /// emulation grid.
+    pub fn fig56_series(&self, n: usize) -> Vec<(f64, f64, f64, f64, f64, f64)> {
+        let plan = &self.thm1.plan;
+        let end = plan.d_star.end_time();
+        let tick = Dur((end.as_nanos() / n.max(1) as u64).max(1));
+        let mut out = Vec::new();
+        let mut t = Time::ZERO;
+        while t <= end {
+            let g = |s: &simcore::series::TimeSeries| s.value_at(t).unwrap_or(0.0) * 1e3;
+            out.push((
+                t.as_secs_f64(),
+                g(&self.thm1.d1),
+                g(&self.thm1.d2),
+                g(&plan.d_star),
+                g(&plan.eta1),
+                g(&plan.eta2),
+            ));
+            t += tick;
+        }
+        out
+    }
+
+    /// Theorem 3's iteration table.
+    pub fn thm3_table(&self) -> TextTable {
+        let mut t = TextTable::new(&["k", "max delay (ms)", "throughput (Mbit/s)"]);
+        for s in &self.thm3.steps {
+            t.row(&[
+                s.k.to_string(),
+                fnum(s.max_delay * 1e3),
+                fnum(s.throughput_mbps),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for TheoremsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t1 = &self.thm1;
+        writeln!(f, "Theorem 1 (Vegas) — the starvation construction")?;
+        writeln!(
+            f,
+            "  pigeonhole: C1 = {:.2} Mbit/s, C2 = {:.2} Mbit/s, eps = {:.3} ms, delta_max = {:.3} ms",
+            t1.pigeonhole.c1.mbps(),
+            t1.pigeonhole.c2.mbps(),
+            t1.pigeonhole.epsilon * 1e3,
+            t1.pigeonhole.delta_max * 1e3
+        )?;
+        writeln!(
+            f,
+            "  jitter bound D = {:.3} ms; eta-grid violations: {}; proof case: {}",
+            t1.plan.d_bound * 1e3,
+            t1.plan.violations,
+            if t1.used_case2 { "2 (big-link emulation)" } else { "1 (shared-queue d*)" }
+        )?;
+        writeln!(
+            f,
+            "  2-flow run: x1 = {:.2} Mbit/s, x2 = {:.2} Mbit/s  →  ratio {:.1}:1 ({} clamped pkts)",
+            t1.x1_mbps,
+            t1.x2_mbps,
+            t1.ratio(),
+            t1.clamped_packets
+        )?;
+        writeln!(f, "\nFigure 4 — pigeonhole sweep")?;
+        write!(f, "{}", self.fig4_table().render())?;
+        let t2 = &self.thm2;
+        writeln!(
+            f,
+            "\nTheorem 2 (Vegas) — emulated delay on a {} Mbit/s link: {:.2} Mbit/s achieved (utilization {:.3}, D = {})",
+            t2.c_prime_mbps, t2.emulated_mbps, t2.utilization, t2.d_bound
+        )?;
+        writeln!(f, "\nTheorem 3 (Vegas) — strong-model iteration")?;
+        write!(f, "{}", self.thm3_table().render())?;
+        match self.thm3.starving_pair {
+            Some((a, b)) => writeln!(
+                f,
+                "starving pair: traces {a} and {b} (ratio {:.2} ≥ s)",
+                self.thm3.achieved_ratio
+            ),
+            None => writeln!(f, "no starving pair found within the iteration budget"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_pipeline_produces_all_figures() {
+        let r = run(true);
+        assert!(r.thm1.ratio() >= 2.0, "thm1 ratio={}", r.thm1.ratio());
+        assert!(r.thm2.utilization < 0.2, "thm2 util={}", r.thm2.utilization);
+        assert!(r.thm3.starving_pair.is_some());
+        assert!(r.fig4_table().render().contains("C1"));
+        let series = r.fig56_series(50);
+        assert!(series.len() >= 40);
+        // d* must sit below both trajectories at (almost) every grid point.
+        let below = series
+            .iter()
+            .filter(|(_, d1, d2, ds, _, _)| *ds <= d1 + 1e-6 && *ds <= d2 + 1e-6)
+            .count();
+        assert!(below as f64 >= 0.9 * series.len() as f64);
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 2: the rate–delay graph of a delay-convergent CCA — equilibrium
+//! RTT band as a function of the ideal path's link rate `C` at fixed `Rm`.
+//!
+//! The paper's figure is schematic (a decreasing band of width `δ(C)`
+//! with the transmission-delay blow-up as `C → 0`); we regenerate it by
+//! profiling Vegas, the canonical `α/C` CCA.
+
+use crate::table::{fnum, TextTable};
+use cca::factory;
+use simcore::units::Dur;
+use starvation::profiler::{log_sweep, profile_rate_delay, ProfilePoint};
+use std::fmt;
+
+/// The regenerated figure.
+pub struct Fig2Report {
+    /// The profiled curve.
+    pub points: Vec<ProfilePoint>,
+    /// Propagation RTT used.
+    pub rm_ms: f64,
+}
+
+/// Profile Vegas across a log-spaced rate sweep at `Rm` = 50 ms.
+pub fn run(quick: bool) -> Fig2Report {
+    let (n, dur) = if quick { (5, 12) } else { (10, 30) };
+    let rates = log_sweep(0.5, 100.0, n);
+    let f = factory(|| Box::new(cca::Vegas::default_params()));
+    let points = profile_rate_delay(&f, &rates, Dur::from_millis(50), Dur::from_secs(dur));
+    Fig2Report {
+        points,
+        rm_ms: 50.0,
+    }
+}
+
+impl Fig2Report {
+    /// Render the sweep as a table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "C (Mbit/s)",
+            "d_min (ms)",
+            "d_max (ms)",
+            "delta (ms)",
+            "throughput (Mbit/s)",
+        ]);
+        for p in &self.points {
+            t.row(&[
+                fnum(p.rate.mbps()),
+                fnum(p.convergence.d_min * 1e3),
+                fnum(p.convergence.d_max * 1e3),
+                fnum(p.convergence.delta() * 1e3),
+                fnum(p.throughput.mbps()),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for Fig2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 2 — rate–delay graph of a delay-convergent CCA (Vegas), Rm = {} ms",
+            self.rm_ms
+        )?;
+        write!(f, "{}", self.table().render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_decreases_with_rate() {
+        let r = run(true);
+        assert!(r.points.len() >= 4);
+        let first = r.points.first().unwrap();
+        let last = r.points.last().unwrap();
+        // d_max decreasing in C (the figure's defining shape).
+        assert!(first.convergence.d_max > last.convergence.d_max);
+        // At high C the delay approaches Rm.
+        assert!(last.convergence.d_max < 0.055);
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 3: rate–delay graphs for the real delay-bounding CCAs —
+//! Vegas/FAST, Copa, BBR, PCC Vivace — at `Rm` = 100 ms over link rates
+//! 0.1 → 100 Mbit/s.
+//!
+//! The paper's analytic curves this reproduces:
+//!
+//! * Vegas and FAST: `d = Rm + α/C` (a line, `δ(C) = 0`);
+//! * Copa: a band of width `4α/C` around `Rm + 2α/(δ_copa·C)`;
+//! * BBR: pacing-limited band `[Rm, 1.25·Rm]`; cwnd-limited line
+//!   `2·Rm + α/C`;
+//! * PCC Vivace: band `[Rm, 1.05·Rm]`.
+//!
+//! Delay rises as `C → 0` for every CCA (the unavoidable `1/C`
+//! transmission delay).
+
+use crate::table::{fnum, TextTable};
+use cca::{factory, CcaFactory};
+use simcore::units::Dur;
+use starvation::profiler::{log_sweep, profile_rate_delay, ProfilePoint};
+use std::fmt;
+
+/// One CCA's profiled panel.
+pub struct Panel {
+    /// Panel name as in the figure.
+    pub name: &'static str,
+    /// Measured sweep.
+    pub points: Vec<ProfilePoint>,
+}
+
+/// The regenerated figure.
+pub struct Fig3Report {
+    /// One panel per CCA.
+    pub panels: Vec<Panel>,
+    /// Propagation RTT (the figure uses 100 ms).
+    pub rm_ms: f64,
+}
+
+fn panel(name: &'static str, f: CcaFactory, quick: bool) -> Panel {
+    let (n, dur, lo) = if quick { (4, 22, 1.0) } else { (8, 40, 0.1) };
+    let rates = log_sweep(lo, 100.0, n);
+    let points = profile_rate_delay(&f, &rates, Dur::from_millis(100), Dur::from_secs(dur));
+    Panel { name, points }
+}
+
+/// Profile all four panels.
+pub fn run(quick: bool) -> Fig3Report {
+    let panels = vec![
+        panel(
+            "Vegas/FAST",
+            factory(|| Box::new(cca::Vegas::new(1500, 4.0, 4.0))),
+            quick,
+        ),
+        panel("Copa", factory(|| Box::new(cca::Copa::default_params())), quick),
+        panel("BBR", factory(|| Box::new(cca::Bbr::default_params())), quick),
+        panel(
+            "PCC Vivace",
+            factory(|| Box::new(cca::Vivace::default_params())),
+            quick,
+        ),
+    ];
+    Fig3Report {
+        panels,
+        rm_ms: 100.0,
+    }
+}
+
+impl Fig3Report {
+    /// Render one combined table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "CCA",
+            "C (Mbit/s)",
+            "d_min (ms)",
+            "d_max (ms)",
+            "delta (ms)",
+            "util",
+        ]);
+        for p in &self.panels {
+            for pt in &p.points {
+                t.row(&[
+                    p.name.to_string(),
+                    fnum(pt.rate.mbps()),
+                    fnum(pt.convergence.d_min * 1e3),
+                    fnum(pt.convergence.d_max * 1e3),
+                    fnum(pt.convergence.delta() * 1e3),
+                    fnum(pt.utilization),
+                ]);
+            }
+        }
+        t
+    }
+}
+
+impl fmt::Display for Fig3Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 3 — rate–delay graphs of real delay-bounding CCAs, Rm = {} ms",
+            self.rm_ms
+        )?;
+        write!(f, "{}", self.table().render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vegas_panel_sits_on_alpha_over_c_line() {
+        let p = panel(
+            "Vegas/FAST",
+            factory(|| Box::new(cca::Vegas::new(1500, 4.0, 4.0))),
+            true,
+        );
+        for pt in &p.points {
+            // d_max ≈ Rm + (≈α pkts + 1 tx)·pkt/C, α = 4.
+            let pkt = 1500.0 * 8.0 / pt.rate.bps();
+            let predict = 0.100 + 4.0 * pkt;
+            assert!(
+                (pt.convergence.d_max - predict).abs() < 3.0 * pkt + 0.002,
+                "C={} d_max={} predict={}",
+                pt.rate,
+                pt.convergence.d_max,
+                predict
+            );
+        }
+    }
+
+    #[test]
+    fn delta_small_for_delay_convergent_ccas() {
+        let r = run(true);
+        for panel in &r.panels {
+            // At the highest rate each CCA's band is narrow relative to Rm.
+            let last = panel.points.last().expect(panel.name);
+            assert!(
+                last.convergence.delta() < 0.5 * 0.100,
+                "{}: delta={}",
+                panel.name,
+                last.convergence.delta()
+            );
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! `repro` — regenerate every table and figure of *Starvation in
+//! End-to-End Congestion Control* (SIGCOMM 2022).
+//!
+//! ```text
+//! repro <subcommand> [--quick]
+//!
+//!   glossary   Table 1
+//!   fig1       ideal-path RTT trajectory (Copa)
+//!   fig2       rate–delay graph of a delay-convergent CCA (Vegas)
+//!   fig3       rate–delay graphs: Vegas/FAST, Copa, BBR, PCC Vivace
+//!   thm        Theorems 1–3 constructions + Figures 4, 5, 6
+//!   fig7       Reno/Cubic with delayed ACKs
+//!   copa       §5.1 Copa min-RTT poisoning
+//!   bbr        §5.2 BBR cwnd-limited starvation
+//!   vivace     §5.3 Vivace ACK quantization
+//!   allegro    §5.4 Allegro asymmetric loss
+//!   merit      §6.3 figure-of-merit table
+//!   algo1      §6.3 Algorithm 1 vs Vegas under jitter
+//!   ccmc       Appendix C model-checker queries
+//!   ablations  design-choice ablations (BBR quanta, Copa poison sweep,
+//!              Algorithm 1 design margin, AIMD-on-delay threshold)
+//!   ecn        §6.4: ECN-reactive vs loss-reactive AIMD under asymmetric loss
+//!   boundary   the D vs 2δ phase diagram (oscillation × jitter sweep)
+//!   seeds      seed-robustness sweep of the randomized §5 scenarios
+//!   all        everything above (CSV into results/)
+//! ```
+
+use repro::table::TextTable;
+use repro::*;
+
+fn save(t: &TextTable, name: &str) {
+    let path = result_path(name);
+    if let Err(e) = t.write_csv(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("  → {}", path.display());
+    }
+}
+
+fn run_glossary() {
+    println!("Table 1 — glossary of symbols");
+    let mut t = TextTable::new(&["symbol", "meaning"]);
+    for s in starvation::glossary::TABLE1 {
+        t.row(&[s.symbol.to_string(), s.meaning.to_string()]);
+    }
+    println!("{}", t.render());
+}
+
+fn run_fig1(quick: bool) {
+    let r = fig1::run(quick);
+    println!("{r}");
+    let mut t = TextTable::new(&["t (s)", "rtt (ms)"]);
+    for (ts, rtt) in &r.series {
+        t.row(&[format!("{ts:.3}"), format!("{rtt:.4}")]);
+    }
+    save(&t, "fig1.csv");
+}
+
+fn run_fig2(quick: bool) {
+    let r = fig2::run(quick);
+    println!("{r}");
+    save(&r.table(), "fig2.csv");
+}
+
+fn run_fig3(quick: bool) {
+    let r = fig3::run(quick);
+    println!("{r}");
+    save(&r.table(), "fig3.csv");
+}
+
+fn run_thm(quick: bool) {
+    let r = exp_theorems::run(quick);
+    println!("{r}");
+    save(&r.fig4_table(), "fig4.csv");
+    let mut t = TextTable::new(&[
+        "t (s)",
+        "d1 (ms)",
+        "d2 (ms)",
+        "d_star (ms)",
+        "eta1 (ms)",
+        "eta2 (ms)",
+    ]);
+    for (ts, d1, d2, ds, e1, e2) in r.fig56_series(400) {
+        t.row(&[
+            format!("{ts:.3}"),
+            format!("{d1:.4}"),
+            format!("{d2:.4}"),
+            format!("{ds:.4}"),
+            format!("{e1:.4}"),
+            format!("{e2:.4}"),
+        ]);
+    }
+    save(&t, "fig5_fig6.csv");
+    save(&r.thm3_table(), "thm3.csv");
+}
+
+fn run_fig7(quick: bool) {
+    let r = fig7::run(quick);
+    println!("{r}");
+    save(&r.table(), "fig7.csv");
+    let mut t = TextTable::new(&["cca", "flow", "t (s)", "cwnd (pkts)"]);
+    for row in &r.rows {
+        for (ts, w) in &row.cwnd_clean {
+            t.row(&[row.cca.into(), "clean".into(), format!("{ts:.2}"), format!("{w:.1}")]);
+        }
+        for (ts, w) in &row.cwnd_delayed {
+            t.row(&[row.cca.into(), "delayed".into(), format!("{ts:.2}"), format!("{w:.1}")]);
+        }
+    }
+    save(&t, "fig7_cwnd.csv");
+}
+
+fn run_copa(quick: bool) {
+    let r = exp_copa::run(quick);
+    println!("{r}");
+    save(&r.table(), "copa.csv");
+}
+
+fn run_bbr(quick: bool) {
+    let r = exp_bbr::run(quick);
+    println!("{r}");
+    save(&r.table(), "bbr.csv");
+}
+
+fn run_vivace(quick: bool) {
+    let r = exp_vivace::run(quick);
+    println!("{r}");
+    save(&r.table(), "vivace.csv");
+}
+
+fn run_allegro(quick: bool) {
+    let r = exp_allegro::run(quick);
+    println!("{r}");
+    save(&r.table(), "allegro.csv");
+}
+
+fn run_merit(quick: bool) {
+    let r = exp_merit::run(quick);
+    println!("{r}");
+    save(&r.table(), "merit.csv");
+}
+
+fn run_algo1(quick: bool) {
+    let r = exp_algo1::run(quick);
+    println!("{r}");
+    save(&r.table(), "algo1.csv");
+}
+
+fn run_seeds(quick: bool) {
+    let r = exp_seeds::run(quick);
+    println!("{r}");
+    save(&r.table(), "seeds.csv");
+}
+
+fn run_boundary(quick: bool) {
+    let r = exp_boundary::run(quick);
+    println!("{r}");
+    save(&r.table(), "boundary.csv");
+}
+
+fn run_ecn(quick: bool) {
+    let r = exp_ecn::run(quick);
+    println!("{r}");
+    save(&r.table(), "ecn.csv");
+}
+
+fn run_ablations(quick: bool) {
+    let r = exp_ablations::run(quick);
+    println!("{r}");
+    save(&r.table(), "ablations.csv");
+}
+
+fn run_ccmc(quick: bool) {
+    let r = exp_ccmc::run(quick);
+    println!("{r}");
+    save(&r.table(), "ccmc.csv");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("help");
+
+    let t0 = std::time::Instant::now();
+    match cmd {
+        "glossary" => run_glossary(),
+        "fig1" => run_fig1(quick),
+        "fig2" => run_fig2(quick),
+        "fig3" => run_fig3(quick),
+        "thm" | "fig4" | "fig5" | "fig6" => run_thm(quick),
+        "fig7" => run_fig7(quick),
+        "copa" => run_copa(quick),
+        "bbr" => run_bbr(quick),
+        "vivace" => run_vivace(quick),
+        "allegro" => run_allegro(quick),
+        "merit" => run_merit(quick),
+        "algo1" => run_algo1(quick),
+        "ccmc" => run_ccmc(quick),
+        "ablations" => run_ablations(quick),
+        "ecn" => run_ecn(quick),
+        "boundary" => run_boundary(quick),
+        "seeds" => run_seeds(quick),
+        "all" => {
+            run_glossary();
+            run_fig1(quick);
+            run_fig2(quick);
+            run_fig3(quick);
+            run_thm(quick);
+            run_fig7(quick);
+            run_copa(quick);
+            run_bbr(quick);
+            run_vivace(quick);
+            run_allegro(quick);
+            run_merit(quick);
+            run_algo1(quick);
+            run_ccmc(quick);
+            run_ablations(quick);
+            run_ecn(quick);
+            run_boundary(quick);
+            run_seeds(quick);
+        }
+        _ => {
+            println!(
+                "usage: repro <glossary|fig1|fig2|fig3|thm|fig7|copa|bbr|vivace|allegro|merit|algo1|ccmc|ablations|ecn|boundary|seeds|all> [--quick]"
+            );
+            return;
+        }
+    }
+    eprintln!("[{} completed in {:.1}s]", cmd, t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,140 @@
+//! Minimal text-table and CSV helpers (hand-rolled; no serde dependency).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned text table.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column names.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header's arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}", c, w = widths[i] + 2);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let rule: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(rule.min(120)));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        let _ = ncols;
+        out
+    }
+
+    /// Write the table as CSV.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            writeln!(f, "{}", escaped.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float compactly.
+pub fn fnum(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&["a", "bbbb"]);
+        t.row(&["xx".into(), "1".into()]);
+        t.row(&["y".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xx"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let dir = std::env::temp_dir().join("repro_table_test.csv");
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["x,y".into(), "plain".into()]);
+        t.write_csv(&dir).unwrap();
+        let s = std::fs::read_to_string(&dir).unwrap();
+        assert!(s.contains("\"x,y\",plain"));
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(12.34), "12.3");
+        assert_eq!(fnum(1.2345), "1.234");
+        assert_eq!(fnum(0.0001), "1.00e-4");
+        assert_eq!(fnum(f64::INFINITY), "inf");
+    }
+}

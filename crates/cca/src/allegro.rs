@@ -1,0 +1,468 @@
+//! PCC Allegro (Dong et al., NSDI 2015) — loss-threshold utility.
+//!
+//! Allegro runs randomized controlled trials: four monitor intervals, two
+//! at `(1+ε)·r` and two at `(1−ε)·r` in random order (attribution by send
+//! time via [`crate::mi::MiTracker`]; results land one RTT after each MI).
+//! If both higher-rate MIs produced higher utility than their paired
+//! lower-rate MIs it moves up; both lower → down; otherwise it stays and
+//! widens ε. After a decision it keeps moving in that direction with
+//! growing steps until utility drops. Its utility,
+//!
+//! ```text
+//! U(x) = x·(1−L)·sigmoid(L − 0.05) − x·L
+//! sigmoid(y) = 1 / (1 + e^{100·y})
+//! ```
+//!
+//! tolerates loss up to a 5 % threshold and collapses above it.
+//!
+//! §5.4's analysis: Allegro is to Reno what BBR's cwnd-limited mode is to
+//! Vegas — it keeps *headroom* in its congestion signal (loss below 5 %)
+//! as BBR keeps `Rm` of queueing delay. When two flows see *unequal*
+//! random loss (2 % vs 0), the lossy flow hits the collapse threshold at a
+//! much lower congestion-loss level and starves (paper: 10.3 vs
+//! 99.1 Mbit/s); equal loss shares fairly; a single 2 %-loss flow fills
+//! the link.
+
+use crate::mi::MiTracker;
+use crate::traits::{AckEvent, CongestionControl, LossEvent, LossKind};
+use simcore::rng::Xoshiro256;
+use simcore::units::{Dur, Rate, Time};
+
+/// Allegro's sigmoid-threshold utility.
+#[derive(Clone, Copy, Debug)]
+pub struct AllegroUtility {
+    /// Loss threshold (0.05).
+    pub threshold: f64,
+    /// Sigmoid steepness (100).
+    pub alpha: f64,
+}
+
+impl Default for AllegroUtility {
+    fn default() -> Self {
+        AllegroUtility {
+            threshold: 0.05,
+            alpha: 100.0,
+        }
+    }
+}
+
+impl AllegroUtility {
+    /// Utility of sending rate `x` (Mbit/s) at loss fraction `loss`.
+    pub fn eval(&self, x_mbps: f64, loss: f64) -> f64 {
+        let sig = 1.0 / (1.0 + (self.alpha * (loss - self.threshold)).exp());
+        x_mbps * (1.0 - loss) * sig - x_mbps * loss
+    }
+}
+
+/// MI tags: slow start, or trial slot 0..4 (direction looked up in
+/// `trial_dirs`), or an adjusting-phase MI.
+const TAG_SS: u32 = 10;
+const TAG_ADJ: u32 = 11;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Double the rate each MI while utility improves.
+    Starting,
+    /// Sending the 4-MI randomized controlled trial (next slot to send).
+    Trial(u8),
+    /// Waiting for trial results while sending at the base rate.
+    TrialWait,
+    /// Moving in a fixed direction with growing steps until utility drops.
+    Adjusting,
+}
+
+/// PCC Allegro congestion control.
+#[derive(Clone, Debug)]
+pub struct Allegro {
+    utility: AllegroUtility,
+    rate: Rate,
+    phase: Phase,
+    tracker: MiTracker,
+    /// Probe directions for the current RCT (`true` = up), two of each.
+    trial_dirs: [bool; 4],
+    trial_utils: [Option<f64>; 4],
+    epsilon: f64,
+    epsilon_min: f64,
+    epsilon_max: f64,
+    adjust_dir: f64,
+    adjust_n: u32,
+    prev_utility: f64,
+    prev_ss: Option<(f64, f64)>,
+    srtt: Option<f64>,
+    rng: Xoshiro256,
+    mss: u64,
+    min_rate: Rate,
+}
+
+impl Allegro {
+    /// Allegro with the default utility and a deterministic RCT-order seed.
+    pub fn new(seed: u64) -> Self {
+        Allegro {
+            utility: AllegroUtility::default(),
+            rate: Rate::from_mbps(2.0),
+            phase: Phase::Starting,
+            tracker: MiTracker::new(),
+            trial_dirs: [true, false, true, false],
+            trial_utils: [None; 4],
+            epsilon: 0.02,
+            epsilon_min: 0.02,
+            epsilon_max: 0.08,
+            adjust_dir: 0.0,
+            adjust_n: 0,
+            prev_utility: f64::MIN,
+            prev_ss: None,
+            srtt: None,
+            rng: Xoshiro256::new(seed),
+            mss: 1500,
+            min_rate: Rate::from_mbps(0.1),
+        }
+    }
+
+    /// Default parameters (seed 1).
+    pub fn default_params() -> Self {
+        Allegro::new(1)
+    }
+
+    /// The base (un-probed) sending rate.
+    pub fn base_rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// The rate the open MI transmits at.
+    pub fn current_rate(&self) -> Rate {
+        let gain = match self.phase {
+            Phase::Trial(slot) => {
+                if self.trial_dirs[slot.min(3) as usize] {
+                    1.0 + self.epsilon
+                } else {
+                    1.0 - self.epsilon
+                }
+            }
+            _ => 1.0,
+        };
+        self.rate.mul_f64(gain)
+    }
+
+    fn mi_duration(&self) -> Dur {
+        Dur::from_secs_f64(self.srtt.unwrap_or(0.05)).max(Dur::from_millis(10))
+    }
+
+    fn srtt_dur(&self) -> Dur {
+        Dur::from_secs_f64(self.srtt.unwrap_or(0.05))
+    }
+
+    fn shuffle_trial(&mut self) {
+        let mut dirs = [true, true, false, false];
+        for i in (1..4).rev() {
+            let j = self.rng.range_u64(i as u64 + 1) as usize;
+            dirs.swap(i, j);
+        }
+        self.trial_dirs = dirs;
+        self.trial_utils = [None; 4];
+    }
+
+    /// Open the next MI per the sending-side state machine.
+    fn open_next_mi(&mut self, now: Time) {
+        match self.phase {
+            Phase::Starting => {
+                if !self.tracker.is_empty() {
+                    self.rate = self.rate.mul_f64(2.0);
+                }
+                self.tracker.begin(now, self.rate, TAG_SS);
+            }
+            Phase::Trial(slot) => {
+                let tag = slot as u32;
+                self.tracker.begin(now, self.current_rate(), tag);
+                self.phase = if slot >= 3 {
+                    Phase::TrialWait
+                } else {
+                    Phase::Trial(slot + 1)
+                };
+            }
+            Phase::TrialWait | Phase::Adjusting => {
+                self.tracker.begin(now, self.rate, TAG_ADJ);
+            }
+        }
+    }
+
+    fn enter_trial(&mut self) {
+        self.shuffle_trial();
+        self.phase = Phase::Trial(0);
+    }
+
+    /// Consume completed MIs.
+    fn harvest(&mut self, now: Time) {
+        let grace = self.srtt_dur();
+        while let Some(mi) = self.tracker.pop_complete(now, grace) {
+            let u = self.utility.eval(mi.throughput_mbps(), mi.loss_fraction());
+            match mi.tag {
+                TAG_SS => {
+                    if let Some((prev_u, prev_rate)) = self.prev_ss {
+                        if u < prev_u {
+                            self.rate =
+                                Rate::from_mbps(prev_rate.max(self.min_rate.mbps()));
+                            self.prev_ss = None;
+                            self.enter_trial();
+                            continue;
+                        }
+                    }
+                    self.prev_ss = Some((u, mi.rate.mbps()));
+                }
+                slot @ 0..=3 => {
+                    self.trial_utils[slot as usize] = Some(u);
+                    if self.trial_utils.iter().all(Option::is_some) {
+                        self.conclude_trial();
+                    }
+                }
+                TAG_ADJ
+                    if self.phase == Phase::Adjusting => {
+                        if u >= self.prev_utility {
+                            self.prev_utility = u;
+                            self.adjust_n += 1;
+                            let step = self.adjust_n as f64 * self.epsilon_min;
+                            let new = self.rate.mbps() * (1.0 + self.adjust_dir * step);
+                            self.rate = Rate::from_mbps(new.max(self.min_rate.mbps()));
+                        } else {
+                            let step = self.adjust_n as f64 * self.epsilon_min;
+                            let new =
+                                self.rate.mbps() / (1.0 + self.adjust_dir * step).max(0.1);
+                            self.rate = Rate::from_mbps(new.max(self.min_rate.mbps()));
+                            self.enter_trial();
+                        }
+                    }
+                _ => {}
+            }
+        }
+    }
+
+    fn conclude_trial(&mut self) {
+        let ups: Vec<f64> = (0..4)
+            .filter(|&i| self.trial_dirs[i])
+            .map(|i| self.trial_utils[i].unwrap())
+            .collect();
+        let downs: Vec<f64> = (0..4)
+            .filter(|&i| !self.trial_dirs[i])
+            .map(|i| self.trial_utils[i].unwrap())
+            .collect();
+        let mut up_wins = 0;
+        let (mut up_sum, mut down_sum) = (0.0, 0.0);
+        for k in 0..2 {
+            up_sum += ups[k];
+            down_sum += downs[k];
+            if ups[k] > downs[k] {
+                up_wins += 1;
+            }
+        }
+        if up_wins == 2 {
+            self.adjust_dir = 1.0;
+            self.adjust_n = 1;
+            self.prev_utility = up_sum / 2.0;
+            self.rate = Rate::from_mbps(self.rate.mbps() * (1.0 + self.epsilon));
+            self.epsilon = self.epsilon_min;
+            self.phase = Phase::Adjusting;
+        } else if up_wins == 0 {
+            self.adjust_dir = -1.0;
+            self.adjust_n = 1;
+            self.prev_utility = down_sum / 2.0;
+            self.rate = Rate::from_mbps(
+                (self.rate.mbps() * (1.0 - self.epsilon)).max(self.min_rate.mbps()),
+            );
+            self.epsilon = self.epsilon_min;
+            self.phase = Phase::Adjusting;
+        } else {
+            self.epsilon = (self.epsilon + 0.01).min(self.epsilon_max);
+            self.enter_trial();
+        }
+    }
+}
+
+impl CongestionControl for Allegro {
+    fn on_ack(&mut self, ev: &AckEvent) {
+        let rtt_s = ev.rtt.as_secs_f64();
+        self.srtt = Some(match self.srtt {
+            None => rtt_s,
+            Some(s) => 0.875 * s + 0.125 * rtt_s,
+        });
+        self.tracker.on_ack(ev.now, ev.rtt, ev.newly_acked);
+        match self.tracker.current_start() {
+            None => self.open_next_mi(ev.now),
+            Some(start) => {
+                if ev.now >= start + self.mi_duration() {
+                    self.open_next_mi(ev.now);
+                }
+            }
+        }
+        self.harvest(ev.now);
+    }
+
+    fn on_send(&mut self, now: Time, bytes: u64, _in_flight: u64) {
+        if self.tracker.current_start().is_none() {
+            self.open_next_mi(now);
+        }
+        self.tracker.on_send(now, bytes);
+    }
+
+    fn on_loss(&mut self, ev: &LossEvent) {
+        self.tracker.on_loss(ev.now, ev.sent_at, self.srtt_dur(), ev.lost_bytes);
+        if ev.kind == LossKind::Timeout {
+            self.rate = self.min_rate.max(self.rate.mul_f64(0.5));
+        }
+    }
+
+    fn cwnd(&self) -> u64 {
+        let rtt = self.srtt.unwrap_or(0.1);
+        let bdp = self.current_rate().bytes_per_sec() * rtt;
+        ((2.0 * bdp) as u64).max(4 * self.mss)
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        Some(self.current_rate())
+    }
+
+    fn name(&self) -> &'static str {
+        "allegro"
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utility_full_below_threshold() {
+        let u = AllegroUtility::default();
+        // At 2% loss the sigmoid is ≈ 0.95: utility stays strongly positive.
+        assert!(u.eval(100.0, 0.02) > 80.0);
+    }
+
+    #[test]
+    fn utility_collapses_above_threshold() {
+        let u = AllegroUtility::default();
+        assert!(u.eval(100.0, 0.08) < 0.0);
+    }
+
+    #[test]
+    fn utility_monotone_in_rate_at_low_loss() {
+        let u = AllegroUtility::default();
+        assert!(u.eval(50.0, 0.01) > u.eval(25.0, 0.01));
+    }
+
+    #[test]
+    fn trial_schedule_has_two_of_each() {
+        let mut a = Allegro::default_params();
+        for _ in 0..20 {
+            a.shuffle_trial();
+            let ups = a.trial_dirs.iter().filter(|&&d| d).count();
+            assert_eq!(ups, 2);
+        }
+    }
+
+    #[test]
+    fn consistent_up_wins_raise_rate() {
+        let mut a = Allegro::default_params();
+        a.trial_dirs = [true, false, true, false];
+        a.trial_utils = [Some(10.0), Some(5.0), Some(11.0), Some(6.0)];
+        let r0 = a.base_rate().mbps();
+        a.conclude_trial();
+        assert!(a.base_rate().mbps() > r0);
+        assert_eq!(a.phase, Phase::Adjusting);
+        assert_eq!(a.adjust_dir, 1.0);
+    }
+
+    #[test]
+    fn consistent_down_wins_lower_rate() {
+        let mut a = Allegro::default_params();
+        a.trial_dirs = [true, false, true, false];
+        a.trial_utils = [Some(5.0), Some(10.0), Some(6.0), Some(11.0)];
+        let r0 = a.base_rate().mbps();
+        a.conclude_trial();
+        assert!(a.base_rate().mbps() < r0);
+        assert_eq!(a.adjust_dir, -1.0);
+    }
+
+    #[test]
+    fn inconclusive_trial_widens_epsilon() {
+        let mut a = Allegro::default_params();
+        a.trial_dirs = [true, false, true, false];
+        a.trial_utils = [Some(10.0), Some(5.0), Some(6.0), Some(11.0)];
+        let e0 = a.epsilon;
+        a.conclude_trial();
+        assert!(a.epsilon > e0);
+        assert!(matches!(a.phase, Phase::Trial(0)));
+    }
+
+    #[test]
+    fn epsilon_capped() {
+        let mut a = Allegro::default_params();
+        for _ in 0..20 {
+            a.trial_dirs = [true, false, true, false];
+            a.trial_utils = [Some(10.0), Some(5.0), Some(6.0), Some(11.0)];
+            a.conclude_trial();
+        }
+        assert!(a.epsilon <= a.epsilon_max + 1e-12);
+    }
+
+    #[test]
+    fn rate_floor_enforced() {
+        let mut a = Allegro::default_params();
+        for _ in 0..100 {
+            a.trial_dirs = [true, false, true, false];
+            a.trial_utils = [Some(0.0), Some(10.0), Some(0.0), Some(10.0)];
+            a.conclude_trial();
+        }
+        assert!(a.base_rate().mbps() >= 0.1);
+    }
+
+    #[test]
+    fn trial_phase_probes_up_and_down() {
+        let mut a = Allegro::default_params();
+        a.trial_dirs = [true, false, true, false];
+        a.epsilon = 0.05;
+        let base = a.base_rate().mbps();
+        a.phase = Phase::Trial(0);
+        assert!((a.current_rate().mbps() - base * 1.05).abs() < 1e-9);
+        a.phase = Phase::Trial(1);
+        assert!((a.current_rate().mbps() - base * 0.95).abs() < 1e-9);
+        a.phase = Phase::TrialWait;
+        assert!((a.current_rate().mbps() - base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_start_grows_in_closed_loop() {
+        // Synthetic closed loop at constant RTT: rate must leave 2 Mbit/s
+        // far behind on a clean path.
+        let mut a = Allegro::default_params();
+        let rtt_us = 50_000u64;
+        let mut pipe: std::collections::VecDeque<(u64, u64)> = Default::default();
+        let mut now = 0u64;
+        while now < 3_000_000 {
+            let bytes = (a.current_rate().bytes_per_sec() / 1000.0) as u64;
+            a.on_send(Time::from_micros(now), bytes, 0);
+            pipe.push_back((now, bytes));
+            while let Some(&(t, b)) = pipe.front() {
+                if t + rtt_us <= now {
+                    pipe.pop_front();
+                    a.on_ack(&AckEvent {
+                        now: Time::from_micros(now),
+                        rtt: Dur::from_micros(rtt_us),
+                        newly_acked: b,
+                        in_flight: 0,
+                        delivered: 0,
+                        delivered_at_send: 0,
+                        delivery_rate: None,
+                        app_limited: false,
+                        ecn: false,
+                    });
+                } else {
+                    break;
+                }
+            }
+            now += 1000;
+        }
+        assert!(a.base_rate().mbps() > 16.0, "rate={}", a.base_rate());
+    }
+}

@@ -1,0 +1,523 @@
+//! BBR v1 (Cardwell et al., ACM Queue 2016; IETF draft -00).
+//!
+//! BBR estimates the bottleneck bandwidth as the **maximum** delivery rate
+//! over the last 10 packet-timed rounds and the propagation delay as the
+//! **minimum** RTT over the last 10 seconds, paces at
+//! `pacing_gain × BtlBw`, and caps in-flight data with
+//! `cwnd = cwnd_gain × BtlBw × RTprop + quanta`.
+//!
+//! The paper (§5.2) analyzes two regimes:
+//!
+//! * **Pacing-limited mode** — the original design. `d_min = Rm`,
+//!   `d_max = 1.25·Rm` (the probe gain), so `δ_max = Rm/4`. With jitter
+//!   `D > Rm/4` an adversary can hide the extra bandwidth a probe would
+//!   reveal, and a flow starves.
+//! * **cwnd-limited mode** — when ACK jitter makes the max-filter
+//!   *over-estimate* the rate, the cwnd cap governs. Its fixed point is
+//!   `rate = quanta/(RTT − 2·Rm)` (the paper's `α/(RTT − 2Rm)` curve in
+//!   Figure 3), which is Vegas-like: the `+quanta` term is what forces a
+//!   unique fair equilibrium, and it shrinks like `nα/C` — the same
+//!   precision problem as Vegas. Flows with different `Rm` converge to
+//!   `cwnd_i = 2·C·Rm_i/n + α`-style fixed points and the smaller-RTT flow
+//!   starves (the paper's 40 ms vs 80 ms experiment: 8.3 vs 107 Mbit/s).
+
+use crate::traits::{AckEvent, CongestionControl, LossEvent, LossKind};
+use simcore::filter::{WindowedMax, WindowedMin};
+use simcore::rng::Xoshiro256;
+use simcore::units::{Dur, Rate, Time};
+
+/// BBR state machine phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BbrState {
+    /// Exponential search for the bottleneck rate (gain 2/ln 2 ≈ 2.885).
+    Startup,
+    /// Drain the queue built during startup.
+    Drain,
+    /// Steady-state: cycle pacing gain through [1.25, 0.75, 1×6].
+    ProbeBw,
+    /// Periodically drain the pipe to re-measure the propagation RTT.
+    ProbeRtt,
+}
+
+const STARTUP_GAIN: f64 = 2.885;
+const DRAIN_GAIN: f64 = 1.0 / 2.885;
+const PROBE_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+const BW_WINDOW_ROUNDS: u64 = 10;
+const RTPROP_WINDOW: Dur = Dur(10_000_000_000); // 10 s
+const PROBE_RTT_DURATION: Dur = Dur(200_000_000); // 200 ms
+
+/// BBR v1 congestion control.
+#[derive(Clone, Debug)]
+pub struct Bbr {
+    mss: u64,
+    /// The `+α` / `quanta` additive cwnd term (§5.2). BBR's draft default
+    /// corresponds to 3 send quanta; the paper argues this term is what
+    /// gives the cwnd-limited mode a unique fair fixed point.
+    quanta: u64,
+    cwnd_gain: f64,
+    state: BbrState,
+    btl_bw: WindowedMax, // bytes/sec, positions = round count
+    rt_prop: WindowedMin, // seconds, positions = ns
+    rtprop_stamp: Time,   // when rt_prop was last *reduced or refreshed*
+    round_count: u64,
+    next_round_delivered: u64,
+    full_bw: f64,
+    full_bw_rounds: u32,
+    cycle_index: usize,
+    cycle_stamp: Time,
+    probe_rtt_done_at: Option<Time>,
+    rng: Xoshiro256,
+    /// Paced rate floor before any bandwidth sample exists.
+    initial_rate: Rate,
+}
+
+impl Bbr {
+    /// BBR with a deterministic seed for its randomized probe phasing.
+    pub fn new(mss: u64, seed: u64) -> Self {
+        Bbr {
+            mss,
+            quanta: 3 * mss,
+            cwnd_gain: 2.0,
+            state: BbrState::Startup,
+            btl_bw: WindowedMax::new(BW_WINDOW_ROUNDS),
+            rt_prop: WindowedMin::new(RTPROP_WINDOW.as_nanos()),
+            rtprop_stamp: Time::ZERO,
+            round_count: 0,
+            next_round_delivered: 0,
+            full_bw: 0.0,
+            full_bw_rounds: 0,
+            cycle_index: 0,
+            cycle_stamp: Time::ZERO,
+            probe_rtt_done_at: None,
+            rng: Xoshiro256::new(seed),
+            initial_rate: Rate::from_mbps(1.0),
+        }
+    }
+
+    /// Default parameters with seed 1.
+    pub fn default_params() -> Self {
+        Bbr::new(1500, 1)
+    }
+
+    /// Remove the `+quanta` term — the §5.2 thought experiment showing that
+    /// without it *any* split of `2·Rm·C` between flows is a fixed point.
+    pub fn without_quanta(mut self) -> Self {
+        self.quanta = 0;
+        self
+    }
+
+    /// Set the quanta (`α`) additive cwnd term in bytes.
+    pub fn with_quanta(mut self, quanta: u64) -> Self {
+        self.quanta = quanta;
+        self
+    }
+
+    /// Current state-machine phase.
+    pub fn state(&self) -> BbrState {
+        self.state
+    }
+
+    /// Current bottleneck-bandwidth estimate.
+    pub fn btl_bw(&self) -> Option<Rate> {
+        self.btl_bw.get().map(Rate::from_bytes_per_sec)
+    }
+
+    /// Current propagation-RTT estimate.
+    pub fn rt_prop(&self) -> Option<Dur> {
+        self.rt_prop.get().map(Dur::from_secs_f64)
+    }
+
+    /// Estimated bandwidth-delay product in bytes.
+    pub fn bdp(&self) -> Option<u64> {
+        let bw = self.btl_bw.get()?;
+        let rt = self.rt_prop.get()?;
+        Some((bw * rt) as u64)
+    }
+
+    fn pacing_gain(&self) -> f64 {
+        match self.state {
+            BbrState::Startup => STARTUP_GAIN,
+            BbrState::Drain => DRAIN_GAIN,
+            BbrState::ProbeBw => PROBE_GAINS[self.cycle_index],
+            BbrState::ProbeRtt => 1.0,
+        }
+    }
+
+    fn enter_probe_bw(&mut self, now: Time) {
+        self.state = BbrState::ProbeBw;
+        // Random initial phase, excluding the 0.75 drain phase (index 1),
+        // per the BBR draft.
+        let mut idx = self.rng.range_u64(7) as usize; // 0..7
+        if idx >= 1 {
+            idx += 1;
+        }
+        self.cycle_index = idx % 8;
+        self.cycle_stamp = now;
+    }
+
+    fn advance_cycle(&mut self, now: Time) {
+        let rtprop = self
+            .rt_prop
+            .get()
+            .map(Dur::from_secs_f64)
+            .unwrap_or(Dur::from_millis(10));
+        if now.checked_since(self.cycle_stamp).is_some_and(|e| e >= rtprop) {
+            self.cycle_index = (self.cycle_index + 1) % 8;
+            self.cycle_stamp = now;
+        }
+    }
+
+    fn check_full_pipe(&mut self) {
+        if self.state != BbrState::Startup {
+            return;
+        }
+        let bw = self.btl_bw.get().unwrap_or(0.0);
+        if bw > self.full_bw * 1.25 {
+            self.full_bw = bw;
+            self.full_bw_rounds = 0;
+        } else {
+            self.full_bw_rounds += 1;
+            if self.full_bw_rounds >= 3 {
+                self.state = BbrState::Drain;
+            }
+        }
+    }
+}
+
+impl CongestionControl for Bbr {
+    fn on_ack(&mut self, ev: &AckEvent) {
+        // --- Round accounting (packet-timed rounds) ---
+        if ev.delivered_at_send >= self.next_round_delivered {
+            self.round_count += 1;
+            self.next_round_delivered = ev.delivered;
+            self.check_full_pipe();
+        }
+
+        // --- Bandwidth sample ---
+        if let Some(rate) = ev.delivery_rate {
+            let sample = rate.bytes_per_sec();
+            // App-limited samples only count if they *raise* the estimate.
+            if !ev.app_limited || sample > self.btl_bw.get().unwrap_or(0.0) {
+                self.btl_bw.insert(self.round_count, sample);
+            } else {
+                self.btl_bw.advance(self.round_count);
+            }
+        }
+
+        // --- RTprop sample ---
+        let rtt_s = ev.rtt.as_secs_f64();
+        let prior = self.rt_prop.get();
+        self.rt_prop.insert(ev.now.as_nanos(), rtt_s);
+        if prior.is_none() || rtt_s <= prior.unwrap() {
+            self.rtprop_stamp = ev.now;
+        }
+
+        // --- State machine ---
+        match self.state {
+            BbrState::Startup => { /* full-pipe check runs per round */ }
+            BbrState::Drain => {
+                if let Some(bdp) = self.bdp() {
+                    if ev.in_flight <= bdp {
+                        self.enter_probe_bw(ev.now);
+                    }
+                }
+            }
+            BbrState::ProbeBw => {
+                self.advance_cycle(ev.now);
+                // ProbeRTT entry: min RTT stale for 10 s.
+                if ev.now.checked_since(self.rtprop_stamp).is_some_and(|e| e >= RTPROP_WINDOW)
+                {
+                    self.state = BbrState::ProbeRtt;
+                    self.probe_rtt_done_at = None;
+                }
+            }
+            BbrState::ProbeRtt => {
+                match self.probe_rtt_done_at {
+                    None => {
+                        // Wait until inflight has fallen to the ProbeRTT cwnd
+                        // before starting the 200 ms clock.
+                        if ev.in_flight <= 4 * self.mss {
+                            self.probe_rtt_done_at = Some(ev.now + PROBE_RTT_DURATION);
+                        }
+                    }
+                    Some(done) => {
+                        if ev.now >= done {
+                            self.rtprop_stamp = ev.now;
+                            self.enter_probe_bw(ev.now);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_loss(&mut self, ev: &LossEvent) {
+        // BBR v1 ignores isolated losses; a timeout means the pipe drained
+        // and estimates are stale.
+        if ev.kind == LossKind::Timeout {
+            self.btl_bw.reset();
+            self.full_bw = 0.0;
+            self.full_bw_rounds = 0;
+            self.state = BbrState::Startup;
+        }
+    }
+
+    fn cwnd(&self) -> u64 {
+        if self.state == BbrState::ProbeRtt {
+            return 4 * self.mss;
+        }
+        match self.bdp() {
+            None => 10 * self.mss, // initial window
+            Some(bdp) => {
+                let gained = (self.cwnd_gain * bdp as f64) as u64;
+                gained + self.quanta
+            }
+        }
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        let bw = self
+            .btl_bw
+            .get()
+            .map(Rate::from_bytes_per_sec)
+            .unwrap_or(self.initial_rate);
+        Some(bw.mul_f64(self.pacing_gain()))
+    }
+
+    fn name(&self) -> &'static str {
+        "bbr"
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Driver {
+        bbr: Bbr,
+        now: Time,
+        delivered: u64,
+    }
+
+    impl Driver {
+        fn new() -> Self {
+            Driver {
+                bbr: Bbr::default_params(),
+                now: Time::ZERO,
+                delivered: 0,
+            }
+        }
+
+        /// Feed one ack with the given rate sample and RTT; advances time.
+        fn ack(&mut self, rate_mbps: f64, rtt_ms: f64, in_flight: u64) {
+            let newly = 1500;
+            let delivered_at_send = self.delivered.saturating_sub(30 * 1500);
+            self.delivered += newly;
+            self.now += Dur::from_millis_f64(rtt_ms / 30.0);
+            self.bbr.on_ack(&AckEvent {
+                now: self.now,
+                rtt: Dur::from_millis_f64(rtt_ms),
+                newly_acked: newly,
+                in_flight,
+                delivered: self.delivered,
+                delivered_at_send,
+                delivery_rate: Some(Rate::from_mbps(rate_mbps)),
+                app_limited: false,
+                ecn: false,
+            });
+        }
+    }
+
+    #[test]
+    fn startup_exits_when_bw_plateaus() {
+        let mut d = Driver::new();
+        // Growing bandwidth: stay in startup.
+        for i in 0..100 {
+            d.ack(10.0 + i as f64, 50.0, 10 * 1500);
+        }
+        assert_eq!(d.bbr.state(), BbrState::Startup);
+        // Plateau: must leave startup within a few rounds.
+        for _ in 0..2000 {
+            d.ack(110.0, 50.0, 10 * 1500);
+        }
+        assert_ne!(d.bbr.state(), BbrState::Startup);
+    }
+
+    #[test]
+    fn drain_exits_to_probe_bw_when_inflight_below_bdp() {
+        let mut d = Driver::new();
+        for _ in 0..5000 {
+            d.ack(100.0, 50.0, 10 * 1500);
+        }
+        // BDP = 100 Mbit/s * 50 ms = 625000 bytes; inflight 15000 << BDP.
+        assert_eq!(d.bbr.state(), BbrState::ProbeBw);
+    }
+
+    #[test]
+    fn btl_bw_is_windowed_max() {
+        let mut d = Driver::new();
+        for _ in 0..200 {
+            d.ack(80.0, 50.0, 10 * 1500);
+        }
+        for _ in 0..10 {
+            d.ack(120.0, 50.0, 10 * 1500);
+        }
+        let bw = d.bbr.btl_bw().unwrap();
+        assert!((bw.mbps() - 120.0).abs() < 1.0, "bw={bw}");
+        // Max-filter holds the peak even after the rate drops...
+        for _ in 0..50 {
+            d.ack(60.0, 50.0, 10 * 1500);
+        }
+        assert!(d.bbr.btl_bw().unwrap().mbps() > 100.0);
+        // ...but forgets it after 10 rounds.
+        for _ in 0..1000 {
+            d.ack(60.0, 50.0, 10 * 1500);
+        }
+        let bw = d.bbr.btl_bw().unwrap();
+        assert!((bw.mbps() - 60.0).abs() < 1.0, "bw={bw}");
+    }
+
+    #[test]
+    fn rt_prop_is_windowed_min() {
+        let mut d = Driver::new();
+        d.ack(100.0, 55.0, 1500);
+        d.ack(100.0, 50.0, 1500);
+        d.ack(100.0, 70.0, 1500);
+        let rt = d.bbr.rt_prop().unwrap();
+        assert!((rt.as_millis_f64() - 50.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn cwnd_is_two_bdp_plus_quanta() {
+        let mut d = Driver::new();
+        for _ in 0..5000 {
+            d.ack(100.0, 50.0, 10 * 1500);
+        }
+        let bdp = d.bbr.bdp().unwrap();
+        assert_eq!(d.bbr.cwnd(), 2 * bdp + 3 * 1500);
+    }
+
+    #[test]
+    fn without_quanta_removes_additive_term() {
+        let mut d = Driver::new();
+        d.bbr = Bbr::default_params().without_quanta();
+        for _ in 0..5000 {
+            d.ack(100.0, 50.0, 10 * 1500);
+        }
+        let bdp = d.bbr.bdp().unwrap();
+        assert_eq!(d.bbr.cwnd(), 2 * bdp);
+    }
+
+    #[test]
+    fn probe_bw_cycles_gains() {
+        let mut d = Driver::new();
+        for _ in 0..5000 {
+            d.ack(100.0, 50.0, 10 * 1500);
+        }
+        assert_eq!(d.bbr.state(), BbrState::ProbeBw);
+        // Collect pacing gains over several cycles; must include both the
+        // 1.25 probe and the 0.75 drain.
+        let mut seen_hi = false;
+        let mut seen_lo = false;
+        for _ in 0..5000 {
+            d.ack(100.0, 50.0, 10 * 1500);
+            let g = d.bbr.pacing_gain();
+            if (g - 1.25).abs() < 1e-9 {
+                seen_hi = true;
+            }
+            if (g - 0.75).abs() < 1e-9 {
+                seen_lo = true;
+            }
+        }
+        assert!(seen_hi && seen_lo);
+    }
+
+    #[test]
+    fn probe_rtt_entered_when_min_rtt_stale() {
+        let mut d = Driver::new();
+        for _ in 0..5000 {
+            d.ack(100.0, 50.0, 10 * 1500);
+        }
+        assert_eq!(d.bbr.state(), BbrState::ProbeBw);
+        // RTT creeps up, never making a new minimum, for > 10 s.
+        for _ in 0..7000 {
+            d.ack(100.0, 60.0, 10 * 1500);
+        }
+        // 7000 acks * (60/30) ms = 14 s > 10 s staleness window.
+        assert_eq!(d.bbr.state(), BbrState::ProbeRtt);
+        assert_eq!(d.bbr.cwnd(), 4 * 1500);
+    }
+
+    #[test]
+    fn probe_rtt_exits_after_duration() {
+        let mut d = Driver::new();
+        for _ in 0..5000 {
+            d.ack(100.0, 50.0, 10 * 1500);
+        }
+        for _ in 0..7000 {
+            d.ack(100.0, 60.0, 10 * 1500);
+        }
+        assert_eq!(d.bbr.state(), BbrState::ProbeRtt);
+        // Inflight drops below 4 MSS; 200 ms later we exit.
+        for _ in 0..300 {
+            d.ack(100.0, 60.0, 2 * 1500);
+        }
+        assert_eq!(d.bbr.state(), BbrState::ProbeBw);
+    }
+
+    #[test]
+    fn timeout_restarts_startup() {
+        let mut d = Driver::new();
+        for _ in 0..5000 {
+            d.ack(100.0, 50.0, 10 * 1500);
+        }
+        d.bbr.on_loss(&LossEvent {
+            now: d.now,
+            lost_bytes: 1500,
+            in_flight: 0,
+            kind: LossKind::Timeout,
+            sent_at: None,
+        });
+        assert_eq!(d.bbr.state(), BbrState::Startup);
+        assert!(d.bbr.btl_bw().is_none());
+    }
+
+    #[test]
+    fn startup_paces_at_startup_gain() {
+        let mut d = Driver::new();
+        d.ack(50.0, 50.0, 10 * 1500);
+        assert_eq!(d.bbr.state(), BbrState::Startup);
+        let pacing = d.bbr.pacing_rate().unwrap().mbps();
+        // pacing = 2.885 × bw estimate.
+        assert!((pacing - 50.0 * 2.885).abs() < 1.0, "pacing={pacing}");
+    }
+
+    #[test]
+    fn drain_paces_below_estimate() {
+        let mut d = Driver::new();
+        // Plateau to trigger Drain while inflight stays above BDP.
+        for _ in 0..3000 {
+            d.ack(100.0, 50.0, 3_000_000);
+        }
+        assert_eq!(d.bbr.state(), BbrState::Drain);
+        let pacing = d.bbr.pacing_rate().unwrap().mbps();
+        assert!(pacing < 100.0 * 0.5, "pacing={pacing}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut d = Driver::new();
+            d.bbr = Bbr::new(1500, 42);
+            for _ in 0..6000 {
+                d.ack(100.0, 50.0, 10 * 1500);
+            }
+            (d.bbr.cycle_index, d.bbr.cwnd())
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,85 @@
+//! The "silly CCA": a constant congestion window.
+//!
+//! §4.2 of the paper uses `cwnd = 10 always` as the canonical example of an
+//! algorithm that trivially avoids starvation but is not `f`-efficient for
+//! any `f > 0` (its throughput is `cwnd/RTT` regardless of link rate, so its
+//! utilization → 0 as `C` grows). Definition 4 exists precisely to exclude
+//! it. We keep it as a test fixture for the `f`-efficiency checker and as
+//! the simplest possible [`CongestionControl`] implementation.
+
+use crate::traits::{AckEvent, CongestionControl, LossEvent};
+use simcore::units::Rate;
+
+/// A CCA that always reports the same congestion window and never paces.
+#[derive(Clone, Debug)]
+pub struct ConstCwnd {
+    cwnd_bytes: u64,
+}
+
+impl ConstCwnd {
+    /// Create with a fixed window in bytes.
+    pub fn new(cwnd_bytes: u64) -> Self {
+        assert!(cwnd_bytes >= 1);
+        ConstCwnd { cwnd_bytes }
+    }
+
+    /// The paper's example: ten 1500-byte packets.
+    pub fn ten_packets() -> Self {
+        ConstCwnd::new(10 * 1500)
+    }
+}
+
+impl CongestionControl for ConstCwnd {
+    fn on_ack(&mut self, _ev: &AckEvent) {}
+    fn on_loss(&mut self, _ev: &LossEvent) {}
+    fn cwnd(&self) -> u64 {
+        self.cwnd_bytes
+    }
+    fn pacing_rate(&self) -> Option<Rate> {
+        None
+    }
+    fn name(&self) -> &'static str {
+        "const"
+    }
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::{Dur, Time};
+
+    #[test]
+    fn ignores_all_events() {
+        let mut c = ConstCwnd::ten_packets();
+        let before = c.cwnd();
+        c.on_ack(&AckEvent {
+            now: Time::from_millis(1),
+            rtt: Dur::from_millis(50),
+            newly_acked: 1500,
+            in_flight: 0,
+            delivered: 1500,
+            delivered_at_send: 0,
+            delivery_rate: None,
+            app_limited: false,
+            ecn: false,
+        });
+        c.on_loss(&LossEvent {
+            now: Time::from_millis(2),
+            lost_bytes: 1500,
+            in_flight: 0,
+            kind: crate::LossKind::Timeout,
+            sent_at: None,
+        });
+        assert_eq!(c.cwnd(), before);
+        assert_eq!(c.pacing_rate(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_rejected() {
+        let _ = ConstCwnd::new(0);
+    }
+}

@@ -1,0 +1,257 @@
+//! TCP Cubic (Ha, Rhee, Xu, 2008; RFC 8312).
+//!
+//! The second loss-based baseline of §5.4 / Figure 7. Cubic grows its window
+//! as `W(t) = C·(t−K)³ + W_max` after a loss, where `K = ∛(W_max·β/C)`.
+//! Like Reno it is not delay-convergent; the paper shows its unfairness
+//! under ACK-burst jitter is bounded (≈3.2×) because the faster flow
+//! eventually overshoots the whole BDP and gives the slower flow room.
+
+use crate::traits::{AckEvent, CongestionControl, LossEvent, LossKind};
+use simcore::units::{Rate, Time};
+
+/// TCP Cubic congestion control.
+#[derive(Clone, Debug)]
+pub struct Cubic {
+    mss: u64,
+    /// Cubic aggressiveness constant (RFC 8312 uses 0.4, windows in MSS,
+    /// time in seconds).
+    c: f64,
+    /// Multiplicative decrease factor (RFC 8312: 0.7).
+    beta: f64,
+    cwnd: f64,     // bytes
+    ssthresh: f64, // bytes
+    w_max: f64,    // bytes, window at last loss
+    epoch_start: Option<Time>,
+    recovery_until: Time,
+    last_rtt: simcore::units::Dur,
+    /// Fast-convergence: remember whether the previous loss happened below
+    /// the previous `w_max` (another flow is taking bandwidth).
+    fast_convergence: bool,
+}
+
+impl Cubic {
+    /// Cubic with RFC 8312 constants.
+    pub fn new(mss: u64) -> Self {
+        Cubic {
+            mss,
+            c: 0.4,
+            beta: 0.7,
+            cwnd: (2 * mss) as f64,
+            ssthresh: f64::MAX,
+            w_max: 0.0,
+            epoch_start: None,
+            recovery_until: Time::ZERO,
+            last_rtt: simcore::units::Dur::ZERO,
+            fast_convergence: true,
+        }
+    }
+
+    /// Default: 1500-byte MSS.
+    pub fn default_params() -> Self {
+        Cubic::new(1500)
+    }
+
+    /// Whether the sender is in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// The cubic window (in bytes) at time `t` since the epoch start.
+    fn w_cubic(&self, t_secs: f64) -> f64 {
+        let w_max_pkts = self.w_max / self.mss as f64;
+        let k = (w_max_pkts * (1.0 - self.beta) / self.c).cbrt();
+        let w_pkts = self.c * (t_secs - k).powi(3) + w_max_pkts;
+        w_pkts * self.mss as f64
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn on_ack(&mut self, ev: &AckEvent) {
+        self.last_rtt = ev.rtt;
+        if self.in_slow_start() {
+            self.cwnd += ev.newly_acked as f64;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+            return;
+        }
+        let epoch = *self.epoch_start.get_or_insert(ev.now);
+        let t = ev.now.since(epoch).as_secs_f64();
+        let target = self.w_cubic(t + self.last_rtt.as_secs_f64());
+
+        // TCP-friendly region (RFC 8312 §4.2): grow at least like Reno.
+        let w_est = {
+            // W_est(t) = W_max·β + 3(1−β)/(1+β) · t/RTT   (in MSS)
+            let rtt = self.last_rtt.as_secs_f64().max(1e-6);
+            let w_max_pkts = self.w_max / self.mss as f64;
+            (w_max_pkts * self.beta + 3.0 * (1.0 - self.beta) / (1.0 + self.beta) * t / rtt)
+                * self.mss as f64
+        };
+        let target = target.max(w_est);
+
+        if target > self.cwnd {
+            // Standard cubic pacing of growth: (target − cwnd)/cwnd per ack.
+            let acked_frac = ev.newly_acked as f64 / self.mss as f64;
+            self.cwnd += acked_frac * (target - self.cwnd) / (self.cwnd / self.mss as f64);
+        }
+        // If target <= cwnd, hold (cubic plateau).
+    }
+
+    fn on_loss(&mut self, ev: &LossEvent) {
+        match ev.kind {
+            LossKind::FastRetransmit => {
+                if ev.now < self.recovery_until {
+                    return;
+                }
+                self.recovery_until = ev.now + self.last_rtt;
+                // Fast convergence: release bandwidth faster when the loss
+                // happened below the previous W_max.
+                if self.fast_convergence && self.cwnd < self.w_max {
+                    self.w_max = self.cwnd * (1.0 + self.beta) / 2.0;
+                } else {
+                    self.w_max = self.cwnd;
+                }
+                self.cwnd = (self.cwnd * self.beta).max((2 * self.mss) as f64);
+                self.ssthresh = self.cwnd;
+                self.epoch_start = None;
+            }
+            LossKind::Timeout => {
+                self.w_max = self.cwnd;
+                self.ssthresh = (self.cwnd * self.beta).max((2 * self.mss) as f64);
+                self.cwnd = self.mss as f64;
+                self.epoch_start = None;
+            }
+        }
+    }
+
+    fn cwnd(&self) -> u64 {
+        (self.cwnd as u64).max(self.mss)
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        None // ACK-clocked, like Reno
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::Dur;
+
+    fn ack(now_ms: u64, newly: u64) -> AckEvent {
+        AckEvent {
+            now: Time::from_millis(now_ms),
+            rtt: Dur::from_millis(100),
+            newly_acked: newly,
+            in_flight: 0,
+            delivered: 0,
+            delivered_at_send: 0,
+            delivery_rate: None,
+            app_limited: false,
+            ecn: false,
+        }
+    }
+
+    fn fr_loss(now_ms: u64) -> LossEvent {
+        LossEvent {
+            now: Time::from_millis(now_ms),
+            lost_bytes: 1500,
+            in_flight: 0,
+            kind: LossKind::FastRetransmit,
+            sent_at: None,
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles() {
+        let mut c = Cubic::default_params();
+        let w0 = c.cwnd();
+        c.on_ack(&ack(0, w0));
+        assert_eq!(c.cwnd(), 2 * w0);
+    }
+
+    #[test]
+    fn loss_multiplies_by_beta() {
+        let mut c = Cubic::default_params();
+        c.ssthresh = 0.0;
+        c.cwnd = (100 * 1500) as f64;
+        c.on_ack(&ack(0, 1500)); // get an RTT sample
+        c.on_loss(&fr_loss(10));
+        assert_eq!(c.cwnd(), 70 * 1500);
+    }
+
+    #[test]
+    fn recovers_toward_w_max_and_plateaus() {
+        let mut c = Cubic::default_params();
+        c.ssthresh = 0.0;
+        c.cwnd = (100 * 1500) as f64;
+        c.on_ack(&ack(0, 1500));
+        c.on_loss(&fr_loss(10));
+        // After the loss, drive acks for a while; cwnd approaches W_max=100.
+        let mut now = 200u64;
+        for _ in 0..2000 {
+            c.on_ack(&ack(now, 1500));
+            now += 10;
+        }
+        let w = c.cwnd() as f64 / 1500.0;
+        assert!(w > 85.0, "w={w}, should have re-approached W_max");
+    }
+
+    #[test]
+    fn growth_is_concave_then_convex() {
+        // Sample the cubic function: slope decreases toward K then increases.
+        let mut c = Cubic::default_params();
+        c.w_max = (100 * 1500) as f64;
+        let k = ((100.0_f64 * (1.0 - 0.7)) / 0.4).cbrt();
+        let early = c.w_cubic(0.1) - c.w_cubic(0.0);
+        let mid = c.w_cubic(k + 0.05) - c.w_cubic(k - 0.05);
+        let late = c.w_cubic(2.0 * k + 0.1) - c.w_cubic(2.0 * k);
+        assert!(early > mid, "early={early} mid={mid}");
+        assert!(late > mid, "late={late} mid={mid}");
+    }
+
+    #[test]
+    fn losses_within_one_rtt_count_once() {
+        let mut c = Cubic::default_params();
+        c.ssthresh = 0.0;
+        c.cwnd = (100 * 1500) as f64;
+        c.on_ack(&ack(0, 1500));
+        c.on_loss(&fr_loss(10));
+        c.on_loss(&fr_loss(20)); // within 100 ms RTT of the first
+        assert_eq!(c.cwnd(), 70 * 1500);
+    }
+
+    #[test]
+    fn fast_convergence_lowers_w_max() {
+        let mut c = Cubic::default_params();
+        c.ssthresh = 0.0;
+        c.cwnd = (100 * 1500) as f64;
+        c.w_max = (120 * 1500) as f64; // loss below previous peak
+        c.on_ack(&ack(0, 1500));
+        c.on_loss(&fr_loss(10));
+        let w_max_pkts = c.w_max / 1500.0;
+        assert!((w_max_pkts - 85.0).abs() < 1e-9, "w_max={w_max_pkts}");
+    }
+
+    #[test]
+    fn timeout_resets_to_one_mss() {
+        let mut c = Cubic::default_params();
+        c.cwnd = (50 * 1500) as f64;
+        c.on_loss(&LossEvent {
+            now: Time::from_millis(5),
+            lost_bytes: 1500,
+            in_flight: 0,
+            kind: LossKind::Timeout,
+            sent_at: None,
+        });
+        assert_eq!(c.cwnd(), 1500);
+    }
+}

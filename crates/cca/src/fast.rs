@@ -1,0 +1,205 @@
+//! FAST TCP (Wei, Jin, Low, Hegde, 2006).
+//!
+//! FAST shares Vegas's equilibrium — `α` packets buffered per flow, so
+//! `δ(C) = 0` and RTT = `Rm + α/C` on an ideal path (Figure 3) — but reaches
+//! it with a periodic multiplicative-smoothed update instead of ±1 AIAD:
+//!
+//! ```text
+//! w ← min(2w, (1−γ)·w + γ·(base_rtt/rtt · w + α))
+//! ```
+//!
+//! applied once per update period. Because its equilibrium is identical to
+//! Vegas's, every §5.1 starvation scenario applies to it unchanged.
+
+use crate::traits::{AckEvent, CongestionControl, LossEvent, LossKind};
+use simcore::units::{Dur, Rate, Time};
+
+/// FAST TCP congestion control.
+#[derive(Clone, Debug)]
+pub struct FastTcp {
+    mss: u64,
+    alpha_pkts: f64,
+    gamma: f64,
+    period: Dur,
+    cwnd: f64, // bytes
+    base_rtt: Option<Dur>,
+    srtt: Option<f64>, // seconds, EWMA of samples
+    next_update: Time,
+}
+
+impl FastTcp {
+    /// FAST with target `alpha_pkts` packets in queue, smoothing `gamma`
+    /// in `(0, 1]`, and the given update period (the FAST paper uses 20 ms).
+    pub fn new(mss: u64, alpha_pkts: f64, gamma: f64, period: Dur) -> Self {
+        assert!(alpha_pkts > 0.0);
+        assert!(gamma > 0.0 && gamma <= 1.0);
+        FastTcp {
+            mss,
+            alpha_pkts,
+            gamma,
+            period,
+            cwnd: (2 * mss) as f64,
+            base_rtt: None,
+            srtt: None,
+            next_update: Time::ZERO,
+        }
+    }
+
+    /// Paper-typical parameters: α = 4 packets, γ = 0.5, 20 ms period.
+    pub fn default_params() -> Self {
+        FastTcp::new(1500, 4.0, 0.5, Dur::from_millis(20))
+    }
+
+    /// Override the minimum-RTT estimate (see [`crate::Vegas::set_base_rtt`]).
+    pub fn set_base_rtt(&mut self, rtt: Dur) {
+        self.base_rtt = Some(rtt);
+    }
+
+    /// Current estimate of the propagation RTT.
+    pub fn base_rtt(&self) -> Option<Dur> {
+        self.base_rtt
+    }
+}
+
+impl CongestionControl for FastTcp {
+    fn on_ack(&mut self, ev: &AckEvent) {
+        match self.base_rtt {
+            None => self.base_rtt = Some(ev.rtt),
+            Some(b) if ev.rtt < b => self.base_rtt = Some(ev.rtt),
+            _ => {}
+        }
+        let sample = ev.rtt.as_secs_f64();
+        self.srtt = Some(match self.srtt {
+            None => sample,
+            // FAST weights new samples lightly (3/4 old, 1/4 new here).
+            Some(s) => 0.75 * s + 0.25 * sample,
+        });
+
+        if ev.now < self.next_update {
+            return;
+        }
+        self.next_update = ev.now + self.period;
+
+        let rtt = self.srtt.unwrap();
+        let base = self.base_rtt.unwrap().as_secs_f64();
+        if rtt <= 0.0 {
+            return;
+        }
+        let w_pkts = self.cwnd / self.mss as f64;
+        let target = (1.0 - self.gamma) * w_pkts
+            + self.gamma * ((base / rtt) * w_pkts + self.alpha_pkts);
+        let new_w = target.min(2.0 * w_pkts);
+        self.cwnd = (new_w * self.mss as f64).max((2 * self.mss) as f64);
+    }
+
+    fn on_loss(&mut self, ev: &LossEvent) {
+        // FAST halves on loss (it predates widespread loss-resilience work).
+        match ev.kind {
+            LossKind::FastRetransmit => self.cwnd *= 0.5,
+            LossKind::Timeout => self.cwnd = (2 * self.mss) as f64,
+        }
+        self.cwnd = self.cwnd.max((2 * self.mss) as f64);
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "fast"
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, rtt_ms: f64) -> AckEvent {
+        AckEvent {
+            now: Time::from_millis(now_ms),
+            rtt: Dur::from_millis_f64(rtt_ms),
+            newly_acked: 1500,
+            in_flight: 0,
+            delivered: 0,
+            delivered_at_send: 0,
+            delivery_rate: None,
+            app_limited: false,
+            ecn: false,
+        }
+    }
+
+    fn drive(f: &mut FastTcp, rtt_ms: f64, updates: usize) {
+        let mut now = 0u64;
+        for _ in 0..updates {
+            // Several acks per period so srtt settles toward the sample.
+            for _ in 0..8 {
+                f.on_ack(&ack(now, rtt_ms));
+                now += 3;
+            }
+            now += 21;
+        }
+    }
+
+    #[test]
+    fn grows_toward_equilibrium_from_below() {
+        let mut f = FastTcp::default_params();
+        f.set_base_rtt(Dur::from_millis(50));
+        // At rtt == base, update is w ← min(2w, w + γα): strictly growing.
+        let w0 = f.cwnd();
+        drive(&mut f, 50.0, 10);
+        assert!(f.cwnd() > w0);
+    }
+
+    #[test]
+    fn equilibrium_holds_alpha_packets() {
+        // Fixed point: w = (base/rtt)w + α → w(1 − base/rtt) = α.
+        // With base=50, rtt=52: w = α·rtt/(rtt−base) = 4*52/2 = 104 pkts.
+        let mut f = FastTcp::default_params();
+        f.set_base_rtt(Dur::from_millis(50));
+        f.cwnd = 104.0 * 1500.0;
+        drive(&mut f, 52.0, 40);
+        let w_pkts = f.cwnd() as f64 / 1500.0;
+        assert!((w_pkts - 104.0).abs() < 2.0, "w={w_pkts}");
+    }
+
+    #[test]
+    fn converges_to_equilibrium_from_above() {
+        let mut f = FastTcp::default_params();
+        f.set_base_rtt(Dur::from_millis(50));
+        f.cwnd = 400.0 * 1500.0;
+        drive(&mut f, 52.0, 200);
+        let w_pkts = f.cwnd() as f64 / 1500.0;
+        assert!((w_pkts - 104.0).abs() < 5.0, "w={w_pkts}");
+    }
+
+    #[test]
+    fn growth_capped_at_doubling() {
+        let mut f = FastTcp::new(1500, 1000.0, 1.0, Dur::from_millis(20));
+        f.set_base_rtt(Dur::from_millis(50));
+        f.cwnd = 2.0 * 1500.0;
+        f.on_ack(&ack(0, 50.0));
+        assert!(f.cwnd() <= 4 * 1500);
+    }
+
+    #[test]
+    fn loss_halves() {
+        let mut f = FastTcp::default_params();
+        f.cwnd = 100.0 * 1500.0;
+        f.on_loss(&LossEvent {
+            now: Time::ZERO,
+            lost_bytes: 1500,
+            in_flight: 0,
+            kind: LossKind::FastRetransmit,
+            sent_at: None,
+        });
+        assert_eq!(f.cwnd(), 50 * 1500);
+    }
+}

@@ -1,0 +1,297 @@
+//! Algorithm 1 from §6.3: a delay-convergent CCA that designs for jitter.
+//!
+//! The paper's constructive answer to its own impossibility result. Given a
+//! jitter budget `D`, a tolerable unfairness `s`, and a maximum delay
+//! `Rmax`, map delays to rates *exponentially*:
+//!
+//! ```text
+//! µ(d) = µ₋ · s^((Rmax − (d − Rm)) / D)
+//! ```
+//!
+//! so that any two rates more than a factor `s` apart correspond to delays
+//! more than `D` apart — rates that differ by the tolerated unfairness are
+//! always *distinguishable* through jitter. The supported rate range is
+//! `µ₊/µ₋ = s^((Rmax − Rm − D)/D)` (Eq. 2), exponentially larger than the
+//! Vegas family's `O(Rmax/D)` (Eq. 1).
+//!
+//! Following the paper's CCAC-guided refinements: (a) AIMD, not AIAD —
+//! "the fairness properties of AIMD are critical in the presence of
+//! measurement ambiguity"; (b) the rate changes by the same amount every
+//! `Rm` regardless of how many ACKs arrive.
+//!
+//! ```text
+//! every Rm:
+//!     if µ < µ₋·s^((Rmax − (d − Rm))/D) { µ ← µ + a } else { µ ← b·µ }
+//! ```
+//!
+//! Like the paper's Algorithm 1, this assumes `Rm` is known (the paper runs
+//! it with oracular `Rm` and discusses estimating it as an open problem);
+//! `Rmax` can be set as `Rm + const`.
+
+use crate::traits::{AckEvent, CongestionControl, LossEvent, LossKind};
+use simcore::units::{Dur, Rate, Time};
+
+/// Configuration for [`JitterAware`] (Algorithm 1).
+#[derive(Clone, Copy, Debug)]
+pub struct JitterAwareConfig {
+    /// Known propagation RTT `Rm` (oracular, per the paper).
+    pub rm: Dur,
+    /// Maximum tolerable delay `Rmax` (e.g. `Rm` + 100 ms).
+    pub rmax: Dur,
+    /// Designed-for jitter bound `D`.
+    pub d: Dur,
+    /// Maximum tolerable throughput ratio `s > 1`.
+    pub s: f64,
+    /// Minimum supported rate `µ₋`.
+    pub mu_minus: Rate,
+    /// Additive increase per `Rm`.
+    pub a: Rate,
+    /// Multiplicative decrease factor `0 < b < 1`.
+    pub b: f64,
+}
+
+impl JitterAwareConfig {
+    /// The paper's running example: `D` = 10 ms, `s` = 2, `Rmax` = `Rm` +
+    /// 100 ms, supporting a 2⁹ ≈ 500× rate range above `µ₋`.
+    pub fn example(rm: Dur) -> Self {
+        JitterAwareConfig {
+            rm,
+            rmax: rm + Dur::from_millis(100),
+            d: Dur::from_millis(10),
+            s: 2.0,
+            mu_minus: Rate::from_mbps(0.1),
+            a: Rate::from_mbps(0.2),
+            b: 0.9,
+        }
+    }
+
+    /// The target rate for a measured RTT `d`: `µ₋ · s^((Rmax − d)/D)`
+    /// (Eq. 2 with `Rmax` expressed as a maximum tolerable *RTT*).
+    pub fn target_rate(&self, d: Dur) -> Rate {
+        let expo = (self.rmax.as_secs_f64() - d.as_secs_f64()) / self.d.as_secs_f64();
+        // Cap the exponent to keep f64 finite on tiny delays.
+        let expo = expo.clamp(-60.0, 60.0);
+        Rate::from_bytes_per_sec(self.mu_minus.bytes_per_sec() * self.s.powf(expo))
+    }
+
+    /// The maximum rate at which `s`-fairness is still guaranteed:
+    /// `µ₊ = µ₋·s^((Rmax − Rm − D)/D)` (the paper's Eq. 2 evaluated at
+    /// `d = Rm + D`, the minimum RTT needed for full utilization per
+    /// Theorem 2).
+    pub fn mu_plus(&self) -> Rate {
+        self.target_rate(self.rm + self.d)
+    }
+
+    /// Figure of merit `µ₊/µ₋` (§6.3).
+    pub fn merit(&self) -> f64 {
+        self.mu_plus().bytes_per_sec() / self.mu_minus.bytes_per_sec()
+    }
+}
+
+/// Algorithm 1: jitter-aware exponential rate–delay CCA.
+#[derive(Clone, Debug)]
+pub struct JitterAware {
+    cfg: JitterAwareConfig,
+    rate: Rate,
+    last_rtt: Option<Dur>,
+    next_update: Time,
+    mss: u64,
+}
+
+impl JitterAware {
+    /// Create from a configuration, starting at `µ₋`.
+    pub fn new(cfg: JitterAwareConfig) -> Self {
+        assert!(cfg.s > 1.0, "s must exceed 1");
+        assert!(cfg.b > 0.0 && cfg.b < 1.0, "b must be in (0,1)");
+        assert!(cfg.rmax > cfg.rm, "Rmax must exceed Rm");
+        JitterAware {
+            rate: cfg.mu_minus,
+            cfg,
+            last_rtt: None,
+            next_update: Time::ZERO,
+        mss: 1500,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &JitterAwareConfig {
+        &self.cfg
+    }
+
+    /// The current sending rate `µ`.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+}
+
+impl CongestionControl for JitterAware {
+    fn on_ack(&mut self, ev: &AckEvent) {
+        self.last_rtt = Some(ev.rtt);
+        if ev.now < self.next_update {
+            return;
+        }
+        // Exactly one update per Rm, independent of ACK count (CCAC-guided
+        // design note (b) in §6.3).
+        self.next_update = ev.now + self.cfg.rm;
+        let d = self.last_rtt.unwrap();
+        let target = self.cfg.target_rate(d);
+        if self.rate < target {
+            self.rate = self.rate + self.cfg.a;
+        } else {
+            self.rate = self.rate.mul_f64(self.cfg.b);
+        }
+        if self.rate < self.cfg.mu_minus.mul_f64(0.01) {
+            self.rate = self.cfg.mu_minus.mul_f64(0.01);
+        }
+    }
+
+    fn on_loss(&mut self, ev: &LossEvent) {
+        // Algorithm 1 as printed has no loss response; we add the obvious
+        // safety reaction to timeouts so short buffers don't wedge the flow.
+        if ev.kind == LossKind::Timeout {
+            self.rate = self.cfg.mu_minus;
+        }
+    }
+
+    fn cwnd(&self) -> u64 {
+        // In-flight cap of 2·µ·Rmax (the paper notes Algorithm 1 lacks a
+        // cwnd cap for sudden capacity drops; this is that cap).
+        let cap = 2.0 * self.rate.bytes_per_sec() * self.cfg.rmax.as_secs_f64();
+        (cap as u64).max(2 * self.mss)
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        Some(self.rate)
+    }
+
+    fn name(&self) -> &'static str {
+        "jitter-aware"
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> JitterAwareConfig {
+        JitterAwareConfig::example(Dur::from_millis(50))
+    }
+
+    fn ack(now_ms: u64, rtt_ms: f64) -> AckEvent {
+        AckEvent {
+            now: Time::from_millis(now_ms),
+            rtt: Dur::from_millis_f64(rtt_ms),
+            newly_acked: 1500,
+            in_flight: 0,
+            delivered: 0,
+            delivered_at_send: 0,
+            delivery_rate: None,
+            app_limited: false,
+            ecn: false,
+        }
+    }
+
+    #[test]
+    fn target_rate_at_rmax_is_mu_minus() {
+        let c = cfg();
+        // d − Rm = Rmax → exponent 0 → µ₋.
+        let d = c.rm + Dur::from_millis(100);
+        let t = c.target_rate(d);
+        assert!((t.mbps() - c.mu_minus.mbps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merit_matches_paper_example() {
+        // D = 10 ms, s = 2, Rmax − Rm = 100 ms → µ₊/µ₋ = 2^((100−10)/10) = 2⁹.
+        let c = cfg();
+        assert!((c.merit() - 512.0).abs() / 512.0 < 1e-9, "merit={}", c.merit());
+    }
+
+    #[test]
+    fn target_rate_monotone_decreasing_in_delay() {
+        let c = cfg();
+        let d1 = c.target_rate(Dur::from_millis(60));
+        let d2 = c.target_rate(Dur::from_millis(80));
+        let d3 = c.target_rate(Dur::from_millis(120));
+        assert!(d1 > d2 && d2 > d3);
+    }
+
+    #[test]
+    fn rates_s_apart_map_to_delays_d_apart() {
+        // The design goal: µ and s·µ differ by at least D of delay.
+        let c = cfg();
+        let d_lo = Dur::from_millis(70);
+        let d_hi = d_lo + c.d;
+        let ratio = c.target_rate(d_lo).bytes_per_sec() / c.target_rate(d_hi).bytes_per_sec();
+        assert!((ratio - c.s).abs() < 1e-9, "ratio={ratio}");
+    }
+
+    #[test]
+    fn additive_increase_below_target() {
+        let mut j = JitterAware::new(cfg());
+        let r0 = j.rate().mbps();
+        // Low delay → target far above → +a.
+        j.on_ack(&ack(0, 51.0));
+        assert!((j.rate().mbps() - (r0 + 0.2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiplicative_decrease_above_target() {
+        let mut j = JitterAware::new(cfg());
+        j.rate = Rate::from_mbps(100.0);
+        // Huge delay → target ≈ µ₋ → decrease by factor b.
+        j.on_ack(&ack(0, 160.0));
+        assert!((j.rate().mbps() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_update_per_rm() {
+        let mut j = JitterAware::new(cfg());
+        let r0 = j.rate().mbps();
+        // Many ACKs inside one Rm window → exactly one +a.
+        j.on_ack(&ack(0, 51.0));
+        for ms in 1..45 {
+            j.on_ack(&ack(ms, 51.0));
+        }
+        assert!((j.rate().mbps() - (r0 + 0.2)).abs() < 1e-9);
+        // After Rm elapses, the next update applies.
+        j.on_ack(&ack(51, 51.0));
+        assert!((j.rate().mbps() - (r0 + 0.4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cwnd_caps_at_two_rate_rmax() {
+        let mut j = JitterAware::new(cfg());
+        j.rate = Rate::from_mbps(100.0);
+        // 2 * 12.5 MB/s * 0.15 s = 3.75 MB
+        assert_eq!(j.cwnd(), 3_750_000);
+    }
+
+    #[test]
+    fn timeout_resets_rate() {
+        let mut j = JitterAware::new(cfg());
+        j.rate = Rate::from_mbps(50.0);
+        j.on_loss(&LossEvent {
+            now: Time::ZERO,
+            lost_bytes: 1500,
+            in_flight: 0,
+            kind: LossKind::Timeout,
+            sent_at: None,
+        });
+        assert!((j.rate().mbps() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponent_clamped_for_tiny_delay() {
+        let c = JitterAwareConfig {
+            d: Dur::from_micros(1),
+            ..cfg()
+        };
+        let t = c.target_rate(c.rm);
+        assert!(t.bytes_per_sec().is_finite());
+    }
+}

@@ -1,0 +1,205 @@
+//! LEDBAT (RFC 6817) — the scavenger delay-based CCA the paper cites as a
+//! "minimum of RTT" filter user (§1, §3).
+//!
+//! LEDBAT targets a fixed queueing delay `TARGET` (the RFC caps it at
+//! 100 ms) above a base-delay estimate taken as a windowed minimum, and
+//! moves its window proportionally to the distance from the target:
+//!
+//! ```text
+//! off_target = (TARGET − (rtt − base)) / TARGET
+//! cwnd += GAIN · off_target · bytes_acked · MSS / cwnd
+//! ```
+//!
+//! It is delay-convergent with `δ(C) ≈ 0` (equilibrium RTT = `Rm + TARGET`
+//! for every `C`), so Theorem 1 applies to it exactly as to Vegas, and its
+//! min-filter base estimate is poisonable exactly like Copa's (§5.1).
+
+use crate::traits::{AckEvent, CongestionControl, LossEvent, LossKind};
+use simcore::filter::WindowedMin;
+use simcore::units::{Dur, Rate};
+
+/// LEDBAT congestion control.
+#[derive(Clone, Debug)]
+pub struct Ledbat {
+    mss: u64,
+    /// Queueing-delay target (RFC 6817 caps at 100 ms).
+    target: Dur,
+    /// Proportional gain (RFC 6817: ≤ 1 per RTT at full off-target).
+    gain: f64,
+    cwnd: f64, // bytes
+    base: WindowedMin,
+}
+
+impl Ledbat {
+    /// LEDBAT with the given queueing-delay target and gain; the base-delay
+    /// minimum is tracked over a 2-minute window.
+    pub fn new(mss: u64, target: Dur, gain: f64) -> Self {
+        assert!(target > Dur::ZERO && gain > 0.0);
+        Ledbat {
+            mss,
+            target,
+            gain,
+            cwnd: (2 * mss) as f64,
+            base: WindowedMin::new(Dur::from_secs(120).as_nanos()),
+        }
+    }
+
+    /// RFC defaults: 100 ms target, gain 1, 1500-byte MSS.
+    pub fn default_params() -> Self {
+        Ledbat::new(1500, Dur::from_millis(100), 1.0)
+    }
+
+    /// The current base-delay estimate.
+    pub fn base_delay(&self) -> Option<Dur> {
+        self.base.get().map(Dur::from_secs_f64)
+    }
+
+    /// Override the base-delay estimate (poisoning hook for tests).
+    pub fn set_base_delay(&mut self, d: Dur) {
+        let mut f = WindowedMin::new(Dur::from_secs(120).as_nanos());
+        f.insert(0, d.as_secs_f64());
+        self.base = f;
+    }
+}
+
+impl CongestionControl for Ledbat {
+    fn on_ack(&mut self, ev: &AckEvent) {
+        let rtt = ev.rtt.as_secs_f64();
+        self.base.insert(ev.now.as_nanos(), rtt);
+        let base = self.base.get().unwrap_or(rtt);
+        let queuing = (rtt - base).max(0.0);
+        let off_target = (self.target.as_secs_f64() - queuing) / self.target.as_secs_f64();
+        // Proportional controller, growth capped at slow-start speed
+        // (≤ bytes_acked per ack), per the RFC's ALLOWED_INCREASE spirit.
+        let delta =
+            self.gain * off_target * ev.newly_acked as f64 * self.mss as f64 / self.cwnd;
+        let delta = delta.min(ev.newly_acked as f64);
+        self.cwnd = (self.cwnd + delta).max((2 * self.mss) as f64);
+    }
+
+    fn on_loss(&mut self, ev: &LossEvent) {
+        match ev.kind {
+            LossKind::FastRetransmit => self.cwnd = (self.cwnd / 2.0).max((2 * self.mss) as f64),
+            LossKind::Timeout => self.cwnd = (2 * self.mss) as f64,
+        }
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "ledbat"
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::Time;
+
+    fn ack(now_ms: u64, rtt_ms: f64) -> AckEvent {
+        AckEvent {
+            now: Time::from_millis(now_ms),
+            rtt: Dur::from_millis_f64(rtt_ms),
+            newly_acked: 1500,
+            in_flight: 0,
+            delivered: 0,
+            delivered_at_send: 0,
+            delivery_rate: None,
+            app_limited: false,
+            ecn: false,
+        }
+    }
+
+    #[test]
+    fn grows_below_target() {
+        let mut l = Ledbat::default_params();
+        l.set_base_delay(Dur::from_millis(50));
+        let w0 = l.cwnd();
+        for i in 0..50 {
+            l.on_ack(&ack(i * 10, 60.0)); // 10 ms of queue < 100 ms target
+        }
+        assert!(l.cwnd() > w0);
+    }
+
+    #[test]
+    fn shrinks_above_target() {
+        let mut l = Ledbat::default_params();
+        l.set_base_delay(Dur::from_millis(50));
+        l.cwnd = (100 * 1500) as f64;
+        for i in 0..50 {
+            l.on_ack(&ack(i * 10, 200.0)); // 150 ms of queue > target
+        }
+        assert!(l.cwnd() < 100 * 1500);
+    }
+
+    #[test]
+    fn equilibrium_at_target() {
+        // At rtt = base + target, off_target = 0: the window holds.
+        let mut l = Ledbat::default_params();
+        l.set_base_delay(Dur::from_millis(50));
+        l.cwnd = (50 * 1500) as f64;
+        let w0 = l.cwnd();
+        for i in 0..50 {
+            l.on_ack(&ack(i * 10, 150.0));
+        }
+        assert_eq!(l.cwnd(), w0);
+    }
+
+    #[test]
+    fn base_tracks_minimum() {
+        let mut l = Ledbat::default_params();
+        l.on_ack(&ack(0, 80.0));
+        l.on_ack(&ack(1, 60.0));
+        l.on_ack(&ack(2, 90.0));
+        assert_eq!(l.base_delay(), Some(Dur::from_millis(60)));
+    }
+
+    #[test]
+    fn poisoned_base_strangles_window_like_copa() {
+        // §5.1's mechanism transfers: a base-delay estimate 10 ms below
+        // truth makes LEDBAT hold 10 ms less queue than intended.
+        let mut l = Ledbat::default_params();
+        l.set_base_delay(Dur::from_millis(40));
+        l.cwnd = (200 * 1500) as f64;
+        // True path floor 50 ms, real queue 60 ms → perceived 70 > target.
+        // It sheds window even though the real queue is below target.
+        let w0 = l.cwnd();
+        for i in 0..100 {
+            l.on_ack(&ack(i * 10, 160.0));
+        }
+        assert!(l.cwnd() < w0);
+    }
+
+    #[test]
+    fn growth_capped_at_bytes_acked() {
+        let mut l = Ledbat::new(1500, Dur::from_millis(100), 1000.0);
+        l.set_base_delay(Dur::from_millis(50));
+        let w0 = l.cwnd();
+        l.on_ack(&ack(0, 50.0));
+        assert!(l.cwnd() <= w0 + 1500);
+    }
+
+    #[test]
+    fn loss_halves() {
+        let mut l = Ledbat::default_params();
+        l.cwnd = (80 * 1500) as f64;
+        l.on_loss(&LossEvent {
+            now: Time::from_millis(1),
+            lost_bytes: 1500,
+            in_flight: 0,
+            kind: LossKind::FastRetransmit,
+            sent_at: None,
+        });
+        assert_eq!(l.cwnd(), 40 * 1500);
+    }
+}

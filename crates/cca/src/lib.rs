@@ -1,0 +1,97 @@
+//! # cca — congestion-control algorithms
+//!
+//! From-scratch implementations of every CCA the paper analyzes or proposes
+//! (*Starvation in End-to-End Congestion Control*, SIGCOMM 2022):
+//!
+//! | Module | Algorithm | Paper section |
+//! |---|---|---|
+//! | [`vegas`] | TCP Vegas (α/β packets-in-queue) | §2.2, §5.1 |
+//! | [`ledbat`] | LEDBAT (RFC 6817 scavenger, min-filter base delay) | §1, §3 |
+//! | [`fast`] | FAST TCP (periodic smoothed window update) | §2.2, §5.1 |
+//! | [`copa`] | Copa (standing-RTT target rate, velocity) | §5.1 |
+//! | [`bbr`] | BBR v1 (pacing + cwnd-limited modes) | §5.2 |
+//! | [`verus`] | Verus (max-RTT delay-profile walker, simplified) | §1, §2.2 |
+//! | [`vivace`] | PCC Vivace (latency-gradient online learning) | §5.3 |
+//! | [`allegro`] | PCC Allegro (loss-threshold utility) | §5.4 |
+//! | [`reno`] | TCP NewReno (loss-based AIMD baseline) | §5.4 |
+//! | [`cubic`] | TCP Cubic (loss-based baseline) | §5.4 |
+//! | [`jitter_aware`] | Algorithm 1: exponential rate–delay mapping | §6.3 |
+//! | [`delay_aimd`] | AIMD-on-delay (the §6.2 conjecture, an extension) | §6.2 |
+//! | [`const_cwnd`] | "silly CCA" (`cwnd = k` always) | §4.2 |
+//!
+//! All algorithms implement the event-driven [`CongestionControl`] trait and
+//! are `Clone`, which the theorem machinery uses to snapshot converged state
+//! (proof step 3 starts the two-flow scenario from the states at `T₁`/`T₂`).
+//!
+//! # Example
+//!
+//! Drive a CCA by hand with synthetic acknowledgements:
+//!
+//! ```
+//! use cca::{AckEvent, CongestionControl, Vegas};
+//! use simcore::units::{Dur, Time};
+//!
+//! let mut vegas = Vegas::default_params();
+//! let w0 = vegas.cwnd();
+//! // Flat RTTs at the propagation delay: Vegas sees an empty queue and grows.
+//! for i in 0..10u64 {
+//!     vegas.on_ack(&AckEvent {
+//!         now: Time::from_millis(i * 51),
+//!         rtt: Dur::from_millis(50),
+//!         newly_acked: 1500,
+//!         in_flight: 3000,
+//!         delivered: (i + 1) * 1500,
+//!         delivered_at_send: i * 1500,
+//!         delivery_rate: None,
+//!         app_limited: false,
+//!         ecn: false,
+//!     });
+//! }
+//! assert!(vegas.cwnd() > w0);
+//! ```
+
+pub mod allegro;
+pub mod bbr;
+pub mod const_cwnd;
+pub mod copa;
+pub mod cubic;
+pub mod delay_aimd;
+pub mod fast;
+pub mod jitter_aware;
+pub mod ledbat;
+pub mod mi;
+pub mod reno;
+pub mod traits;
+pub mod vegas;
+pub mod verus;
+pub mod vivace;
+
+pub use allegro::Allegro;
+pub use bbr::Bbr;
+pub use const_cwnd::ConstCwnd;
+pub use copa::Copa;
+pub use cubic::Cubic;
+pub use delay_aimd::DelayAimd;
+pub use fast::FastTcp;
+pub use jitter_aware::JitterAware;
+pub use ledbat::Ledbat;
+pub use reno::NewReno;
+pub use traits::{AckEvent, CongestionControl, LossEvent, LossKind};
+pub use vegas::Vegas;
+pub use verus::Verus;
+pub use vivace::Vivace;
+
+/// A boxed CCA (object-safe, cloneable via [`CongestionControl::clone_box`]).
+pub type BoxCca = Box<dyn CongestionControl>;
+
+/// A factory producing fresh instances of a CCA configuration; sweeps and
+/// theorem constructions run many independent single-flow simulations.
+pub type CcaFactory = std::sync::Arc<dyn Fn() -> BoxCca + Send + Sync>;
+
+/// Convenience: build a [`CcaFactory`] from a closure.
+pub fn factory<F>(f: F) -> CcaFactory
+where
+    F: Fn() -> BoxCca + Send + Sync + 'static,
+{
+    std::sync::Arc::new(f)
+}

@@ -1,0 +1,330 @@
+//! Monitor-interval (MI) tracking shared by the PCC algorithms.
+//!
+//! PCC evaluates a sending rate by dedicating a monitor interval to it:
+//! every packet **sent** during the MI is attributed to it, and the MI's
+//! utility is computed once those packets' fates (ACK or loss) are known —
+//! about one RTT after the MI ends. Getting this attribution right is
+//! essential: measuring "ACKs that arrived during the MI" lags the probe by
+//! an RTT and turns the gradient estimate into noise.
+//!
+//! ACKs are attributed by send time (`now − rtt`), which the sender's
+//! per-packet RTT samples make exact for unambiguous (non-retransmitted)
+//! packets.
+
+use simcore::units::{Dur, Rate, Time};
+use std::collections::VecDeque;
+
+/// One monitor interval's accounting.
+#[derive(Clone, Debug)]
+pub struct Mi {
+    /// Monotone id.
+    pub id: u64,
+    /// Send-time window `[start, end)` (`end` set when the MI closes).
+    pub start: Time,
+    /// Exclusive end of the send window.
+    pub end: Option<Time>,
+    /// The sending rate this MI probed.
+    pub rate: Rate,
+    /// Caller-defined tag (phase/probe-direction marker).
+    pub tag: u32,
+    /// Bytes sent with send time inside the window.
+    pub sent: u64,
+    /// Bytes acknowledged whose send time fell inside the window.
+    pub acked: u64,
+    /// Bytes declared lost attributed to the window.
+    pub lost: u64,
+    /// `(ACK arrival time s, RTT s)` samples for the latency-gradient
+    /// regression. Arrival time (not send time) is the measurement axis —
+    /// this is what makes link-layer ACK aggregation poisonous to Vivace:
+    /// a burst of ACKs collapses onto one arrival instant and the
+    /// regression returns cluster noise (§5.3).
+    pub samples: Vec<(f64, f64)>,
+}
+
+impl Mi {
+    /// Measured throughput in Mbit/s over the MI's send window.
+    pub fn throughput_mbps(&self) -> f64 {
+        let end = self.end.expect("throughput of an open MI");
+        let dur = end.since(self.start).as_secs_f64().max(1e-6);
+        self.acked as f64 * 8.0 / 1e6 / dur
+    }
+
+    /// Loss fraction among attributed bytes.
+    pub fn loss_fraction(&self) -> f64 {
+        let total = self.acked + self.lost;
+        if total == 0 {
+            0.0
+        } else {
+            self.lost as f64 / total as f64
+        }
+    }
+
+    /// Least-squares slope of RTT vs ACK arrival time (s/s); 0 without
+    /// spread.
+    pub fn rtt_gradient(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let (mut st, mut sr) = (0.0, 0.0);
+        for &(t, r) in &self.samples {
+            st += t;
+            sr += r;
+        }
+        let (mt, mr) = (st / nf, sr / nf);
+        let (mut num, mut den) = (0.0, 0.0);
+        for &(t, r) in &self.samples {
+            num += (t - mt) * (r - mr);
+            den += (t - mt) * (t - mt);
+        }
+        if den <= 1e-12 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+/// Tracks the open MI plus closed MIs awaiting their ACKs.
+#[derive(Clone, Debug)]
+pub struct MiTracker {
+    intervals: VecDeque<Mi>,
+    next_id: u64,
+}
+
+impl Default for MiTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MiTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        MiTracker {
+            intervals: VecDeque::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Close the current MI (if any) at `now` and open a new one probing
+    /// `rate` with `tag`. Returns the new MI's id.
+    pub fn begin(&mut self, now: Time, rate: Rate, tag: u32) -> u64 {
+        if let Some(cur) = self.intervals.back_mut() {
+            if cur.end.is_none() {
+                cur.end = Some(now);
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.intervals.push_back(Mi {
+            id,
+            start: now,
+            end: None,
+            rate,
+            tag,
+            sent: 0,
+            acked: 0,
+            lost: 0,
+            samples: Vec::new(),
+        });
+        id
+    }
+
+    /// The open MI's start, if one is open.
+    pub fn current_start(&self) -> Option<Time> {
+        self.intervals.back().and_then(|m| {
+            if m.end.is_none() {
+                Some(m.start)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Record bytes sent now (attributed to the open MI).
+    pub fn on_send(&mut self, _now: Time, bytes: u64) {
+        if let Some(cur) = self.intervals.back_mut() {
+            if cur.end.is_none() {
+                cur.sent += bytes;
+            }
+        }
+    }
+
+    fn find_by_send_time(&mut self, send_t: Time) -> Option<&mut Mi> {
+        self.intervals
+            .iter_mut()
+            .find(|m| send_t >= m.start && m.end.is_none_or(|e| send_t < e))
+    }
+
+    /// Attribute an ACK: `rtt` dates the packet's transmission.
+    pub fn on_ack(&mut self, now: Time, rtt: Dur, bytes: u64) {
+        let send_t = if now.as_nanos() >= rtt.as_nanos() {
+            now - rtt
+        } else {
+            Time::ZERO
+        };
+        if let Some(mi) = self.find_by_send_time(send_t) {
+            mi.acked += bytes;
+            mi.samples.push((now.as_secs_f64(), rtt.as_secs_f64()));
+        }
+    }
+
+    /// Attribute a loss. `sent_at` is the lost packet's exact send time
+    /// when the transport knows it; otherwise the packet is assumed sent
+    /// one `srtt` ago.
+    pub fn on_loss(&mut self, now: Time, sent_at: Option<Time>, srtt: Dur, bytes: u64) {
+        let send_t = sent_at.unwrap_or(if now.as_nanos() >= srtt.as_nanos() {
+            now - srtt
+        } else {
+            Time::ZERO
+        });
+        if let Some(mi) = self.find_by_send_time(send_t) {
+            mi.lost += bytes;
+        }
+    }
+
+    /// Pop the oldest closed MI whose grace period (time for its last
+    /// packets' ACKs to return) has elapsed.
+    pub fn pop_complete(&mut self, now: Time, grace: Dur) -> Option<Mi> {
+        let front = self.intervals.front()?;
+        let end = front.end?;
+        if now >= end + grace {
+            self.intervals.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Number of tracked intervals (open + awaiting).
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True if no MIs are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Time {
+        Time::from_millis(ms)
+    }
+
+    #[test]
+    fn begin_closes_previous() {
+        let mut tr = MiTracker::new();
+        tr.begin(t(0), Rate::from_mbps(2.0), 0);
+        tr.begin(t(50), Rate::from_mbps(4.0), 1);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.intervals[0].end, Some(t(50)));
+        assert!(tr.intervals[1].end.is_none());
+    }
+
+    #[test]
+    fn sends_attributed_to_open_mi() {
+        let mut tr = MiTracker::new();
+        tr.begin(t(0), Rate::from_mbps(2.0), 0);
+        tr.on_send(t(10), 1500);
+        tr.begin(t(50), Rate::from_mbps(4.0), 0);
+        tr.on_send(t(60), 3000);
+        assert_eq!(tr.intervals[0].sent, 1500);
+        assert_eq!(tr.intervals[1].sent, 3000);
+    }
+
+    #[test]
+    fn acks_attributed_by_send_time() {
+        let mut tr = MiTracker::new();
+        tr.begin(t(0), Rate::from_mbps(2.0), 0);
+        tr.begin(t(50), Rate::from_mbps(4.0), 0);
+        // ACK at 90 ms with RTT 60 ms → sent at 30 ms → first MI.
+        tr.on_ack(t(90), Dur::from_millis(60), 1500);
+        // ACK at 120 ms with RTT 60 ms → sent at 60 ms → second MI.
+        tr.on_ack(t(120), Dur::from_millis(60), 1500);
+        assert_eq!(tr.intervals[0].acked, 1500);
+        assert_eq!(tr.intervals[1].acked, 1500);
+    }
+
+    #[test]
+    fn losses_attributed_exactly_when_known() {
+        let mut tr = MiTracker::new();
+        tr.begin(t(0), Rate::from_mbps(2.0), 0);
+        tr.begin(t(50), Rate::from_mbps(4.0), 0);
+        // Exact send time 60 ms → second MI even though srtt would point
+        // at the first.
+        tr.on_loss(t(70), Some(t(60)), Dur::from_millis(60), 1500);
+        assert_eq!(tr.intervals[1].lost, 1500);
+        assert_eq!(tr.intervals[0].lost, 0);
+    }
+
+    #[test]
+    fn losses_attributed_by_srtt() {
+        let mut tr = MiTracker::new();
+        tr.begin(t(0), Rate::from_mbps(2.0), 0);
+        tr.begin(t(50), Rate::from_mbps(4.0), 0);
+        tr.on_loss(t(70), None, Dur::from_millis(60), 1500); // ≈ sent at 10 ms
+        assert_eq!(tr.intervals[0].lost, 1500);
+    }
+
+    #[test]
+    fn completion_waits_for_grace() {
+        let mut tr = MiTracker::new();
+        tr.begin(t(0), Rate::from_mbps(2.0), 0);
+        tr.begin(t(50), Rate::from_mbps(2.0), 0);
+        assert!(tr.pop_complete(t(80), Dur::from_millis(60)).is_none());
+        let mi = tr.pop_complete(t(110), Dur::from_millis(60)).unwrap();
+        assert_eq!(mi.id, 0);
+        assert_eq!(tr.len(), 1);
+    }
+
+    #[test]
+    fn throughput_and_loss_math() {
+        let mut tr = MiTracker::new();
+        tr.begin(t(0), Rate::from_mbps(2.0), 0);
+        tr.on_send(t(1), 15_000);
+        tr.begin(t(100), Rate::from_mbps(2.0), 0);
+        tr.on_ack(t(110), Dur::from_millis(100), 12_000);
+        tr.on_loss(t(110), None, Dur::from_millis(100), 3_000);
+        let mi = tr.pop_complete(t(500), Dur::from_millis(100)).unwrap();
+        // 12 kB over 100 ms = 0.96 Mbit/s.
+        assert!((mi.throughput_mbps() - 0.96).abs() < 1e-9);
+        assert!((mi.loss_fraction() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_positive_when_rtt_rises() {
+        let mut tr = MiTracker::new();
+        tr.begin(t(0), Rate::from_mbps(2.0), 0);
+        for i in 0..10u64 {
+            let send = t(i * 10);
+            let rtt = Dur::from_millis(50 + i); // +1 ms per 10 ms of send time
+            tr.on_ack(send + rtt, rtt, 1500);
+        }
+        let mi = &tr.intervals[0];
+        // Arrival spacing is 11 ms per +1 ms of RTT → slope 1/11.
+        assert!((mi.rtt_gradient() - 1.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_noise_from_ack_clusters() {
+        // Quantized ACKs: two bursts, each with identical arrival time but
+        // spread RTTs; the regression sees only the cluster means.
+        let mut tr = MiTracker::new();
+        tr.begin(t(0), Rate::from_mbps(2.0), 0);
+        for i in 0..5u64 {
+            tr.on_ack(t(60), Dur::from_millis(60 - i * 10), 1500);
+        }
+        for i in 0..5u64 {
+            tr.on_ack(t(120), Dur::from_millis(80 - i * 10), 1500);
+        }
+        let mi = &tr.intervals[0];
+        // Cluster means: 40 ms @ 60 ms, 60 ms @ 120 ms → slope 1/3 — a huge
+        // phantom gradient from aggregation alone.
+        assert!((mi.rtt_gradient() - (0.020 / 0.060)).abs() < 1e-9);
+    }
+}

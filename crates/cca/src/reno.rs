@@ -1,0 +1,272 @@
+//! TCP NewReno (Jacobson 1988; Hoe 1996; RFC 6582).
+//!
+//! The loss-based AIMD baseline of §5.4. NewReno is *not* delay-convergent
+//! (its delay oscillates over the whole buffer), which is exactly why the
+//! paper's Theorem 1 does not apply to it: its large oscillations encode the
+//! sending rate in the *frequency* of loss events rather than in an absolute
+//! delay (§6.2). The paper shows it suffers bounded unfairness (≈2.7×) under
+//! ACK-burst jitter (Figure 7) but not starvation.
+
+use crate::traits::{AckEvent, CongestionControl, LossEvent, LossKind};
+use simcore::units::{Rate, Time};
+
+/// TCP NewReno congestion control.
+///
+/// Two §6.4 variants are available as builders:
+/// [`NewReno::with_ecn`] reacts to ECN marks with a once-per-RTT
+/// multiplicative decrease, and [`NewReno::loss_tolerant`] *ignores*
+/// fast-retransmit loss signals (the transport still repairs the losses) —
+/// together they form the paper's conjectured starvation-free combination:
+/// "if the router set ECN bits when the queue exceeds a threshold, and a
+/// CCA reacted to that and not to small amounts of loss, then it may avoid
+/// starvation".
+#[derive(Clone, Debug)]
+pub struct NewReno {
+    mss: u64,
+    cwnd: f64,     // bytes
+    ssthresh: f64, // bytes
+    /// End of the current recovery episode: losses until the ack that was
+    /// outstanding at loss time returns are part of the same episode.
+    recovery_until: Time,
+    /// Latest RTT sample (sets the recovery-episode length).
+    last_rtt: simcore::units::Dur,
+    /// React to ECN marks (once-per-RTT MD).
+    ecn_react: bool,
+    /// Ignore fast-retransmit loss signals (rely on ECN/timeouts only).
+    ignore_loss: bool,
+}
+
+impl NewReno {
+    /// NewReno with the given MSS, initial window of 2 MSS.
+    pub fn new(mss: u64) -> Self {
+        NewReno {
+            mss,
+            cwnd: (2 * mss) as f64,
+            ssthresh: f64::MAX,
+            recovery_until: Time::ZERO,
+            last_rtt: simcore::units::Dur::ZERO,
+            ecn_react: false,
+            ignore_loss: false,
+        }
+    }
+
+    /// React to ECN congestion marks with a once-per-RTT window halving.
+    pub fn with_ecn(mut self) -> Self {
+        self.ecn_react = true;
+        self
+    }
+
+    /// Ignore fast-retransmit loss signals (§6.4: a CCA that reacts to ECN
+    /// "and not to small amounts of loss"). Timeouts still reset.
+    pub fn loss_tolerant(mut self) -> Self {
+        self.ignore_loss = true;
+        self
+    }
+
+    /// Default: 1500-byte MSS.
+    pub fn default_params() -> Self {
+        NewReno::new(1500)
+    }
+
+    /// Whether the sender is in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+}
+
+impl CongestionControl for NewReno {
+    fn on_ack(&mut self, ev: &AckEvent) {
+        self.last_rtt = ev.rtt;
+        // ECN reaction (RFC 3168-style): one multiplicative decrease per
+        // RTT of marked acknowledgements.
+        if self.ecn_react && ev.ecn && ev.now >= self.recovery_until {
+            self.ssthresh = (self.cwnd / 2.0).max((2 * self.mss) as f64);
+            self.cwnd = self.ssthresh;
+            self.recovery_until = ev.now + self.last_rtt;
+            return;
+        }
+        if self.in_slow_start() {
+            // +1 MSS per MSS acked.
+            self.cwnd += ev.newly_acked as f64;
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+        } else {
+            // Congestion avoidance: +MSS²/cwnd per MSS acked
+            // (= +1 MSS per RTT when a full window is acked per RTT).
+            let acked_frac = ev.newly_acked as f64 / self.mss as f64;
+            self.cwnd += acked_frac * (self.mss as f64 * self.mss as f64) / self.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, ev: &LossEvent) {
+        match ev.kind {
+            LossKind::FastRetransmit => {
+                if self.ignore_loss {
+                    return; // §6.4: loss is ambiguous; wait for ECN
+                }
+                // One multiplicative decrease per recovery episode (a window
+                // of losses counts once — RFC 6582 recovery semantics).
+                if ev.now < self.recovery_until {
+                    return;
+                }
+                self.ssthresh = (self.cwnd / 2.0).max((2 * self.mss) as f64);
+                self.cwnd = self.ssthresh;
+                // Losses within the next RTT belong to the same window of
+                // data and must not trigger further decreases.
+                self.recovery_until = ev.now + self.last_rtt;
+            }
+            LossKind::Timeout => {
+                self.ssthresh = (self.cwnd / 2.0).max((2 * self.mss) as f64);
+                self.cwnd = self.mss as f64;
+            }
+        }
+    }
+
+    fn cwnd(&self) -> u64 {
+        (self.cwnd as u64).max(self.mss)
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        None // pure ACK clocking; bursts are the point of Fig. 7
+    }
+
+    fn name(&self) -> &'static str {
+        "newreno"
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::Dur;
+
+    fn ack(newly: u64) -> AckEvent {
+        AckEvent {
+            now: Time::from_millis(1),
+            rtt: Dur::from_millis(100),
+            newly_acked: newly,
+            in_flight: 0,
+            delivered: 0,
+            delivered_at_send: 0,
+            delivery_rate: None,
+            app_limited: false,
+            ecn: false,
+        }
+    }
+
+    fn loss(kind: LossKind) -> LossEvent {
+        LossEvent {
+            now: Time::from_millis(2),
+            lost_bytes: 1500,
+            in_flight: 0,
+            kind,
+            sent_at: None,
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut r = NewReno::default_params();
+        assert!(r.in_slow_start());
+        let w0 = r.cwnd();
+        // Ack a full window: cwnd should double.
+        r.on_ack(&ack(w0));
+        assert_eq!(r.cwnd(), 2 * w0);
+    }
+
+    #[test]
+    fn congestion_avoidance_one_mss_per_rtt() {
+        let mut r = NewReno::default_params();
+        r.ssthresh = 0.0; // force CA
+        r.cwnd = (10 * 1500) as f64;
+        // Ack one full window worth in MSS chunks → +1 MSS total.
+        for _ in 0..10 {
+            r.on_ack(&ack(1500));
+        }
+        // Slightly under +1 because cwnd compounds within the round.
+        let w = r.cwnd() as f64 / 1500.0;
+        assert!((w - 11.0).abs() < 0.06, "w={w}");
+    }
+
+    #[test]
+    fn fast_retransmit_halves() {
+        let mut r = NewReno::default_params();
+        r.ssthresh = 0.0;
+        r.cwnd = (20 * 1500) as f64;
+        r.on_loss(&loss(LossKind::FastRetransmit));
+        assert_eq!(r.cwnd(), 10 * 1500);
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_mss() {
+        let mut r = NewReno::default_params();
+        r.cwnd = (20 * 1500) as f64;
+        r.on_loss(&loss(LossKind::Timeout));
+        assert_eq!(r.cwnd(), 1500);
+        assert!(r.in_slow_start());
+        assert_eq!(r.ssthresh as u64, 10 * 1500);
+    }
+
+    #[test]
+    fn slow_start_exits_at_ssthresh() {
+        let mut r = NewReno::default_params();
+        r.ssthresh = (8 * 1500) as f64;
+        r.cwnd = (6 * 1500) as f64;
+        r.on_ack(&ack(6 * 1500));
+        assert_eq!(r.cwnd(), 8 * 1500); // clamped at ssthresh
+        assert!(!r.in_slow_start());
+    }
+
+    #[test]
+    fn ecn_mark_halves_once_per_rtt() {
+        let mut r = NewReno::default_params().with_ecn();
+        r.ssthresh = 0.0;
+        r.cwnd = (40 * 1500) as f64;
+        let mut ev = ack(1500);
+        ev.ecn = true;
+        r.on_ack(&ev);
+        assert_eq!(r.cwnd(), 20 * 1500);
+        // Marks within the same RTT are a single congestion event (the
+        // window may creep up by the normal CA increase, but must not
+        // halve again).
+        r.on_ack(&ev);
+        assert!(r.cwnd() >= 20 * 1500 && r.cwnd() < 21 * 1500);
+    }
+
+    #[test]
+    fn ecn_ignored_without_opt_in() {
+        let mut r = NewReno::default_params();
+        r.ssthresh = 0.0;
+        r.cwnd = (40 * 1500) as f64;
+        let mut ev = ack(1500);
+        ev.ecn = true;
+        r.on_ack(&ev);
+        assert!(r.cwnd() >= 40 * 1500);
+    }
+
+    #[test]
+    fn loss_tolerant_ignores_fast_retransmit() {
+        let mut r = NewReno::default_params().loss_tolerant();
+        r.ssthresh = 0.0;
+        r.cwnd = (40 * 1500) as f64;
+        r.on_loss(&loss(LossKind::FastRetransmit));
+        assert_eq!(r.cwnd(), 40 * 1500);
+        // Timeouts still reset.
+        r.on_loss(&loss(LossKind::Timeout));
+        assert_eq!(r.cwnd(), 1500);
+    }
+
+    #[test]
+    fn floor_is_one_mss() {
+        let mut r = NewReno::default_params();
+        for _ in 0..10 {
+            r.on_loss(&loss(LossKind::Timeout));
+        }
+        assert!(r.cwnd() >= 1500);
+    }
+}

@@ -1,0 +1,140 @@
+//! The event-driven congestion-control interface.
+//!
+//! The sender endpoint (in `netsim`) owns the transport machinery —
+//! sequencing, loss detection, retransmission, pacing clocks — and feeds the
+//! CCA three kinds of events: acknowledgements carrying an RTT sample and a
+//! delivery-rate sample, loss indications, and transmissions. The CCA
+//! exposes two outputs read by the sender on every scheduling decision: a
+//! congestion window in bytes and an optional pacing rate.
+//!
+//! This split mirrors how the paper treats a CCA: a deterministic function
+//! from the history of observed delays (and losses) to a sending rate
+//! (§4.3, step 3: "the sending rate at any time t is a function of the
+//! delays observed up to time t and the initial state of the algorithm").
+
+use simcore::units::{Dur, Rate, Time};
+
+/// Information delivered to the CCA for every (cumulatively) acknowledged
+/// packet.
+#[derive(Clone, Copy, Debug)]
+pub struct AckEvent {
+    /// Current time at the sender.
+    pub now: Time,
+    /// RTT sample of the packet whose acknowledgement triggered this event.
+    pub rtt: Dur,
+    /// Bytes newly acknowledged by this event.
+    pub newly_acked: u64,
+    /// Bytes still in flight after this acknowledgement.
+    pub in_flight: u64,
+    /// Total bytes delivered over the lifetime of the flow.
+    pub delivered: u64,
+    /// Value of `delivered` when the acked packet was sent. BBR uses this
+    /// for packet-timed round counting and delivery-rate sampling.
+    pub delivered_at_send: u64,
+    /// Delivery-rate sample for the acked packet (BBR-style: delivered-byte
+    /// delta between this packet's send and its acknowledgement, divided by
+    /// the elapsed interval), when the sender can compute one.
+    pub delivery_rate: Option<Rate>,
+    /// True if the flow was limited by the application (not the window)
+    /// when the acked packet was sent; rate samples then under-estimate.
+    pub app_limited: bool,
+    /// True if the network marked this acknowledgement's data with an
+    /// explicit congestion notification (§6.4: unlike delay and loss, ECN
+    /// is an unambiguous congestion signal).
+    pub ecn: bool,
+}
+
+/// What kind of loss signal the sender detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossKind {
+    /// Triple duplicate ACK → fast retransmit (isolated loss).
+    FastRetransmit,
+    /// Retransmission timeout (severe: the pipe drained).
+    Timeout,
+}
+
+/// Information delivered to the CCA when the sender detects loss.
+#[derive(Clone, Copy, Debug)]
+pub struct LossEvent {
+    /// Current time at the sender.
+    pub now: Time,
+    /// Bytes deemed lost.
+    pub lost_bytes: u64,
+    /// Bytes in flight after removing the lost bytes.
+    pub in_flight: u64,
+    /// Fast retransmit or timeout.
+    pub kind: LossKind,
+    /// Exact send time of the (first) lost packet, when the transport
+    /// knows it — PCC's monitor intervals need precise loss attribution.
+    pub sent_at: Option<Time>,
+}
+
+/// A congestion-control algorithm.
+///
+/// Implementations must be deterministic given their construction parameters
+/// (any internal randomness must come from a seed fixed at construction) —
+/// the theorem constructions replay recorded delay trajectories and rely on
+/// the CCA reacting identically (§4.3).
+pub trait CongestionControl: Send {
+    /// An acknowledgement arrived.
+    fn on_ack(&mut self, ev: &AckEvent);
+
+    /// Loss was detected.
+    fn on_loss(&mut self, ev: &LossEvent);
+
+    /// A packet of `bytes` was transmitted (after which `in_flight` bytes
+    /// are outstanding). Most CCAs ignore this; PCC's monitor intervals use
+    /// it.
+    fn on_send(&mut self, _now: Time, _bytes: u64, _in_flight: u64) {}
+
+    /// Congestion window in bytes. The sender never lets
+    /// `in_flight > cwnd()`. Must be at least one packet.
+    fn cwnd(&self) -> u64;
+
+    /// Pacing rate, if this CCA paces. `None` means purely window-limited
+    /// (ACK-clocked) transmission, like Reno/Cubic.
+    fn pacing_rate(&self) -> Option<Rate>;
+
+    /// Short algorithm name for reports ("copa", "bbr", …).
+    fn name(&self) -> &'static str;
+
+    /// Clone into a box — used to snapshot converged CCA state.
+    fn clone_box(&self) -> Box<dyn CongestionControl>;
+}
+
+impl Clone for Box<dyn CongestionControl> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Helper: the sending rate a window-limited CCA implies at a given RTT,
+/// `cwnd / RTT`. Used in reports and by delay-convergence analysis.
+pub fn implied_rate(cwnd_bytes: u64, rtt: Dur) -> Rate {
+    if rtt == Dur::ZERO {
+        return Rate::ZERO;
+    }
+    Rate::from_bytes_per_sec(cwnd_bytes as f64 / rtt.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implied_rate_math() {
+        // 600 kB window over 40 ms = 15 MB/s = 120 Mbit/s.
+        let r = implied_rate(600_000, Dur::from_millis(40));
+        assert!((r.mbps() - 120.0).abs() < 1e-9);
+        assert_eq!(implied_rate(1000, Dur::ZERO), Rate::ZERO);
+    }
+
+    #[test]
+    fn box_clone_preserves_state() {
+        let cca = crate::ConstCwnd::new(7 * 1500);
+        let boxed: Box<dyn CongestionControl> = Box::new(cca);
+        let cloned = boxed.clone();
+        assert_eq!(cloned.cwnd(), 7 * 1500);
+        assert_eq!(cloned.name(), "const");
+    }
+}

@@ -1,0 +1,283 @@
+//! TCP Vegas (Brakmo & Peterson, 1994).
+//!
+//! Vegas is the archetypal delay-convergent CCA in the paper: it tries to
+//! keep `α` packets queued at the bottleneck, so on an ideal path its
+//! equilibrium RTT is `Rm + α/C` and its equilibrium delay *range* is a
+//! single point — `δ(C) = 0` (Figure 3, leftmost panel). That extreme
+//! convergence is exactly what makes it maximally susceptible to starvation:
+//! a measurement ambiguity of `α/C` seconds (0.45 ms at 96→960 Mbit/s with
+//! α = 4) changes its inferred fair rate by 10× (§4.1).
+//!
+//! Mechanism: once per RTT, compare the *expected* rate `cwnd/base_rtt`
+//! against the *actual* rate `cwnd/rtt`. The difference, scaled by
+//! `base_rtt`, estimates the number of packets this flow keeps in the
+//! bottleneck queue. Keep it between `α` and `β` by additive ±1 MSS moves.
+
+use crate::traits::{AckEvent, CongestionControl, LossEvent, LossKind};
+use simcore::units::{Dur, Rate, Time};
+
+/// TCP Vegas congestion control.
+#[derive(Clone, Debug)]
+pub struct Vegas {
+    mss: u64,
+    alpha: f64,
+    beta: f64,
+    cwnd: f64, // bytes, fractional accumulation
+    base_rtt: Option<Dur>,
+    // Per-round RTT aggregation.
+    round_end: Time,
+    round_rtt_sum: f64,
+    round_rtt_n: u32,
+    in_slow_start: bool,
+    ssthresh: f64,
+}
+
+impl Vegas {
+    /// Vegas with target queue occupancy between `alpha` and `beta` packets
+    /// of `mss` bytes. The classic setting is `alpha = 2, beta = 4`; the
+    /// paper's running example (§4.1) uses `alpha = 4`.
+    pub fn new(mss: u64, alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && beta >= alpha);
+        Vegas {
+            mss,
+            alpha,
+            beta,
+            cwnd: (2 * mss) as f64,
+            base_rtt: None,
+            round_end: Time::ZERO,
+            round_rtt_sum: 0.0,
+            round_rtt_n: 0,
+            in_slow_start: true,
+            ssthresh: f64::MAX,
+        }
+    }
+
+    /// Classic parameters (α = 2, β = 4, 1500-byte MSS).
+    pub fn default_params() -> Self {
+        Vegas::new(1500, 2.0, 4.0)
+    }
+
+    /// Override the minimum-RTT estimate. The §5.1 scenarios poison this
+    /// estimate through the network (a single under-delayed packet), but
+    /// tests also use this directly.
+    pub fn set_base_rtt(&mut self, rtt: Dur) {
+        self.base_rtt = Some(rtt);
+    }
+
+    /// Current estimate of the propagation RTT.
+    pub fn base_rtt(&self) -> Option<Dur> {
+        self.base_rtt
+    }
+
+    /// Estimated packets queued at the bottleneck given the round's mean RTT.
+    fn queued_packets(&self, rtt: f64) -> f64 {
+        let base = self.base_rtt.expect("no RTT sample yet").as_secs_f64();
+        if rtt <= 0.0 {
+            return 0.0;
+        }
+        (self.cwnd / self.mss as f64) * (rtt - base) / rtt
+    }
+
+    fn clamp(&mut self) {
+        let floor = (2 * self.mss) as f64;
+        if self.cwnd < floor {
+            self.cwnd = floor;
+        }
+    }
+}
+
+impl CongestionControl for Vegas {
+    fn on_ack(&mut self, ev: &AckEvent) {
+        // Track the minimum RTT ever observed (classic Vegas base RTT).
+        match self.base_rtt {
+            None => self.base_rtt = Some(ev.rtt),
+            Some(b) if ev.rtt < b => self.base_rtt = Some(ev.rtt),
+            _ => {}
+        }
+        self.round_rtt_sum += ev.rtt.as_secs_f64();
+        self.round_rtt_n += 1;
+
+        if ev.now < self.round_end {
+            return;
+        }
+        // One window update per RTT, using the round's mean RTT.
+        let rtt = self.round_rtt_sum / self.round_rtt_n as f64;
+        self.round_rtt_sum = 0.0;
+        self.round_rtt_n = 0;
+        self.round_end = ev.now + Dur::from_secs_f64(rtt);
+
+        let diff = self.queued_packets(rtt);
+        if self.in_slow_start {
+            if diff < self.alpha && self.cwnd < self.ssthresh {
+                self.cwnd *= 2.0;
+            } else {
+                self.in_slow_start = false;
+            }
+            self.clamp();
+            return;
+        }
+        if diff < self.alpha {
+            self.cwnd += self.mss as f64;
+        } else if diff > self.beta {
+            self.cwnd -= self.mss as f64;
+        }
+        self.clamp();
+    }
+
+    fn on_loss(&mut self, ev: &LossEvent) {
+        match ev.kind {
+            LossKind::FastRetransmit => {
+                self.cwnd *= 0.75; // Vegas's gentle reduction
+                self.in_slow_start = false;
+            }
+            LossKind::Timeout => {
+                self.ssthresh = self.cwnd / 2.0;
+                self.cwnd = (2 * self.mss) as f64;
+                self.in_slow_start = true;
+            }
+        }
+        self.clamp();
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "vegas"
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, rtt_ms: f64) -> AckEvent {
+        AckEvent {
+            now: Time::from_millis(now_ms),
+            rtt: Dur::from_millis_f64(rtt_ms),
+            newly_acked: 1500,
+            in_flight: 10 * 1500,
+            delivered: 0,
+            delivered_at_send: 0,
+            delivery_rate: None,
+            app_limited: false,
+            ecn: false,
+        }
+    }
+
+    /// Drive one window update per simulated RTT with a fixed RTT sample.
+    fn drive_rounds(v: &mut Vegas, rtt_ms: f64, rounds: usize) {
+        let mut now = 0u64;
+        for _ in 0..rounds {
+            v.on_ack(&ack(now, rtt_ms));
+            now += rtt_ms.ceil() as u64 + 1;
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles() {
+        let mut v = Vegas::default_params();
+        let w0 = v.cwnd();
+        // RTT equal to base → zero queueing → keep doubling.
+        drive_rounds(&mut v, 50.0, 3);
+        assert!(v.cwnd() >= w0 * 4, "cwnd={} w0={}", v.cwnd(), w0);
+    }
+
+    #[test]
+    fn holds_when_queue_in_band() {
+        let mut v = Vegas::default_params();
+        v.set_base_rtt(Dur::from_millis(50));
+        v.in_slow_start = false;
+        // cwnd = 30 pkts; queued = 30*(55-50)/55 = 2.72 ∈ [2, 4] → hold.
+        v.cwnd = (30 * 1500) as f64;
+        let before = v.cwnd();
+        drive_rounds(&mut v, 55.0, 5);
+        assert_eq!(v.cwnd(), before);
+    }
+
+    #[test]
+    fn increases_when_queue_below_alpha() {
+        let mut v = Vegas::default_params();
+        v.set_base_rtt(Dur::from_millis(50));
+        v.in_slow_start = false;
+        v.cwnd = (10 * 1500) as f64;
+        // queued = 10*(50.5-50)/50.5 ≈ 0.1 < α → +1 MSS per round.
+        drive_rounds(&mut v, 50.5, 4);
+        assert_eq!(v.cwnd(), 14 * 1500);
+    }
+
+    #[test]
+    fn decreases_when_queue_above_beta() {
+        let mut v = Vegas::default_params();
+        v.set_base_rtt(Dur::from_millis(50));
+        v.in_slow_start = false;
+        v.cwnd = (60 * 1500) as f64;
+        // queued = 60*(60-50)/60 = 10 > β → −1 MSS per round.
+        drive_rounds(&mut v, 60.0, 3);
+        assert_eq!(v.cwnd(), 57 * 1500);
+    }
+
+    #[test]
+    fn poisoned_base_rtt_strangles_window() {
+        // The §5.1 mechanism: a single 59 ms RTT sample on a 60 ms path
+        // makes Vegas believe 1 ms of its RTT is queueing.
+        let mut v = Vegas::default_params();
+        v.in_slow_start = false;
+        v.cwnd = (300 * 1500) as f64;
+        v.set_base_rtt(Dur::from_millis(59));
+        // True RTT stays ~60 ms (no real queue): diff = 300/60 = 5 > β.
+        drive_rounds(&mut v, 60.0, 100);
+        // Window must shrink toward the point where diff = β:
+        // cwnd*(1/59 - 1/60)*59 ≤ 4 → cwnd ≈ 240 pkts... keep shrinking.
+        assert!(v.cwnd() < 250 * 1500, "cwnd={}", v.cwnd());
+    }
+
+    #[test]
+    fn timeout_resets_to_slow_start() {
+        let mut v = Vegas::default_params();
+        v.cwnd = (100 * 1500) as f64;
+        v.on_loss(&LossEvent {
+            now: Time::from_millis(1),
+            lost_bytes: 1500,
+            in_flight: 0,
+            kind: LossKind::Timeout,
+            sent_at: None,
+        });
+        assert_eq!(v.cwnd(), 2 * 1500);
+    }
+
+    #[test]
+    fn cwnd_never_below_two_packets() {
+        let mut v = Vegas::default_params();
+        for _ in 0..50 {
+            v.on_loss(&LossEvent {
+                now: Time::from_millis(1),
+                lost_bytes: 1500,
+                in_flight: 0,
+                kind: LossKind::FastRetransmit,
+                sent_at: None,
+            });
+        }
+        assert_eq!(v.cwnd(), 2 * 1500);
+    }
+
+    #[test]
+    fn base_rtt_tracks_minimum() {
+        let mut v = Vegas::default_params();
+        v.on_ack(&ack(0, 80.0));
+        assert_eq!(v.base_rtt(), Some(Dur::from_millis(80)));
+        v.on_ack(&ack(1, 60.0));
+        assert_eq!(v.base_rtt(), Some(Dur::from_millis(60)));
+        v.on_ack(&ack(2, 90.0));
+        assert_eq!(v.base_rtt(), Some(Dur::from_millis(60)));
+    }
+}

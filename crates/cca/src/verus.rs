@@ -1,0 +1,345 @@
+//! Verus (Zaki et al., SIGCOMM 2015) — the "maximum of RTT" CCA the paper
+//! lists among the delay-convergent family (§1: "maximums (Verus)").
+//!
+//! Verus continuously learns a **delay profile** — a mapping from
+//! congestion-window size to the delay that window produces — and walks
+//! along it: each epoch it looks at the maximum delay of the epoch,
+//! nudges a delay *target* up (if delay has been falling) or down (if
+//! rising), and sets the next window to the largest one the profile says
+//! stays under the target. Severe delay (beyond a ratio `R` of the
+//! minimum) or loss halves the window directly.
+//!
+//! This is a faithful simplification of the published algorithm (the
+//! original shapes per-epoch sending with short δ-epochs and models the
+//! profile with curve fitting; we use bucketed EWMA learning and
+//! RTT-quartile epochs — see DESIGN.md's substitution notes). Its
+//! equilibrium oscillates in a narrow band around the learned operating
+//! point, so it is delay-convergent and Theorem 1 applies.
+
+use crate::traits::{AckEvent, CongestionControl, LossEvent, LossKind};
+use simcore::units::{Dur, Rate, Time};
+
+/// Window bucket size for the delay profile, in packets.
+const BUCKET_PKTS: u64 = 4;
+/// Number of profile buckets (covers up to 4·256 = 1024 packets).
+const BUCKETS: usize = 256;
+/// Profile entries older than this are ignored (ns).
+const PROFILE_TTL: u64 = 2_000_000_000;
+
+/// Verus congestion control (simplified).
+#[derive(Clone, Debug)]
+pub struct Verus {
+    mss: u64,
+    /// Delay profile: bucket → (EWMA of observed RTT in seconds, time of
+    /// last update in ns). Entries go stale after [`PROFILE_TTL`] and are
+    /// ignored — the network the profile describes may no longer exist.
+    profile: Vec<Option<(f64, u64)>>,
+    cwnd: f64, // bytes
+    /// Minimum RTT ever observed (the profile's floor).
+    rtt_min: Option<f64>,
+    srtt: Option<f64>,
+    /// Max RTT seen during the current epoch.
+    epoch_max: f64,
+    /// Max RTT of the previous epoch.
+    prev_epoch_max: Option<f64>,
+    epoch_end: Time,
+    /// Multiplicative-decrease trigger: delay beyond `r_thresh · rtt_min`.
+    r_thresh: f64,
+    /// Target-delay decrement when delay is rising (seconds).
+    delta_down: f64,
+    /// Target-delay increment when delay is falling/flat (seconds).
+    delta_up: f64,
+    in_slow_start: bool,
+}
+
+impl Verus {
+    /// Verus with the paper-suggested shape: `R = 2`, asymmetric target
+    /// steps (decrease twice as fast as increase).
+    pub fn new(mss: u64) -> Self {
+        Verus {
+            mss,
+            profile: vec![None; BUCKETS],
+            cwnd: (2 * mss) as f64,
+            rtt_min: None,
+            srtt: None,
+            epoch_max: 0.0,
+            prev_epoch_max: None,
+            epoch_end: Time::ZERO,
+            r_thresh: 2.0,
+            delta_down: 0.002,
+            delta_up: 0.001,
+            in_slow_start: true,
+        }
+    }
+
+    /// Default: 1500-byte MSS.
+    pub fn default_params() -> Self {
+        Verus::new(1500)
+    }
+
+    fn bucket_of(&self, cwnd_bytes: f64) -> usize {
+        ((cwnd_bytes / self.mss as f64 / BUCKET_PKTS as f64) as usize).min(BUCKETS - 1)
+    }
+
+    /// Learn: fold an RTT observation into the profile. The delay a packet
+    /// saw was caused by the data in flight when it was sent, so the
+    /// observation is keyed by the in-flight amount at acknowledgement
+    /// (the closest causally-sound proxy the sender has).
+    fn learn(&mut self, now: Time, in_flight: u64, rtt: f64) {
+        let b = self.bucket_of(in_flight.max(self.mss) as f64);
+        let value = match self.profile[b] {
+            Some((old, at)) if now.as_nanos().saturating_sub(at) < PROFILE_TTL => {
+                0.7 * old + 0.3 * rtt
+            }
+            _ => rtt,
+        };
+        self.profile[b] = Some((value, now.as_nanos()));
+    }
+
+    /// The profile's inverse: the largest window whose learned delay stays
+    /// at or below `target`. When even the highest *visited* window stays
+    /// under the target, the answer lies beyond what the profile knows, so
+    /// explore one bucket further (the published Verus extrapolates its
+    /// fitted curve for the same reason). Falls back to the current window
+    /// when the profile is empty.
+    fn window_for_delay(&self, now: Time, target: f64) -> f64 {
+        let mut best: Option<usize> = None;
+        let mut highest: Option<usize> = None;
+        let now_ns = now.as_nanos();
+        for (b, d) in self.profile.iter().enumerate() {
+            if let Some((d, at)) = d {
+                if now_ns.saturating_sub(*at) >= PROFILE_TTL {
+                    continue; // stale knowledge
+                }
+                highest = Some(b);
+                if *d <= target {
+                    best = Some(b);
+                }
+            }
+        }
+        match (best, highest) {
+            (Some(b), Some(h)) if b >= h => {
+                // Everything seen fits under the target: explore upward.
+                (((b + 1) as u64 + 1) * BUCKET_PKTS * self.mss) as f64
+            }
+            (Some(b), _) => ((b as u64 + 1) * BUCKET_PKTS * self.mss) as f64,
+            (None, _) => self.cwnd,
+        }
+    }
+
+    fn epoch_len(&self) -> Dur {
+        Dur::from_secs_f64(self.srtt.unwrap_or(0.05) / 4.0).max(Dur::from_millis(5))
+    }
+
+    /// Epoch decision: Verus's core loop.
+    fn end_epoch(&mut self, now: Time) {
+        let d_max = self.epoch_max;
+        let rtt_min = self.rtt_min.unwrap_or(d_max.max(1e-3));
+
+        if self.in_slow_start {
+            // Grow once per RTT (epochs are srtt/4-long): ×1.1 per epoch
+            // compounds to ≈×1.5 per RTT, the published growth rate.
+            if d_max < self.r_thresh * rtt_min {
+                self.cwnd *= 1.1;
+            } else {
+                self.in_slow_start = false;
+                self.cwnd /= 2.0;
+            }
+        } else if d_max > self.r_thresh * rtt_min {
+            // Delay blew past the tolerance ratio: multiplicative decrease.
+            self.cwnd = (self.cwnd / 2.0).max((2 * self.mss) as f64);
+        } else {
+            // Normal operation: nudge the target and consult the profile.
+            let rising = match self.prev_epoch_max {
+                Some(prev) => d_max > prev,
+                None => false,
+            };
+            let target = if rising {
+                (d_max - self.delta_down).max(rtt_min)
+            } else {
+                d_max + self.delta_up
+            };
+            // Never walk the target into the MD trigger's territory; Verus
+            // would just tear the window down next epoch. And rate-limit
+            // upward jumps to two profile buckets per epoch — the profile
+            // lags reality by an RTT and large jumps ring.
+            let target = target.min(0.9 * self.r_thresh * rtt_min);
+            let want = self.window_for_delay(now, target);
+            let cap = self.cwnd + (2 * BUCKET_PKTS * self.mss) as f64;
+            self.cwnd = want.min(cap).max((2 * self.mss) as f64);
+        }
+        self.prev_epoch_max = Some(d_max);
+        self.epoch_max = 0.0;
+        self.epoch_end = now + self.epoch_len();
+    }
+}
+
+impl CongestionControl for Verus {
+    fn on_ack(&mut self, ev: &AckEvent) {
+        let rtt = ev.rtt.as_secs_f64();
+        self.rtt_min = Some(match self.rtt_min {
+            None => rtt,
+            Some(m) => m.min(rtt),
+        });
+        self.srtt = Some(match self.srtt {
+            None => rtt,
+            Some(s) => 0.875 * s + 0.125 * rtt,
+        });
+        self.epoch_max = self.epoch_max.max(rtt);
+        self.learn(ev.now, ev.in_flight, rtt);
+        if ev.now >= self.epoch_end {
+            self.end_epoch(ev.now);
+        }
+    }
+
+    fn on_loss(&mut self, ev: &LossEvent) {
+        match ev.kind {
+            LossKind::FastRetransmit => {
+                self.cwnd = (self.cwnd / 2.0).max((2 * self.mss) as f64);
+                self.in_slow_start = false;
+            }
+            LossKind::Timeout => {
+                self.cwnd = (2 * self.mss) as f64;
+                self.in_slow_start = true;
+                self.prev_epoch_max = None;
+            }
+        }
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        // Verus spreads each epoch's quota; approximate with window pacing
+        // at 2·cwnd/srtt.
+        let srtt = self.srtt?;
+        if srtt <= 0.0 {
+            return None;
+        }
+        Some(Rate::from_bytes_per_sec(2.0 * self.cwnd / srtt))
+    }
+
+    fn name(&self) -> &'static str {
+        "verus"
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, rtt_ms: f64) -> AckEvent {
+        AckEvent {
+            now: Time::from_millis(now_ms),
+            rtt: Dur::from_millis_f64(rtt_ms),
+            newly_acked: 1500,
+            in_flight: 0,
+            delivered: 0,
+            delivered_at_send: 0,
+            delivery_rate: None,
+            app_limited: false,
+            ecn: false,
+        }
+    }
+
+    #[test]
+    fn slow_start_grows_until_delay_ratio() {
+        let mut v = Verus::default_params();
+        let w0 = v.cwnd();
+        let mut now = 0;
+        for _ in 0..20 {
+            v.on_ack(&ack(now, 50.0)); // flat delay, ratio 1 < R
+            now += 20;
+        }
+        assert!(v.cwnd() > 2 * w0, "cwnd={}", v.cwnd());
+        assert!(v.in_slow_start);
+    }
+
+    #[test]
+    fn slow_start_exits_on_delay_blowup() {
+        let mut v = Verus::default_params();
+        v.on_ack(&ack(0, 50.0));
+        let mut now = 20;
+        for _ in 0..10 {
+            v.on_ack(&ack(now, 120.0)); // > 2 × 50 ms
+            now += 20;
+        }
+        assert!(!v.in_slow_start);
+    }
+
+    #[test]
+    fn profile_learns_window_delay_mapping() {
+        let mut v = Verus::default_params();
+        let t = Time::from_millis(100);
+        for _ in 0..50 {
+            v.learn(t, 8 * 1500, 0.060); // bucket 2
+        }
+        for _ in 0..50 {
+            v.learn(t, 40 * 1500, 0.090); // bucket 10
+        }
+        // Inverse lookups respect the learned monotone structure.
+        let w_low = v.window_for_delay(t, 0.065);
+        let w_high = v.window_for_delay(t, 0.095);
+        assert!(w_low < w_high, "w_low={w_low} w_high={w_high}");
+        assert_eq!(w_low, (3 * BUCKET_PKTS * 1500) as f64);
+    }
+
+    #[test]
+    fn md_on_delay_ratio_breach() {
+        let mut v = Verus::default_params();
+        v.in_slow_start = false;
+        v.rtt_min = Some(0.050);
+        v.cwnd = (100 * 1500) as f64;
+        v.epoch_max = 0.150; // 3× the min
+        v.end_epoch(Time::from_millis(100));
+        assert_eq!(v.cwnd(), 50 * 1500);
+    }
+
+    #[test]
+    fn loss_halves_and_timeout_resets() {
+        let mut v = Verus::default_params();
+        v.cwnd = (64 * 1500) as f64;
+        v.on_loss(&LossEvent {
+            now: Time::from_millis(1),
+            lost_bytes: 1500,
+            in_flight: 0,
+            kind: LossKind::FastRetransmit,
+            sent_at: None,
+        });
+        assert_eq!(v.cwnd(), 32 * 1500);
+        v.on_loss(&LossEvent {
+            now: Time::from_millis(2),
+            lost_bytes: 1500,
+            in_flight: 0,
+            kind: LossKind::Timeout,
+            sent_at: None,
+        });
+        assert_eq!(v.cwnd(), 2 * 1500);
+    }
+
+    #[test]
+    fn target_rises_when_delay_falls() {
+        // With a populated profile and falling epoch maxima, the chosen
+        // window walks upward.
+        let mut v = Verus::default_params();
+        v.in_slow_start = false;
+        v.rtt_min = Some(0.050);
+        for (b, d) in [(2usize, 0.055), (4, 0.060), (6, 0.065), (8, 0.070)] {
+            v.profile[b] = Some((d, Time::from_millis(90).as_nanos()));
+        }
+        v.cwnd = (2 * BUCKET_PKTS * 1500) as f64;
+        v.prev_epoch_max = Some(0.062);
+        v.epoch_max = 0.058; // falling → target = 0.059 → bucket 2
+        v.end_epoch(Time::from_millis(100));
+        let w1 = v.cwnd();
+        v.prev_epoch_max = Some(0.070);
+        v.epoch_max = 0.0605; // falling → target 0.0615 → bucket 4
+        v.end_epoch(Time::from_millis(200));
+        assert!(v.cwnd() > w1, "w1={w1} w2={}", v.cwnd());
+    }
+}

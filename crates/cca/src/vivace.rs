@@ -1,0 +1,492 @@
+//! PCC Vivace (Dong et al., NSDI 2018) — latency-flavoured utility.
+//!
+//! Vivace is rate-based online learning. Time is divided into monitor
+//! intervals (MIs) of ≈1 RTT; each MI probes one sending rate, and its
+//! utility is computed from the fates of the packets **sent during** it
+//! (attribution handled by [`crate::mi::MiTracker`] — results arrive one
+//! RTT after an MI ends):
+//!
+//! ```text
+//! U(x) = x^0.9 − b·x·max(0, dRTT/dt) − c·x·L        (x in Mbit/s)
+//! ```
+//!
+//! with `b = 900`, `c = 11.35`. Rate control: slow-start doubling until
+//! utility falls, then paired probes at `(1±ε)·r` in random order; the
+//! measured utility gradient moves the rate, amplified by a confidence
+//! streak and clipped by a dynamic change bound.
+//!
+//! With ε = 0.05 its equilibrium delay oscillation on an ideal path is
+//! bounded by the probing amplitude: `d_max ≈ 1.05·Rm`, so
+//! `δ_max = Rm/20` (paper §5.3 and Figure 3). The §5.3 starvation scenario
+//! quantizes one flow's ACK arrivals to 60 ms boundaries: that flow's
+//! per-MI RTT regressions return sawtooth noise whose utility penalty
+//! scales with its rate, pinning it low while the clean flow takes the
+//! link (paper: 9.9 vs 99.4 Mbit/s).
+
+use crate::mi::{Mi, MiTracker};
+use crate::traits::{AckEvent, CongestionControl, LossEvent, LossKind};
+use simcore::rng::Xoshiro256;
+use simcore::units::{Dur, Rate, Time};
+
+/// Utility parameters (the NSDI paper's "largest constants", which bound
+/// the equilibrium delay oscillation analyzed in §5.3).
+#[derive(Clone, Copy, Debug)]
+pub struct VivaceUtility {
+    /// Throughput exponent (0.9).
+    pub t_exp: f64,
+    /// Latency-gradient penalty coefficient (900).
+    pub b: f64,
+    /// Loss penalty coefficient (11.35).
+    pub c: f64,
+}
+
+impl Default for VivaceUtility {
+    fn default() -> Self {
+        VivaceUtility {
+            t_exp: 0.9,
+            b: 900.0,
+            c: 11.35,
+        }
+    }
+}
+
+impl VivaceUtility {
+    /// Utility of throughput `x` (Mbit/s), RTT slope `grad` (s/s) and loss
+    /// fraction `loss` in `[0,1]`.
+    pub fn eval(&self, x_mbps: f64, grad: f64, loss: f64) -> f64 {
+        x_mbps.powf(self.t_exp) - self.b * x_mbps * grad.max(0.0) - self.c * x_mbps * loss
+    }
+
+    /// Utility of one completed MI.
+    pub fn of_mi(&self, mi: &Mi) -> f64 {
+        self.eval(mi.throughput_mbps(), mi.rtt_gradient(), mi.loss_fraction())
+    }
+}
+
+/// MI tags.
+const TAG_SS: u32 = 0;
+const TAG_UP: u32 = 1;
+const TAG_DOWN: u32 = 2;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Doubling each MI.
+    SlowStart,
+    /// Alternating ±ε probe MIs.
+    Probing,
+}
+
+/// PCC Vivace congestion control (latency utility).
+#[derive(Clone, Debug)]
+pub struct Vivace {
+    utility: VivaceUtility,
+    epsilon: f64,
+    /// Base rate `r` (probe MIs send at `(1±ε)·r`).
+    rate: Rate,
+    phase: Phase,
+    tracker: MiTracker,
+    /// Direction of the open probe MI (`true` = up).
+    probing_up: bool,
+    /// One completed probe result awaiting its partner: `(is_up, utility,
+    /// base rate at that probe)`.
+    pending: Option<(bool, f64, f64)>,
+    /// Utility and rate of the last completed slow-start MI.
+    prev_ss: Option<(f64, f64)>,
+    srtt: Option<f64>,
+    streak: u32,
+    last_sign: f64,
+    omega: f64,
+    rng: Xoshiro256,
+    mss: u64,
+    min_rate: Rate,
+}
+
+impl Vivace {
+    /// Vivace with the default utility, ε = 0.05 and a deterministic seed
+    /// for probe-order randomization.
+    pub fn new(seed: u64) -> Self {
+        Vivace {
+            utility: VivaceUtility::default(),
+            epsilon: 0.05,
+            rate: Rate::from_mbps(2.0),
+            phase: Phase::SlowStart,
+            tracker: MiTracker::new(),
+            probing_up: true,
+            pending: None,
+            prev_ss: None,
+            srtt: None,
+            streak: 0,
+            last_sign: 0.0,
+            omega: 0.05,
+            rng: Xoshiro256::new(seed),
+            mss: 1500,
+            min_rate: Rate::from_mbps(0.1),
+        }
+    }
+
+    /// Default parameters (seed 1).
+    pub fn default_params() -> Self {
+        Vivace::new(1)
+    }
+
+    /// The base (un-probed) sending rate.
+    pub fn base_rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// The rate the open MI transmits at.
+    pub fn current_rate(&self) -> Rate {
+        let gain = match self.phase {
+            Phase::SlowStart => 1.0,
+            Phase::Probing => {
+                if self.probing_up {
+                    1.0 + self.epsilon
+                } else {
+                    1.0 - self.epsilon
+                }
+            }
+        };
+        self.rate.mul_f64(gain)
+    }
+
+    fn mi_duration(&self) -> Dur {
+        Dur::from_secs_f64(self.srtt.unwrap_or(0.05)).max(Dur::from_millis(10))
+    }
+
+    fn srtt_dur(&self) -> Dur {
+        Dur::from_secs_f64(self.srtt.unwrap_or(0.05))
+    }
+
+    /// Open the next MI according to the sending-side state machine.
+    fn open_next_mi(&mut self, now: Time) {
+        match self.phase {
+            Phase::SlowStart => {
+                // First MI sends at the initial rate; each subsequent one
+                // doubles.
+                if !self.tracker.is_empty() {
+                    self.rate = self.rate.mul_f64(2.0);
+                }
+                self.tracker.begin(now, self.rate, TAG_SS);
+            }
+            Phase::Probing => {
+                self.probing_up = if self.pending.is_none() {
+                    // Fresh pair: random first direction.
+                    self.rng.bernoulli(0.5)
+                } else {
+                    // Partner probe: opposite direction.
+                    !self.probing_up
+                };
+                let tag = if self.probing_up { TAG_UP } else { TAG_DOWN };
+                self.tracker.begin(now, self.current_rate(), tag);
+            }
+        }
+    }
+
+    /// Consume completed MIs and update the rate.
+    fn harvest(&mut self, now: Time) {
+        let grace = self.srtt_dur();
+        while let Some(mi) = self.tracker.pop_complete(now, grace) {
+            let u = self.utility.of_mi(&mi);
+            match mi.tag {
+                TAG_SS => {
+                    if let Some((prev_u, prev_rate)) = self.prev_ss {
+                        if u < prev_u {
+                            // Overshot: return to the last good rate and
+                            // start probing.
+                            self.rate = Rate::from_mbps(prev_rate.max(self.min_rate.mbps()));
+                            self.phase = Phase::Probing;
+                            self.pending = None;
+                            self.prev_ss = None;
+                            continue;
+                        }
+                    }
+                    self.prev_ss = Some((u, mi.rate.mbps()));
+                }
+                TAG_UP | TAG_DOWN => {
+                    let is_up = mi.tag == TAG_UP;
+                    let base = mi.rate.mbps()
+                        / if is_up {
+                            1.0 + self.epsilon
+                        } else {
+                            1.0 - self.epsilon
+                        };
+                    match self.pending.take() {
+                        None => self.pending = Some((is_up, u, base)),
+                        Some((p_up, p_u, p_base)) if p_up != is_up => {
+                            let (u_plus, u_minus) = if is_up { (u, p_u) } else { (p_u, u) };
+                            let r = 0.5 * (base + p_base);
+                            self.apply_gradient(u_plus, u_minus, r);
+                        }
+                        Some(_) => {
+                            // Two same-direction results (possible after a
+                            // slow-start exit raced a probe): keep the newer.
+                            self.pending = Some((is_up, u, base));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn apply_gradient(&mut self, u_plus: f64, u_minus: f64, r_mbps: f64) {
+        let r_mbps = r_mbps.max(0.001);
+        let gamma = (u_plus - u_minus) / (2.0 * self.epsilon * r_mbps);
+        let sign = if gamma >= 0.0 { 1.0 } else { -1.0 };
+
+        if sign == self.last_sign {
+            self.streak = (self.streak + 1).min(10);
+        } else {
+            self.streak = 0;
+            self.omega = 0.05;
+        }
+        self.last_sign = sign;
+        let m = (1u64 << self.streak.min(5)) as f64;
+
+        let theta0 = 0.05;
+        let mut delta = m * theta0 * gamma; // Mbit/s
+        let bound = self.omega * r_mbps;
+        if delta.abs() > bound {
+            delta = sign * bound;
+            self.omega += 0.05;
+        } else {
+            self.omega = (self.omega - 0.025).max(0.05);
+        }
+        let new_rate = (self.rate.mbps() + delta).max(self.min_rate.mbps());
+        self.rate = Rate::from_mbps(new_rate);
+    }
+}
+
+impl CongestionControl for Vivace {
+    fn on_ack(&mut self, ev: &AckEvent) {
+        let rtt_s = ev.rtt.as_secs_f64();
+        self.srtt = Some(match self.srtt {
+            None => rtt_s,
+            Some(s) => 0.875 * s + 0.125 * rtt_s,
+        });
+        self.tracker.on_ack(ev.now, ev.rtt, ev.newly_acked);
+
+        match self.tracker.current_start() {
+            None => self.open_next_mi(ev.now),
+            Some(start) => {
+                if ev.now >= start + self.mi_duration() {
+                    self.open_next_mi(ev.now);
+                }
+            }
+        }
+        self.harvest(ev.now);
+    }
+
+    fn on_send(&mut self, now: Time, bytes: u64, _in_flight: u64) {
+        if self.tracker.current_start().is_none() {
+            self.open_next_mi(now);
+        }
+        self.tracker.on_send(now, bytes);
+    }
+
+    fn on_loss(&mut self, ev: &LossEvent) {
+        self.tracker.on_loss(ev.now, ev.sent_at, self.srtt_dur(), ev.lost_bytes);
+        if ev.kind == LossKind::Timeout {
+            self.rate = self.min_rate.max(self.rate.mul_f64(0.5));
+            self.phase = Phase::Probing;
+            self.pending = None;
+        }
+    }
+
+    fn cwnd(&self) -> u64 {
+        // Cap in-flight at 2·rate·RTT so the pacer, not the window, governs.
+        let rtt = self.srtt.unwrap_or(0.1);
+        let bdp = self.current_rate().bytes_per_sec() * rtt;
+        ((2.0 * bdp) as u64).max(4 * self.mss)
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        Some(self.current_rate())
+    }
+
+    fn name(&self) -> &'static str {
+        "vivace"
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_us: u64, rtt_ms: f64, newly: u64) -> AckEvent {
+        AckEvent {
+            now: Time::from_micros(now_us),
+            rtt: Dur::from_millis_f64(rtt_ms),
+            newly_acked: newly,
+            in_flight: 0,
+            delivered: 0,
+            delivered_at_send: 0,
+            delivery_rate: None,
+            app_limited: false,
+            ecn: false,
+        }
+    }
+
+    /// Drive a synthetic closed loop: the path delivers exactly what was
+    /// sent one `rtt_ms` earlier, at constant RTT. Returns the final rate.
+    fn drive_ideal(v: &mut Vivace, rtt_ms: f64, total_ms: u64) {
+        let rtt_us = (rtt_ms * 1000.0) as u64;
+        let step_us = 1000; // 1 ms
+        // (send_time_us, bytes) queue emulating the pipe.
+        let mut pipe: std::collections::VecDeque<(u64, u64)> = Default::default();
+        let mut now = 0;
+        while now < total_ms * 1000 {
+            // Send at the CCA's current rate for 1 ms.
+            let bytes = (v.current_rate().bytes_per_sec() / 1000.0) as u64;
+            v.on_send(Time::from_micros(now), bytes, 0);
+            pipe.push_back((now, bytes));
+            // Deliver what was sent an RTT ago.
+            while let Some(&(t, b)) = pipe.front() {
+                if t + rtt_us <= now {
+                    pipe.pop_front();
+                    v.on_ack(&ack(now, rtt_ms, b));
+                } else {
+                    break;
+                }
+            }
+            now += step_us;
+        }
+    }
+
+    #[test]
+    fn utility_rewards_throughput() {
+        let u = VivaceUtility::default();
+        assert!(u.eval(100.0, 0.0, 0.0) > u.eval(10.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn utility_penalizes_latency_gradient() {
+        let u = VivaceUtility::default();
+        assert!(u.eval(100.0, 0.01, 0.0) < u.eval(100.0, 0.0, 0.0));
+        // Negative gradients (draining queue) are not rewarded.
+        assert_eq!(u.eval(100.0, -0.5, 0.0), u.eval(100.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn utility_penalizes_loss() {
+        let u = VivaceUtility::default();
+        assert!(u.eval(100.0, 0.0, 0.05) < u.eval(100.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn slow_start_grows_on_flat_rtt() {
+        // On an uncongested path (flat RTT, everything delivered) the rate
+        // must grow far above its initial 2 Mbit/s.
+        let mut v = Vivace::default_params();
+        drive_ideal(&mut v, 50.0, 2_000);
+        assert!(
+            v.base_rate().mbps() > 16.0,
+            "rate={} phase={:?}",
+            v.base_rate(),
+            v.phase
+        );
+    }
+
+    #[test]
+    fn probing_alternates_rate() {
+        let mut v = Vivace::default_params();
+        v.phase = Phase::Probing;
+        v.probing_up = true;
+        let base = v.base_rate().mbps();
+        assert!((v.current_rate().mbps() - base * 1.05).abs() < 1e-9);
+        v.probing_up = false;
+        assert!((v.current_rate().mbps() - base * 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_moves_rate_up_when_up_probe_wins() {
+        let mut v = Vivace::default_params();
+        let r0 = v.base_rate().mbps();
+        v.apply_gradient(100.0, 50.0, r0);
+        assert!(v.base_rate().mbps() > r0);
+    }
+
+    #[test]
+    fn gradient_moves_rate_down_when_down_probe_wins() {
+        let mut v = Vivace::default_params();
+        let r0 = v.base_rate().mbps();
+        v.apply_gradient(50.0, 100.0, r0);
+        assert!(v.base_rate().mbps() < r0);
+    }
+
+    #[test]
+    fn rate_never_below_floor() {
+        let mut v = Vivace::default_params();
+        for _ in 0..100 {
+            v.apply_gradient(0.0, 1000.0, v.base_rate().mbps());
+        }
+        assert!(v.base_rate().mbps() >= 0.1);
+    }
+
+    #[test]
+    fn confidence_amplifier_grows_steps() {
+        let mut v = Vivace::default_params();
+        let mut deltas = Vec::new();
+        let mut prev = v.base_rate().mbps();
+        for _ in 0..6 {
+            v.apply_gradient(100.0, 90.0, prev);
+            let cur = v.base_rate().mbps();
+            deltas.push(cur - prev);
+            prev = cur;
+        }
+        assert!(deltas[4] > deltas[0]);
+    }
+
+    #[test]
+    fn pair_of_results_triggers_one_step() {
+        let mut v = Vivace::default_params();
+        v.phase = Phase::Probing;
+        v.srtt = Some(0.05);
+        let r0 = v.base_rate().mbps();
+        // Hand-craft two completed probe MIs: up measured better.
+        v.probing_up = true;
+        v.tracker.begin(Time::from_millis(0), v.current_rate(), TAG_UP);
+        // Acks land inside the first MI's send window.
+        v.tracker
+            .on_ack(Time::from_millis(60), Dur::from_millis(50), 200_000);
+        v.probing_up = false;
+        v.tracker
+            .begin(Time::from_millis(50), v.current_rate(), TAG_DOWN);
+        v.tracker
+            .on_ack(Time::from_millis(110), Dur::from_millis(50), 100_000);
+        v.tracker.begin(Time::from_millis(100), v.rate, TAG_UP);
+        // Both earlier MIs complete once the grace passes.
+        v.harvest(Time::from_millis(300));
+        assert!(v.base_rate().mbps() > r0, "rate={}", v.base_rate());
+        assert!(v.pending.is_none());
+    }
+
+    #[test]
+    fn cwnd_tracks_rate() {
+        let mut v = Vivace::default_params();
+        v.srtt = Some(0.05);
+        v.phase = Phase::Probing;
+        v.probing_up = true;
+        v.rate = Rate::from_mbps(80.0);
+        // 2 * (1.05 · 10 MB/s) * 0.05 s = 1.05 MB
+        assert_eq!(v.cwnd(), 1_050_000);
+    }
+
+    #[test]
+    fn timeout_halves_rate() {
+        let mut v = Vivace::default_params();
+        v.rate = Rate::from_mbps(80.0);
+        v.on_loss(&LossEvent {
+            now: Time::from_millis(100),
+            lost_bytes: 1500,
+            in_flight: 0,
+            kind: LossKind::Timeout,
+            sent_at: None,
+        });
+        assert!((v.base_rate().mbps() - 40.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ccmc — a bounded adversarial model checker for congestion control
+//!
+//! The paper extends CCAC (SIGCOMM 2021) — an SMT-based verifier over a
+//! discrete non-deterministic network model — to multiple flows
+//! (Appendix C), and uses it to (a) show that two AIMD flows cannot starve
+//! over short horizons with a 1-BDP buffer, and (b) find jitter traces that
+//! break delay-convergent CCAs.
+//!
+//! **Substitution note** (see DESIGN.md): no SMT solver is available
+//! offline, so the solver is replaced by explicit adversarial search over a
+//! discretized choice grid. The network model is the same:
+//!
+//! * cumulative arrivals `A(t)` and service `S(t)` with
+//!   `C·(t − D) ≤ S(t) ≤ C·t` and `S(t) ≤ A(t)` — the adversary may defer
+//!   service by up to `D` seconds (that slack *is* the non-congestive
+//!   delay bound of the paper's §3 model);
+//! * a finite buffer: `A(t) − S(t) ≤ B` (arrivals beyond are dropped);
+//! * per-flow split with Appendix C's relaxation: when the queueing delay
+//!   is `d_t`, each flow's service satisfies `S_i(t) ≥ A_i(t − d_t)`
+//!   (FIFO-ness, relaxed to stay linear).
+//!
+//! Where CCAC proves properties for *all* traces via Z3, `ccmc` explores
+//! the discretized trace space exhaustively (small horizons) or with beam
+//! search (longer horizons). It can therefore *find* counterexample traces
+//! and *verify absence over the searched grid* — exactly how the paper's
+//! claims are phrased for bounded horizons ("no trace of length 10 RTTs").
+
+pub mod model;
+pub mod search;
+
+pub use model::{ModelConfig, ModelState, StepChoice};
+pub use search::{render_trace, search_max_ratio, search_min_utilization, SearchConfig, SearchOutcome};

@@ -1,0 +1,479 @@
+//! The discretized CCAC-style network model, extended to multiple flows
+//! (Appendix C of the paper).
+//!
+//! Time advances in fixed steps of `tau`. Cumulative per-flow arrivals
+//! `A_i` and service `S_i` evolve under:
+//!
+//! * `Σ S_i(t) ≤ C·t` (line rate) and `Σ S_i(t) ≥ C·(t − D)` (the
+//!   adversary may defer service by at most `D` — the non-congestive
+//!   delay bound);
+//! * `S_i(t) ≤ A_i(t)` (no phantom bytes);
+//! * `A(t) − S(t) ≤ B` (finite buffer; excess arrivals drop and are
+//!   reported to the CCA as loss);
+//! * Appendix C's FIFO relaxation: with queueing delay `d_t` (the largest
+//!   lag with `A(t − d_t) ≤ S(t)`), each flow must have
+//!   `S_i(t) ≥ A_i(t − d_t)`.
+//!
+//! At each step the adversary makes a [`StepChoice`]: how much total
+//! service to deliver (within the `D` slack) and how to split it between
+//! flows (within the FIFO relaxation). The CCAs are the *real*
+//! implementations from the `cca` crate, driven with synthesized ACK
+//! events.
+
+use cca::{AckEvent, BoxCca, LossEvent, LossKind};
+use simcore::units::{Dur, Rate, Time};
+
+/// Model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Link rate `C`.
+    pub rate: Rate,
+    /// Step length `τ`.
+    pub tau: Dur,
+    /// Adversary's service-deferral bound `D`, in whole steps.
+    pub d_steps: u32,
+    /// Buffer size in bytes.
+    pub buffer: u64,
+    /// Propagation RTT added to every delay observation.
+    pub rm: Dur,
+    /// Number of steps to run.
+    pub horizon: u32,
+}
+
+impl ModelConfig {
+    /// Bytes the link can serve per step.
+    pub fn bytes_per_step(&self) -> u64 {
+        (self.rate.bytes_per_sec() * self.tau.as_secs_f64()) as u64
+    }
+}
+
+/// The adversary's decision at one step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepChoice {
+    /// Total service level: 0 = the least allowed (defer as much as `D`
+    /// permits), `levels-1` = the most allowed (full line rate / backlog).
+    pub service_level: u8,
+    /// Split rule: 0 = proportional to backlog, 1 = starve flow 0 (give it
+    /// only its FIFO-relaxation minimum), 2 = starve flow 1.
+    pub split: u8,
+}
+
+impl StepChoice {
+    /// All `3 × 3 = 9` choices (3 service levels × 3 splits).
+    pub fn all() -> Vec<StepChoice> {
+        let mut v = Vec::with_capacity(9);
+        for service_level in 0..3 {
+            for split in 0..3 {
+                v.push(StepChoice {
+                    service_level,
+                    split,
+                });
+            }
+        }
+        v
+    }
+}
+
+/// Per-flow state.
+#[derive(Clone)]
+struct FlowState {
+    cca: BoxCca,
+    /// Cumulative arrivals per step (index = step).
+    a_hist: Vec<u64>,
+    /// Cumulative service.
+    s: u64,
+    delivered: u64,
+    lost: u64,
+}
+
+/// The evolving model.
+#[derive(Clone)]
+pub struct ModelState {
+    cfg: ModelConfig,
+    flows: Vec<FlowState>,
+    /// Current step (number of completed steps).
+    pub step: u32,
+}
+
+impl ModelState {
+    /// Start a model with the given CCAs (one per flow).
+    pub fn new(cfg: ModelConfig, ccas: Vec<BoxCca>) -> ModelState {
+        let flows = ccas
+            .into_iter()
+            .map(|cca| FlowState {
+                cca,
+                a_hist: vec![0],
+                s: 0,
+                delivered: 0,
+                lost: 0,
+            })
+            .collect();
+        ModelState {
+            cfg,
+            flows,
+            step: 0,
+        }
+    }
+
+    /// Cumulative arrivals of flow `i` at the end of step `t` (clamped).
+    fn a_at(&self, i: usize, t: i64) -> u64 {
+        if t < 0 {
+            return 0;
+        }
+        let h = &self.flows[i].a_hist;
+        let idx = (t as usize).min(h.len() - 1);
+        h[idx]
+    }
+
+    /// Total cumulative arrivals now.
+    fn a_total(&self) -> u64 {
+        self.flows.iter().map(|f| *f.a_hist.last().unwrap()).sum()
+    }
+
+    /// Total cumulative service now.
+    fn s_total(&self) -> u64 {
+        self.flows.iter().map(|f| f.s).sum()
+    }
+
+    /// Current backlog in bytes.
+    pub fn backlog(&self) -> u64 {
+        self.a_total() - self.s_total()
+    }
+
+    /// Delivered bytes per flow.
+    pub fn delivered(&self) -> Vec<u64> {
+        self.flows.iter().map(|f| f.delivered).collect()
+    }
+
+    /// Cumulative arrivals `A_i(t)` for flow `i` at each completed step —
+    /// the appendix's per-flow arrival curve.
+    pub fn arrival_curve(&self, i: usize) -> Vec<u64> {
+        self.flows[i].a_hist.clone()
+    }
+
+    /// Cumulative service `S_i` (current value) for flow `i`.
+    pub fn served(&self, i: usize) -> u64 {
+        self.flows[i].s
+    }
+
+    /// Bytes each flow has lost to the finite buffer so far.
+    pub fn lost(&self) -> Vec<u64> {
+        self.flows.iter().map(|f| f.lost).collect()
+    }
+
+    /// Max/min delivered ratio (∞ if some flow delivered nothing while
+    /// another did).
+    pub fn delivered_ratio(&self) -> f64 {
+        let d = self.delivered();
+        let max = *d.iter().max().unwrap_or(&0);
+        let min = *d.iter().min().unwrap_or(&0);
+        if min == 0 {
+            if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max as f64 / min as f64
+        }
+    }
+
+    /// Link utilization so far.
+    pub fn utilization(&self) -> f64 {
+        if self.step == 0 {
+            return 0.0;
+        }
+        self.s_total() as f64 / (self.cfg.bytes_per_step() * self.step as u64) as f64
+    }
+
+    /// Queueing delay in steps per CCAC's definition: the largest `d` such
+    /// that `A(t − d) ≤ S(t)`.
+    fn queue_delay_steps(&self) -> u32 {
+        let s = self.s_total();
+        let t = self.step as i64;
+        let mut d = 0i64;
+        while d <= t {
+            let a_past: u64 = (0..self.flows.len()).map(|i| self.a_at(i, t - d)).sum();
+            if a_past <= s {
+                return d as u32;
+            }
+            d += 1;
+        }
+        t as u32
+    }
+
+    /// Advance one step under the adversary's `choice`.
+    pub fn advance(&mut self, choice: StepChoice) {
+        let cfg = self.cfg;
+        let bps = cfg.bytes_per_step();
+        let now = Time(self.cfg.tau.as_nanos() * (self.step as u64 + 1));
+
+        // --- 1. Senders transmit ---
+        for f in &mut self.flows {
+            let a_now = *f.a_hist.last().unwrap();
+            let inflight = a_now - f.s;
+            let cwnd = f.cca.cwnd();
+            let window_room = cwnd.saturating_sub(inflight);
+            let pacing_room = match f.cca.pacing_rate() {
+                Some(r) => (r.bytes_per_sec() * cfg.tau.as_secs_f64()) as u64,
+                None => u64::MAX,
+            };
+            let want = window_room.min(pacing_room);
+            f.a_hist.push(a_now + want);
+            if want > 0 {
+                f.cca.on_send(now, want, inflight + want);
+            }
+        }
+
+        // Buffer constraint: drop the excess (split proportionally to each
+        // flow's arrivals this step) and tell the CCA.
+        let backlog = self.a_total() - self.s_total();
+        if backlog > cfg.buffer {
+            let mut excess = backlog - cfg.buffer;
+            let n = self.flows.len();
+            for (idx, f) in self.flows.iter_mut().enumerate() {
+                let last = f.a_hist.len() - 1;
+                let arrived = f.a_hist[last] - f.a_hist[last - 1];
+                let share = if idx + 1 == n {
+                    excess
+                } else {
+                    (excess / (n - idx) as u64).min(arrived)
+                };
+                let dropped = share.min(arrived);
+                f.a_hist[last] -= dropped;
+                excess -= dropped;
+                if dropped > 0 {
+                    f.lost += dropped;
+                    let inflight = f.a_hist[last] - f.s;
+                    f.cca.on_loss(&LossEvent {
+                        now,
+                        lost_bytes: dropped,
+                        in_flight: inflight,
+                        kind: LossKind::FastRetransmit,
+                        sent_at: None,
+                    });
+                }
+            }
+        }
+
+        self.step += 1;
+        let t = self.step;
+
+        // --- 2. Adversary picks total service ---
+        let a_tot = self.a_total();
+        let s_prev = self.s_total();
+        // Upper: line rate and backlog. Lower: C·(t − D) — the deferral
+        // slack — and monotonicity.
+        let upper = (bps * t as u64).min(a_tot);
+        let lower_line = bps * (t.saturating_sub(self.cfg.d_steps)) as u64;
+        let lower = lower_line.clamp(s_prev, upper);
+        let upper = upper.max(s_prev);
+        let s_new = match choice.service_level {
+            0 => lower,
+            1 => (lower + upper) / 2,
+            _ => upper,
+        };
+        let ds = s_new - s_prev;
+
+        // --- 3. Split among flows (Appendix C relaxation) ---
+        let d_t = self.queue_delay_steps();
+        let n = self.flows.len();
+        let mut lo = vec![0u64; n];
+        let mut hi = vec![0u64; n];
+        for i in 0..n {
+            let past = self.a_at(i, t as i64 - d_t as i64);
+            lo[i] = past.max(self.flows[i].s) - self.flows[i].s; // min extra
+            hi[i] = self.a_at(i, t as i64) - self.flows[i].s; // max extra
+        }
+        // Ensure feasibility: Σ lo ≤ ds ≤ Σ hi (clip ds into range).
+        let lo_sum: u64 = lo.iter().sum();
+        let hi_sum: u64 = hi.iter().sum();
+        let ds = ds.clamp(lo_sum, hi_sum.max(lo_sum));
+        let mut extra = ds - lo_sum;
+        let mut give = lo.clone();
+        // Distribute `extra` according to the split rule.
+        let order: Vec<usize> = match choice.split {
+            1 => (0..n).rev().collect(), // flow 0 last → starved
+            2 => (0..n).collect(),       // flow 1 (and later) last
+            _ => {
+                // Proportional: round-robin by backlog.
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.sort_by_key(|&i| std::cmp::Reverse(hi[i] - lo[i]));
+                idx
+            }
+        };
+        if choice.split == 0 {
+            // Proportional to headroom.
+            let head: u64 = (0..n).map(|i| hi[i] - lo[i]).sum();
+            if head > 0 {
+                for i in 0..n {
+                    let share = ((hi[i] - lo[i]) as u128 * extra as u128 / head as u128) as u64;
+                    give[i] += share;
+                }
+                // Remainder to the largest headroom.
+                let used: u64 = give.iter().sum::<u64>() - lo_sum;
+                let mut rem = extra - used;
+                for &i in &order {
+                    let room = hi[i] - give[i];
+                    let add = room.min(rem);
+                    give[i] += add;
+                    rem -= add;
+                }
+            }
+        } else {
+            for &i in &order {
+                let room = hi[i] - give[i];
+                let add = room.min(extra);
+                give[i] += add;
+                extra -= add;
+            }
+        }
+
+        // --- 4. Deliver ACKs to the CCAs ---
+        let rtt = Dur(self.cfg.rm.as_nanos() + self.cfg.tau.as_nanos() * d_t as u64);
+        #[allow(clippy::needless_range_loop)] // indexes `give` and `self.flows` together
+        for i in 0..n {
+            if give[i] == 0 {
+                continue;
+            }
+            let f = &mut self.flows[i];
+            let delivered_at_send = f.delivered;
+            f.s += give[i];
+            f.delivered += give[i];
+            let a_now = *f.a_hist.last().unwrap();
+            let rate = Rate::from_transfer(give[i], self.cfg.tau);
+            f.cca.on_ack(&AckEvent {
+                now,
+                rtt,
+                newly_acked: give[i],
+                in_flight: a_now - f.s,
+                delivered: f.delivered,
+                delivered_at_send,
+                delivery_rate: Some(rate),
+                app_limited: false,
+                ecn: false,
+            });
+        }
+    }
+
+    /// Whether the horizon has been reached.
+    pub fn done(&self) -> bool {
+        self.step >= self.cfg.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca::ConstCwnd;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig {
+            rate: Rate::from_mbps(12.0),
+            tau: Dur::from_millis(10),
+            d_steps: 2,
+            buffer: 60 * 1500,
+            rm: Dur::from_millis(40),
+            horizon: 20,
+        }
+    }
+
+    fn two_const(cwnd_pkts: u64) -> ModelState {
+        ModelState::new(
+            cfg(),
+            vec![
+                Box::new(ConstCwnd::new(cwnd_pkts * 1500)),
+                Box::new(ConstCwnd::new(cwnd_pkts * 1500)),
+            ],
+        )
+    }
+
+    #[test]
+    fn bytes_per_step() {
+        assert_eq!(cfg().bytes_per_step(), 15_000);
+    }
+
+    #[test]
+    fn full_service_is_fair_for_equal_flows() {
+        let mut m = two_const(5);
+        while !m.done() {
+            m.advance(StepChoice {
+                service_level: 2,
+                split: 0,
+            });
+        }
+        let d = m.delivered();
+        assert!(d[0] > 0 && d[1] > 0);
+        assert!((m.delivered_ratio() - 1.0).abs() < 0.2, "{:?}", d);
+    }
+
+    #[test]
+    fn deferral_bounded_by_d() {
+        // With service_level 0 the adversary defers as much as allowed; the
+        // cumulative service can lag line rate by at most D steps.
+        let mut m = two_const(50);
+        for _ in 0..10 {
+            m.advance(StepChoice {
+                service_level: 0,
+                split: 0,
+            });
+        }
+        let min_required = m.cfg.bytes_per_step() * (10 - m.cfg.d_steps as u64);
+        assert!(m.s_total() >= min_required);
+    }
+
+    #[test]
+    fn starve_split_biases_delivery() {
+        let mut m = two_const(20);
+        while !m.done() {
+            m.advance(StepChoice {
+                service_level: 2,
+                split: 1, // starve flow 0
+            });
+        }
+        let d = m.delivered();
+        assert!(d[1] > d[0], "{:?}", d);
+    }
+
+    #[test]
+    fn buffer_overflow_drops_and_signals() {
+        let small = ModelConfig {
+            buffer: 5 * 1500,
+            ..cfg()
+        };
+        let mut m = ModelState::new(
+            small,
+            vec![Box::new(ConstCwnd::new(100 * 1500)) as BoxCca],
+        );
+        m.advance(StepChoice {
+            service_level: 0,
+            split: 0,
+        });
+        assert!(m.flows[0].lost > 0);
+        assert!(m.backlog() <= small.buffer);
+    }
+
+    #[test]
+    fn utilization_full_when_saturated() {
+        let mut m = two_const(100);
+        while !m.done() {
+            m.advance(StepChoice {
+                service_level: 2,
+                split: 0,
+            });
+        }
+        assert!(m.utilization() > 0.9, "util={}", m.utilization());
+    }
+
+    #[test]
+    fn state_is_cloneable_for_search() {
+        let m = two_const(5);
+        let mut c = m.clone();
+        c.advance(StepChoice {
+            service_level: 2,
+            split: 0,
+        });
+        assert_eq!(m.step, 0);
+        assert_eq!(c.step, 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Definitions 2–4 of the paper: `s`-fairness, starvation, `f`-efficiency.
+
+use netsim::FlowMetrics;
+use simcore::units::{Dur, Rate, Time};
+
+/// Result of an `s`-fairness check over a two-flow run (Definition 2).
+#[derive(Clone, Copy, Debug)]
+pub struct SFairnessReport {
+    /// The earliest sampled time after which the throughput ratio stayed
+    /// below `s` (`None` if it never did — evidence of `s`-unfairness over
+    /// the horizon tested).
+    pub fair_after: Option<Time>,
+    /// The throughput ratio at the end of the run.
+    pub final_ratio: f64,
+    /// The largest ratio observed over the sampled suffix.
+    pub max_ratio_tail: f64,
+}
+
+/// Check Definition 2 empirically on two flows: does there exist a time `t`
+/// after which `max/min` throughput stays `< s`? Samples the ratio on a
+/// grid of `n_samples` points.
+pub fn check_s_fairness(
+    a: &FlowMetrics,
+    b: &FlowMetrics,
+    end: Time,
+    s: f64,
+    n_samples: usize,
+) -> SFairnessReport {
+    assert!(s >= 1.0 && n_samples >= 2);
+    let start = a.start.max(b.start);
+    let span = end.since(start);
+    let ratio_at = |t: Time| -> f64 {
+        let ta = a.throughput_at(t).bytes_per_sec();
+        let tb = b.throughput_at(t).bytes_per_sec();
+        let (hi, lo) = if ta >= tb { (ta, tb) } else { (tb, ta) };
+        if lo <= 0.0 {
+            f64::INFINITY
+        } else {
+            hi / lo
+        }
+    };
+    let mut fair_after = None;
+    let mut max_tail = 0.0f64;
+    // Walk backwards: find the longest suffix where ratio < s throughout.
+    let mut suffix_ok = true;
+    let mut times: Vec<Time> = (1..=n_samples)
+        .map(|i| start + Dur((span.as_nanos() as f64 * i as f64 / n_samples as f64) as u64))
+        .collect();
+    times.dedup();
+    for &t in times.iter().rev() {
+        let r = ratio_at(t);
+        if suffix_ok {
+            if r < s {
+                fair_after = Some(t);
+                max_tail = max_tail.max(r);
+            } else {
+                suffix_ok = false;
+            }
+        }
+    }
+    SFairnessReport {
+        fair_after,
+        final_ratio: ratio_at(end),
+        max_ratio_tail: max_tail,
+    }
+}
+
+/// Result of an `f`-efficiency check (Definition 4).
+#[derive(Clone, Copy, Debug)]
+pub struct FEfficiencyReport {
+    /// The best efficiency `delivered(t')/(C·t')` over sampled `t'` in the
+    /// latter half of the run (Definition 4 asks this to reach `f`
+    /// infinitely often; over a finite run we take the tail's supremum).
+    pub best_tail_efficiency: f64,
+}
+
+/// Check Definition 4 empirically: over the latter half of an ideal-path
+/// run, does `bytes delivered in [0, t'] / (C·t')` reach `f`?
+pub fn check_f_efficiency(
+    m: &FlowMetrics,
+    link_rate: Rate,
+    end: Time,
+    n_samples: usize,
+) -> FEfficiencyReport {
+    assert!(n_samples >= 1);
+    let start = m.start;
+    let half = start + Dur(end.since(start).as_nanos() / 2);
+    let mut best = 0.0f64;
+    for i in 0..n_samples {
+        let t = half
+            + Dur(
+                (end.since(half).as_nanos() as f64 * i as f64 / n_samples.max(1) as f64) as u64,
+            );
+        if t <= start {
+            continue;
+        }
+        let eff = m.throughput_at(t).bytes_per_sec() / link_rate.bytes_per_sec();
+        best = best.max(eff);
+    }
+    FEfficiencyReport {
+        best_tail_efficiency: best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(rate_mbps: f64, end_s: u64) -> FlowMetrics {
+        let mut m = FlowMetrics::new(Time::ZERO);
+        let bps = rate_mbps * 1e6 / 8.0;
+        for s in 1..=end_s {
+            m.delivered.push(Time::from_secs(s), bps * s as f64);
+        }
+        m
+    }
+
+    #[test]
+    fn equal_flows_are_s_fair() {
+        let a = flow(10.0, 10);
+        let b = flow(10.0, 10);
+        let r = check_s_fairness(&a, &b, Time::from_secs(10), 2.0, 20);
+        assert!(r.fair_after.is_some());
+        assert!((r.final_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ten_to_one_flows_fail_2_fairness() {
+        let a = flow(100.0, 10);
+        let b = flow(10.0, 10);
+        let r = check_s_fairness(&a, &b, Time::from_secs(10), 2.0, 20);
+        assert!(r.fair_after.is_none());
+        assert!((r.final_ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ten_to_one_flows_pass_20_fairness() {
+        let a = flow(100.0, 10);
+        let b = flow(10.0, 10);
+        let r = check_s_fairness(&a, &b, Time::from_secs(10), 20.0, 20);
+        assert!(r.fair_after.is_some());
+    }
+
+    #[test]
+    fn zero_flow_is_starved_at_any_s() {
+        // One flow delivers nothing: ratio is ∞ — not s-fair for any s.
+        let a = flow(100.0, 10);
+        let b = FlowMetrics::new(Time::ZERO);
+        let r = check_s_fairness(&a, &b, Time::from_secs(10), 1e12, 20);
+        assert!(r.fair_after.is_none());
+        assert!(r.final_ratio.is_infinite());
+    }
+
+    #[test]
+    fn f_efficiency_of_full_flow() {
+        let m = flow(10.0, 10);
+        let r = check_f_efficiency(&m, Rate::from_mbps(10.0), Time::from_secs(10), 10);
+        assert!(r.best_tail_efficiency > 0.95, "{}", r.best_tail_efficiency);
+    }
+
+    #[test]
+    fn f_efficiency_of_idle_flow() {
+        let m = FlowMetrics::new(Time::ZERO);
+        let r = check_f_efficiency(&m, Rate::from_mbps(10.0), Time::from_secs(10), 10);
+        assert_eq!(r.best_tail_efficiency, 0.0);
+    }
+}

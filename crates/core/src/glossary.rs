@@ -1,0 +1,70 @@
+//! Table 1 of the paper: glossary of symbols, kept verbatim so every module
+//! can reference the same notation.
+//!
+//! | Symbol | Meaning |
+//! |---|---|
+//! | `C` | Bottleneck link rate |
+//! | `Rm` | Minimum propagation RTT |
+//! | `D` | The network model's non-congestive delay bound |
+//! | `cwnd` | Congestion window |
+//! | `s` | Bound on unfairness (throughput ratio) |
+//! | `d_max(C)`, `d_min(C)` | Max/min RTT after the CCA converges |
+//! | `δ(C)` | `d_max(C) − d_min(C)` |
+//! | `δ_max` | Upper bound on `δ(C)` for all `C > λ` |
+//! | `d̂_max` | Upper bound on `d_max(C)` for all `C > λ` |
+//! | `λ` | Link rate above which the bounds apply |
+//! | `f` | Efficiency: long-run throughput ≥ `f·C` (Definition 4) |
+
+/// One glossary row.
+#[derive(Clone, Copy, Debug)]
+pub struct Symbol {
+    /// The notation used in the paper.
+    pub symbol: &'static str,
+    /// Its meaning.
+    pub meaning: &'static str,
+}
+
+/// Table 1, as data (the `repro glossary` subcommand prints it).
+pub const TABLE1: &[Symbol] = &[
+    Symbol { symbol: "C", meaning: "Link rate" },
+    Symbol { symbol: "Rm", meaning: "Min propagation RTT" },
+    Symbol { symbol: "D", meaning: "Model's delay bound" },
+    Symbol { symbol: "cwnd", meaning: "Congestion window" },
+    Symbol { symbol: "s", meaning: "Bound on unfairness" },
+    Symbol {
+        symbol: "d_max(C), d_min(C)",
+        meaning: "Max/min delay for CCA after convergence",
+    },
+    Symbol {
+        symbol: "delta(C)",
+        meaning: "d_max(C) - d_min(C)",
+    },
+    Symbol {
+        symbol: "delta_max",
+        meaning: "Upper bound on delta(C)",
+    },
+    Symbol {
+        symbol: "lambda",
+        meaning: "d_max, delta_max apply for C > lambda",
+    },
+    Symbol {
+        symbol: "d_max^bar",
+        meaning: "Upper bound on d_max(C)",
+    },
+    Symbol {
+        symbol: "f",
+        meaning: "Efficiency: throughput >= f*C infinitely often (Def. 4)",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_complete() {
+        assert!(TABLE1.len() >= 10);
+        assert!(TABLE1.iter().any(|s| s.symbol == "D"));
+        assert!(TABLE1.iter().any(|s| s.symbol == "delta_max"));
+    }
+}

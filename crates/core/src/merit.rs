@@ -1,0 +1,132 @@
+//! §6.3's figure of merit: the rate range `µ₊/µ₋` a CCA can support while
+//! staying `s`-fair under jitter bound `D` and maximum tolerable delay
+//! `Rmax`.
+//!
+//! * Vegas family (`µ(d) = α/(d − Rm)`, Eq. 1):
+//!   `µ₊/µ₋ = (Rmax − Rm)/D · (1 − 1/s) = O(Rmax/D)`.
+//! * BBR's cwnd-limited family (`µ(d) = α/(d − 2Rm)`): same shape with
+//!   `Rmax − 2Rm` in the numerator.
+//! * Exponential mapping (`µ(d) = µ₋·s^((Rmax−d)/D)`, Eq. 2):
+//!   `µ₊/µ₋ = s^((Rmax − Rm − D)/D) = O(s^(Rmax/D))` — exponentially
+//!   larger. The paper's example: `D` = 10 ms, `Rmax` = 100 ms, `s` = 2 →
+//!   ≈ 2¹⁰ ≈ 10³; `s` = 4 → ≈ 10⁶.
+
+use simcore::units::Dur;
+
+/// Eq. 1: the Vegas-family figure of merit.
+///
+/// `(rmax − rm)/d · (1 − 1/s)`, using the paper's convention that the
+/// denominator-delay is measured from the family's delay floor (`Rm` for
+/// Vegas/FAST/Copa).
+pub fn vegas_family_merit(rmax: Dur, rm: Dur, d: Dur, s: f64) -> f64 {
+    assert!(s > 1.0);
+    assert!(rmax > rm);
+    ((rmax.as_secs_f64() - rm.as_secs_f64()) / d.as_secs_f64()) * (1.0 - 1.0 / s)
+}
+
+/// The BBR cwnd-limited variant of Eq. 1 (delay floor `2·Rm`).
+pub fn bbr_family_merit(rmax: Dur, rm: Dur, d: Dur, s: f64) -> f64 {
+    assert!(s > 1.0);
+    let floor = 2.0 * rm.as_secs_f64();
+    assert!(rmax.as_secs_f64() > floor, "Rmax must exceed 2Rm");
+    ((rmax.as_secs_f64() - floor) / d.as_secs_f64()) * (1.0 - 1.0 / s)
+}
+
+/// Eq. 2: the exponential mapping's figure of merit
+/// `s^((Rmax − Rm − D)/D)`.
+pub fn exponential_merit(rmax: Dur, rm: Dur, d: Dur, s: f64) -> f64 {
+    assert!(s > 1.0);
+    assert!(rmax > rm);
+    let expo = (rmax.as_secs_f64() - rm.as_secs_f64() - d.as_secs_f64()) / d.as_secs_f64();
+    s.powf(expo)
+}
+
+/// A row of the §6.3 comparison table.
+#[derive(Clone, Copy, Debug)]
+pub struct MeritRow {
+    /// Jitter bound `D`.
+    pub d: Dur,
+    /// Tolerable unfairness `s`.
+    pub s: f64,
+    /// Max tolerable delay `Rmax`.
+    pub rmax: Dur,
+    /// Propagation RTT `Rm`.
+    pub rm: Dur,
+    /// Eq. 1's merit.
+    pub vegas: f64,
+    /// Eq. 2's merit.
+    pub exponential: f64,
+}
+
+/// Build the comparison table for a set of `(D, s)` pairs.
+pub fn merit_table(rmax: Dur, rm: Dur, cases: &[(Dur, f64)]) -> Vec<MeritRow> {
+    cases
+        .iter()
+        .map(|&(d, s)| MeritRow {
+            d,
+            s,
+            rmax,
+            rm,
+            vegas: vegas_family_merit(rmax, rm, d, s),
+            exponential: exponential_merit(rmax, rm, d, s),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Dur {
+        Dur::from_millis(v)
+    }
+
+    #[test]
+    fn paper_example_s2() {
+        // D = 10 ms, s = 2, Rmax = 100 ms, Rm ≈ 0 (the paper's 2¹⁰ uses
+        // Rmax/D = 10 exponent before subtracting the D term).
+        let m = exponential_merit(ms(100), ms(0), ms(10), 2.0);
+        assert!((m - 2.0f64.powi(9)).abs() < 1e-6, "m={m}");
+    }
+
+    #[test]
+    fn paper_example_s4() {
+        let m = exponential_merit(ms(100), ms(0), ms(10), 4.0);
+        assert!((m - 4.0f64.powi(9)).abs() < 1e-3, "m={m}");
+        assert!(m > 2.6e5); // ≈ 10⁵–10⁶, the paper's "≈ 10⁶" ballpark
+    }
+
+    #[test]
+    fn vegas_merit_is_linear_in_rmax_over_d() {
+        let m = vegas_family_merit(ms(100), ms(0), ms(10), 2.0);
+        assert!((m - 5.0).abs() < 1e-9); // (100/10)·(1/2)
+        let m2 = vegas_family_merit(ms(200), ms(0), ms(10), 2.0);
+        assert!((m2 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_beats_vegas_exponentially() {
+        let rm = ms(10);
+        let rmax = ms(110);
+        for &(d_ms, s) in &[(10u64, 2.0), (5, 2.0), (10, 4.0)] {
+            let v = vegas_family_merit(rmax, rm, ms(d_ms), s);
+            let e = exponential_merit(rmax, rm, ms(d_ms), s);
+            assert!(e > 10.0 * v, "d={d_ms} s={s}: e={e} v={v}");
+        }
+    }
+
+    #[test]
+    fn bbr_merit_uses_two_rm_floor() {
+        let v = vegas_family_merit(ms(100), ms(10), ms(10), 2.0);
+        let b = bbr_family_merit(ms(100), ms(10), ms(10), 2.0);
+        assert!(b < v); // less headroom above 2Rm than above Rm
+        assert!((b - (0.080 / 0.010) * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_rows() {
+        let rows = merit_table(ms(100), ms(0), &[(ms(10), 2.0), (ms(10), 4.0)]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].exponential > rows[0].exponential);
+    }
+}

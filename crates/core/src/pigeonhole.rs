@@ -1,0 +1,139 @@
+//! Step 1 of Theorem 1's proof: the pigeonhole search (Figure 4).
+//!
+//! Consider link rates `λᵢ = λ·(s/f)^i`. Each has a converged delay band of
+//! width < `δ_max` inside the fixed interval `[Rm, d̂_max]`. Only finitely
+//! many disjoint `ε`-intervals fit in `[Rm, d̂_max]`, so some pair of rates —
+//! a factor ≥ `s/f` apart — must have `d_max` values within `ε` of each
+//! other. Those are the `C₁, C₂` used to build the starvation scenario.
+//!
+//! Empirically we profile the CCA at each `λᵢ` and return the pair with the
+//! closest `d_max` values.
+
+use crate::convergence::ConvergenceReport;
+use crate::profiler::profile_rate_delay;
+use cca::CcaFactory;
+use simcore::units::{Dur, Rate};
+
+/// Configuration for the pigeonhole search.
+#[derive(Clone, Copy, Debug)]
+pub struct PigeonholeConfig {
+    /// Efficiency bound `f` (Definition 4).
+    pub f: f64,
+    /// Target unfairness `s`.
+    pub s: f64,
+    /// Base rate `λ` — the smallest rate probed.
+    pub lambda: Rate,
+    /// Propagation RTT `Rm`.
+    pub rm: Dur,
+    /// Number of rates `λᵢ` probed.
+    pub steps: usize,
+    /// Per-run duration.
+    pub duration: Dur,
+}
+
+/// Outcome of the search.
+#[derive(Clone, Debug)]
+pub struct PigeonholeResult {
+    /// The smaller rate `C₁`.
+    pub c1: Rate,
+    /// The larger rate `C₂ ≥ (s/f)·C₁`.
+    pub c2: Rate,
+    /// Convergence report at `C₁`.
+    pub rep1: ConvergenceReport,
+    /// Convergence report at `C₂`.
+    pub rep2: ConvergenceReport,
+    /// `ε`: the observed gap `|d_max(C₁) − d_max(C₂)|`, seconds.
+    pub epsilon: f64,
+    /// `δ_max` over the whole sweep, seconds.
+    pub delta_max: f64,
+    /// The full sweep (for Figure 4's visualization).
+    pub sweep: Vec<(Rate, ConvergenceReport)>,
+}
+
+impl PigeonholeResult {
+    /// The jitter bound `D = 2·(δ_max + ε′)` the construction needs, where
+    /// `ε′` is the working epsilon (at least the observed gap plus margin).
+    pub fn required_d(&self) -> f64 {
+        2.0 * (self.delta_max + self.working_epsilon())
+    }
+
+    /// The `ε` used in the construction: the observed gap widened by a
+    /// small margin to absorb packet quantization.
+    pub fn working_epsilon(&self) -> f64 {
+        (self.epsilon + 1e-4).max(self.delta_max * 0.1)
+    }
+}
+
+/// Run the pigeonhole search.
+///
+/// Returns `None` if fewer than two sweep points converged (a CCA that
+/// never converges is not delay-convergent — Theorem 1 doesn't apply).
+pub fn pigeonhole_search(factory: &CcaFactory, cfg: PigeonholeConfig) -> Option<PigeonholeResult> {
+    assert!(cfg.s >= 1.0 && cfg.f > 0.0 && cfg.f <= 1.0);
+    assert!(cfg.steps >= 2);
+    let ratio = cfg.s / cfg.f;
+    let rates: Vec<Rate> = (0..cfg.steps)
+        .map(|i| Rate::from_bytes_per_sec(cfg.lambda.bytes_per_sec() * ratio.powi(i as i32)))
+        .collect();
+    let points = profile_rate_delay(factory, &rates, cfg.rm, cfg.duration);
+    if points.len() < 2 {
+        return None;
+    }
+    let sweep: Vec<(Rate, ConvergenceReport)> =
+        points.iter().map(|p| (p.rate, p.convergence)).collect();
+    let delta_max = sweep
+        .iter()
+        .map(|(_, r)| r.delta())
+        .fold(0.0f64, f64::max);
+
+    // Closest d_max pair with i < j (rates are sorted ascending, so any
+    // pair is ≥ s/f apart).
+    let mut best: Option<(usize, usize, f64)> = None;
+    for i in 0..sweep.len() {
+        for j in (i + 1)..sweep.len() {
+            let gap = (sweep[i].1.d_max - sweep[j].1.d_max).abs();
+            if best.is_none_or(|(_, _, g)| gap < g) {
+                best = Some((i, j, gap));
+            }
+        }
+    }
+    let (i, j, epsilon) = best?;
+    Some(PigeonholeResult {
+        c1: sweep[i].0,
+        c2: sweep[j].0,
+        rep1: sweep[i].1,
+        rep2: sweep[j].1,
+        epsilon,
+        delta_max,
+        sweep,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca::factory;
+
+    #[test]
+    fn finds_close_delay_pair_for_vegas() {
+        // Vegas: d_max(C) = Rm + O(1/C); large rates have nearly equal
+        // d_max, so the pigeonhole must find a tight pair.
+        let f = factory(|| Box::new(cca::Vegas::default_params()));
+        let cfg = PigeonholeConfig {
+            f: 0.5,
+            s: 2.0,
+            lambda: Rate::from_mbps(8.0),
+            rm: Dur::from_millis(40),
+            steps: 3, // 8, 32, 128 Mbit/s
+            duration: Dur::from_secs(20),
+        };
+        let r = pigeonhole_search(&f, cfg).expect("search failed");
+        assert!(r.c2.bytes_per_sec() / r.c1.bytes_per_sec() >= 3.9);
+        // Vegas queues ≤ 4 pkts: at ≥ 32 Mbit/s that's ≤ 1.5 ms, so the gap
+        // between d_max values must be small.
+        assert!(r.epsilon < 0.004, "epsilon={}", r.epsilon);
+        assert!(r.delta_max < 0.01, "delta_max={}", r.delta_max);
+        assert!(r.required_d() < 0.025);
+        assert_eq!(r.sweep.len(), 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Rate–delay profiling: Figures 2 and 3 of the paper.
+//!
+//! For a fixed `Rm`, sweep the ideal-path link rate `C` and measure the
+//! converged delay range `[d_min(C), d_max(C)]` and achieved throughput.
+//! The resulting curve is the CCA's rate–delay mapping: Vegas/FAST sit on
+//! the line `Rm + α/C`, BBR's cwnd-limited mode on `2Rm + α/C`, Copa in a
+//! thin band, PCC Vivace between `Rm` and `1.05·Rm`, and BBR's pacing mode
+//! between `Rm` and `1.25·Rm`.
+
+use crate::convergence::{analyze_convergence, ConvergenceReport};
+use crate::runner::{run_ideal_path, RunSpec};
+use cca::CcaFactory;
+use simcore::units::{Dur, Rate};
+
+/// One point of the rate–delay curve.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfilePoint {
+    /// The ideal path's link rate `C`.
+    pub rate: Rate,
+    /// Converged delay band (seconds) and convergence time.
+    pub convergence: ConvergenceReport,
+    /// Mean throughput over the run.
+    pub throughput: Rate,
+    /// Link utilization over the run.
+    pub utilization: f64,
+}
+
+impl ProfilePoint {
+    /// Whether the run was `f`-efficient at this point.
+    pub fn is_efficient(&self, f: f64) -> bool {
+        self.throughput.bytes_per_sec() >= f * self.rate.bytes_per_sec()
+    }
+}
+
+/// Profile a CCA across a sweep of link rates at fixed `Rm`.
+///
+/// Runs are independent, so they execute on `std::thread` workers (the
+/// simulator itself stays single-threaded and deterministic per run).
+pub fn profile_rate_delay(
+    factory: &CcaFactory,
+    rates: &[Rate],
+    rm: Dur,
+    duration: Dur,
+) -> Vec<ProfilePoint> {
+    let results: Vec<Option<ProfilePoint>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = rates
+            .iter()
+            .map(|&rate| {
+                let factory = factory.clone();
+                scope.spawn(move || {
+                    let run = run_ideal_path(factory(), RunSpec::new(rate, rm, duration));
+                    let convergence = analyze_convergence(&run.rtt, 0.5, 1e-4)?;
+                    Some(ProfilePoint {
+                        rate,
+                        convergence,
+                        throughput: run.tail_throughput(Dur(duration.as_nanos() / 3)),
+                        utilization: run.utilization,
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("profiler worker panicked")).collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A log-spaced rate sweep from `lo` to `hi` Mbit/s with `n` points
+/// (Figure 3's x-axis: 0.1 → 100 Mbit/s).
+pub fn log_sweep(lo_mbps: f64, hi_mbps: f64, n: usize) -> Vec<Rate> {
+    assert!(n >= 2 && lo_mbps > 0.0 && hi_mbps > lo_mbps);
+    let l0 = lo_mbps.ln();
+    let l1 = hi_mbps.ln();
+    (0..n)
+        .map(|i| {
+            let f = i as f64 / (n - 1) as f64;
+            Rate::from_mbps((l0 + f * (l1 - l0)).exp())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca::factory;
+
+    #[test]
+    fn log_sweep_endpoints_and_monotonicity() {
+        let s = log_sweep(0.1, 100.0, 7);
+        assert_eq!(s.len(), 7);
+        assert!((s[0].mbps() - 0.1).abs() < 1e-9);
+        assert!((s[6].mbps() - 100.0).abs() < 1e-6);
+        for w in s.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn vegas_profile_follows_alpha_over_c() {
+        // Vegas holds 2..4 packets: queueing delay ∈ [2,4]·pkt/C, plus one
+        // packet's transmission time.
+        let f = factory(|| Box::new(cca::Vegas::default_params()));
+        let rates = [Rate::from_mbps(6.0), Rate::from_mbps(48.0)];
+        let points = profile_rate_delay(&f, &rates, Dur::from_millis(50), Dur::from_secs(25));
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            let pkt_time = 1500.0 * 8.0 / p.rate.bps();
+            let queue = p.convergence.d_max - 0.050;
+            // Between ~1 and ~6 packet-times of standing delay.
+            assert!(
+                queue > 0.5 * pkt_time && queue < 7.0 * pkt_time,
+                "rate={} queue={} pkt={}",
+                p.rate,
+                queue,
+                pkt_time
+            );
+            assert!(p.is_efficient(0.8), "util={}", p.utilization);
+        }
+        // Higher rate → smaller equilibrium delay (decreasing d_max(C)).
+        assert!(points[1].convergence.d_max < points[0].convergence.d_max);
+    }
+}

@@ -1,0 +1,178 @@
+//! Theorem 3 (the absolute upper bound, §6.5 / Appendix B): in the
+//! **strong model** — where the adversary can vary the link rate (and hence
+//! the queueing delay) arbitrarily — any deterministic, `f`-efficient,
+//! delay-*bounding* CCA starves, even without delay-convergence.
+//!
+//! Construction: run the CCA against a delay trace `d₀(t)` (its own
+//! behaviour on an ideal link of rate `λ`). Build successive traces
+//! `d_{k+1}(t) = max(Rm, d_k(t) − D)`. If any adjacent pair of traces
+//! yields throughputs a factor ≥ `s` apart, the two traces can be combined
+//! into one 2-flow network (the shared queue contributes `d_{k+1}`, the
+//! jitter element adds `D` to one flow only) — starvation. Otherwise the
+//! delay eventually pins at `Rm`, where an `f`-efficient CCA's rate grows
+//! without bound, so somewhere along the way the ratio must have jumped.
+
+use crate::runner::{run_ideal_path, RunSpec};
+use cca::CcaFactory;
+use netsim::{FlowConfig, Jitter, LinkConfig, Network, SimConfig};
+use simcore::series::TimeSeries;
+use simcore::units::{Dur, Rate, Time};
+
+/// Configuration for the Theorem 3 construction.
+#[derive(Clone, Copy, Debug)]
+pub struct Theorem3Config {
+    /// Base rate `λ` for the first trace.
+    pub lambda: Rate,
+    /// Propagation RTT.
+    pub rm: Dur,
+    /// The jitter step `D` subtracted each iteration.
+    pub d: Dur,
+    /// Target ratio `s`.
+    pub s: f64,
+    /// Rate of the big replay link (must dwarf any rate the CCA reaches).
+    pub replay_rate: Rate,
+    /// Duration of each trace.
+    pub duration: Dur,
+    /// Maximum iterations.
+    pub max_iters: usize,
+}
+
+impl Theorem3Config {
+    /// Quick defaults: λ = 8 Mbit/s, Rm = 40 ms, D = 2 ms, s = 2.
+    pub fn quick() -> Theorem3Config {
+        Theorem3Config {
+            lambda: Rate::from_mbps(8.0),
+            rm: Dur::from_millis(40),
+            d: Dur::from_millis(2),
+            s: 2.0,
+            replay_rate: Rate::from_mbps(2000.0),
+            duration: Dur::from_secs(15),
+            max_iters: 16,
+        }
+    }
+}
+
+/// One iteration's outcome.
+#[derive(Clone, Debug)]
+pub struct TraceStep {
+    /// Iteration index `k`.
+    pub k: usize,
+    /// Throughput under trace `d_k`, Mbit/s.
+    pub throughput_mbps: f64,
+    /// Max delay of `d_k`, seconds.
+    pub max_delay: f64,
+}
+
+/// Outcome of the construction.
+pub struct Theorem3Report {
+    /// Per-iteration results.
+    pub steps: Vec<TraceStep>,
+    /// The adjacent pair `(k, k+1)` whose throughput ratio first reached
+    /// `s`, if any.
+    pub starving_pair: Option<(usize, usize)>,
+    /// Ratio achieved by that pair.
+    pub achieved_ratio: f64,
+}
+
+fn subtract_floor(trace: &TimeSeries, d: Dur, floor: Dur) -> TimeSeries {
+    let mut out = TimeSeries::new();
+    for &(t, v) in trace.points() {
+        out.push(t, (v - d.as_secs_f64()).max(floor.as_secs_f64()));
+    }
+    out
+}
+
+/// Run the CCA against an arbitrary imposed-delay trace: a huge link (so
+/// queueing ≈ 0) whose jitter element recreates `trace` exactly. In the
+/// strong model the adversary owns the queue, so the jitter cap is
+/// unbounded here.
+fn run_against_trace(
+    factory: &CcaFactory,
+    trace: &TimeSeries,
+    rm: Dur,
+    replay_rate: Rate,
+    duration: Dur,
+) -> f64 {
+    let link = LinkConfig::ample_buffer(replay_rate);
+    let flow = FlowConfig::bulk(factory(), rm).with_jitter(Jitter::TargetRtt {
+        target_rtt: trace.clone(),
+        max: Dur::MAX,
+    });
+    let result = Network::new(SimConfig::new(link, vec![flow], duration)).run();
+    result.flows[0].throughput_at(result.end).mbps()
+}
+
+/// Run the Theorem 3 construction.
+pub fn run_theorem3(factory: &CcaFactory, cfg: Theorem3Config) -> Theorem3Report {
+    // Trace 0: the CCA's own behaviour on an ideal link of rate λ.
+    let base = run_ideal_path(factory(), RunSpec::new(cfg.lambda, cfg.rm, cfg.duration));
+    let mut trace = base.rtt.clone();
+    let mut steps = vec![TraceStep {
+        k: 0,
+        throughput_mbps: base.throughput.mbps(),
+        max_delay: trace.max_in(Time::ZERO, trace.end_time()).unwrap_or(0.0),
+    }];
+    let mut starving_pair = None;
+    let mut achieved = 1.0f64;
+
+    for k in 1..=cfg.max_iters {
+        let next = subtract_floor(&trace, cfg.d, cfg.rm);
+        let tput = run_against_trace(factory, &next, cfg.rm, cfg.replay_rate, cfg.duration);
+        let max_delay = next.max_in(Time::ZERO, next.end_time()).unwrap_or(0.0);
+        let prev = steps.last().unwrap().throughput_mbps;
+        steps.push(TraceStep {
+            k,
+            throughput_mbps: tput,
+            max_delay,
+        });
+        let ratio = if prev > 0.0 { tput / prev } else { f64::INFINITY };
+        if ratio >= cfg.s && starving_pair.is_none() {
+            starving_pair = Some((k - 1, k));
+            achieved = ratio;
+        }
+        // Delay pinned at Rm: nothing more to subtract.
+        if max_delay <= cfg.rm.as_secs_f64() + 1e-9 {
+            break;
+        }
+        trace = next;
+    }
+    Theorem3Report {
+        steps,
+        starving_pair,
+        achieved_ratio: achieved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca::factory;
+
+    #[test]
+    fn subtract_floor_math() {
+        let mut t = TimeSeries::new();
+        t.push(Time::ZERO, 0.050);
+        t.push(Time::from_millis(1), 0.041);
+        let out = subtract_floor(&t, Dur::from_millis(2), Dur::from_millis(40));
+        assert_eq!(out.points()[0].1, 0.048);
+        assert_eq!(out.points()[1].1, 0.040); // floored at Rm
+    }
+
+    #[test]
+    fn vegas_strong_model_finds_starving_pair() {
+        // Vegas reads delay-above-Rm as queueing: each D subtraction makes
+        // it believe there is less congestion, so its rate grows until an
+        // adjacent pair is ≥ s apart.
+        let f = factory(|| Box::new(cca::Vegas::default_params()));
+        let r = run_theorem3(&f, Theorem3Config::quick());
+        assert!(
+            r.starving_pair.is_some(),
+            "steps: {:?}",
+            r.steps
+                .iter()
+                .map(|s| s.throughput_mbps)
+                .collect::<Vec<_>>()
+        );
+        assert!(r.achieved_ratio >= 2.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Simulation configuration types.
+
+use crate::jitter::Jitter;
+use cca::BoxCca;
+use simcore::units::{Dur, Rate, Time};
+
+/// Transport reliability model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// TCP-like: cumulative ACKs, duplicate-ACK fast retransmit, NewReno
+    /// recovery, RTO go-back-N. Used by Reno/Cubic/Vegas-family flows.
+    #[default]
+    Reliable,
+    /// UDP-like (the PCC implementations): every packet is acknowledged
+    /// individually, nothing is retransmitted, and a packet is deemed lost
+    /// as soon as a later-sent packet is acknowledged (the §3 model path
+    /// never reorders a flow's packets). Loss becomes a *signal*, not a
+    /// recovery problem — matching how PCC's monitor intervals consume it.
+    Datagram,
+}
+
+/// Receiver acknowledgement policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AckPolicy {
+    /// Acknowledge every data packet immediately.
+    PerPacket,
+    /// Classic delayed ACKs: acknowledge every `max_pkts`-th packet, or
+    /// after `timeout` if fewer arrive. Out-of-order arrivals are ACKed
+    /// immediately (so duplicate ACKs still signal loss). This is Figure 7's
+    /// "delayed ACKs of up to 4 packets".
+    Delayed {
+        /// ACK after this many data packets.
+        max_pkts: u64,
+        /// ...or after this long.
+        timeout: Dur,
+    },
+    /// Time-quantized ACK aggregation: ACKs leave the receiver only at
+    /// integer multiples of `period` (the §5.3 PCC Vivace scenario with a
+    /// 60 ms period). All data that arrived since the last boundary is
+    /// covered by a single cumulative ACK released at the boundary.
+    Quantized {
+        /// The release period.
+        period: Dur,
+    },
+}
+
+/// Bottleneck link configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Drain rate `C`.
+    pub rate: Rate,
+    /// Tail-drop buffer in bytes. Use [`LinkConfig::ample_buffer`] for the
+    /// paper's "large enough to never overflow" queues.
+    pub buffer_bytes: u64,
+    /// ECN marking threshold in bytes of backlog (§6.4). `None` disables.
+    pub ecn_threshold: Option<u64>,
+}
+
+impl LinkConfig {
+    /// Builder: enable threshold ECN marking.
+    pub fn with_ecn(mut self, threshold_bytes: u64) -> LinkConfig {
+        self.ecn_threshold = Some(threshold_bytes);
+        self
+    }
+}
+
+impl LinkConfig {
+    /// A buffer so large delay-bounding CCAs never overflow it (1000 BDPs
+    /// at 1 s of RTT would still fit for typical experiment rates).
+    pub fn ample_buffer(rate: Rate) -> LinkConfig {
+        LinkConfig {
+            rate,
+            buffer_bytes: (rate.bytes_per_sec() * 100.0) as u64,
+            ecn_threshold: None,
+        }
+    }
+
+    /// A buffer of `n` bandwidth-delay products for the given RTT.
+    pub fn bdp_buffer(rate: Rate, rtt: Dur, n: f64) -> LinkConfig {
+        LinkConfig {
+            rate,
+            buffer_bytes: ((rate.bytes_per_sec() * rtt.as_secs_f64() * n) as u64).max(3000),
+            ecn_threshold: None,
+        }
+    }
+}
+
+/// Per-flow configuration.
+pub struct FlowConfig {
+    /// The congestion-control algorithm driving this flow's sender.
+    pub cca: BoxCca,
+    /// Packet size in bytes (everything the paper runs uses 1500).
+    pub mss: u64,
+    /// Minimum propagation RTT `Rm` for this flow's path.
+    pub rm: Dur,
+    /// Non-congestive delay element on this flow's path.
+    pub jitter: Jitter,
+    /// Receiver ACK behaviour.
+    pub ack_policy: AckPolicy,
+    /// Reliability model (TCP-like or PCC's UDP-like).
+    pub transport: Transport,
+    /// Bernoulli random-loss probability on this flow's data path
+    /// (the §5.4 PCC Allegro scenario uses 0.02).
+    pub loss_rate: f64,
+    /// Seed for the loss process.
+    pub loss_seed: u64,
+    /// When the flow starts sending.
+    pub start: Time,
+    /// Optional application-rate cap (`None` = bulk flow).
+    pub app_limit: Option<Rate>,
+}
+
+impl FlowConfig {
+    /// A bulk flow with a clean path: per-packet ACKs, no jitter, no loss.
+    pub fn bulk(cca: BoxCca, rm: Dur) -> FlowConfig {
+        FlowConfig {
+            cca,
+            mss: 1500,
+            rm,
+            jitter: Jitter::None,
+            ack_policy: AckPolicy::PerPacket,
+            transport: Transport::Reliable,
+            loss_rate: 0.0,
+            loss_seed: 0,
+            start: Time::ZERO,
+            app_limit: None,
+        }
+    }
+
+    /// Builder: replace the jitter element.
+    pub fn with_jitter(mut self, j: Jitter) -> FlowConfig {
+        self.jitter = j;
+        self
+    }
+
+    /// Builder: replace the ACK policy.
+    pub fn with_ack_policy(mut self, p: AckPolicy) -> FlowConfig {
+        self.ack_policy = p;
+        self
+    }
+
+    /// Builder: UDP-like datagram transport (PCC flows).
+    pub fn datagram(mut self) -> FlowConfig {
+        self.transport = Transport::Datagram;
+        self
+    }
+
+    /// Builder: Bernoulli loss on the data path.
+    pub fn with_loss(mut self, rate: f64, seed: u64) -> FlowConfig {
+        self.loss_rate = rate;
+        self.loss_seed = seed;
+        self
+    }
+
+    /// Builder: delayed start.
+    pub fn starting_at(mut self, t: Time) -> FlowConfig {
+        self.start = t;
+        self
+    }
+}
+
+/// A complete scenario.
+pub struct SimConfig {
+    /// The shared bottleneck.
+    pub link: LinkConfig,
+    /// The competing flows.
+    pub flows: Vec<FlowConfig>,
+    /// How long to simulate.
+    pub duration: Dur,
+    /// Decimation interval for cwnd/rate series (RTT samples are always
+    /// recorded exactly; set this small only for short runs).
+    pub sample_every: Dur,
+}
+
+impl SimConfig {
+    /// A scenario with 10 ms series decimation.
+    pub fn new(link: LinkConfig, flows: Vec<FlowConfig>, duration: Dur) -> SimConfig {
+        SimConfig {
+            link,
+            flows,
+            duration,
+            sample_every: Dur::from_millis(10),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cca::ConstCwnd;
+
+    #[test]
+    fn ample_buffer_is_huge() {
+        let l = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
+        assert!(l.buffer_bytes > 1_000_000_000);
+    }
+
+    #[test]
+    fn bdp_buffer_math() {
+        // 120 Mbit/s × 40 ms = 600 kB; 1 BDP.
+        let l = LinkConfig::bdp_buffer(Rate::from_mbps(120.0), Dur::from_millis(40), 1.0);
+        assert_eq!(l.buffer_bytes, 600_000);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let f = FlowConfig::bulk(Box::new(ConstCwnd::ten_packets()), Dur::from_millis(40))
+            .with_loss(0.02, 7)
+            .with_ack_policy(AckPolicy::Quantized {
+                period: Dur::from_millis(60),
+            })
+            .starting_at(Time::from_secs(1));
+        assert_eq!(f.loss_rate, 0.02);
+        assert_eq!(f.start, Time::from_secs(1));
+        assert!(matches!(f.ack_policy, AckPolicy::Quantized { .. }));
+    }
+}

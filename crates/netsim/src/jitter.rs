@@ -1,0 +1,406 @@
+//! The non-congestive delay element (§3 of the paper).
+//!
+//! Sits after the bottleneck queue and propagation delay on each flow's
+//! path. It may hold any packet for between 0 and `D` seconds but never
+//! reorders packets of the same flow — exactly the model component the
+//! paper proves starvation against. The policies:
+//!
+//! * [`Jitter::None`] — the ideal path.
+//! * [`Jitter::Random`] — i.i.d. uniform delay in `[0, max]` (what "noise"
+//!   looks like; note the paper's model is *non-deterministic, not random*,
+//!   and filtering defeats random jitter — tests confirm CCAs survive it).
+//! * [`Jitter::Script`] — delay looked up from a precomputed schedule by
+//!   packet send time (used to replay η(t) schedules from the Theorem 1
+//!   construction).
+//! * [`Jitter::TargetRtt`] — the adversary inside the Theorem 1/2 proofs:
+//!   hold each packet until its total RTT equals a target trajectory
+//!   `d̄(t_send)`, clamped to the jitter budget. Clamp violations are
+//!   counted so experiments can report emulation error.
+//! * [`Jitter::ExtraExcept`] — add a constant extra delay to every packet
+//!   *except* chosen ones (the §5.1 Copa min-RTT poisoning: every packet
+//!   takes `Rm + 1 ms` except one that takes `Rm`).
+//! * [`Jitter::TokenBucket`] — a token-bucket filter, one of §2.1's named
+//!   non-congestive delay sources: delays bursts without being a
+//!   persistent rate bottleneck.
+
+use simcore::rng::Xoshiro256;
+use simcore::series::TimeSeries;
+use simcore::units::{Dur, Time};
+
+/// Per-flow non-congestive delay policy.
+#[derive(Clone, Debug)]
+pub enum Jitter {
+    /// Ideal path: no added delay.
+    None,
+    /// Uniform random delay in `[0, max]`, no reordering.
+    Random {
+        /// Upper bound `D`.
+        max: Dur,
+        /// Deterministic stream.
+        rng: Xoshiro256,
+    },
+    /// Delay = `schedule(t_send)`, clamped to `[0, max]`.
+    Script {
+        /// η(t) in seconds, looked up by packet send time (step function).
+        schedule: TimeSeries,
+        /// Upper bound `D`.
+        max: Dur,
+    },
+    /// Adversarial: release the packet so its RTT equals
+    /// `target_rtt(t_send)`, adding at most `max` of delay.
+    TargetRtt {
+        /// d̄(t) in seconds, looked up by packet send time.
+        target_rtt: TimeSeries,
+        /// Upper bound `D`.
+        max: Dur,
+    },
+    /// Constant `extra` delay for every packet except those for which
+    /// `(packet index) % period == offset` (period 0 ⇒ only packet at
+    /// `offset` is exempted once).
+    ExtraExcept {
+        /// The persistent non-congestive delay.
+        extra: Dur,
+        /// Every `period`-th packet is exempt (0 = only one packet ever).
+        period: u64,
+        /// Index of the first exempt packet.
+        offset: u64,
+    },
+    /// A token-bucket filter — one of the paper's named sources of
+    /// non-congestive delay (§2.1). Tokens accrue at `rate` up to `bucket`
+    /// bytes; a packet needing more tokens than available waits for the
+    /// deficit to refill. With `rate` at or above the bottleneck rate the
+    /// TBF is not a persistent bottleneck, but it shapes bursts into
+    /// delay spikes that look exactly like jitter to an end-to-end CCA.
+    TokenBucket {
+        /// Token refill rate (bytes/sec semantics via [`simcore::units::Rate`]).
+        rate: simcore::units::Rate,
+        /// Bucket depth in bytes.
+        bucket: u64,
+    },
+}
+
+/// Runtime state of a flow's jitter element.
+#[derive(Clone, Debug)]
+pub struct JitterElement {
+    policy: Jitter,
+    /// Release time of the previously released packet (no-reorder floor).
+    last_release: Time,
+    /// Token-bucket state: available tokens (bytes) and last refill time.
+    tbf_tokens: f64,
+    tbf_last: Time,
+    /// Packets processed.
+    count: u64,
+    /// Times the requested delay fell outside `[0, max]` and was clamped
+    /// (only the adversarial policies can violate; see Theorem 1's
+    /// feasibility conditions).
+    clamp_violations: u64,
+    /// Greatest clamp magnitude seen, seconds.
+    worst_clamp: f64,
+}
+
+impl JitterElement {
+    /// Wrap a policy.
+    pub fn new(policy: Jitter) -> Self {
+        let tbf_tokens = match &policy {
+            Jitter::TokenBucket { bucket, .. } => *bucket as f64,
+            _ => 0.0,
+        };
+        JitterElement {
+            policy,
+            last_release: Time::ZERO,
+            tbf_tokens,
+            tbf_last: Time::ZERO,
+            count: 0,
+            clamp_violations: 0,
+            worst_clamp: 0.0,
+        }
+    }
+
+    /// Decide when a packet of `bytes` arriving at the element `now`
+    /// (having been sent at `sent_at`) is released toward the receiver.
+    ///
+    /// Guarantees release ≥ `now` (no time travel) and release ≥ the
+    /// previous packet's release (no reordering).
+    pub fn release_time(&mut self, now: Time, sent_at: Time, bytes: u64) -> Time {
+        let idx = self.count;
+        self.count += 1;
+        // Token-bucket state lives outside the policy enum, so handle it
+        // before borrowing `self.policy` mutably.
+        if let Jitter::TokenBucket { rate, bucket } = &self.policy {
+            let (rate, bucket) = (*rate, *bucket);
+            // Refill since the last packet (capped at the bucket depth),
+            // then let the balance go negative: a negative balance is the
+            // deficit the packet must wait out. This handles same-instant
+            // bursts without time arithmetic underflow.
+            let elapsed = now.since(self.tbf_last).as_secs_f64();
+            self.tbf_last = now;
+            self.tbf_tokens =
+                (self.tbf_tokens + rate.bytes_per_sec() * elapsed).min(bucket as f64);
+            self.tbf_tokens -= bytes as f64;
+            let delay = if self.tbf_tokens >= 0.0 {
+                Dur::ZERO
+            } else {
+                Dur::from_secs_f64(-self.tbf_tokens / rate.bytes_per_sec())
+            };
+            let release = (now + delay).max(self.last_release);
+            self.last_release = release;
+            return release;
+        }
+        // First compute the requested delay, then clamp it (split so the
+        // clamp bookkeeping doesn't fight the borrow on `self.policy`).
+        enum Want {
+            Fixed(Dur),
+            Clamp(f64, Dur),
+        }
+        let want = match &mut self.policy {
+            Jitter::None => Want::Fixed(Dur::ZERO),
+            Jitter::Random { max, rng } => Want::Fixed(Dur::from_secs_f64(
+                rng.range_f64(0.0, max.as_secs_f64()),
+            )),
+            Jitter::Script { schedule, max } => {
+                let eta = schedule.value_at(sent_at).unwrap_or(0.0);
+                Want::Clamp(eta, *max)
+            }
+            Jitter::TargetRtt { target_rtt, max } => match target_rtt.value_at(sent_at) {
+                None => Want::Fixed(Dur::ZERO),
+                Some(d_target) => {
+                    // RTT so far (queue + tx + propagation) is now−sent.
+                    let so_far = now.since(sent_at).as_secs_f64();
+                    Want::Clamp(d_target - so_far, *max)
+                }
+            },
+            Jitter::ExtraExcept {
+                extra,
+                period,
+                offset,
+            } => {
+                let exempt = if *period == 0 {
+                    idx == *offset
+                } else {
+                    idx % *period == *offset % *period
+                };
+                Want::Fixed(if exempt { Dur::ZERO } else { *extra })
+            }
+            Jitter::TokenBucket { .. } => unreachable!("handled above"),
+        };
+        let delay = match want {
+            Want::Fixed(d) => d,
+            Want::Clamp(eta, max) => self.clamped(eta, max),
+        };
+        let release = now + delay;
+        let release = release.max(self.last_release);
+        self.last_release = release;
+        release
+    }
+
+    fn clamped(&mut self, eta_secs: f64, max: Dur) -> Dur {
+        if eta_secs < -1e-9 {
+            self.clamp_violations += 1;
+            self.worst_clamp = self.worst_clamp.max(-eta_secs);
+            return Dur::ZERO;
+        }
+        let eta = Dur::from_secs_f64(eta_secs.max(0.0));
+        if eta > max {
+            self.clamp_violations += 1;
+            self.worst_clamp = self.worst_clamp.max(eta_secs - max.as_secs_f64());
+            max
+        } else {
+            eta
+        }
+    }
+
+    /// How many packets needed clamping (0 for a feasible emulation).
+    pub fn clamp_violations(&self) -> u64 {
+        self.clamp_violations
+    }
+
+    /// Worst clamp magnitude in seconds.
+    pub fn worst_clamp(&self) -> f64 {
+        self.worst_clamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_policy_adds_nothing() {
+        let mut j = JitterElement::new(Jitter::None);
+        let t = Time::from_millis(10);
+        assert_eq!(j.release_time(t, Time::ZERO, 1500), t);
+    }
+
+    #[test]
+    fn random_bounded_and_non_reordering() {
+        let mut j = JitterElement::new(Jitter::Random {
+            max: Dur::from_millis(20),
+            rng: Xoshiro256::new(7),
+        });
+        let mut prev = Time::ZERO;
+        for i in 0..1000 {
+            let arrive = Time::from_micros(100 * i);
+            let rel = j.release_time(arrive, Time::ZERO, 1500);
+            assert!(rel >= arrive);
+            assert!(rel.since(arrive) <= Dur::from_millis(21));
+            assert!(rel >= prev, "reordered at {i}");
+            prev = rel;
+        }
+    }
+
+    #[test]
+    fn script_looks_up_by_send_time() {
+        let mut sched = TimeSeries::new();
+        sched.push(Time::ZERO, 0.005);
+        sched.push(Time::from_millis(100), 0.001);
+        let mut j = JitterElement::new(Jitter::Script {
+            schedule: sched,
+            max: Dur::from_millis(10),
+        });
+        // Sent at t=0 → 5 ms extra.
+        let r = j.release_time(Time::from_millis(50), Time::ZERO, 1500);
+        assert_eq!(r, Time::from_millis(55));
+        // Sent at t=100ms → 1 ms extra.
+        let r = j.release_time(Time::from_millis(150), Time::from_millis(100), 1500);
+        assert_eq!(r, Time::from_millis(151));
+    }
+
+    #[test]
+    fn script_clamps_to_max_and_counts() {
+        let mut sched = TimeSeries::new();
+        sched.push(Time::ZERO, 0.050);
+        let mut j = JitterElement::new(Jitter::Script {
+            schedule: sched,
+            max: Dur::from_millis(10),
+        });
+        let r = j.release_time(Time::from_millis(1), Time::ZERO, 1500);
+        assert_eq!(r, Time::from_millis(11));
+        assert_eq!(j.clamp_violations(), 1);
+        assert!((j.worst_clamp() - 0.040).abs() < 1e-9);
+    }
+
+    #[test]
+    fn target_rtt_fills_the_gap() {
+        let mut target = TimeSeries::new();
+        target.push(Time::ZERO, 0.080); // want RTT = 80 ms
+        let mut j = JitterElement::new(Jitter::TargetRtt {
+            target_rtt: target,
+            max: Dur::from_millis(40),
+        });
+        // Packet sent at 0 arrives at the element at 60 ms → hold 20 ms.
+        let r = j.release_time(Time::from_millis(60), Time::ZERO, 1500);
+        assert_eq!(r, Time::from_millis(80));
+        assert_eq!(j.clamp_violations(), 0);
+    }
+
+    #[test]
+    fn target_rtt_negative_eta_clamps_to_zero() {
+        let mut target = TimeSeries::new();
+        target.push(Time::ZERO, 0.050);
+        let mut j = JitterElement::new(Jitter::TargetRtt {
+            target_rtt: target,
+            max: Dur::from_millis(40),
+        });
+        // Already 60 ms old — can't go back in time.
+        let r = j.release_time(Time::from_millis(60), Time::ZERO, 1500);
+        assert_eq!(r, Time::from_millis(60));
+        assert_eq!(j.clamp_violations(), 1);
+    }
+
+    #[test]
+    fn extra_except_exempts_one_packet() {
+        let mut j = JitterElement::new(Jitter::ExtraExcept {
+            extra: Dur::from_millis(1),
+            period: 0,
+            offset: 0,
+        });
+        // Packet 0 exempt; later packets +1 ms. Use growing arrival times so
+        // the no-reorder floor doesn't mask the policy.
+        let r0 = j.release_time(Time::from_millis(10), Time::ZERO, 1500);
+        assert_eq!(r0, Time::from_millis(10));
+        let r1 = j.release_time(Time::from_millis(20), Time::ZERO, 1500);
+        assert_eq!(r1, Time::from_millis(21));
+        let r2 = j.release_time(Time::from_millis(30), Time::ZERO, 1500);
+        assert_eq!(r2, Time::from_millis(31));
+    }
+
+    #[test]
+    fn extra_except_periodic_exemption() {
+        let mut j = JitterElement::new(Jitter::ExtraExcept {
+            extra: Dur::from_millis(2),
+            period: 3,
+            offset: 1,
+        });
+        let mut rels = Vec::new();
+        for i in 0..6u64 {
+            let t = Time::from_millis(10 * (i + 1));
+            rels.push(j.release_time(t, Time::ZERO, 1500));
+        }
+        // Indices 1 and 4 exempt.
+        assert_eq!(rels[1], Time::from_millis(20));
+        assert_eq!(rels[4], Time::from_millis(50));
+        assert_eq!(rels[0], Time::from_millis(12));
+        assert_eq!(rels[2], Time::from_millis(32));
+    }
+
+    #[test]
+    fn token_bucket_passes_paced_traffic() {
+        // 1.5 MB/s tokens, 3 kB bucket; packets arriving at 1 ms spacing
+        // (1.5 MB/s offered) never wait.
+        let mut j = JitterElement::new(Jitter::TokenBucket {
+            rate: simcore::units::Rate::from_mbps(12.0),
+            bucket: 3000,
+        });
+        for i in 1..20u64 {
+            let t = Time::from_millis(i);
+            assert_eq!(j.release_time(t, Time::ZERO, 1500), t, "pkt {i}");
+        }
+    }
+
+    #[test]
+    fn token_bucket_delays_bursts() {
+        // Same TBF; a 6-packet burst at one instant: the bucket (2 pkts)
+        // absorbs the first two, the rest wait for refill at 1 ms/pkt.
+        let mut j = JitterElement::new(Jitter::TokenBucket {
+            rate: simcore::units::Rate::from_mbps(12.0),
+            bucket: 3000,
+        });
+        let t = Time::from_millis(10);
+        let rels: Vec<Time> = (0..6).map(|_| j.release_time(t, Time::ZERO, 1500)).collect();
+        assert_eq!(rels[0], t);
+        assert_eq!(rels[1], t);
+        assert_eq!(rels[2], Time::from_millis(11));
+        assert_eq!(rels[3], Time::from_millis(12));
+        assert_eq!(rels[5], Time::from_millis(14));
+    }
+
+    #[test]
+    fn token_bucket_refills_to_cap_only() {
+        let mut j = JitterElement::new(Jitter::TokenBucket {
+            rate: simcore::units::Rate::from_mbps(12.0),
+            bucket: 3000,
+        });
+        // Long idle: bucket refills to its cap, not beyond — a 4-packet
+        // burst still overflows by two.
+        let t = Time::from_secs(5);
+        let rels: Vec<Time> = (0..4).map(|_| j.release_time(t, Time::ZERO, 1500)).collect();
+        assert_eq!(rels[1], t);
+        assert!(rels[2] > t);
+    }
+
+    #[test]
+    fn no_reorder_floor_applies() {
+        // A big delay on packet 1 forces packet 2's release to wait.
+        let mut sched = TimeSeries::new();
+        sched.push(Time::ZERO, 0.030);
+        sched.push(Time::from_millis(5), 0.0);
+        let mut j = JitterElement::new(Jitter::Script {
+            schedule: sched,
+            max: Dur::from_millis(40),
+        });
+        let r1 = j.release_time(Time::from_millis(10), Time::ZERO, 1500); // 40
+        let r2 = j.release_time(Time::from_millis(11), Time::from_millis(5), 1500); // would be 11
+        assert_eq!(r1, Time::from_millis(40));
+        assert_eq!(r2, Time::from_millis(40)); // floored, not reordered
+    }
+}

@@ -1,0 +1,217 @@
+//! Per-flow and per-run measurement records.
+//!
+//! The paper's throughput definition (§4.2): "the number of bytes
+//! acknowledged between time 0 and t divided by t" — implemented by
+//! [`FlowMetrics::throughput_at`] (with time 0 = the flow's start).
+
+use simcore::series::TimeSeries;
+use simcore::stats;
+use simcore::units::{Dur, Rate, Time};
+
+/// Everything recorded about one flow during a run.
+#[derive(Clone, Debug)]
+pub struct FlowMetrics {
+    /// Flow start time.
+    pub start: Time,
+    /// RTT samples `(ack time, seconds)` — exact, one per valid sample.
+    pub rtt: TimeSeries,
+    /// Congestion window samples (decimated), bytes.
+    pub cwnd: TimeSeries,
+    /// Pacing-rate samples (decimated), bytes/sec.
+    pub pacing: TimeSeries,
+    /// Cumulative delivered bytes over time.
+    pub delivered: TimeSeries,
+    /// Total bytes handed to the path (including retransmissions).
+    pub sent_bytes: u64,
+    /// Bytes the sender declared lost.
+    pub lost_bytes: u64,
+    /// Retransmitted bytes.
+    pub retransmitted_bytes: u64,
+    /// Fast-retransmit episodes.
+    pub fast_retransmits: u64,
+    /// RTO episodes.
+    pub timeouts: u64,
+}
+
+impl FlowMetrics {
+    /// Empty record for a flow starting at `start`.
+    pub fn new(start: Time) -> Self {
+        FlowMetrics {
+            start,
+            rtt: TimeSeries::new(),
+            cwnd: TimeSeries::new(),
+            pacing: TimeSeries::new(),
+            delivered: TimeSeries::new(),
+            sent_bytes: 0,
+            lost_bytes: 0,
+            retransmitted_bytes: 0,
+            fast_retransmits: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// Total bytes delivered by the end of the record.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered.last().map(|(_, v)| v as u64).unwrap_or(0)
+    }
+
+    /// The paper's throughput at time `t`: delivered bytes in
+    /// `[start, t]` divided by `t − start`.
+    pub fn throughput_at(&self, t: Time) -> Rate {
+        if t <= self.start {
+            return Rate::ZERO;
+        }
+        let bytes = self.delivered.value_at(t).unwrap_or(0.0);
+        Rate::from_bytes_per_sec(bytes / t.since(self.start).as_secs_f64())
+    }
+
+    /// Mean throughput over a window `[a, b]` (delivered delta / elapsed).
+    pub fn throughput_over(&self, a: Time, b: Time) -> Rate {
+        assert!(b > a);
+        let d_a = self.delivered.value_at(a).unwrap_or(0.0);
+        let d_b = self.delivered.value_at(b).unwrap_or(0.0);
+        Rate::from_bytes_per_sec((d_b - d_a).max(0.0) / b.since(a).as_secs_f64())
+    }
+
+    /// Mean RTT over `[a, b]`, seconds.
+    pub fn mean_rtt_in(&self, a: Time, b: Time) -> Option<f64> {
+        self.rtt.mean_in(a, b)
+    }
+
+    /// Min/max RTT over `[a, b]` in seconds — `(d_min, d_max)` of
+    /// Definition 1 when measured over the converged region.
+    pub fn rtt_range_in(&self, a: Time, b: Time) -> Option<(f64, f64)> {
+        Some((self.rtt.min_in(a, b)?, self.rtt.max_in(a, b)?))
+    }
+
+    /// Fraction of sent bytes declared lost.
+    pub fn loss_fraction(&self) -> f64 {
+        if self.sent_bytes == 0 {
+            0.0
+        } else {
+            self.lost_bytes as f64 / self.sent_bytes as f64
+        }
+    }
+}
+
+/// Result of a complete simulation run.
+pub struct SimResult {
+    /// Per-flow metrics, indexed by flow id.
+    pub flows: Vec<FlowMetrics>,
+    /// Link utilization over the run (busy fraction).
+    pub utilization: f64,
+    /// Tail drops per flow at the bottleneck.
+    pub drops: Vec<u64>,
+    /// Jitter-element clamp violations per flow (nonzero means an
+    /// adversarial emulation was infeasible at some instants).
+    pub jitter_clamps: Vec<u64>,
+    /// When the run ended.
+    pub end: Time,
+}
+
+impl SimResult {
+    /// Per-flow throughput over the whole run (paper Definition: bytes
+    /// acked / elapsed since flow start).
+    pub fn throughputs(&self) -> Vec<Rate> {
+        self.flows.iter().map(|f| f.throughput_at(self.end)).collect()
+    }
+
+    /// Per-flow throughput over the last `window` of the run — the
+    /// "steady-state" number quoted in §5's experiments.
+    pub fn steady_throughputs(&self, window: Dur) -> Vec<Rate> {
+        let a = if self.end.as_nanos() > window.as_nanos() {
+            self.end - window
+        } else {
+            Time::ZERO
+        };
+        self.flows
+            .iter()
+            .map(|f| f.throughput_over(a.max(f.start), self.end))
+            .collect()
+    }
+
+    /// Max/min throughput ratio (the paper's unfairness measure `s`).
+    pub fn throughput_ratio(&self) -> f64 {
+        let t: Vec<f64> = self.throughputs().iter().map(|r| r.mbps()).collect();
+        stats::max_min_ratio(&t).unwrap_or(1.0)
+    }
+
+    /// Jain fairness index over flow throughputs.
+    pub fn jain(&self) -> f64 {
+        let t: Vec<f64> = self.throughputs().iter().map(|r| r.mbps()).collect();
+        stats::jain_index(&t).unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics_with_delivery() -> FlowMetrics {
+        let mut m = FlowMetrics::new(Time::ZERO);
+        // 1 MB after 1 s, 3 MB after 2 s.
+        m.delivered.push(Time::from_secs(1), 1e6);
+        m.delivered.push(Time::from_secs(2), 3e6);
+        m
+    }
+
+    #[test]
+    fn throughput_at_divides_by_elapsed() {
+        let m = metrics_with_delivery();
+        // 3 MB over 2 s = 12 Mbit/s.
+        assert!((m.throughput_at(Time::from_secs(2)).mbps() - 12.0).abs() < 1e-9);
+        assert_eq!(m.throughput_at(Time::ZERO), Rate::ZERO);
+    }
+
+    #[test]
+    fn throughput_over_window() {
+        let m = metrics_with_delivery();
+        // Second second: 2 MB = 16 Mbit/s.
+        let r = m.throughput_over(Time::from_secs(1), Time::from_secs(2));
+        assert!((r.mbps() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_respects_flow_start() {
+        let mut m = FlowMetrics::new(Time::from_secs(1));
+        m.delivered.push(Time::from_secs(2), 1e6);
+        // 1 MB over 1 s since start = 8 Mbit/s.
+        assert!((m.throughput_at(Time::from_secs(2)).mbps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_fraction() {
+        let mut m = FlowMetrics::new(Time::ZERO);
+        m.sent_bytes = 100_000;
+        m.lost_bytes = 2_000;
+        assert!((m.loss_fraction() - 0.02).abs() < 1e-12);
+        assert_eq!(FlowMetrics::new(Time::ZERO).loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn rtt_range() {
+        let mut m = FlowMetrics::new(Time::ZERO);
+        m.rtt.push(Time::from_millis(10), 0.050);
+        m.rtt.push(Time::from_millis(20), 0.055);
+        m.rtt.push(Time::from_millis(30), 0.052);
+        let (lo, hi) = m.rtt_range_in(Time::ZERO, Time::from_secs(1)).unwrap();
+        assert_eq!((lo, hi), (0.050, 0.055));
+    }
+
+    #[test]
+    fn sim_result_ratio() {
+        let mut a = FlowMetrics::new(Time::ZERO);
+        a.delivered.push(Time::from_secs(1), 10e6);
+        let mut b = FlowMetrics::new(Time::ZERO);
+        b.delivered.push(Time::from_secs(1), 1e6);
+        let r = SimResult {
+            flows: vec![a, b],
+            utilization: 0.9,
+            drops: vec![0, 0],
+            jitter_clamps: vec![0, 0],
+            end: Time::from_secs(1),
+        };
+        assert!((r.throughput_ratio() - 10.0).abs() < 1e-9);
+        assert!(r.jain() < 1.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Packet and ACK records exchanged between simulator components.
+
+use simcore::units::Time;
+
+/// Index of a flow within a simulation.
+pub type FlowId = usize;
+
+/// A data packet in flight. Sequence numbers count packets (all packets of
+/// a flow are MSS-sized), which keeps loss detection simple without
+/// modelling byte streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Packet sequence number (0-based, in packets).
+    pub seq: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// When the sender transmitted this copy (retransmissions refresh it).
+    pub sent_at: Time,
+    /// Sender's `delivered` counter at transmission (BBR rate sampling).
+    pub delivered_at_send: u64,
+    /// True if the flow was application-limited at send time.
+    pub app_limited: bool,
+    /// True if this is a retransmission (its RTT sample is ambiguous and is
+    /// discarded, per Karn's rule).
+    pub retransmit: bool,
+    /// True once the bottleneck marked this packet with explicit
+    /// congestion notification (§6.4).
+    pub ecn: bool,
+}
+
+/// An acknowledgement travelling back to the sender.
+///
+/// Cumulative packet-level ACK: `cum_seq` is the highest sequence such that
+/// all packets `0..=cum_seq` have arrived (`None` until packet 0 arrives).
+#[derive(Clone, Copy, Debug)]
+pub struct Ack {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Cumulative in-order acknowledgement.
+    pub cum_seq: Option<u64>,
+    /// Sequence of the data packet whose arrival triggered this ACK
+    /// (echoed so the sender can take an RTT sample for that packet).
+    pub echo_seq: u64,
+    /// `sent_at` of the echoed packet.
+    pub echo_sent_at: Time,
+    /// Whether the echoed packet was a retransmission (Karn: no RTT sample).
+    pub echo_retransmit: bool,
+    /// Number of data packets this ACK covers (delayed/aggregated ACKs
+    /// cover several).
+    pub acked_count: u64,
+    /// Count of out-of-order packets held at the receiver (a SACK-like
+    /// hint; nonzero means there is a hole).
+    pub ooo_count: u64,
+    /// True if any data this ACK covers carried an ECN congestion mark.
+    pub ecn_echo: bool,
+    /// Datagram transport only: the individual packet this ACK covers
+    /// (datagram receivers acknowledge every packet separately).
+    pub sack_seq: Option<u64>,
+    /// Up to three SACK blocks: closed `[lo, hi]` ranges of out-of-order
+    /// data held at the receiver, newest first (RFC 2018-style).
+    pub sack_blocks: [Option<(u64, u64)>; 3],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_is_copy_and_small() {
+        // Packets are copied into queues constantly; keep them compact.
+        assert!(std::mem::size_of::<Packet>() <= 64);
+        assert!(std::mem::size_of::<Ack>() <= 160);
+    }
+
+    #[test]
+    fn ack_semantics() {
+        let a = Ack {
+            flow: 0,
+            cum_seq: None,
+            echo_seq: 3,
+            echo_sent_at: Time::ZERO,
+            echo_retransmit: false,
+            acked_count: 1,
+            ooo_count: 1,
+            ecn_echo: false,
+            sack_seq: None,
+            sack_blocks: [None; 3],
+        };
+        // cum None + ooo > 0: packet 0 still missing but later data arrived.
+        assert!(a.cum_seq.is_none());
+        assert_eq!(a.ooo_count, 1);
+    }
+}

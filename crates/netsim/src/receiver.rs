@@ -1,0 +1,459 @@
+//! The receiving endpoint: cumulative ACK generation with configurable
+//! delay/aggregation policies (see [`AckPolicy`]).
+
+use crate::config::AckPolicy;
+use crate::packet::{Ack, FlowId, Packet};
+use simcore::units::Time;
+use std::collections::BTreeSet;
+
+/// What the receiver wants done after processing an event.
+#[derive(Clone, Debug, Default)]
+pub struct RxOutput {
+    /// ACKs to send immediately (datagram receivers may release several).
+    pub acks: Vec<Ack>,
+    /// Arm (or re-arm) the flush timer at this time.
+    pub arm_flush: Option<Time>,
+}
+
+impl RxOutput {
+    /// Convenience for tests: the single immediate ACK, if exactly one.
+    pub fn ack(&self) -> Option<Ack> {
+        if self.acks.len() == 1 {
+            Some(self.acks[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// Pending (held) acknowledgement state for delayed/aggregated policies.
+#[derive(Clone, Copy, Debug)]
+struct Held {
+    count: u64,
+    echo_seq: u64,
+    echo_sent_at: Time,
+    echo_retransmit: bool,
+    ecn: bool,
+}
+
+/// Receiving endpoint of one flow.
+#[derive(Clone, Debug)]
+pub struct Receiver {
+    flow: FlowId,
+    policy: AckPolicy,
+    /// Next in-order sequence expected.
+    next_expected: u64,
+    /// Out-of-order packets held above the cumulative point.
+    ooo: BTreeSet<u64>,
+    held: Option<Held>,
+    /// Datagram mode: per-packet ACKs awaiting release.
+    pending: Vec<Held>,
+    /// Whether this receiver acknowledges each packet individually.
+    datagram: bool,
+    /// Deadline currently armed (stale timer events are ignored).
+    flush_deadline: Option<Time>,
+    /// Total data packets received (including duplicates).
+    pub packets_received: u64,
+}
+
+impl Receiver {
+    /// A receiver for `flow` with the given ACK policy (reliable mode).
+    pub fn new(flow: FlowId, policy: AckPolicy) -> Self {
+        Receiver {
+            flow,
+            policy,
+            next_expected: 0,
+            ooo: BTreeSet::new(),
+            held: None,
+            pending: Vec::new(),
+            datagram: false,
+            flush_deadline: None,
+            packets_received: 0,
+        }
+    }
+
+    /// A datagram-mode receiver: every packet gets its own ACK (possibly
+    /// held by the delay/aggregation policy), no cumulative semantics.
+    pub fn new_datagram(flow: FlowId, policy: AckPolicy) -> Self {
+        let mut r = Receiver::new(flow, policy);
+        r.datagram = true;
+        r
+    }
+
+    /// Cumulative ACK value (`None` until packet 0 arrives).
+    pub fn cum_seq(&self) -> Option<u64> {
+        self.next_expected.checked_sub(1)
+    }
+
+    fn make_ack(&self, held: Held) -> Ack {
+        Ack {
+            flow: self.flow,
+            cum_seq: self.cum_seq(),
+            echo_seq: held.echo_seq,
+            echo_sent_at: held.echo_sent_at,
+            echo_retransmit: held.echo_retransmit,
+            acked_count: held.count,
+            ooo_count: self.ooo.len() as u64,
+            ecn_echo: held.ecn,
+            sack_seq: None,
+            sack_blocks: self.sack_blocks(),
+        }
+    }
+
+    /// The three most recent contiguous out-of-order ranges (RFC 2018
+    /// reports the newest blocks first; "recent" here means highest).
+    fn sack_blocks(&self) -> [Option<(u64, u64)>; 3] {
+        let mut blocks: [Option<(u64, u64)>; 3] = [None; 3];
+        let mut n = 0;
+        let mut cur: Option<(u64, u64)> = None;
+        for &seq in self.ooo.iter().rev() {
+            match cur {
+                None => cur = Some((seq, seq)),
+                Some((lo, hi)) if seq + 1 == lo => cur = Some((seq, hi)),
+                Some(done) => {
+                    blocks[n] = Some(done);
+                    n += 1;
+                    if n == 3 {
+                        return blocks;
+                    }
+                    cur = Some((seq, seq));
+                }
+            }
+        }
+        if let Some(done) = cur {
+            if n < 3 {
+                blocks[n] = Some(done);
+            }
+        }
+        blocks
+    }
+
+    fn make_sack(&self, held: Held) -> Ack {
+        Ack {
+            flow: self.flow,
+            cum_seq: None,
+            echo_seq: held.echo_seq,
+            echo_sent_at: held.echo_sent_at,
+            echo_retransmit: held.echo_retransmit,
+            acked_count: 1,
+            ooo_count: 0,
+            ecn_echo: held.ecn,
+            sack_seq: Some(held.echo_seq),
+            sack_blocks: [None; 3],
+        }
+    }
+
+    /// Decide when held datagram ACKs should be released.
+    fn datagram_on_data(&mut self, now: Time, pkt: Packet) -> RxOutput {
+        self.pending.push(Held {
+            count: 1,
+            echo_seq: pkt.seq,
+            echo_sent_at: pkt.sent_at,
+            echo_retransmit: pkt.retransmit,
+            ecn: pkt.ecn,
+        });
+        match self.policy {
+            AckPolicy::PerPacket => RxOutput {
+                acks: self.drain_pending(),
+                arm_flush: None,
+            },
+            AckPolicy::Delayed { max_pkts, timeout } => {
+                if self.pending.len() as u64 >= max_pkts {
+                    self.flush_deadline = None;
+                    RxOutput {
+                        acks: self.drain_pending(),
+                        arm_flush: None,
+                    }
+                } else if self.flush_deadline.is_none() {
+                    let deadline = now + timeout;
+                    self.flush_deadline = Some(deadline);
+                    RxOutput {
+                        acks: Vec::new(),
+                        arm_flush: Some(deadline),
+                    }
+                } else {
+                    RxOutput::default()
+                }
+            }
+            AckPolicy::Quantized { period } => {
+                if self.flush_deadline.is_none() {
+                    let p = period.as_nanos().max(1);
+                    let next = now.as_nanos().div_ceil(p).max(1) * p;
+                    let deadline = Time(next);
+                    self.flush_deadline = Some(deadline);
+                    RxOutput {
+                        acks: Vec::new(),
+                        arm_flush: Some(deadline),
+                    }
+                } else {
+                    RxOutput::default()
+                }
+            }
+        }
+    }
+
+    fn drain_pending(&mut self) -> Vec<Ack> {
+        let pending = std::mem::take(&mut self.pending);
+        pending.into_iter().map(|h| self.make_sack(h)).collect()
+    }
+
+    /// Process an arriving data packet.
+    pub fn on_data(&mut self, now: Time, pkt: Packet) -> RxOutput {
+        self.packets_received += 1;
+        if self.datagram {
+            return self.datagram_on_data(now, pkt);
+        }
+        let duplicate = pkt.seq < self.next_expected || self.ooo.contains(&pkt.seq);
+        let in_order = pkt.seq == self.next_expected;
+        if in_order {
+            self.next_expected += 1;
+            // Absorb any contiguous out-of-order run.
+            while self.ooo.remove(&self.next_expected) {
+                self.next_expected += 1;
+            }
+        } else if !duplicate {
+            self.ooo.insert(pkt.seq);
+        }
+
+        let held = {
+            let h = self.held.get_or_insert(Held {
+                count: 0,
+                echo_seq: pkt.seq,
+                echo_sent_at: pkt.sent_at,
+                echo_retransmit: pkt.retransmit,
+                ecn: false,
+            });
+            h.count += 1;
+            h.echo_seq = pkt.seq;
+            h.echo_sent_at = pkt.sent_at;
+            h.echo_retransmit = pkt.retransmit;
+            h.ecn |= pkt.ecn;
+            *h
+        };
+
+        match self.policy {
+            AckPolicy::PerPacket => {
+                self.held = None;
+                RxOutput {
+                    acks: vec![self.make_ack(held)],
+                    arm_flush: None,
+                }
+            }
+            AckPolicy::Delayed { max_pkts, timeout } => {
+                // Out-of-order or duplicate data defeats ACK delay (RFC 5681):
+                // the sender needs duplicate ACKs promptly.
+                let must_ack_now =
+                    !self.ooo.is_empty() || duplicate || held.count >= max_pkts;
+                if must_ack_now {
+                    self.held = None;
+                    self.flush_deadline = None;
+                    RxOutput {
+                        acks: vec![self.make_ack(held)],
+                        arm_flush: None,
+                    }
+                } else if self.flush_deadline.is_none() {
+                    let deadline = now + timeout;
+                    self.flush_deadline = Some(deadline);
+                    RxOutput {
+                        acks: Vec::new(),
+                        arm_flush: Some(deadline),
+                    }
+                } else {
+                    RxOutput::default()
+                }
+            }
+            AckPolicy::Quantized { period } => {
+                // Release only at the next multiple of `period`, no matter
+                // what (this is link-layer aggregation, below the ACK rules).
+                if self.flush_deadline.is_none() {
+                    let p = period.as_nanos().max(1);
+                    let next = now.as_nanos().div_ceil(p).max(1) * p;
+                    let deadline = Time(next);
+                    self.flush_deadline = Some(deadline);
+                    RxOutput {
+                        acks: Vec::new(),
+                        arm_flush: Some(deadline),
+                    }
+                } else {
+                    RxOutput::default()
+                }
+            }
+        }
+    }
+
+    /// The flush timer fired (the caller passes the deadline the event was
+    /// scheduled for; stale timers are ignored).
+    pub fn on_flush(&mut self, deadline: Time) -> Vec<Ack> {
+        if self.flush_deadline != Some(deadline) {
+            return Vec::new(); // superseded
+        }
+        self.flush_deadline = None;
+        if self.datagram {
+            return self.drain_pending();
+        }
+        match self.held.take() {
+            Some(held) => vec![self.make_ack(held)],
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::Dur;
+
+    fn pkt(seq: u64, sent_ms: u64) -> Packet {
+        Packet {
+            flow: 0,
+            seq,
+            bytes: 1500,
+            sent_at: Time::from_millis(sent_ms),
+            delivered_at_send: 0,
+            app_limited: false,
+            retransmit: false,
+            ecn: false,
+        }
+    }
+
+    #[test]
+    fn per_packet_acks_everything() {
+        let mut r = Receiver::new(0, AckPolicy::PerPacket);
+        let out = r.on_data(Time::from_millis(1), pkt(0, 0));
+        let ack = out.ack().unwrap();
+        assert_eq!(ack.cum_seq, Some(0));
+        assert_eq!(ack.echo_seq, 0);
+        let out = r.on_data(Time::from_millis(2), pkt(1, 1));
+        assert_eq!(out.ack().unwrap().cum_seq, Some(1));
+    }
+
+    #[test]
+    fn out_of_order_hole_tracked() {
+        let mut r = Receiver::new(0, AckPolicy::PerPacket);
+        r.on_data(Time::from_millis(1), pkt(0, 0));
+        // Packet 2 arrives before 1: dup-ack with ooo hint.
+        let out = r.on_data(Time::from_millis(2), pkt(2, 1));
+        let ack = out.ack().unwrap();
+        assert_eq!(ack.cum_seq, Some(0));
+        assert_eq!(ack.ooo_count, 1);
+        // Packet 1 fills the hole: cum jumps to 2.
+        let out = r.on_data(Time::from_millis(3), pkt(1, 1));
+        assert_eq!(out.ack().unwrap().cum_seq, Some(2));
+        assert_eq!(r.ooo.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_data_still_acked() {
+        let mut r = Receiver::new(0, AckPolicy::PerPacket);
+        r.on_data(Time::from_millis(1), pkt(0, 0));
+        let out = r.on_data(Time::from_millis(2), pkt(0, 0));
+        assert_eq!(out.ack().unwrap().cum_seq, Some(0));
+    }
+
+    #[test]
+    fn delayed_acks_every_nth() {
+        let mut r = Receiver::new(
+            0,
+            AckPolicy::Delayed {
+                max_pkts: 4,
+                timeout: Dur::from_millis(40),
+            },
+        );
+        assert!(r.on_data(Time::from_millis(1), pkt(0, 0)).acks.is_empty());
+        assert!(r.on_data(Time::from_millis(2), pkt(1, 0)).acks.is_empty());
+        assert!(r.on_data(Time::from_millis(3), pkt(2, 0)).acks.is_empty());
+        let out = r.on_data(Time::from_millis(4), pkt(3, 0));
+        let ack = out.ack().unwrap();
+        assert_eq!(ack.cum_seq, Some(3));
+        assert_eq!(ack.acked_count, 4);
+    }
+
+    #[test]
+    fn delayed_ack_timeout_flushes() {
+        let mut r = Receiver::new(
+            0,
+            AckPolicy::Delayed {
+                max_pkts: 4,
+                timeout: Dur::from_millis(40),
+            },
+        );
+        let out = r.on_data(Time::from_millis(1), pkt(0, 0));
+        let deadline = out.arm_flush.unwrap();
+        assert_eq!(deadline, Time::from_millis(41));
+        let ack = r.on_flush(deadline)[0];
+        assert_eq!(ack.cum_seq, Some(0));
+        assert_eq!(ack.acked_count, 1);
+    }
+
+    #[test]
+    fn stale_flush_ignored() {
+        let mut r = Receiver::new(
+            0,
+            AckPolicy::Delayed {
+                max_pkts: 2,
+                timeout: Dur::from_millis(40),
+            },
+        );
+        let out = r.on_data(Time::from_millis(1), pkt(0, 0));
+        let deadline = out.arm_flush.unwrap();
+        // Second packet triggers the count-based ACK; the timer is stale.
+        assert!(r.on_data(Time::from_millis(2), pkt(1, 0)).acks.len() == 1);
+        assert!(r.on_flush(deadline).is_empty());
+    }
+
+    #[test]
+    fn delayed_ack_defeated_by_ooo() {
+        let mut r = Receiver::new(
+            0,
+            AckPolicy::Delayed {
+                max_pkts: 4,
+                timeout: Dur::from_millis(40),
+            },
+        );
+        r.on_data(Time::from_millis(1), pkt(0, 0));
+        // seq 2 creates a hole → immediate (duplicate-able) ACK.
+        let out = r.on_data(Time::from_millis(2), pkt(2, 0));
+        assert!(out.acks.len() == 1);
+        assert_eq!(out.ack().unwrap().ooo_count, 1);
+    }
+
+    #[test]
+    fn quantized_releases_on_boundary() {
+        let mut r = Receiver::new(
+            0,
+            AckPolicy::Quantized {
+                period: Dur::from_millis(60),
+            },
+        );
+        let out = r.on_data(Time::from_millis(10), pkt(0, 0));
+        assert!(out.acks.is_empty());
+        let deadline = out.arm_flush.unwrap();
+        assert_eq!(deadline, Time::from_millis(60));
+        // More data before the boundary joins the same release.
+        assert!(r.on_data(Time::from_millis(20), pkt(1, 5)).acks.is_empty());
+        let ack = r.on_flush(deadline)[0];
+        assert_eq!(ack.cum_seq, Some(1));
+        assert_eq!(ack.acked_count, 2);
+        // Echo is the latest packet.
+        assert_eq!(ack.echo_seq, 1);
+    }
+
+    #[test]
+    fn quantized_boundary_is_exact_multiple() {
+        let mut r = Receiver::new(
+            0,
+            AckPolicy::Quantized {
+                period: Dur::from_millis(60),
+            },
+        );
+        // Arrival exactly on a boundary schedules that boundary.
+        let out = r.on_data(Time::from_millis(120), pkt(0, 100));
+        assert_eq!(out.arm_flush.unwrap(), Time::from_millis(120));
+    }
+
+    #[test]
+    fn cum_none_before_first_packet() {
+        let r = Receiver::new(0, AckPolicy::PerPacket);
+        assert_eq!(r.cum_seq(), None);
+    }
+}

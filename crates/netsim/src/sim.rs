@@ -1,0 +1,481 @@
+//! The network: wiring senders, the shared bottleneck, per-flow propagation
+//! and jitter elements, receivers and ACK paths into one deterministic
+//! event loop.
+//!
+//! Topology (the paper's §3 model):
+//!
+//! ```text
+//! sender f ─► [Bernoulli loss] ─► Bottleneck(C, buffer) ─► + Rm(f) ─►
+//!   jitter(f) ∈ [0, D] ─► receiver f ─► ACK (policy) ─► sender f
+//! ```
+//!
+//! The whole round-trip propagation `Rm` is applied on the data path and
+//! ACKs return instantly; only the sum is observable to an end-to-end CCA,
+//! so this loses no generality and lets the adversarial jitter element
+//! target full-RTT trajectories directly (as the proofs of Theorems 1–3
+//! require).
+
+use crate::config::SimConfig;
+use crate::jitter::JitterElement;
+use crate::link::{Bottleneck, Enqueue};
+use crate::metrics::SimResult;
+use crate::packet::{Ack, FlowId, Packet};
+use crate::receiver::Receiver;
+use crate::sender::{Emit, Sender};
+use simcore::engine::EventQueue;
+use simcore::rng::Xoshiro256;
+use simcore::units::{Dur, Time};
+
+/// Simulator events.
+#[derive(Debug)]
+enum Ev {
+    /// A sender may be able to transmit (flow start, pacing timer, etc.).
+    Wake(FlowId),
+    /// The bottleneck finishes transmitting its head packet.
+    Depart,
+    /// A data packet reaches its receiver.
+    DataArrive(Packet),
+    /// An acknowledgement reaches its sender.
+    AckArrive(Ack),
+    /// A receiver's delayed-ACK/aggregation timer fires.
+    RxFlush(FlowId, Time),
+    /// A sender's retransmission timer fires.
+    Rto(FlowId, Time),
+}
+
+/// A runnable network scenario.
+pub struct Network {
+    q: EventQueue<Ev>,
+    link: Bottleneck,
+    senders: Vec<Sender>,
+    receivers: Vec<Receiver>,
+    jitters: Vec<JitterElement>,
+    rm: Vec<Dur>,
+    loss: Vec<Option<(f64, Xoshiro256)>>,
+    /// Earliest pending Wake per flow (deduplicates pacing timers: without
+    /// this, every ACK adds a duplicate wake that reschedules itself
+    /// forever and the event population grows without bound).
+    wake_armed: Vec<Option<Time>>,
+    /// Deadline of the most recently scheduled Rto event per flow
+    /// (deduplicates timer events).
+    rto_scheduled: Vec<Option<Time>>,
+    end: Time,
+}
+
+impl Network {
+    /// Build a network from a scenario description.
+    pub fn new(cfg: SimConfig) -> Network {
+        let mut link = Bottleneck::new(cfg.link.rate, cfg.link.buffer_bytes);
+        link.set_ecn_threshold(cfg.link.ecn_threshold);
+        let mut q = EventQueue::new();
+        let mut senders = Vec::new();
+        let mut receivers = Vec::new();
+        let mut jitters = Vec::new();
+        let mut rm = Vec::new();
+        let mut loss = Vec::new();
+        for (i, f) in cfg.flows.into_iter().enumerate() {
+            let mut sender = Sender::new(i, f.cca, f.mss, f.app_limit, f.start, cfg.sample_every);
+            sender.set_transport(f.transport);
+            senders.push(sender);
+            receivers.push(match f.transport {
+                crate::config::Transport::Reliable => Receiver::new(i, f.ack_policy),
+                crate::config::Transport::Datagram => Receiver::new_datagram(i, f.ack_policy),
+            });
+            jitters.push(JitterElement::new(f.jitter));
+            rm.push(f.rm);
+            loss.push(if f.loss_rate > 0.0 {
+                Some((f.loss_rate, Xoshiro256::new(f.loss_seed)))
+            } else {
+                None
+            });
+            q.schedule_at(f.start, Ev::Wake(i));
+        }
+        let end = Time::ZERO + cfg.duration;
+        let wake_armed = vec![None; rm.len()];
+        let rto_scheduled = vec![None; rm.len()];
+        Network {
+            q,
+            link,
+            senders,
+            receivers,
+            jitters,
+            rm,
+            loss,
+            wake_armed,
+            rto_scheduled,
+            end,
+        }
+    }
+
+    /// Direct access to a sender (warm starts, inspection).
+    pub fn sender_mut(&mut self, flow: FlowId) -> &mut Sender {
+        &mut self.senders[flow]
+    }
+
+    /// Direct access to the bottleneck (warm starts, inspection).
+    pub fn link_mut(&mut self) -> &mut Bottleneck {
+        &mut self.link
+    }
+
+    /// Flow id used for warm-start filler packets that belong to no sender.
+    pub const PHANTOM: FlowId = usize::MAX;
+
+    /// Pre-fill the bottleneck queue with `bytes` of phantom traffic before
+    /// the run starts, creating an initial queueing delay of
+    /// `bytes / C` — the proof's freedom to choose `d*(0)` (Theorem 1,
+    /// step 3). Phantom packets drain normally but are discarded at the far
+    /// side of the link.
+    ///
+    /// Call before [`Network::run`].
+    pub fn prefill_queue(&mut self, bytes: u64, pkt_bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let n = bytes.div_ceil(pkt_bytes);
+        let pkts: Vec<Packet> = (0..n)
+            .map(|i| Packet {
+                flow: Self::PHANTOM,
+                seq: i,
+                bytes: pkt_bytes,
+                sent_at: Time::ZERO,
+                delivered_at_send: 0,
+                app_limited: false,
+                retransmit: false,
+                ecn: false,
+            })
+            .collect();
+        if let Some(first) = self.link.warm_fill(self.q.now(), pkts) {
+            self.q.schedule_at(first, Ev::Depart);
+        }
+    }
+
+    /// Let a sender transmit everything it can right now; schedule its next
+    /// wake if it is pacing-gated.
+    fn pump(&mut self, flow: FlowId) {
+        let now = self.q.now();
+        loop {
+            match self.senders[flow].try_emit(now) {
+                Emit::Blocked => break,
+                Emit::WaitUntil(t) => {
+                    let stale = self.wake_armed[flow].is_some_and(|armed| armed <= t);
+                    if t > now && t < self.end && !stale {
+                        self.wake_armed[flow] = Some(t);
+                        self.q.schedule_at(t, Ev::Wake(flow));
+                    }
+                    break;
+                }
+                Emit::Pkt(pkt) => {
+                    self.arm_rto(flow);
+                    self.inject(pkt);
+                }
+            }
+        }
+    }
+
+    /// Push a packet into the path: loss element, then the bottleneck.
+    fn inject(&mut self, pkt: Packet) {
+        let now = self.q.now();
+        if let Some((p, rng)) = &mut self.loss[pkt.flow] {
+            if rng.bernoulli(*p) {
+                return; // vanished on the path; RTO/dupacks will notice
+            }
+        }
+        match self.link.enqueue(now, pkt) {
+            Enqueue::Dropped => {}
+            Enqueue::Accepted(Some(first_departure)) => {
+                self.q.schedule_at(first_departure, Ev::Depart);
+            }
+            Enqueue::Accepted(None) => {}
+        }
+    }
+
+    fn arm_rto(&mut self, flow: FlowId) {
+        if let Some(deadline) = self.senders[flow].rto_deadline() {
+            if deadline < self.end && self.rto_scheduled[flow] != Some(deadline) {
+                self.rto_scheduled[flow] = Some(deadline);
+                self.q.schedule_at(deadline, Ev::Rto(flow, deadline));
+            }
+        }
+    }
+
+    /// Run to completion and collect results.
+    pub fn run(self) -> SimResult {
+        self.run_capture().0
+    }
+
+    /// Run to completion, returning the results **and** each sender's final
+    /// CCA state (cloned). The theorem constructions use the snapshots as
+    /// the "converged initial states" of the 2-flow scenario (proof step 3).
+    pub fn run_capture(mut self) -> (SimResult, Vec<cca::BoxCca>) {
+        let mut evcount = [0u64; 6];
+        while let Some(t) = self.q.peek_time() {
+            if t > self.end {
+                break;
+            }
+            let (now, ev) = self.q.pop().expect("peeked");
+            evcount[match ev {
+                Ev::Wake(_) => 0,
+                Ev::Depart => 1,
+                Ev::DataArrive(_) => 2,
+                Ev::AckArrive(_) => 3,
+                Ev::RxFlush(..) => 4,
+                Ev::Rto(..) => 5,
+            }] += 1;
+            match ev {
+                Ev::Wake(f) => {
+                    if self.wake_armed[f] == Some(now) {
+                        self.wake_armed[f] = None;
+                    }
+                    self.pump(f);
+                }
+                Ev::Depart => {
+                    let (pkt, next) = self.link.depart(now);
+                    if let Some(t) = next {
+                        self.q.schedule_at(t, Ev::Depart);
+                    }
+                    let f = pkt.flow;
+                    if f == Self::PHANTOM {
+                        continue; // warm-start filler: occupies queue only
+                    }
+                    let at_element = now + self.rm[f];
+                    let release = self.jitters[f].release_time(at_element, pkt.sent_at, pkt.bytes);
+                    self.q.schedule_at(release, Ev::DataArrive(pkt));
+                }
+                Ev::DataArrive(pkt) => {
+                    let f = pkt.flow;
+                    let out = self.receivers[f].on_data(now, pkt);
+                    if let Some(deadline) = out.arm_flush {
+                        self.q.schedule_at(deadline, Ev::RxFlush(f, deadline));
+                    }
+                    for ack in out.acks {
+                        // ACK path is instantaneous (Rm is on the data path).
+                        self.q.schedule_at(now, Ev::AckArrive(ack));
+                    }
+                }
+                Ev::RxFlush(f, deadline) => {
+                    for ack in self.receivers[f].on_flush(deadline) {
+                        self.q.schedule_at(now, Ev::AckArrive(ack));
+                    }
+                }
+                Ev::AckArrive(ack) => {
+                    let f = ack.flow;
+                    self.senders[f].process_ack(now, &ack);
+                    self.arm_rto(f);
+                    self.pump(f);
+                }
+                Ev::Rto(f, deadline) => {
+                    if self.senders[f].on_rto(now, deadline) {
+                        self.arm_rto(f);
+                        self.pump(f);
+                    }
+                }
+            }
+        }
+        // Diagnostic: set NETSIM_EVSTATS=1 to print per-run event counts
+        // (this is how the pacing-timer duplication bug was found).
+        if std::env::var_os("NETSIM_EVSTATS").is_some() {
+            eprintln!(
+                "evstats: wake={} depart={} data={} ack={} flush={} rto={} heap={}",
+                evcount[0], evcount[1], evcount[2], evcount[3], evcount[4], evcount[5],
+                self.q.len()
+            );
+        }
+        let end = self.end;
+        let utilization = self.link.utilization(end);
+        let drops = (0..self.senders.len()).map(|f| self.link.drops(f)).collect();
+        let jitter_clamps = self.jitters.iter().map(|j| j.clamp_violations()).collect();
+        let ccas: Vec<cca::BoxCca> = self.senders.iter().map(|s| s.cca_snapshot()).collect();
+        let result = SimResult {
+            flows: self.senders.into_iter().map(|s| s.metrics).collect(),
+            utilization,
+            drops,
+            jitter_clamps,
+            end,
+        };
+        (result, ccas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AckPolicy, FlowConfig, LinkConfig};
+    use crate::jitter::Jitter;
+    use cca::ConstCwnd;
+    use simcore::units::Rate;
+
+    fn one_flow(cwnd_pkts: u64, rate_mbps: f64, rm_ms: u64, secs: u64) -> SimResult {
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(rate_mbps));
+        let flow = FlowConfig::bulk(
+            Box::new(ConstCwnd::new(cwnd_pkts * 1500)),
+            Dur::from_millis(rm_ms),
+        );
+        Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(secs))).run()
+    }
+
+    #[test]
+    fn const_cwnd_throughput_is_window_over_rtt() {
+        // cwnd = 10 pkts, RTT = 50 ms (no queueing at this rate):
+        // throughput = 10*1500*8/0.05 = 2.4 Mbit/s.
+        let r = one_flow(10, 100.0, 50, 5);
+        let tput = r.flows[0].throughput_at(r.end).mbps();
+        assert!((tput - 2.4).abs() < 0.1, "tput={tput}");
+    }
+
+    #[test]
+    fn rtt_equals_rm_plus_tx_when_unqueued() {
+        let r = one_flow(2, 12.0, 50, 2);
+        // 1500 B at 12 Mbit/s = 1 ms of transmission + 50 ms Rm.
+        let (lo, hi) = r.flows[0]
+            .rtt_range_in(Time::from_secs(1), r.end)
+            .unwrap();
+        assert!((lo - 0.051).abs() < 1e-6, "lo={lo}");
+        assert!((hi - 0.051).abs() < 1e-6, "hi={hi}");
+    }
+
+    #[test]
+    fn saturating_window_fills_link() {
+        // BDP at 12 Mbit/s, 50 ms = 50 pkts; cwnd 100 saturates the link.
+        let r = one_flow(100, 12.0, 50, 5);
+        let tput = r.flows[0].throughput_at(r.end).mbps();
+        assert!(tput > 11.0, "tput={tput}");
+        // Standing queue of ~50 packets → RTT ≈ 100 ms.
+        let mean = r.flows[0].mean_rtt_in(Time::from_secs(2), r.end).unwrap();
+        assert!((mean - 0.100).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn two_flows_share_fifo() {
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(12.0));
+        let mk = || {
+            FlowConfig::bulk(Box::new(ConstCwnd::new(60 * 1500)), Dur::from_millis(50))
+        };
+        let r = Network::new(SimConfig::new(link, vec![mk(), mk()], Dur::from_secs(5))).run();
+        // Identical windows → equal shares.
+        let t0 = r.flows[0].throughput_at(r.end).mbps();
+        let t1 = r.flows[1].throughput_at(r.end).mbps();
+        assert!((t0 - t1).abs() / t0 < 0.05, "t0={t0} t1={t1}");
+        assert!(t0 + t1 > 11.0);
+    }
+
+    #[test]
+    fn random_loss_detected_and_recovered() {
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(12.0));
+        let flow = FlowConfig::bulk(Box::new(ConstCwnd::new(30 * 1500)), Dur::from_millis(40))
+            .with_loss(0.02, 123);
+        let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(10))).run();
+        let m = &r.flows[0];
+        assert!(m.lost_bytes > 0, "no loss detected");
+        // The flow keeps making progress despite the loss.
+        assert!(m.throughput_at(r.end).mbps() > 1.0);
+        // Declared loss tracks the injected 2% but over-counts when an RTO
+        // go-back-N retransmits packets the receiver already has (classic
+        // SACK-less TCP behaviour).
+        let measured = m.loss_fraction();
+        assert!(measured > 0.01 && measured < 0.08, "loss={measured}");
+    }
+
+    #[test]
+    fn finite_buffer_tail_drops() {
+        let link = LinkConfig {
+            rate: Rate::from_mbps(6.0),
+            buffer_bytes: 10 * 1500,
+            ecn_threshold: None,
+        };
+        let flow = FlowConfig::bulk(Box::new(ConstCwnd::new(100 * 1500)), Dur::from_millis(40));
+        let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(5))).run();
+        assert!(r.drops[0] > 0, "expected tail drops");
+        // A constant window 10× the buffer is pathological — most of every
+        // window drops, retransmissions drop too, and RTO backoff stretches
+        // recovery exponentially — but the flow must keep making *some*
+        // progress, and must rely on timeouts to do it.
+        assert!(r.flows[0].total_delivered() >= 20 * 1500);
+        assert!(r.flows[0].timeouts > 0);
+    }
+
+    #[test]
+    fn jitter_increases_observed_rtt() {
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(12.0));
+        let flow = FlowConfig::bulk(Box::new(ConstCwnd::new(2 * 1500)), Dur::from_millis(50))
+            .with_jitter(Jitter::Random {
+                max: Dur::from_millis(20),
+                rng: Xoshiro256::new(5),
+            });
+        let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(5))).run();
+        let (lo, hi) = r.flows[0].rtt_range_in(Time::from_secs(1), r.end).unwrap();
+        assert!(lo >= 0.051 - 1e-9);
+        assert!(hi > 0.060, "hi={hi}");
+        assert!(hi < 0.072, "hi={hi}");
+    }
+
+    #[test]
+    fn quantized_acks_arrive_on_boundaries() {
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(12.0));
+        let flow = FlowConfig::bulk(Box::new(ConstCwnd::new(20 * 1500)), Dur::from_millis(40))
+            .with_ack_policy(AckPolicy::Quantized {
+                period: Dur::from_millis(60),
+            });
+        let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(3))).run();
+        // All RTT samples were taken at multiples of 60 ms.
+        for &(t, _) in r.flows[0].rtt.points() {
+            assert_eq!(t.as_nanos() % Dur::from_millis(60).as_nanos(), 0, "t={t}");
+        }
+        assert!(r.flows[0].total_delivered() > 0);
+    }
+
+    #[test]
+    fn delayed_start_respected() {
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(12.0));
+        let flow = FlowConfig::bulk(Box::new(ConstCwnd::new(10 * 1500)), Dur::from_millis(40))
+            .starting_at(Time::from_secs(2));
+        let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(4))).run();
+        let first = r.flows[0].delivered.first().map(|(t, _)| t).unwrap();
+        assert!(first >= Time::from_secs(2));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = || {
+            let link = LinkConfig::ample_buffer(Rate::from_mbps(12.0));
+            let flow =
+                FlowConfig::bulk(Box::new(ConstCwnd::new(30 * 1500)), Dur::from_millis(40))
+                    .with_loss(0.01, 9)
+                    .with_jitter(Jitter::Random {
+                        max: Dur::from_millis(5),
+                        rng: Xoshiro256::new(3),
+                    });
+            let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(3))).run();
+            (r.flows[0].total_delivered(), r.flows[0].sent_bytes)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn datagram_transport_survives_heavy_loss() {
+        // A datagram flow with a big constant window and 5% loss keeps its
+        // goodput near (1 − p)·window-rate: no go-back-N collapse.
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
+        let flow = FlowConfig::bulk(Box::new(ConstCwnd::new(100 * 1500)), Dur::from_millis(40))
+            .datagram()
+            .with_loss(0.05, 77);
+        let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(10))).run();
+        let m = &r.flows[0];
+        // Window rate = 100 pkts / 40 ms = 30 Mbit/s; goodput ≈ 28.5.
+        let tput = m.throughput_at(r.end).mbps();
+        assert!(tput > 25.0, "tput={tput}");
+        // Measured loss tracks the injected rate.
+        let frac = m.loss_fraction();
+        assert!((frac - 0.05).abs() < 0.01, "loss={frac}");
+        assert_eq!(m.retransmitted_bytes, 0);
+    }
+
+    #[test]
+    fn conservation_sent_accounted() {
+        let r = one_flow(20, 12.0, 40, 3);
+        let m = &r.flows[0];
+        // No loss path: delivered + in-flight-ish ≈ sent. Everything sent
+        // minus at most a window is delivered.
+        assert!(m.sent_bytes >= m.total_delivered());
+        assert!(m.sent_bytes - m.total_delivered() <= 21 * 1500);
+    }
+}

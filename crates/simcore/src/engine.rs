@@ -1,0 +1,199 @@
+//! Deterministic discrete-event queue.
+//!
+//! The simulator's only source of ordering is this queue: events fire in
+//! `(time, insertion sequence)` order, so two events scheduled for the same
+//! instant fire in the order they were scheduled. That rule, plus integer
+//! time and the self-contained PRNG, makes every run bit-reproducible.
+//!
+//! The queue is generic over the event payload; the network simulator in
+//! `netsim` instantiates it with its own event enum. There is no trait-object
+//! dispatch or async machinery — the main loop is a plain `while let`.
+
+use crate::units::{Dur, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, o: &Self) -> bool {
+        self.at == o.at && self.seq == o.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want earliest (time, seq) first.
+    fn cmp(&self, o: &Self) -> Ordering {
+        (o.at, o.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Tracks the current simulated time: popping an event advances the clock to
+/// the event's timestamp. Scheduling an event in the past is a bug and
+/// panics.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Current simulated time (timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `ev` to fire at absolute time `at`.
+    ///
+    /// Panics if `at` is before the current time — the simulation can never
+    /// act on the past.
+    pub fn schedule_at(&mut self, at: Time, ev: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at:?} now={:?}",
+            self.now
+        );
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            ev,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `ev` to fire `after` from now.
+    pub fn schedule_after(&mut self, after: Dur, ev: E) {
+        let at = self.now.saturating_add(after);
+        self.schedule_at(at, ev);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now);
+        self.now = e.at;
+        Some((e.at, e.ev))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_millis(30), "c");
+        q.schedule_at(Time::from_millis(10), "a");
+        q.schedule_at(Time::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_millis(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_millis(7), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_millis(7));
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_millis(10), 0);
+        q.pop();
+        q.schedule_after(Dur::from_millis(5), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Time::from_millis(15));
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_millis(10), ());
+        q.pop();
+        q.schedule_at(Time::from_millis(5), ());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule_at(Time::from_millis(3), ());
+        q.schedule_at(Time::from_millis(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_millis(1)));
+    }
+
+    #[test]
+    fn interleaved_same_time_across_pops() {
+        // Events scheduled at the current instant during processing fire
+        // before later events, preserving causal order.
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_millis(1), "first");
+        q.schedule_at(Time::from_millis(2), "later");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "first");
+        q.schedule_at(t, "child-of-first");
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, "child-of-first");
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, "later");
+    }
+}

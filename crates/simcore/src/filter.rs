@@ -1,0 +1,319 @@
+//! Measurement filters shared by the congestion-control algorithms.
+//!
+//! * [`WindowedMax`] / [`WindowedMin`] — exact sliding-window extrema over a
+//!   monotone position axis (time in nanoseconds, or round-trip counts),
+//!   implemented as monotonic deques. BBR's bandwidth max-filter ("max over
+//!   the last 10 RTTs") and min-RTT filter ("min over the last 10 s"), and
+//!   Copa's standing-RTT / min-RTT filters are all instances.
+//! * [`Ewma`] — exponentially-weighted moving average.
+//! * [`RttEstimator`] — RFC 6298 SRTT/RTTVAR/RTO estimation used by the
+//!   sender endpoint for retransmission timeouts.
+
+use crate::units::Dur;
+use std::collections::VecDeque;
+
+/// Exact sliding-window maximum over a monotone `u64` position axis.
+///
+/// `insert` positions must be non-decreasing. A sample at position `p` stays
+/// eligible while `p + width >= now` where `now` is the latest insert/evict
+/// position.
+#[derive(Clone, Debug)]
+pub struct WindowedMax {
+    width: u64,
+    // Deque of (position, value), values strictly decreasing front→back.
+    dq: VecDeque<(u64, f64)>,
+    last_pos: u64,
+}
+
+impl WindowedMax {
+    /// Create a filter with the given window width (same units as the
+    /// positions passed to [`WindowedMax::insert`]).
+    pub fn new(width: u64) -> Self {
+        WindowedMax {
+            width,
+            dq: VecDeque::new(),
+            last_pos: 0,
+        }
+    }
+
+    /// Insert a sample at `pos` (must be `>=` all previous positions).
+    pub fn insert(&mut self, pos: u64, v: f64) {
+        debug_assert!(pos >= self.last_pos, "WindowedMax positions must be monotone");
+        self.last_pos = pos;
+        while let Some(&(_, back)) = self.dq.back() {
+            if back <= v {
+                self.dq.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.dq.push_back((pos, v));
+        self.evict(pos);
+    }
+
+    /// Advance the window to `pos` without inserting (evicts stale samples).
+    pub fn advance(&mut self, pos: u64) {
+        if pos > self.last_pos {
+            self.last_pos = pos;
+        }
+        self.evict(self.last_pos);
+    }
+
+    fn evict(&mut self, now: u64) {
+        let cutoff = now.saturating_sub(self.width);
+        while let Some(&(p, _)) = self.dq.front() {
+            if p < cutoff {
+                self.dq.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Current windowed maximum, if any sample is in the window.
+    pub fn get(&self) -> Option<f64> {
+        self.dq.front().map(|&(_, v)| v)
+    }
+
+    /// Drop all state.
+    pub fn reset(&mut self) {
+        self.dq.clear();
+    }
+}
+
+/// Exact sliding-window minimum; see [`WindowedMax`].
+#[derive(Clone, Debug)]
+pub struct WindowedMin {
+    inner: WindowedMax,
+}
+
+impl WindowedMin {
+    /// Create a min-filter with the given window width.
+    pub fn new(width: u64) -> Self {
+        WindowedMin {
+            inner: WindowedMax::new(width),
+        }
+    }
+    /// Insert a sample at a monotone position.
+    pub fn insert(&mut self, pos: u64, v: f64) {
+        self.inner.insert(pos, -v);
+    }
+    /// Advance the window without inserting.
+    pub fn advance(&mut self, pos: u64) {
+        self.inner.advance(pos);
+    }
+    /// Current windowed minimum.
+    pub fn get(&self) -> Option<f64> {
+        self.inner.get().map(|v| -v)
+    }
+    /// Drop all state.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// Exponentially-weighted moving average with gain `g`:
+/// `avg ← (1−g)·avg + g·sample`.
+#[derive(Clone, Debug)]
+pub struct Ewma {
+    gain: f64,
+    avg: Option<f64>,
+}
+
+impl Ewma {
+    /// Create an EWMA with gain in `(0, 1]`.
+    pub fn new(gain: f64) -> Self {
+        assert!(gain > 0.0 && gain <= 1.0);
+        Ewma { gain, avg: None }
+    }
+    /// Fold in a sample; the first sample initializes the average.
+    pub fn update(&mut self, sample: f64) {
+        self.avg = Some(match self.avg {
+            None => sample,
+            Some(a) => (1.0 - self.gain) * a + self.gain * sample,
+        });
+    }
+    /// Current average.
+    pub fn get(&self) -> Option<f64> {
+        self.avg
+    }
+    /// Forget all history.
+    pub fn reset(&mut self) {
+        self.avg = None;
+    }
+}
+
+/// RFC 6298 round-trip-time estimator (SRTT, RTTVAR, RTO).
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<Dur>,
+    rttvar: Dur,
+    min_rto: Dur,
+    max_rto: Dur,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RttEstimator {
+    /// Estimator with a 200 ms RTO floor (Linux-like rather than RFC's 1 s,
+    /// which matches the short experiments in the paper) and 60 s ceiling.
+    pub fn new() -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: Dur::ZERO,
+            min_rto: Dur::from_millis(200),
+            max_rto: Dur::from_secs(60),
+        }
+    }
+
+    /// Fold in an RTT sample.
+    pub fn update(&mut self, rtt: Dur) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = Dur(rtt.0 / 2);
+            }
+            Some(srtt) => {
+                let diff = if srtt >= rtt { srtt - rtt } else { rtt - srtt };
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - RTT|
+                self.rttvar = Dur(self.rttvar.0 - self.rttvar.0 / 4 + diff.0 / 4);
+                // SRTT = 7/8 SRTT + 1/8 RTT
+                self.srtt = Some(Dur(srtt.0 - srtt.0 / 8 + rtt.0 / 8));
+            }
+        }
+    }
+
+    /// Smoothed RTT, if any sample has arrived.
+    pub fn srtt(&self) -> Option<Dur> {
+        self.srtt
+    }
+
+    /// Current retransmission timeout: `SRTT + 4·RTTVAR`, clamped.
+    pub fn rto(&self) -> Dur {
+        match self.srtt {
+            None => Dur::from_secs(1),
+            Some(srtt) => {
+                let rto = Dur(srtt.0 + 4 * self.rttvar.0.max(1_000_000 / 4));
+                rto.max(self.min_rto).min(self.max_rto)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_max_basic() {
+        let mut f = WindowedMax::new(10);
+        f.insert(0, 3.0);
+        f.insert(2, 5.0);
+        f.insert(4, 1.0);
+        assert_eq!(f.get(), Some(5.0));
+        f.advance(13); // window [3,13]: the 5.0@2 falls out
+        assert_eq!(f.get(), Some(1.0));
+    }
+
+    #[test]
+    fn windowed_max_matches_naive() {
+        let mut f = WindowedMax::new(7);
+        let mut samples: Vec<(u64, f64)> = Vec::new();
+        let mut rng = crate::rng::Xoshiro256::new(99);
+        let mut pos = 0u64;
+        for _ in 0..2000 {
+            pos += rng.range_u64(3);
+            let v = rng.next_f64();
+            f.insert(pos, v);
+            samples.push((pos, v));
+            let naive = samples
+                .iter()
+                .filter(|&&(p, _)| p + 7 >= pos)
+                .map(|&(_, v)| v)
+                .fold(f64::MIN, f64::max);
+            assert_eq!(f.get(), Some(naive));
+        }
+    }
+
+    #[test]
+    fn windowed_min_matches_naive() {
+        let mut f = WindowedMin::new(5);
+        let mut samples: Vec<(u64, f64)> = Vec::new();
+        let mut rng = crate::rng::Xoshiro256::new(100);
+        let mut pos = 0u64;
+        for _ in 0..2000 {
+            pos += rng.range_u64(2);
+            let v = rng.next_f64();
+            f.insert(pos, v);
+            samples.push((pos, v));
+            let naive = samples
+                .iter()
+                .filter(|&&(p, _)| p + 5 >= pos)
+                .map(|&(_, v)| v)
+                .fold(f64::MAX, f64::min);
+            assert_eq!(f.get(), Some(naive));
+        }
+    }
+
+    #[test]
+    fn windowed_empty_after_advance() {
+        let mut f = WindowedMax::new(3);
+        f.insert(0, 1.0);
+        f.advance(100);
+        assert_eq!(f.get(), None);
+    }
+
+    #[test]
+    fn ewma_first_sample_initializes() {
+        let mut e = Ewma::new(0.25);
+        assert_eq!(e.get(), None);
+        e.update(4.0);
+        assert_eq!(e.get(), Some(4.0));
+        e.update(8.0);
+        assert_eq!(e.get(), Some(5.0));
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        for _ in 0..60 {
+            e.update(10.0);
+        }
+        assert!((e.get().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt_estimator_first_sample() {
+        let mut est = RttEstimator::new();
+        assert_eq!(est.rto(), Dur::from_secs(1));
+        est.update(Dur::from_millis(100));
+        assert_eq!(est.srtt(), Some(Dur::from_millis(100)));
+        // RTO = 100 + 4*50 = 300 ms
+        assert_eq!(est.rto(), Dur::from_millis(300));
+    }
+
+    #[test]
+    fn rtt_estimator_stable_rtt_shrinks_var() {
+        let mut est = RttEstimator::new();
+        for _ in 0..200 {
+            est.update(Dur::from_millis(50));
+        }
+        let srtt = est.srtt().unwrap();
+        assert!((srtt.as_millis_f64() - 50.0).abs() < 1.0);
+        assert!(est.rto() >= Dur::from_millis(200)); // floor applies
+    }
+
+    #[test]
+    fn rtt_estimator_rto_floor_and_ceiling() {
+        let mut est = RttEstimator::new();
+        est.update(Dur::from_micros(10));
+        assert!(est.rto() >= Dur::from_millis(200));
+        let mut est2 = RttEstimator::new();
+        est2.update(Dur::from_secs(120));
+        assert!(est2.rto() <= Dur::from_secs(60));
+    }
+}

@@ -1,0 +1,36 @@
+//! # simcore — deterministic discrete-event simulation core
+//!
+//! Foundation crate for the reproduction of *Starvation in End-to-End
+//! Congestion Control* (SIGCOMM 2022). Everything above this crate — the
+//! congestion-control algorithms (`cca`), the packet-level link emulator
+//! (`netsim`), the theorem machinery (`starvation`) and the model checker
+//! (`ccmc`) — is built on these primitives:
+//!
+//! * [`units`] — strongly-typed simulated time ([`Time`], [`Dur`]) and
+//!   rates ([`Rate`]). Time is integer nanoseconds, so event ordering is
+//!   exact and runs are bit-reproducible.
+//! * [`engine`] — a minimal binary-heap event queue with deterministic
+//!   tie-breaking.
+//! * [`rng`] — a self-contained xoshiro256** PRNG so simulation results do
+//!   not depend on external crate versions.
+//! * [`filter`] — windowed min/max and EWMA filters shared by the CCAs
+//!   (BBR's bandwidth max-filter, Copa's standing-RTT min-filter, …).
+//! * [`series`] — time-series recording used for RTT/rate trajectories
+//!   (Figures 1, 5, 6 of the paper).
+//! * [`stats`] — summary statistics, percentiles and Jain's fairness index.
+//!
+//! The design follows the smoltcp school: event-driven, no allocation
+//! tricks, no async runtime (the workload is CPU-bound and must be
+//! deterministic), simple and robust.
+
+pub mod engine;
+pub mod filter;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod units;
+
+pub use engine::EventQueue;
+pub use rng::Xoshiro256;
+pub use series::TimeSeries;
+pub use units::{Dur, Rate, Time};

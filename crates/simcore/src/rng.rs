@@ -1,0 +1,166 @@
+//! Self-contained deterministic PRNG (xoshiro256**).
+//!
+//! The simulator cannot depend on an external crate's stream stability for
+//! reproducibility, so randomness used *inside* simulations (random jitter,
+//! Bernoulli loss, BBR/PCC probe phasing) comes from this generator. It is
+//! seeded through SplitMix64 as recommended by the xoshiro authors, so any
+//! 64-bit seed produces a well-mixed state.
+
+/// xoshiro256** generator.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Xoshiro256 {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256 { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(hi >= lo);
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's method (unbiased enough for
+    /// simulation purposes; exact rejection is overkill here).
+    pub fn range_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
+    }
+
+    /// Derive an independent child generator (for per-flow streams).
+    pub fn fork(&mut self) -> Xoshiro256 {
+        Xoshiro256::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Xoshiro256::new(42);
+        let mut b = Xoshiro256::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256::new(1);
+        let mut b = Xoshiro256::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Xoshiro256::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = Xoshiro256::new(9);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn range_u64_bounds() {
+        let mut r = Xoshiro256::new(3);
+        for _ in 0..10_000 {
+            assert!(r.range_u64(10) < 10);
+        }
+    }
+
+    #[test]
+    fn range_u64_covers_all_values() {
+        let mut r = Xoshiro256::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.range_u64(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = Xoshiro256::new(11);
+        assert!(!r.bernoulli(0.0));
+        assert!(r.bernoulli(1.0));
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut r = Xoshiro256::new(13);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.bernoulli(0.02)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.02).abs() < 0.003, "rate={rate}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Xoshiro256::new(17);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

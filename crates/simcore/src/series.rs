@@ -1,0 +1,227 @@
+//! Time-series recording.
+//!
+//! RTT and sending-rate trajectories are the raw material of the paper's
+//! constructions: the convergence detector (Definition 1), the recorded
+//! single-flow trajectories `d̄ᵢ(t)`, `r̄ᵢ(t)` (proof step 2, Figure 5) and
+//! the emulation target `d*(t)` (Eq. 5, Figure 6) are all series of
+//! `(time, value)` points.
+
+use crate::units::{Dur, Time};
+
+/// An append-only series of `(time, f64)` points with non-decreasing times.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(Time, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Append a point. Times must be non-decreasing.
+    pub fn push(&mut self, t: Time, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "TimeSeries times must be non-decreasing");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[(Time, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// First point.
+    pub fn first(&self) -> Option<(Time, f64)> {
+        self.points.first().copied()
+    }
+
+    /// Last point.
+    pub fn last(&self) -> Option<(Time, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Step-function value at `t`: the value of the latest point at or
+    /// before `t` (None before the first point).
+    pub fn value_at(&self, t: Time) -> Option<f64> {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(mut i) => {
+                // On exact ties, take the last point with this timestamp.
+                while i + 1 < self.points.len() && self.points[i + 1].0 == t {
+                    i += 1;
+                }
+                Some(self.points[i].1)
+            }
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Iterator over points in `[a, b]`.
+    pub fn range(&self, a: Time, b: Time) -> impl Iterator<Item = (Time, f64)> + '_ {
+        self.points
+            .iter()
+            .copied()
+            .skip_while(move |&(t, _)| t < a)
+            .take_while(move |&(t, _)| t <= b)
+    }
+
+    /// Minimum value over `[a, b]`.
+    pub fn min_in(&self, a: Time, b: Time) -> Option<f64> {
+        self.range(a, b).map(|(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.min(v),
+            })
+        })
+    }
+
+    /// Maximum value over `[a, b]`.
+    pub fn max_in(&self, a: Time, b: Time) -> Option<f64> {
+        self.range(a, b).map(|(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+
+    /// Mean value over `[a, b]` (unweighted by inter-sample spacing).
+    pub fn mean_in(&self, a: Time, b: Time) -> Option<f64> {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        for (_, v) in self.range(a, b) {
+            n += 1;
+            sum += v;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Resample onto a fixed grid `[start, start+tick, ...]` of `n` points
+    /// using the step-function value (holding the last value; points before
+    /// the first sample hold the first sample's value).
+    pub fn resample(&self, start: Time, tick: Dur, n: usize) -> Vec<f64> {
+        assert!(!self.points.is_empty(), "cannot resample an empty series");
+        let first = self.points[0].1;
+        (0..n)
+            .map(|i| {
+                let t = start + Dur(tick.0 * i as u64);
+                self.value_at(t).unwrap_or(first)
+            })
+            .collect()
+    }
+
+    /// Keep only points with `t >= at`, shifting times so `at` becomes zero.
+    /// Used to time-shift trajectories to their convergence instant
+    /// (`d̄(t) = d(t + T)` in the proof).
+    pub fn shifted_from(&self, at: Time) -> TimeSeries {
+        let mut out = TimeSeries::new();
+        for &(t, v) in &self.points {
+            if t >= at {
+                out.push(Time(t.0 - at.0), v);
+            }
+        }
+        out
+    }
+
+    /// Time of the last point, or zero if empty.
+    pub fn end_time(&self) -> Time {
+        self.points.last().map(|&(t, _)| t).unwrap_or(Time::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(points: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for &(t, v) in points {
+            s.push(Time::from_millis(t), v);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_access() {
+        let s = mk(&[(0, 1.0), (10, 2.0), (20, 3.0)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.first(), Some((Time::ZERO, 1.0)));
+        assert_eq!(s.last(), Some((Time::from_millis(20), 3.0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_rejects_decreasing_time() {
+        let mut s = TimeSeries::new();
+        s.push(Time::from_millis(10), 1.0);
+        s.push(Time::from_millis(5), 2.0);
+    }
+
+    #[test]
+    fn value_at_step_semantics() {
+        let s = mk(&[(10, 1.0), (20, 2.0)]);
+        assert_eq!(s.value_at(Time::from_millis(5)), None);
+        assert_eq!(s.value_at(Time::from_millis(10)), Some(1.0));
+        assert_eq!(s.value_at(Time::from_millis(15)), Some(1.0));
+        assert_eq!(s.value_at(Time::from_millis(20)), Some(2.0));
+        assert_eq!(s.value_at(Time::from_millis(99)), Some(2.0));
+    }
+
+    #[test]
+    fn value_at_duplicate_times_takes_last() {
+        let mut s = TimeSeries::new();
+        let t = Time::from_millis(10);
+        s.push(t, 1.0);
+        s.push(t, 2.0);
+        s.push(t, 3.0);
+        assert_eq!(s.value_at(t), Some(3.0));
+    }
+
+    #[test]
+    fn min_max_mean_in_range() {
+        let s = mk(&[(0, 5.0), (10, 1.0), (20, 3.0), (30, 9.0)]);
+        let a = Time::from_millis(5);
+        let b = Time::from_millis(25);
+        assert_eq!(s.min_in(a, b), Some(1.0));
+        assert_eq!(s.max_in(a, b), Some(3.0));
+        assert_eq!(s.mean_in(a, b), Some(2.0));
+        assert_eq!(s.min_in(Time::from_millis(40), Time::from_millis(50)), None);
+    }
+
+    #[test]
+    fn resample_holds_last_value() {
+        let s = mk(&[(0, 1.0), (10, 2.0)]);
+        let v = s.resample(Time::ZERO, Dur::from_millis(5), 4);
+        assert_eq!(v, vec![1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn shifted_from_drops_and_rebases() {
+        let s = mk(&[(0, 1.0), (10, 2.0), (20, 3.0)]);
+        let sh = s.shifted_from(Time::from_millis(10));
+        assert_eq!(sh.points(), &[(Time::ZERO, 2.0), (Time::from_millis(10), 3.0)]);
+    }
+
+    #[test]
+    fn end_time() {
+        assert_eq!(TimeSeries::new().end_time(), Time::ZERO);
+        assert_eq!(mk(&[(0, 1.0), (7, 2.0)]).end_time(), Time::from_millis(7));
+    }
+}

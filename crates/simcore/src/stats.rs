@@ -1,0 +1,143 @@
+//! Summary statistics and fairness indices used by the experiment harness.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance; `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Percentile in `[0, 100]` by nearest-rank on a sorted copy.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&p));
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    Some(v[rank])
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`. 1.0 is perfectly fair,
+/// `1/n` is maximally unfair. `None` if empty or all-zero.
+pub fn jain_index(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let s: f64 = xs.iter().sum();
+    let s2: f64 = xs.iter().map(|x| x * x).sum();
+    if s2 == 0.0 {
+        return None;
+    }
+    Some(s * s / (xs.len() as f64 * s2))
+}
+
+/// Ratio of the largest to the smallest value — the paper's measure of
+/// unfairness between flows (Definition 2's `s`). Returns `f64::INFINITY`
+/// when the smallest value is zero (starvation in the strictest sense).
+pub fn max_min_ratio(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(min >= 0.0, "throughputs cannot be negative");
+    if min == 0.0 {
+        return Some(f64::INFINITY);
+    }
+    Some(max / min)
+}
+
+/// Compact distribution summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarize a slice; `None` if empty.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        Some(Summary {
+            n: xs.len(),
+            min: xs.iter().cloned().fold(f64::MAX, f64::min),
+            max: xs.iter().cloned().fold(f64::MIN, f64::max),
+            mean: mean(xs)?,
+            p50: percentile(xs, 50.0)?,
+            p95: percentile(xs, 95.0)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), Some(2.5));
+        assert_eq!(variance(&xs), Some(1.25));
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        let unfair = jain_index(&[1.0, 0.0, 0.0]).unwrap();
+        assert!((unfair - 1.0 / 3.0).abs() < 1e-12);
+        assert!(jain_index(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn ratio_basic() {
+        assert_eq!(max_min_ratio(&[10.0, 1.0]), Some(10.0));
+        assert_eq!(max_min_ratio(&[5.0, 0.0]), Some(f64::INFINITY));
+        assert!(max_min_ratio(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.p50, 2.0);
+        assert!(Summary::of(&[]).is_none());
+    }
+}

@@ -1,0 +1,449 @@
+//! Simulated-time and rate units.
+//!
+//! All simulated time is integer **nanoseconds**. The paper's scenarios span
+//! sub-millisecond transmission delays (a 1500-byte packet at 960 Mbit/s
+//! takes 12.5 µs) up to minutes of simulated time; nanoseconds cover both
+//! with exact integer arithmetic, which keeps event ordering deterministic.
+//!
+//! [`Rate`] is stored as `f64` bytes/second. Rates are *measurements and
+//! parameters*, never used for event ordering, so floating point is safe
+//! here; converting a (rate, byte-count) pair to a duration rounds to whole
+//! nanoseconds in one place ([`Rate::tx_time`]) so the rounding policy is
+//! consistent everywhere.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant of simulated time, in nanoseconds since the start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub u64);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant (used as an "infinitely far" sentinel).
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000_000)
+    }
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Time {
+        Time(ms * 1_000_000)
+    }
+    /// Construct from whole microseconds.
+    pub fn from_micros(us: u64) -> Time {
+        Time(us * 1_000)
+    }
+    /// Seconds as floating point (for reporting and rate math only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Milliseconds as floating point.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// Nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Duration elapsed since `earlier`. Panics if `earlier` is later than
+    /// `self` — a time going backwards is always a simulator bug.
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur(self
+            .0
+            .checked_sub(earlier.0)
+            .expect("Time::since: earlier is in the future"))
+    }
+    /// `self - earlier` if non-negative, else `None`.
+    pub fn checked_since(self, earlier: Time) -> Option<Dur> {
+        self.0.checked_sub(earlier.0).map(Dur)
+    }
+    /// Saturating add (sentinel-safe).
+    pub fn saturating_add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl Dur {
+    /// Zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+    /// Largest representable duration (sentinel).
+    pub const MAX: Dur = Dur(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Dur {
+        Dur(s * 1_000_000_000)
+    }
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+    /// Construct from whole microseconds.
+    pub fn from_micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+    /// Construct from floating-point seconds, rounding to the nearest
+    /// nanosecond. Negative inputs clamp to zero (delay can't be negative).
+    pub fn from_secs_f64(s: f64) -> Dur {
+        if s <= 0.0 || !s.is_finite() {
+            return Dur::ZERO;
+        }
+        Dur((s * 1e9).round() as u64)
+    }
+    /// Construct from floating-point milliseconds (clamping like
+    /// [`Dur::from_secs_f64`]).
+    pub fn from_millis_f64(ms: f64) -> Dur {
+        Dur::from_secs_f64(ms / 1e3)
+    }
+    /// Seconds as floating point.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Milliseconds as floating point.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// Nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// `self - other` clamped at zero.
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+    /// Scale by a non-negative factor, rounding to whole nanoseconds.
+    pub fn mul_f64(self, k: f64) -> Dur {
+        assert!(k >= 0.0, "Dur::mul_f64: negative factor");
+        Dur((self.0 as f64 * k).round() as u64)
+    }
+    /// The larger of two durations.
+    pub fn max(self, other: Dur) -> Dur {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+    /// The smaller of two durations.
+    pub fn min(self, other: Dur) -> Dur {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, d: Dur) -> Time {
+        Time(self.0 + d.0)
+    }
+}
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, d: Dur) {
+        self.0 += d.0;
+    }
+}
+impl Sub<Dur> for Time {
+    type Output = Time;
+    fn sub(self, d: Dur) -> Time {
+        Time(self.0.checked_sub(d.0).expect("Time - Dur underflow"))
+    }
+}
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, o: Dur) -> Dur {
+        Dur(self.0 + o.0)
+    }
+}
+impl AddAssign for Dur {
+    fn add_assign(&mut self, o: Dur) {
+        self.0 += o.0;
+    }
+}
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, o: Dur) -> Dur {
+        Dur(self.0.checked_sub(o.0).expect("Dur - Dur underflow"))
+    }
+}
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, o: Dur) {
+        *self = *self - o;
+    }
+}
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, k: u64) -> Dur {
+        Dur(self.0 * k)
+    }
+}
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, k: u64) -> Dur {
+        Dur(self.0 / k)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        }
+    }
+}
+
+/// A data rate, stored as bytes per second.
+///
+/// The paper quotes everything in Mbit/s; [`Rate::from_mbps`] and
+/// [`Rate::mbps`] are the idiomatic constructors/accessors here.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Rate(f64);
+
+impl Rate {
+    /// Zero rate.
+    pub const ZERO: Rate = Rate(0.0);
+
+    /// Construct from bytes per second.
+    pub fn from_bytes_per_sec(b: f64) -> Rate {
+        assert!(b >= 0.0 && b.is_finite(), "Rate must be finite and >= 0");
+        Rate(b)
+    }
+    /// Construct from bits per second.
+    pub fn from_bps(bits: f64) -> Rate {
+        Rate::from_bytes_per_sec(bits / 8.0)
+    }
+    /// Construct from megabits per second (the paper's unit).
+    pub fn from_mbps(mbps: f64) -> Rate {
+        Rate::from_bps(mbps * 1e6)
+    }
+    /// Bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0
+    }
+    /// Bits per second.
+    pub fn bps(self) -> f64 {
+        self.0 * 8.0
+    }
+    /// Megabits per second.
+    pub fn mbps(self) -> f64 {
+        self.0 * 8.0 / 1e6
+    }
+    /// Packets per second for a given packet size.
+    pub fn pkts_per_sec(self, pkt_bytes: u64) -> f64 {
+        self.0 / pkt_bytes as f64
+    }
+    /// Time to transmit `bytes` at this rate. Zero rate yields
+    /// [`Dur::MAX`] (the link is stalled).
+    pub fn tx_time(self, bytes: u64) -> Dur {
+        if self.0 <= 0.0 {
+            return Dur::MAX;
+        }
+        Dur::from_secs_f64(bytes as f64 / self.0)
+    }
+    /// Bytes transferred over `d` at this rate (floor).
+    pub fn bytes_over(self, d: Dur) -> u64 {
+        (self.0 * d.as_secs_f64()).floor() as u64
+    }
+    /// Bandwidth-delay product in bytes for a given RTT.
+    pub fn bdp_bytes(self, rtt: Dur) -> u64 {
+        (self.0 * rtt.as_secs_f64()).round() as u64
+    }
+    /// Throughput from a byte count delivered over an interval.
+    pub fn from_transfer(bytes: u64, elapsed: Dur) -> Rate {
+        if elapsed == Dur::ZERO {
+            return Rate::ZERO;
+        }
+        Rate::from_bytes_per_sec(bytes as f64 / elapsed.as_secs_f64())
+    }
+    /// Scale by a non-negative factor.
+    pub fn mul_f64(self, k: f64) -> Rate {
+        assert!(k >= 0.0 && k.is_finite());
+        Rate(self.0 * k)
+    }
+    /// Elementwise max.
+    pub fn max(self, other: Rate) -> Rate {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+    /// Elementwise min.
+    pub fn min(self, other: Rate) -> Rate {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    fn add(self, o: Rate) -> Rate {
+        Rate(self.0 + o.0)
+    }
+}
+impl Sub for Rate {
+    type Output = Rate;
+    fn sub(self, o: Rate) -> Rate {
+        Rate((self.0 - o.0).max(0.0))
+    }
+}
+impl Mul<f64> for Rate {
+    type Output = Rate;
+    fn mul(self, k: f64) -> Rate {
+        self.mul_f64(k)
+    }
+}
+impl Div<f64> for Rate {
+    type Output = Rate;
+    fn div(self, k: f64) -> Rate {
+        assert!(k > 0.0);
+        Rate(self.0 / k)
+    }
+}
+
+impl fmt::Debug for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}Mbps", self.mbps())
+    }
+}
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} Mbit/s", self.mbps())
+    }
+}
+
+/// Default MTU-sized packet used throughout the reproduction, matching the
+/// paper's 1500-byte packets (§4.1).
+pub const DEFAULT_PKT_BYTES: u64 = 1500;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors_agree() {
+        assert_eq!(Time::from_secs(2), Time(2_000_000_000));
+        assert_eq!(Time::from_millis(2000), Time::from_secs(2));
+        assert_eq!(Time::from_micros(2_000_000), Time::from_secs(2));
+    }
+
+    #[test]
+    fn time_since() {
+        let a = Time::from_millis(100);
+        let b = Time::from_millis(250);
+        assert_eq!(b.since(a), Dur::from_millis(150));
+        assert_eq!(a.checked_since(b), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_since_panics_backwards() {
+        let _ = Time::from_millis(1).since(Time::from_millis(2));
+    }
+
+    #[test]
+    fn dur_float_roundtrip() {
+        let d = Dur::from_secs_f64(0.060);
+        assert_eq!(d, Dur::from_millis(60));
+        assert!((d.as_millis_f64() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dur_negative_clamps() {
+        assert_eq!(Dur::from_secs_f64(-1.0), Dur::ZERO);
+        assert_eq!(Dur::from_secs_f64(f64::NAN), Dur::ZERO);
+    }
+
+    #[test]
+    fn dur_arith() {
+        let a = Dur::from_millis(10);
+        let b = Dur::from_millis(4);
+        assert_eq!(a + b, Dur::from_millis(14));
+        assert_eq!(a - b, Dur::from_millis(6));
+        assert_eq!(b.saturating_sub(a), Dur::ZERO);
+        assert_eq!(a * 3, Dur::from_millis(30));
+        assert_eq!(a / 2, Dur::from_millis(5));
+        assert_eq!(a.mul_f64(0.5), Dur::from_millis(5));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn rate_units() {
+        let r = Rate::from_mbps(120.0);
+        assert!((r.mbps() - 120.0).abs() < 1e-9);
+        assert!((r.bps() - 120e6).abs() < 1e-3);
+        assert!((r.bytes_per_sec() - 15e6).abs() < 1e-3);
+        assert!((r.pkts_per_sec(1500) - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_tx_time() {
+        // 1500 bytes at 12 Mbit/s = 1 ms.
+        let r = Rate::from_mbps(12.0);
+        assert_eq!(r.tx_time(1500), Dur::from_millis(1));
+        assert_eq!(Rate::ZERO.tx_time(1), Dur::MAX);
+    }
+
+    #[test]
+    fn rate_bdp() {
+        // 120 Mbit/s * 40 ms = 600 kB.
+        let r = Rate::from_mbps(120.0);
+        assert_eq!(r.bdp_bytes(Dur::from_millis(40)), 600_000);
+    }
+
+    #[test]
+    fn rate_from_transfer() {
+        let r = Rate::from_transfer(15_000_000, Dur::from_secs(1));
+        assert!((r.mbps() - 120.0).abs() < 1e-9);
+        assert_eq!(Rate::from_transfer(100, Dur::ZERO), Rate::ZERO);
+    }
+
+    #[test]
+    fn rate_bytes_over() {
+        let r = Rate::from_mbps(12.0); // 1.5e6 B/s
+        assert_eq!(r.bytes_over(Dur::from_millis(10)), 15_000);
+    }
+
+    #[test]
+    fn rate_sub_saturates() {
+        let a = Rate::from_mbps(1.0);
+        let b = Rate::from_mbps(2.0);
+        assert_eq!(a - b, Rate::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Rate::from_mbps(1.5)), "1.500 Mbit/s");
+        assert_eq!(format!("{}", Dur::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", Dur::from_secs(5)), "5.000s");
+    }
+}

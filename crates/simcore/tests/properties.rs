@@ -1,0 +1,158 @@
+//! Property tests of the simulation core's foundations.
+
+use proptest::prelude::*;
+use simcore::filter::{WindowedMax, WindowedMin};
+use simcore::rng::Xoshiro256;
+use simcore::series::TimeSeries;
+use simcore::units::{Dur, Rate, Time};
+
+proptest! {
+    // ---------- units ----------
+
+    #[test]
+    fn dur_float_roundtrip_within_a_nanosecond(ms in 0.0f64..1e7) {
+        let d = Dur::from_millis_f64(ms);
+        prop_assert!((d.as_millis_f64() - ms).abs() < 1e-5);
+    }
+
+    #[test]
+    fn time_plus_dur_minus_dur_is_identity(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let time = Time(t);
+        let dur = Dur(d);
+        prop_assert_eq!((time + dur) - dur, time);
+        prop_assert_eq!((time + dur).since(time), dur);
+    }
+
+    #[test]
+    fn rate_tx_time_inverts_bytes_over(mbps in 0.1f64..10_000.0, bytes in 1u64..10_000_000) {
+        let r = Rate::from_mbps(mbps);
+        let t = r.tx_time(bytes);
+        // Transmitting for exactly tx_time carries (almost exactly) `bytes`.
+        let carried = r.bytes_over(t) as f64;
+        prop_assert!((carried - bytes as f64).abs() <= bytes as f64 * 1e-6 + 1.0,
+            "bytes={bytes} carried={carried}");
+    }
+
+    #[test]
+    fn rate_unit_conversions_consistent(mbps in 0.001f64..100_000.0) {
+        let r = Rate::from_mbps(mbps);
+        prop_assert!((r.bps() / 1e6 - mbps).abs() < mbps * 1e-12 + 1e-12);
+        prop_assert!((Rate::from_bps(r.bps()).bytes_per_sec() - r.bytes_per_sec()).abs() < 1e-6);
+    }
+
+    // ---------- series ----------
+
+    #[test]
+    fn value_at_matches_linear_scan(
+        points in prop::collection::vec((0u64..1_000_000, -1e6f64..1e6), 1..200),
+        query in 0u64..1_100_000,
+    ) {
+        let mut sorted = points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut s = TimeSeries::new();
+        for &(t, v) in &sorted {
+            s.push(Time(t), v);
+        }
+        let expect = sorted
+            .iter().rfind(|&&(t, _)| t <= query)          // last point at or before `query`...
+            .map(|&(_, v)| v);
+        // ...except ties: value_at takes the *last* pushed at that time.
+        let expect = {
+            let at_or_before: Vec<&(u64, f64)> =
+                sorted.iter().filter(|&&(t, _)| t <= query).collect();
+            at_or_before.last().map(|&&(_, v)| v).or(expect)
+        };
+        prop_assert_eq!(s.value_at(Time(query)), expect);
+    }
+
+    #[test]
+    fn shifted_from_preserves_relative_spacing(
+        offsets in prop::collection::vec(0u64..10_000, 2..50),
+        base in 0u64..1_000_000,
+        cut in 0u64..20_000,
+    ) {
+        let mut s = TimeSeries::new();
+        let mut t = base;
+        for (i, &o) in offsets.iter().enumerate() {
+            t += o;
+            s.push(Time(t), i as f64);
+        }
+        let cut_at = Time(base + cut);
+        let shifted = s.shifted_from(cut_at);
+        for w in shifted.points().windows(2) {
+            // Spacing between consecutive surviving points is unchanged.
+            let orig: Vec<(Time, f64)> = s
+                .points()
+                .iter()
+                .copied()
+                .filter(|&(pt, _)| pt >= cut_at)
+                .collect();
+            let i = shifted
+                .points()
+                .iter()
+                .position(|p| p == &w[0])
+                .unwrap();
+            let d_orig = orig[i + 1].0.since(orig[i].0);
+            let d_new = w[1].0.since(w[0].0);
+            prop_assert_eq!(d_orig, d_new);
+        }
+    }
+
+    // ---------- filters ----------
+
+    #[test]
+    fn windowed_max_equals_naive(
+        steps in prop::collection::vec((0u64..5, -1e3f64..1e3), 1..300),
+        width in 1u64..50,
+    ) {
+        let mut f = WindowedMax::new(width);
+        let mut hist: Vec<(u64, f64)> = Vec::new();
+        let mut pos = 0u64;
+        for &(dp, v) in &steps {
+            pos += dp;
+            f.insert(pos, v);
+            hist.push((pos, v));
+            let naive = hist
+                .iter()
+                .filter(|&&(p, _)| p + width >= pos)
+                .map(|&(_, v)| v)
+                .fold(f64::MIN, f64::max);
+            prop_assert_eq!(f.get(), Some(naive));
+        }
+    }
+
+    #[test]
+    fn windowed_min_never_above_latest_sample(
+        steps in prop::collection::vec((0u64..5, 0.0f64..1e3), 1..300),
+        width in 1u64..50,
+    ) {
+        let mut f = WindowedMin::new(width);
+        let mut pos = 0u64;
+        for &(dp, v) in &steps {
+            pos += dp;
+            f.insert(pos, v);
+            prop_assert!(f.get().unwrap() <= v);
+        }
+    }
+
+    // ---------- rng ----------
+
+    #[test]
+    fn rng_range_f64_in_bounds(seed in 0u64..u64::MAX, lo in -1e9f64..1e9, span in 1e-9f64..1e9) {
+        let mut r = Xoshiro256::new(seed);
+        let hi = lo + span;
+        for _ in 0..100 {
+            let x = r.range_f64(lo, hi);
+            prop_assert!(x >= lo && x < hi);
+        }
+    }
+
+    #[test]
+    fn rng_deterministic_per_seed(seed in 0u64..u64::MAX) {
+        let mut a = Xoshiro256::new(seed);
+        let mut b = Xoshiro256::new(seed);
+        for _ in 0..50 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

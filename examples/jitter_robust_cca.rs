@@ -1,0 +1,61 @@
+//! Algorithm 1 in action: a CCA that *designs for* jitter (§6.3).
+//!
+//! ```sh
+//! cargo run --release --example jitter_robust_cca
+//! ```
+//!
+//! Two flows share a 40 Mbit/s link; one path carries up to 10 ms of
+//! random non-congestive jitter. Vegas (delay-convergent, δ ≈ 0) starves
+//! under this asymmetry. Algorithm 1 — the paper's exponential rate–delay
+//! mapping `µ(d) = µ₋·s^((Rmax−d)/D)` with AIMD — was configured with
+//! `D = 10 ms, s = 2`, so rates a factor 2 apart always map to delays
+//! more than the jitter apart: the flows stay ≈`s`-fair.
+
+use cca::jitter_aware::JitterAwareConfig;
+use cca::BoxCca;
+use netsim::{FlowConfig, Jitter, LinkConfig, Network, SimConfig};
+use simcore::rng::Xoshiro256;
+use simcore::units::{Dur, Rate, Time};
+
+fn two_flow_run(mk: impl Fn(u64) -> BoxCca, label: &str) {
+    let link = LinkConfig::ample_buffer(Rate::from_mbps(40.0));
+    let rm = Dur::from_millis(50);
+    let jittered = FlowConfig::bulk(mk(1), rm).with_jitter(Jitter::Random {
+        max: Dur::from_millis(10),
+        rng: Xoshiro256::new(11),
+    });
+    let clean = FlowConfig::bulk(mk(2), rm);
+    let r = Network::new(SimConfig::new(link, vec![jittered, clean], Dur::from_secs(60))).run();
+    let half = Time(r.end.as_nanos() / 2);
+    let a = r.flows[0].throughput_over(half, r.end).mbps();
+    let b = r.flows[1].throughput_over(half, r.end).mbps();
+    println!("{label}:");
+    println!("  jittered path  {a:>7.1} Mbit/s");
+    println!("  clean path     {b:>7.1} Mbit/s");
+    println!("  ratio {:.2}:1\n", a.max(b) / a.min(b).max(1e-9));
+}
+
+fn main() {
+    println!(
+        "Two flows, 40 Mbit/s, Rm = 50 ms; up to 10 ms of random jitter on \
+         one path only.\n"
+    );
+    two_flow_run(
+        |_| Box::new(cca::Vegas::default_params()),
+        "Vegas (delay-convergent, delta ~ 0)",
+    );
+    two_flow_run(
+        |_| {
+            let mut cfg = JitterAwareConfig::example(Dur::from_millis(50));
+            cfg.a = Rate::from_mbps(0.4);
+            Box::new(cca::JitterAware::new(cfg))
+        },
+        "Algorithm 1 (designed for D = 10 ms, s = 2)",
+    );
+    println!(
+        "Algorithm 1 pays for its robustness with delay: its equilibrium \
+         queueing delay is on the order of D rather than a few packets. \
+         That trade — oscillate at least half the jitter, or starve — is \
+         Theorem 1's message."
+    );
+}

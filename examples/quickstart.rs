@@ -1,0 +1,49 @@
+//! Quickstart: run a congestion-control algorithm on an emulated path and
+//! inspect what it converged to.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This is the "hello world" of the library: one Copa flow on an ideal
+//! 48 Mbit/s, 50 ms path, followed by the delay-convergence analysis of
+//! Definition 1 — the measured `[d_min, d_max]` band that the whole
+//! starvation story revolves around.
+
+use simcore::units::{Dur, Rate};
+use starvation::convergence::analyze_convergence;
+use starvation::runner::{run_ideal_path, RunSpec};
+
+fn main() {
+    let spec = RunSpec::new(
+        Rate::from_mbps(48.0),
+        Dur::from_millis(50),
+        Dur::from_secs(20),
+    );
+    println!(
+        "Running one Copa flow on an ideal path: C = {}, Rm = {}, for {}",
+        spec.rate, spec.rm, spec.duration
+    );
+
+    let run = run_ideal_path(Box::new(cca::Copa::default_params()), spec);
+
+    println!("throughput:       {}", run.throughput);
+    println!("link utilization: {:.1}%", run.utilization * 100.0);
+
+    let conv = analyze_convergence(&run.rtt, 0.5, 1e-4)
+        .expect("Copa did not converge — that would falsify Definition 1");
+    println!(
+        "delay-convergence (Definition 1): after T = {:.2} s, RTT stayed in \
+         [{:.2}, {:.2}] ms  →  delta(C) = {:.3} ms",
+        conv.t_converge.as_secs_f64(),
+        conv.d_min * 1e3,
+        conv.d_max * 1e3,
+        conv.delta() * 1e3
+    );
+    println!(
+        "\nTheorem 1 says: jitter D > 2*delta = {:.3} ms on this path is enough \
+         to construct starvation between two such flows.",
+        2.0 * conv.delta() * 1e3
+    );
+    println!("Run `cargo run --release --example starvation_demo` to see it happen.");
+}

@@ -1,0 +1,64 @@
+//! Profile a CCA's rate–delay mapping (the Figure 2/3 machinery) for any
+//! of the built-in algorithms.
+//!
+//! ```sh
+//! cargo run --release --example rate_delay_profile -- copa
+//! cargo run --release --example rate_delay_profile -- bbr
+//! ```
+//!
+//! Sweeps the ideal-path link rate 1 → 100 Mbit/s at Rm = 100 ms and
+//! prints the converged `[d_min, d_max]` band per rate — the fingerprint
+//! that determines how vulnerable the CCA is to starvation (`δ(C)` small
+//! ⇒ vulnerable; Theorem 1 applies whenever jitter exceeds `2·δ_max`).
+
+use cca::{factory, CcaFactory};
+use simcore::units::Dur;
+use starvation::profiler::{log_sweep, profile_rate_delay};
+
+fn factory_by_name(name: &str) -> Option<CcaFactory> {
+    Some(match name {
+        "vegas" => factory(|| Box::new(cca::Vegas::default_params())),
+        "ledbat" => factory(|| Box::new(cca::Ledbat::default_params())),
+        "fast" => factory(|| Box::new(cca::FastTcp::default_params())),
+        "copa" => factory(|| Box::new(cca::Copa::default_params())),
+        "bbr" => factory(|| Box::new(cca::Bbr::default_params())),
+        "verus" => factory(|| Box::new(cca::Verus::default_params())),
+        "vivace" => factory(|| Box::new(cca::Vivace::default_params())),
+        "reno" => factory(|| Box::new(cca::NewReno::default_params())),
+        "cubic" => factory(|| Box::new(cca::Cubic::default_params())),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "copa".into());
+    let Some(f) = factory_by_name(&name) else {
+        eprintln!("unknown CCA {name:?}; try vegas|ledbat|fast|copa|bbr|verus|vivace|reno|cubic");
+        std::process::exit(1);
+    };
+    let rm = Dur::from_millis(100);
+    let rates = log_sweep(1.0, 100.0, 7);
+    println!("rate-delay profile of {name} at Rm = 100 ms (ideal paths, 25 s each)\n");
+    println!(
+        "{:>12}  {:>10}  {:>10}  {:>10}  {:>6}",
+        "C (Mbit/s)", "d_min (ms)", "d_max (ms)", "delta (ms)", "util"
+    );
+    let points = profile_rate_delay(&f, &rates, rm, Dur::from_secs(25));
+    let mut delta_max: f64 = 0.0;
+    for p in &points {
+        delta_max = delta_max.max(p.convergence.delta());
+        println!(
+            "{:>12.2}  {:>10.2}  {:>10.2}  {:>10.3}  {:>6.2}",
+            p.rate.mbps(),
+            p.convergence.d_min * 1e3,
+            p.convergence.d_max * 1e3,
+            p.convergence.delta() * 1e3,
+            p.utilization,
+        );
+    }
+    println!(
+        "\ndelta_max = {:.3} ms -> starvation constructible for jitter D > {:.3} ms (Theorem 1)",
+        delta_max * 1e3,
+        2.0 * delta_max * 1e3
+    );
+}

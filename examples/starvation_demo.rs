@@ -1,0 +1,87 @@
+//! Starvation, three ways — the paper's §5 scenarios at demo scale.
+//!
+//! ```sh
+//! cargo run --release --example starvation_demo
+//! ```
+//!
+//! 1. **Copa** (§5.1): two identical Copa flows on a 120 Mbit/s link with
+//!    equal 60 ms propagation RTTs. One flow's path carries 1 ms of
+//!    *persistent* non-congestive delay (its min-RTT estimate is poisoned
+//!    by the occasional fast packet). It starves.
+//! 2. **BBR** (§5.2): two BBR flows with Rm 40 ms / 80 ms and a little
+//!    jitter. Both end up cwnd-limited; the small-RTT flow starves.
+//! 3. **PCC Vivace** (§5.3): one flow's ACKs arrive only at 60 ms
+//!    boundaries (link-layer aggregation). Its latency-gradient
+//!    measurements turn to noise and the latency penalty crushes it.
+
+use netsim::{AckPolicy, FlowConfig, Jitter, LinkConfig, Network, SimConfig};
+use simcore::rng::Xoshiro256;
+use simcore::units::{Dur, Rate};
+
+fn report(name: &str, labels: [&str; 2], r: &netsim::SimResult) {
+    let t0 = r.flows[0].throughput_at(r.end).mbps();
+    let t1 = r.flows[1].throughput_at(r.end).mbps();
+    let ratio = t0.max(t1) / t0.min(t1).max(1e-9);
+    println!("{name}:");
+    println!("  {:<24} {:>8.1} Mbit/s", labels[0], t0);
+    println!("  {:<24} {:>8.1} Mbit/s", labels[1], t1);
+    println!("  ratio {ratio:.1}:1\n");
+}
+
+fn main() {
+    let secs = Dur::from_secs(30);
+
+    // --- Copa: min-RTT poisoning (§5.1) ---
+    let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
+    let poisoned = FlowConfig::bulk(Box::new(cca::Copa::default_params()), Dur::from_millis(59))
+        .with_jitter(Jitter::ExtraExcept {
+            extra: Dur::from_millis(1),
+            period: 5_000,
+            offset: 0,
+        });
+    let clean = FlowConfig::bulk(Box::new(cca::Copa::default_params()), Dur::from_millis(60));
+    let r = Network::new(SimConfig::new(link, vec![poisoned, clean], secs)).run();
+    report(
+        "Copa, one flow with 1 ms persistent jitter (paper: 8.8 vs 95)",
+        ["poisoned min-RTT", "clean path"],
+        &r,
+    );
+
+    // --- BBR: RTT asymmetry in cwnd-limited mode (§5.2) ---
+    let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
+    let mk = |rm_ms: u64, seed: u64| {
+        FlowConfig::bulk(Box::new(cca::Bbr::new(1500, seed)), Dur::from_millis(rm_ms))
+            .with_jitter(Jitter::Random {
+                max: Dur::from_millis(2),
+                rng: Xoshiro256::new(seed * 7 + 1),
+            })
+    };
+    let r = Network::new(SimConfig::new(link, vec![mk(40, 1), mk(80, 2)], secs)).run();
+    report(
+        "BBR, Rm 40 ms vs 80 ms (paper: 8.3 vs 107)",
+        ["Rm = 40 ms", "Rm = 80 ms"],
+        &r,
+    );
+
+    // --- Vivace: ACK quantization (§5.3) ---
+    let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
+    let quantized = FlowConfig::bulk(Box::new(cca::Vivace::new(1)), Dur::from_millis(60))
+        .datagram()
+        .with_ack_policy(AckPolicy::Quantized {
+            period: Dur::from_millis(60),
+        });
+    let clean = FlowConfig::bulk(Box::new(cca::Vivace::new(2)), Dur::from_millis(60)).datagram();
+    let r = Network::new(SimConfig::new(link, vec![quantized, clean], secs)).run();
+    report(
+        "PCC Vivace, one flow's ACKs quantized to 60 ms (paper: 9.9 vs 99.4)",
+        ["quantized ACKs", "clean path"],
+        &r,
+    );
+
+    println!(
+        "All three pairs are the same algorithm against itself, on paths with \
+         equal propagation RTTs (except BBR's deliberate asymmetry) — the \
+         starvation comes from non-congestive delay alone. That is the \
+         paper's point."
+    );
+}

@@ -1,0 +1,175 @@
+//! Property-based integration tests: invariants of the packet-level
+//! emulator that every experiment in the repository silently relies on.
+
+use netsim::{AckPolicy, FlowConfig, Jitter, LinkConfig, Network, SimConfig, SimResult};
+use proptest::prelude::*;
+use simcore::rng::Xoshiro256;
+use simcore::units::{Dur, Rate, Time};
+
+fn run_one(
+    cwnd_pkts: u64,
+    rate_mbps: f64,
+    rm_ms: u64,
+    jitter_ms: u64,
+    loss_pct: f64,
+    seed: u64,
+    secs: u64,
+) -> SimResult {
+    let link = LinkConfig::ample_buffer(Rate::from_mbps(rate_mbps));
+    let mut flow = FlowConfig::bulk(
+        Box::new(cca::ConstCwnd::new(cwnd_pkts * 1500)),
+        Dur::from_millis(rm_ms),
+    );
+    if jitter_ms > 0 {
+        flow = flow.with_jitter(Jitter::Random {
+            max: Dur::from_millis(jitter_ms),
+            rng: Xoshiro256::new(seed),
+        });
+    }
+    if loss_pct > 0.0 {
+        flow = flow.with_loss(loss_pct, seed.wrapping_add(1));
+    }
+    Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(secs))).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// RTT can never fall below the propagation delay plus one packet's
+    /// transmission time, whatever the jitter and loss.
+    #[test]
+    fn rtt_never_below_floor(
+        cwnd in 2u64..60,
+        rate in 4.0f64..60.0,
+        rm in 10u64..80,
+        jit in 0u64..10,
+        seed in 0u64..1000,
+    ) {
+        let r = run_one(cwnd, rate, rm, jit, 0.0, seed, 4);
+        let floor = rm as f64 / 1e3 + 1500.0 * 8.0 / (rate * 1e6) - 1e-9;
+        for &(_, rtt) in r.flows[0].rtt.points() {
+            prop_assert!(rtt >= floor, "rtt={rtt} floor={floor}");
+        }
+    }
+
+    /// Delivered bytes never exceed what the link can carry.
+    #[test]
+    fn throughput_bounded_by_capacity(
+        cwnd in 2u64..200,
+        rate in 4.0f64..60.0,
+        rm in 10u64..80,
+        seed in 0u64..1000,
+    ) {
+        let r = run_one(cwnd, rate, rm, 0, 0.0, seed, 4);
+        let tput = r.flows[0].throughput_at(r.end).mbps();
+        prop_assert!(tput <= rate * 1.001, "tput={tput} rate={rate}");
+    }
+
+    /// Byte conservation: delivered ≤ sent, and everything sent is either
+    /// delivered, declared lost, dropped, or still in flight (within one
+    /// window of slack).
+    #[test]
+    fn byte_conservation(
+        cwnd in 2u64..80,
+        rate in 4.0f64..60.0,
+        loss in 0.0f64..0.05,
+        seed in 0u64..1000,
+    ) {
+        let r = run_one(cwnd, rate, 40, 0, loss, seed, 4);
+        let m = &r.flows[0];
+        prop_assert!(m.total_delivered() <= m.sent_bytes);
+        // Slack: bytes in flight, bytes SACKed at the receiver but not yet
+        // cumulatively acked (these accumulate while a lost retransmission
+        // stalls the cumulative point — up to an RTO's worth of sending,
+        // more across timeout backoffs), and losses undetected at sim end.
+        let stall_windows = 8 + 10 * m.timeouts;
+        let accounted = m.total_delivered() + m.lost_bytes + stall_windows * (cwnd + 4) * 1500;
+        prop_assert!(
+            m.sent_bytes <= accounted + r.drops[0] * 1500,
+            "sent={} accounted={}",
+            m.sent_bytes,
+            accounted
+        );
+    }
+
+    /// Determinism: identical configurations produce identical runs.
+    #[test]
+    fn bit_level_determinism(
+        cwnd in 2u64..60,
+        jit in 0u64..10,
+        loss in 0.0f64..0.03,
+        seed in 0u64..1000,
+    ) {
+        let a = run_one(cwnd, 24.0, 40, jit, loss, seed, 3);
+        let b = run_one(cwnd, 24.0, 40, jit, loss, seed, 3);
+        prop_assert_eq!(a.flows[0].total_delivered(), b.flows[0].total_delivered());
+        prop_assert_eq!(a.flows[0].sent_bytes, b.flows[0].sent_bytes);
+        prop_assert_eq!(a.flows[0].rtt.len(), b.flows[0].rtt.len());
+    }
+
+    /// The jitter element never reorders: RTT samples of consecutively
+    /// acked packets arrive in ack order (monotone time series), and the
+    /// receiver never sees sequence regressions that create phantom
+    /// delivery (delivered is monotone).
+    #[test]
+    fn delivery_is_monotone(
+        cwnd in 2u64..60,
+        jit in 1u64..15,
+        seed in 0u64..1000,
+    ) {
+        let r = run_one(cwnd, 24.0, 40, jit, 0.0, seed, 3);
+        let pts = r.flows[0].delivered.points();
+        for w in pts.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+    }
+}
+
+#[test]
+fn quantized_acks_only_on_boundaries() {
+    let link = LinkConfig::ample_buffer(Rate::from_mbps(24.0));
+    let flow = FlowConfig::bulk(Box::new(cca::ConstCwnd::new(20 * 1500)), Dur::from_millis(40))
+        .with_ack_policy(AckPolicy::Quantized {
+            period: Dur::from_millis(60),
+        });
+    let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(3))).run();
+    for &(t, _) in r.flows[0].rtt.points() {
+        assert_eq!(t.as_nanos() % Dur::from_millis(60).as_nanos(), 0, "t={t}");
+    }
+}
+
+#[test]
+fn two_flow_fifo_shares_capacity_exactly() {
+    // Two identical saturating flows: the sum of throughputs equals the
+    // link rate (no creation or loss of capacity in the FIFO).
+    let link = LinkConfig::ample_buffer(Rate::from_mbps(24.0));
+    let mk = || FlowConfig::bulk(Box::new(cca::ConstCwnd::new(120 * 1500)), Dur::from_millis(40));
+    let r = Network::new(SimConfig::new(link, vec![mk(), mk()], Dur::from_secs(6))).run();
+    let sum: f64 = (0..2).map(|i| r.flows[i].throughput_at(r.end).mbps()).sum();
+    assert!((sum - 24.0).abs() < 1.5, "sum={sum}");
+}
+
+#[test]
+fn warm_start_prefill_creates_initial_delay() {
+    // Phantom prefill of Q bytes must make early packets see ≈ Q/C extra
+    // queueing delay.
+    let rate = Rate::from_mbps(24.0);
+    let link = LinkConfig::ample_buffer(rate);
+    let flow = FlowConfig::bulk(Box::new(cca::ConstCwnd::new(2 * 1500)), Dur::from_millis(40));
+    let mut net = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(2)));
+    let q_bytes = (rate.bytes_per_sec() * 0.030) as u64; // 30 ms of backlog
+    net.prefill_queue(q_bytes, 1500);
+    let r = net.run();
+    let (first_t, first_rtt) = r.flows[0].rtt.first().unwrap();
+    assert!(first_t < Time::from_millis(200));
+    // 40 ms Rm + ~30 ms queue (±ms of packetization).
+    assert!(
+        (first_rtt - 0.070).abs() < 0.005,
+        "first rtt={first_rtt}"
+    );
+    // And the queue drains: late RTTs return to Rm + tx.
+    let late = r.flows[0]
+        .mean_rtt_in(Time::from_millis(1500), r.end)
+        .unwrap();
+    assert!(late < 0.045, "late={late}");
+}

@@ -1,0 +1,136 @@
+//! Integration: the full Theorem 1/2/3 machinery, end to end, across
+//! `simcore` → `cca` → `netsim` → `starvation`.
+
+use cca::factory;
+use simcore::units::{Dur, Rate, Time};
+use starvation::pigeonhole::{pigeonhole_search, PigeonholeConfig};
+use starvation::theorem1::{run_theorem1, Theorem1Config};
+use starvation::theorem2::{run_theorem2, Theorem2Config};
+use starvation::theorem3::{run_theorem3, Theorem3Config};
+
+fn vegas() -> cca::CcaFactory {
+    factory(|| Box::new(cca::Vegas::default_params()))
+}
+
+#[test]
+fn pigeonhole_pair_is_far_in_rate_close_in_delay() {
+    let cfg = PigeonholeConfig {
+        f: 0.5,
+        s: 2.0,
+        lambda: Rate::from_mbps(8.0),
+        rm: Dur::from_millis(40),
+        steps: 3,
+        duration: Dur::from_secs(20),
+    };
+    let r = pigeonhole_search(&vegas(), cfg).expect("no pair found");
+    // Step 1 of the proof: C2 >= (s/f)·C1 = 4·C1.
+    assert!(r.c2.bytes_per_sec() / r.c1.bytes_per_sec() >= 3.9);
+    // ...while the delay bands nearly coincide (within a few packet times).
+    assert!(r.epsilon < 0.005, "eps={}", r.epsilon);
+    // Both converged above Rm (the transmission-delay floor).
+    assert!(r.rep1.d_min >= 0.040);
+    assert!(r.rep2.d_min >= 0.040);
+}
+
+#[test]
+fn theorem1_starves_vegas() {
+    let report = run_theorem1(&vegas(), Theorem1Config::quick()).expect("construction failed");
+    // The solo runs establish the rate gap...
+    assert!(report.solo2_mbps / report.solo1_mbps >= 3.0);
+    // ...and the emulated 2-flow run realizes a ratio >= s = 2 between two
+    // identical CCAs on equal-Rm paths.
+    assert!(report.starved(2.0), "ratio={}", report.ratio());
+    // The η schedule respected its bounds on the planning grid.
+    assert_eq!(report.plan.violations, 0);
+    // Throughputs must roughly conserve the link (no phantom bandwidth).
+    let cap = (report.pigeonhole.c1 + report.pigeonhole.c2).mbps();
+    assert!(report.x1_mbps + report.x2_mbps <= 1.05 * cap.max(8.0 * cap));
+}
+
+#[test]
+fn theorem1_starves_fast_tcp() {
+    // FAST has the same equilibrium as Vegas; the construction must carry
+    // over unchanged (§5.1: "Vegas and FAST can also be compromised in
+    // similar ways").
+    let f = factory(|| Box::new(cca::FastTcp::default_params()));
+    let report = run_theorem1(&f, Theorem1Config::quick()).expect("construction failed");
+    assert!(report.starved(2.0), "ratio={}", report.ratio());
+}
+
+#[test]
+fn theorem1_starves_ledbat() {
+    // LEDBAT's equilibrium is Rm + TARGET for every C — maximally
+    // delay-convergent, so the construction applies directly.
+    let f = factory(|| Box::new(cca::Ledbat::default_params()));
+    let report = run_theorem1(&f, Theorem1Config::quick()).expect("construction failed");
+    assert!(report.starved(2.0), "ratio={}", report.ratio());
+}
+
+#[test]
+fn theorem2_underutilization() {
+    let r = run_theorem2(&vegas(), Theorem2Config::quick());
+    assert!(r.base_mbps > 10.0);
+    // 20× link, same absolute rate → utilization near 1/20.
+    assert!(r.utilization < 0.15, "util={}", r.utilization);
+}
+
+#[test]
+fn theorem3_strong_model_iteration_terminates_with_pair() {
+    let r = run_theorem3(&vegas(), Theorem3Config::quick());
+    assert!(r.starving_pair.is_some(), "steps={:?}", r.steps.len());
+    assert!(r.achieved_ratio >= 2.0);
+    // The iteration's max delay is non-increasing (d_{k+1} = max(Rm, d_k − D)).
+    for w in r.steps.windows(2) {
+        assert!(w[1].max_delay <= w[0].max_delay + 1e-9);
+    }
+}
+
+#[test]
+fn definition4_separates_real_ccas_from_silly_ones() {
+    // Definition 4 exists to exclude "cwnd = 10 always": it is trivially
+    // starvation-free but not f-efficient for any fixed f as C grows,
+    // while Vegas stays efficient.
+    use netsim::{FlowConfig, LinkConfig, Network, SimConfig};
+    use starvation::fairness::check_f_efficiency;
+
+    let run = |cca: cca::BoxCca, mbps: f64| {
+        let rate = Rate::from_mbps(mbps);
+        let link = LinkConfig::ample_buffer(rate);
+        let flow = FlowConfig::bulk(cca, Dur::from_millis(40));
+        let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(15))).run();
+        check_f_efficiency(&r.flows[0], rate, r.end, 10).best_tail_efficiency
+    };
+
+    let silly = run(Box::new(cca::ConstCwnd::ten_packets()), 48.0);
+    let vegas = run(Box::new(cca::Vegas::default_params()), 48.0);
+    // cwnd=10 at 48 Mbit/s, 40 ms: 10·1500·8/0.04 = 3 Mbit/s → ~6%.
+    assert!(silly < 0.10, "silly efficiency={silly}");
+    assert!(vegas > 0.80, "vegas efficiency={vegas}");
+
+    // And the silly CCA's inefficiency worsens with C (f-efficiency fails
+    // for every fixed f): doubling C halves its utilization.
+    let silly_fast = run(Box::new(cca::ConstCwnd::ten_packets()), 96.0);
+    assert!(silly_fast < 0.6 * silly, "silly={silly} silly_fast={silly_fast}");
+}
+
+#[test]
+fn theorem1_emulation_d_star_below_trajectories() {
+    // Property from the proof: d*(t) ≤ min(d̄1(t), d̄2(t)) on the plan grid.
+    let report = run_theorem1(&vegas(), Theorem1Config::quick()).expect("construction failed");
+    let plan = &report.plan;
+    let end = plan.d_star.end_time();
+    let mut t = Time::ZERO;
+    let mut checked = 0;
+    while t <= end {
+        let ds = plan.d_star.value_at(t).unwrap();
+        let e1 = plan.eta1.value_at(t).unwrap();
+        let e2 = plan.eta2.value_at(t).unwrap();
+        // η = d̄ − d* must be non-negative and within D.
+        assert!(e1 >= -1e-9 && e2 >= -1e-9, "negative eta at {t:?}");
+        assert!(e1 <= plan.d_bound + 1e-9 && e2 <= plan.d_bound + 1e-9);
+        assert!(ds > 0.0);
+        checked += 1;
+        t += Dur::from_millis(250);
+    }
+    assert!(checked > 10);
+}
