@@ -1,88 +1,86 @@
 //! Benches that regenerate the paper's *figures* (shortened parameters —
-//! the full regeneration is `repro <fig> [--quick]`). Criterion gives each
-//! figure a tracked wall-time so regressions in the pipeline show up.
+//! the full regeneration is `repro <fig> [--quick]`). Each figure gets a
+//! tracked wall-time in `results/bench/figures.json` so regressions in the
+//! pipeline show up.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use testkit::bench::Runner;
 
-fn bench_fig1(c: &mut Criterion) {
-    c.bench_function("figures/fig1_copa_trajectory", |b| {
-        b.iter(|| black_box(repro::fig1::run(true).conv.delta()))
+fn bench_fig1(r: &mut Runner) {
+    r.bench("figures/fig1_copa_trajectory", || {
+        black_box(repro::fig1::run(true).conv.delta())
     });
 }
 
-fn bench_fig2(c: &mut Criterion) {
-    c.bench_function("figures/fig2_vegas_rate_delay", |b| {
-        b.iter(|| black_box(repro::fig2::run(true).points.len()))
+fn bench_fig2(r: &mut Runner) {
+    r.bench("figures/fig2_vegas_rate_delay", || {
+        black_box(repro::fig2::run(true).points.len())
     });
 }
 
-fn bench_fig3(c: &mut Criterion) {
+fn bench_fig3(r: &mut Runner) {
     // The full 4-panel sweep is heavy; bench a single representative panel
     // via the public profiler on two rates.
     use cca::factory;
     use simcore::units::Dur;
     use starvation::profiler::profile_rate_delay;
-    c.bench_function("figures/fig3_single_panel_2pts", |b| {
-        b.iter(|| {
-            let f = factory(|| Box::new(cca::Copa::default_params()));
-            let rates = [
-                simcore::units::Rate::from_mbps(12.0),
-                simcore::units::Rate::from_mbps(48.0),
-            ];
-            let pts = profile_rate_delay(&f, &rates, Dur::from_millis(100), Dur::from_secs(10));
-            black_box(pts.len())
-        })
+    r.bench("figures/fig3_single_panel_2pts", || {
+        let f = factory(|| Box::new(cca::Copa::default_params()));
+        let rates = [
+            simcore::units::Rate::from_mbps(12.0),
+            simcore::units::Rate::from_mbps(48.0),
+        ];
+        let pts = profile_rate_delay(&f, &rates, Dur::from_millis(100), Dur::from_secs(10));
+        black_box(pts.len())
     });
 }
 
-fn bench_fig7(c: &mut Criterion) {
+fn bench_fig7(r: &mut Runner) {
     use netsim::{AckPolicy, FlowConfig, LinkConfig, Network, SimConfig};
     use simcore::units::{Dur, Rate};
-    c.bench_function("figures/fig7_reno_delayed_acks_20s", |b| {
-        b.iter(|| {
-            let rm = Dur::from_millis(120);
-            let link = LinkConfig {
-                rate: Rate::from_mbps(6.0),
-                buffer_bytes: 60 * 1500,
-                ecn_threshold: None,
-            };
-            let clean = FlowConfig::bulk(Box::new(cca::NewReno::default_params()), rm);
-            let delayed = FlowConfig::bulk(Box::new(cca::NewReno::default_params()), rm)
-                .with_ack_policy(AckPolicy::Delayed {
-                    max_pkts: 4,
-                    timeout: Dur::from_millis(100),
-                });
-            let r = Network::new(SimConfig::new(
-                link,
-                vec![clean, delayed],
-                Dur::from_secs(20),
-            ))
-            .run();
-            black_box(r.throughput_ratio())
-        })
+    r.bench("figures/fig7_reno_delayed_acks_20s", || {
+        let rm = Dur::from_millis(120);
+        let link = LinkConfig {
+            rate: Rate::from_mbps(6.0),
+            buffer_bytes: 60 * 1500,
+            ecn_threshold: None,
+        };
+        let clean = FlowConfig::bulk(Box::new(cca::NewReno::default_params()), rm);
+        let delayed = FlowConfig::bulk(Box::new(cca::NewReno::default_params()), rm)
+            .with_ack_policy(AckPolicy::Delayed {
+                max_pkts: 4,
+                timeout: Dur::from_millis(100),
+            });
+        let r = Network::new(SimConfig::new(
+            link,
+            vec![clean, delayed],
+            Dur::from_secs(20),
+        ))
+        .run();
+        black_box(r.throughput_ratio())
     });
 }
 
-fn bench_merit(c: &mut Criterion) {
+fn bench_merit(r: &mut Runner) {
     use simcore::units::Dur;
     use starvation::merit::{exponential_merit, vegas_family_merit};
-    c.bench_function("figures/merit_table_eval", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for d_ms in 1..50u64 {
-                let d = Dur::from_millis(d_ms);
-                acc += exponential_merit(Dur::from_millis(100), Dur::from_millis(0), d, 2.0);
-                acc += vegas_family_merit(Dur::from_millis(100), Dur::from_millis(0), d, 2.0);
-            }
-            black_box(acc)
-        })
+    r.bench("figures/merit_table_eval", || {
+        let mut acc = 0.0;
+        for d_ms in 1..50u64 {
+            let d = Dur::from_millis(d_ms);
+            acc += exponential_merit(Dur::from_millis(100), Dur::from_millis(0), d, 2.0);
+            acc += vegas_family_merit(Dur::from_millis(100), Dur::from_millis(0), d, 2.0);
+        }
+        black_box(acc)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_fig2, bench_fig3, bench_fig7, bench_merit
+fn main() {
+    let mut r = Runner::from_args("figures");
+    bench_fig1(&mut r);
+    bench_fig2(&mut r);
+    bench_fig3(&mut r);
+    bench_fig7(&mut r);
+    bench_merit(&mut r);
+    r.finish();
 }
-criterion_main!(benches);

@@ -2,120 +2,99 @@
 //! §5's starvation scenarios, the Theorem 1 construction, Algorithm 1's
 //! ablation, and a ccmc model-checker query. Each iteration runs the whole
 //! scenario, so the reported time is the cost of reproducing that result.
+//! Results land in `results/bench/scenarios.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use netsim::{AckPolicy, FlowConfig, Jitter, LinkConfig, Network, SimConfig};
 use simcore::rng::Xoshiro256;
 use simcore::units::{Dur, Rate};
 use std::hint::black_box;
+use testkit::bench::Runner;
+use testkit::harness::{allegro_flow, allegro_link, asymmetric_jitter_run, copa_poisoned_flow};
 
-fn bench_copa_starvation(c: &mut Criterion) {
-    c.bench_function("scenarios/copa_minrtt_poison_10s", |b| {
-        b.iter(|| {
-            let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
-            let poisoned =
-                FlowConfig::bulk(Box::new(cca::Copa::default_params()), Dur::from_millis(59))
-                    .with_jitter(Jitter::ExtraExcept {
-                        extra: Dur::from_millis(1),
-                        period: 5_000,
-                        offset: 0,
-                    });
-            let clean =
-                FlowConfig::bulk(Box::new(cca::Copa::default_params()), Dur::from_millis(60));
-            let r = Network::new(SimConfig::new(
-                link,
-                vec![poisoned, clean],
-                Dur::from_secs(10),
-            ))
-            .run();
-            black_box(r.throughput_ratio())
-        })
+fn bench_copa_starvation(r: &mut Runner) {
+    r.bench("scenarios/copa_minrtt_poison_10s", || {
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
+        let clean = FlowConfig::bulk(Box::new(cca::Copa::default_params()), Dur::from_millis(60));
+        let r = Network::new(SimConfig::new(
+            link,
+            vec![copa_poisoned_flow(), clean],
+            Dur::from_secs(10),
+        ))
+        .run();
+        black_box(r.throughput_ratio())
     });
 }
 
-fn bench_bbr_starvation(c: &mut Criterion) {
-    c.bench_function("scenarios/bbr_rtt_asymmetry_10s", |b| {
-        b.iter(|| {
-            let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
-            let mk = |rm_ms: u64, seed: u64| {
-                FlowConfig::bulk(Box::new(cca::Bbr::new(1500, seed)), Dur::from_millis(rm_ms))
-                    .with_jitter(Jitter::Random {
-                        max: Dur::from_millis(2),
-                        rng: Xoshiro256::new(seed * 7 + 1),
-                    })
-            };
-            let r = Network::new(SimConfig::new(
-                link,
-                vec![mk(40, 1), mk(80, 2)],
-                Dur::from_secs(10),
-            ))
-            .run();
-            black_box(r.throughput_ratio())
-        })
+fn bench_bbr_starvation(r: &mut Runner) {
+    r.bench("scenarios/bbr_rtt_asymmetry_10s", || {
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
+        let mk = |rm_ms: u64, seed: u64| {
+            FlowConfig::bulk(Box::new(cca::Bbr::new(1500, seed)), Dur::from_millis(rm_ms))
+                .with_jitter(Jitter::Random {
+                    max: Dur::from_millis(2),
+                    rng: Xoshiro256::new(seed * 7 + 1),
+                })
+        };
+        let r = Network::new(SimConfig::new(
+            link,
+            vec![mk(40, 1), mk(80, 2)],
+            Dur::from_secs(10),
+        ))
+        .run();
+        black_box(r.throughput_ratio())
     });
 }
 
-fn bench_vivace_starvation(c: &mut Criterion) {
-    c.bench_function("scenarios/vivace_ack_quantization_10s", |b| {
-        b.iter(|| {
-            let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
-            let rm = Dur::from_millis(60);
-            let quantized = FlowConfig::bulk(Box::new(cca::Vivace::new(1)), rm)
-                .datagram()
-                .with_ack_policy(AckPolicy::Quantized {
-                    period: Dur::from_millis(60),
-                });
-            let clean = FlowConfig::bulk(Box::new(cca::Vivace::new(2)), rm).datagram();
-            let r = Network::new(SimConfig::new(
-                link,
-                vec![quantized, clean],
-                Dur::from_secs(10),
-            ))
-            .run();
-            black_box(r.throughput_ratio())
-        })
+fn bench_vivace_starvation(r: &mut Runner) {
+    r.bench("scenarios/vivace_ack_quantization_10s", || {
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
+        let rm = Dur::from_millis(60);
+        let quantized = FlowConfig::bulk(Box::new(cca::Vivace::new(1)), rm)
+            .datagram()
+            .with_ack_policy(AckPolicy::Quantized {
+                period: Dur::from_millis(60),
+            });
+        let clean = FlowConfig::bulk(Box::new(cca::Vivace::new(2)), rm).datagram();
+        let r = Network::new(SimConfig::new(
+            link,
+            vec![quantized, clean],
+            Dur::from_secs(10),
+        ))
+        .run();
+        black_box(r.throughput_ratio())
     });
 }
 
-fn bench_allegro_starvation(c: &mut Criterion) {
-    c.bench_function("scenarios/allegro_asymmetric_loss_15s", |b| {
-        b.iter(|| {
-            let link = LinkConfig::bdp_buffer(Rate::from_mbps(120.0), Dur::from_millis(40), 1.0);
-            let lossy = FlowConfig::bulk(Box::new(cca::Allegro::new(1)), Dur::from_millis(40))
-                .datagram()
-                .with_loss(0.02, 20);
-            let clean =
-                FlowConfig::bulk(Box::new(cca::Allegro::new(2)), Dur::from_millis(40)).datagram();
-            let r = Network::new(SimConfig::new(
-                link,
-                vec![lossy, clean],
-                Dur::from_secs(15),
-            ))
-            .run();
-            black_box(r.throughput_ratio())
-        })
+fn bench_allegro_starvation(r: &mut Runner) {
+    r.bench("scenarios/allegro_asymmetric_loss_15s", || {
+        let r = Network::new(SimConfig::new(
+            allegro_link(),
+            vec![allegro_flow(0.02, 1), allegro_flow(0.0, 2)],
+            Dur::from_secs(15),
+        ))
+        .run();
+        black_box(r.throughput_ratio())
     });
 }
 
-fn bench_theorem1(c: &mut Criterion) {
+fn bench_theorem1(r: &mut Runner) {
     use cca::factory;
     use starvation::theorem1::{run_theorem1, Theorem1Config};
-    c.bench_function("scenarios/theorem1_vegas_quick", |b| {
-        b.iter(|| {
-            let f = factory(|| Box::new(cca::Vegas::default_params()));
-            let mut cfg = Theorem1Config::quick();
-            cfg.record_duration = Dur::from_secs(15);
-            cfg.emulate_duration = Dur::from_secs(10);
-            black_box(run_theorem1(&f, cfg).map(|r| r.ratio()))
-        })
+    r.bench("scenarios/theorem1_vegas_quick", || {
+        let f = factory(|| Box::new(cca::Vegas::default_params()));
+        let mut cfg = Theorem1Config::quick();
+        cfg.record_duration = Dur::from_secs(15);
+        cfg.emulate_duration = Dur::from_secs(10);
+        black_box(run_theorem1(&f, cfg).map(|r| r.ratio()))
     });
 }
 
-fn bench_algo1_ablation(c: &mut Criterion) {
+fn bench_algo1_ablation(r: &mut Runner) {
     // Ablation from DESIGN.md: Algorithm 1 vs Vegas under the same
-    // asymmetric jitter (the jitter-aware mapping on/off).
+    // asymmetric jitter (the jitter-aware mapping on/off). The scenario is
+    // `testkit::harness::asymmetric_jitter_run` — the exact configuration
+    // the integration tests assert fairness on.
     use cca::jitter_aware::JitterAwareConfig;
-    let mut group = c.benchmark_group("scenarios/algo1_ablation_15s");
     type MkCca = Box<dyn Fn() -> cca::BoxCca>;
     let cases: Vec<(&str, MkCca)> = vec![
         (
@@ -132,55 +111,42 @@ fn bench_algo1_ablation(c: &mut Criterion) {
         ),
     ];
     for (name, mk) in cases {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let link = LinkConfig::ample_buffer(Rate::from_mbps(40.0));
-                let rm = Dur::from_millis(50);
-                let jittered = FlowConfig::bulk(mk(), rm).with_jitter(Jitter::Random {
-                    max: Dur::from_millis(10),
-                    rng: Xoshiro256::new(11),
-                });
-                let clean = FlowConfig::bulk(mk(), rm);
-                let r = Network::new(SimConfig::new(
-                    link,
-                    vec![jittered, clean],
-                    Dur::from_secs(15),
-                ))
-                .run();
-                black_box(r.throughput_ratio())
-            })
+        r.bench(&format!("scenarios/algo1_ablation_15s/{name}"), || {
+            let r = asymmetric_jitter_run(&mk, 15);
+            black_box(r.throughput_ratio())
         });
     }
-    group.finish();
 }
 
-fn bench_ccmc(c: &mut Criterion) {
+fn bench_ccmc(r: &mut Runner) {
     use ccmc::{search_max_ratio, ModelConfig, ModelState, SearchConfig};
-    c.bench_function("scenarios/ccmc_exhaustive_h5", |b| {
-        b.iter(|| {
-            let m = ModelState::new(
-                ModelConfig {
-                    rate: Rate::from_mbps(12.0),
-                    tau: Dur::from_millis(20),
-                    d_steps: 2,
-                    buffer: 40 * 1500,
-                    rm: Dur::from_millis(40),
-                    horizon: 5,
-                },
-                vec![
-                    Box::new(cca::NewReno::default_params()),
-                    Box::new(cca::NewReno::default_params()),
-                ],
-            );
-            black_box(search_max_ratio(&m, 5, SearchConfig::default()).best_value)
-        })
+    r.bench("scenarios/ccmc_exhaustive_h5", || {
+        let m = ModelState::new(
+            ModelConfig {
+                rate: Rate::from_mbps(12.0),
+                tau: Dur::from_millis(20),
+                d_steps: 2,
+                buffer: 40 * 1500,
+                rm: Dur::from_millis(40),
+                horizon: 5,
+            },
+            vec![
+                Box::new(cca::NewReno::default_params()),
+                Box::new(cca::NewReno::default_params()),
+            ],
+        );
+        black_box(search_max_ratio(&m, 5, SearchConfig::default()).best_value)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_copa_starvation, bench_bbr_starvation, bench_vivace_starvation,
-              bench_allegro_starvation, bench_theorem1, bench_algo1_ablation, bench_ccmc
+fn main() {
+    let mut r = Runner::from_args("scenarios");
+    bench_copa_starvation(&mut r);
+    bench_bbr_starvation(&mut r);
+    bench_vivace_starvation(&mut r);
+    bench_allegro_starvation(&mut r);
+    bench_theorem1(&mut r);
+    bench_algo1_ablation(&mut r);
+    bench_ccmc(&mut r);
+    r.finish();
 }
-criterion_main!(benches);

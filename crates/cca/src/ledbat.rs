@@ -28,6 +28,7 @@ pub struct Ledbat {
     gain: f64,
     cwnd: f64, // bytes
     base: WindowedMin,
+    last_pos: u64,
 }
 
 impl Ledbat {
@@ -41,6 +42,7 @@ impl Ledbat {
             gain,
             cwnd: (2 * mss) as f64,
             base: WindowedMin::new(Dur::from_secs(120).as_nanos()),
+            last_pos: 0,
         }
     }
 
@@ -59,13 +61,27 @@ impl Ledbat {
         let mut f = WindowedMin::new(Dur::from_secs(120).as_nanos());
         f.insert(0, d.as_secs_f64());
         self.base = f;
+        self.last_pos = 0;
     }
 }
 
 impl CongestionControl for Ledbat {
     fn on_ack(&mut self, ev: &AckEvent) {
         let rtt = ev.rtt.as_secs_f64();
-        self.base.insert(ev.now.as_nanos(), rtt);
+        let pos = ev.now.as_nanos();
+        // The base-delay window is indexed by absolute time. A transplanted
+        // converged state (Theorem 1 warm-starts a recorded CCA inside a
+        // fresh simulation) sees the clock restart; re-anchor the window at
+        // the new clock, carrying the converged estimate over.
+        if pos < self.last_pos {
+            let carried = self.base.get();
+            self.base.reset();
+            if let Some(b) = carried {
+                self.base.insert(pos, b);
+            }
+        }
+        self.last_pos = pos;
+        self.base.insert(pos, rtt);
         let base = self.base.get().unwrap_or(rtt);
         let queuing = (rtt - base).max(0.0);
         let off_target = (self.target.as_secs_f64() - queuing) / self.target.as_secs_f64();

@@ -143,11 +143,13 @@ impl MiTracker {
         })
     }
 
-    /// Record bytes sent now (attributed to the open MI).
+    /// Record bytes sent now (attributed to the open MI). Saturating: a
+    /// CCA probing at an absurd rate (e.g. unbounded slow-start doubling in
+    /// a synthetic closed loop) must not wrap the MI's byte counters.
     pub fn on_send(&mut self, _now: Time, bytes: u64) {
         if let Some(cur) = self.intervals.back_mut() {
             if cur.end.is_none() {
-                cur.sent += bytes;
+                cur.sent = cur.sent.saturating_add(bytes);
             }
         }
     }
@@ -166,7 +168,7 @@ impl MiTracker {
             Time::ZERO
         };
         if let Some(mi) = self.find_by_send_time(send_t) {
-            mi.acked += bytes;
+            mi.acked = mi.acked.saturating_add(bytes);
             mi.samples.push((now.as_secs_f64(), rtt.as_secs_f64()));
         }
     }
@@ -181,7 +183,7 @@ impl MiTracker {
             Time::ZERO
         });
         if let Some(mi) = self.find_by_send_time(send_t) {
-            mi.lost += bytes;
+            mi.lost = mi.lost.saturating_add(bytes);
         }
     }
 

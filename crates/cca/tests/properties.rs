@@ -1,184 +1,280 @@
 //! Property tests of the congestion-control algorithms' core math.
+//!
+//! Each property is a plain function over a tuple of inputs, so testkit's
+//! failure output is a paste-ready regression test calling it.
 
 use cca::allegro::AllegroUtility;
 use cca::jitter_aware::JitterAwareConfig;
 use cca::mi::MiTracker;
 use cca::vivace::VivaceUtility;
 use cca::AckEvent;
-use proptest::prelude::*;
 use simcore::units::{Dur, Rate, Time};
+use testkit::prop::{check, f64_in, u64_in, usize_in, vec_of};
+use testkit::{require, require_eq};
 
-proptest! {
-    // ---------- Algorithm 1's rate–delay mapping ----------
+// ---------- Algorithm 1's rate–delay mapping ----------
 
-    #[test]
-    fn jitter_aware_target_monotone_decreasing(
-        rm_ms in 1u64..200,
-        rmax_extra_ms in 10u64..500,
-        d_ms in 1u64..50,
-        s in 1.1f64..8.0,
-        d1_ms in 0u64..1000,
-        gap_ms in 1u64..500,
-    ) {
-        let cfg = JitterAwareConfig {
-            rm: Dur::from_millis(rm_ms),
-            rmax: Dur::from_millis(rm_ms + rmax_extra_ms),
-            d: Dur::from_millis(d_ms),
-            s,
-            mu_minus: Rate::from_mbps(0.1),
-            a: Rate::from_mbps(0.2),
-            b: 0.9,
+fn jitter_aware_target_monotone_decreasing(
+    &(rm_ms, rmax_extra_ms, d_ms, s, d1_ms, gap_ms): &(u64, u64, u64, f64, u64, u64),
+) -> Result<(), String> {
+    let cfg = JitterAwareConfig {
+        rm: Dur::from_millis(rm_ms),
+        rmax: Dur::from_millis(rm_ms + rmax_extra_ms),
+        d: Dur::from_millis(d_ms),
+        s,
+        mu_minus: Rate::from_mbps(0.1),
+        a: Rate::from_mbps(0.2),
+        b: 0.9,
+    };
+    let lo = Dur::from_millis(d1_ms);
+    let hi = Dur::from_millis(d1_ms + gap_ms);
+    require!(
+        cfg.target_rate(lo) >= cfg.target_rate(hi),
+        "target_rate not monotone: lo={lo:?} hi={hi:?}"
+    );
+    Ok(())
+}
+
+#[test]
+fn prop_jitter_aware_target_monotone_decreasing() {
+    check(
+        "jitter_aware_target_monotone_decreasing",
+        (
+            u64_in(1, 200),
+            u64_in(10, 500),
+            u64_in(1, 50),
+            f64_in(1.1, 8.0),
+            u64_in(0, 1000),
+            u64_in(1, 500),
+        ),
+        jitter_aware_target_monotone_decreasing,
+    );
+}
+
+/// The design invariant: delays exactly D apart map to rates exactly a
+/// factor s apart. Parameters are constrained so both exponents stay
+/// inside the implementation's ±60 clamp.
+fn jitter_aware_s_separation(
+    &(rm_ms, d_ms, s, expo_max, base_frac): &(u64, u64, f64, u64, f64),
+) -> Result<(), String> {
+    let cfg = JitterAwareConfig {
+        rm: Dur::from_millis(rm_ms),
+        rmax: Dur::from_millis(rm_ms + d_ms * expo_max),
+        d: Dur::from_millis(d_ms),
+        s,
+        mu_minus: Rate::from_mbps(0.1),
+        a: Rate::from_mbps(0.2),
+        b: 0.9,
+    };
+    let base_ms = ((d_ms * expo_max) as f64 * base_frac) as u64;
+    let d_lo = Dur::from_millis(rm_ms + base_ms);
+    let d_hi = d_lo + cfg.d;
+    let r_lo = cfg.target_rate(d_lo).bytes_per_sec();
+    let r_hi = cfg.target_rate(d_hi).bytes_per_sec();
+    require!(
+        (r_lo / r_hi - s).abs() < s * 1e-6,
+        "ratio={} s={s}",
+        r_lo / r_hi
+    );
+    Ok(())
+}
+
+#[test]
+fn prop_jitter_aware_s_separation() {
+    check(
+        "jitter_aware_s_separation",
+        (
+            u64_in(1, 100),
+            u64_in(1, 50),
+            f64_in(1.1, 8.0),
+            u64_in(5, 50),
+            f64_in(0.0, 0.9),
+        ),
+        jitter_aware_s_separation,
+    );
+}
+
+/// Regression (ported from crates/cca/tests/properties.proptest-regressions,
+/// seed 30a9c6bd…, original shrink: rm_ms = 1, d_ms = 1, s = 1.1,
+/// base_ms = 0): with Rm = D = 1 ms and a target delay right at Rm, the
+/// s-separation ratio drifted past tolerance because the exponent clamp
+/// engaged at the lower edge of the mapping.
+#[test]
+fn regression_jitter_aware_s_separation_at_lower_edge() {
+    jitter_aware_s_separation(&(1, 1, 1.1, 5, 0.0)).unwrap();
+}
+
+// ---------- PCC utilities ----------
+
+fn vivace_utility_monotone_in_rate_when_clean(&(x1, dx): &(f64, f64)) -> Result<(), String> {
+    let u = VivaceUtility::default();
+    require!(
+        u.eval(x1 + dx, 0.0, 0.0) > u.eval(x1, 0.0, 0.0),
+        "x1={x1} dx={dx}"
+    );
+    Ok(())
+}
+
+#[test]
+fn prop_vivace_utility_monotone_in_rate_when_clean() {
+    check(
+        "vivace_utility_monotone_in_rate_when_clean",
+        (f64_in(0.1, 500.0), f64_in(0.1, 500.0)),
+        vivace_utility_monotone_in_rate_when_clean,
+    );
+}
+
+fn vivace_latency_penalty_always_hurts(
+    &(x, grad, loss): &(f64, f64, f64),
+) -> Result<(), String> {
+    let u = VivaceUtility::default();
+    require!(
+        u.eval(x, grad, loss) < u.eval(x, 0.0, loss),
+        "x={x} grad={grad} loss={loss}"
+    );
+    Ok(())
+}
+
+#[test]
+fn prop_vivace_latency_penalty_always_hurts() {
+    check(
+        "vivace_latency_penalty_always_hurts",
+        (f64_in(0.1, 500.0), f64_in(1e-6, 10.0), f64_in(0.0, 1.0)),
+        vivace_latency_penalty_always_hurts,
+    );
+}
+
+fn allegro_utility_sign_flips_at_threshold(&x: &f64) -> Result<(), String> {
+    let u = AllegroUtility::default();
+    require!(u.eval(x, 0.01) > 0.0, "x={x}");
+    require!(u.eval(x, 0.10) < 0.0, "x={x}");
+    Ok(())
+}
+
+#[test]
+fn prop_allegro_utility_sign_flips_at_threshold() {
+    check(
+        "allegro_utility_sign_flips_at_threshold",
+        (f64_in(1.0, 500.0),),
+        |&(x,): &(f64,)| allegro_utility_sign_flips_at_threshold(&x),
+    );
+}
+
+/// Below the threshold, more rate at the same loss is always better.
+fn allegro_utility_scale_invariant_ordering(
+    &(x1, k, loss): &(f64, f64, f64),
+) -> Result<(), String> {
+    let u = AllegroUtility::default();
+    require!(
+        u.eval(x1 * k, loss) > u.eval(x1, loss),
+        "x1={x1} k={k} loss={loss}"
+    );
+    Ok(())
+}
+
+#[test]
+fn prop_allegro_utility_scale_invariant_ordering() {
+    check(
+        "allegro_utility_scale_invariant_ordering",
+        (f64_in(1.0, 500.0), f64_in(1.1, 4.0), f64_in(0.0, 0.04)),
+        allegro_utility_scale_invariant_ordering,
+    );
+}
+
+// ---------- monitor intervals ----------
+
+/// Feed sends at increasing times, ack each exactly one RTT later; the sum
+/// of per-MI acked bytes equals the total acked.
+fn mi_attribution_conserves_bytes(
+    (events, mi_ms): &(Vec<(u64, u64)>, u64),
+) -> Result<(), String> {
+    let rtt = Dur::from_millis(60);
+    let mut tr = MiTracker::new();
+    let mut now = Time::ZERO;
+    let mut next_mi = Time::ZERO;
+    let mut total = 0u64;
+    let mut sends: Vec<(Time, u64)> = Vec::new();
+    for &(dt_ms, bytes) in events {
+        now += Dur::from_millis(dt_ms);
+        if now >= next_mi {
+            tr.begin(now, Rate::from_mbps(1.0), 0);
+            next_mi = now + Dur::from_millis(*mi_ms);
+        }
+        tr.on_send(now, bytes);
+        sends.push((now, bytes));
+    }
+    for (t, bytes) in sends {
+        tr.on_ack(t + rtt, rtt, bytes);
+        total += bytes;
+    }
+    // Drain all MIs and sum.
+    let mut acked = 0u64;
+    let far = now + Dur::from_secs(10);
+    tr.begin(far, Rate::from_mbps(1.0), 0);
+    while let Some(mi) = tr.pop_complete(far + Dur::from_secs(10), Dur::ZERO) {
+        acked += mi.acked;
+    }
+    require_eq!(acked, total);
+    Ok(())
+}
+
+#[test]
+fn prop_mi_attribution_conserves_bytes() {
+    check(
+        "mi_attribution_conserves_bytes",
+        (
+            vec_of((u64_in(1, 50), u64_in(1, 3_000)), 5, 100),
+            u64_in(10, 100),
+        ),
+        mi_attribution_conserves_bytes,
+    );
+}
+
+// ---------- cwnd floors ----------
+
+fn all_ccas_keep_positive_cwnd_under_ack_storms(
+    &(seed, rtt_ms, n): &(u64, f64, usize),
+) -> Result<(), String> {
+    let mut algos: Vec<cca::BoxCca> = vec![
+        Box::new(cca::Vegas::default_params()),
+        Box::new(cca::FastTcp::default_params()),
+        Box::new(cca::Copa::default_params()),
+        Box::new(cca::Bbr::new(1500, seed)),
+        Box::new(cca::Vivace::new(seed)),
+        Box::new(cca::Allegro::new(seed)),
+        Box::new(cca::NewReno::default_params()),
+        Box::new(cca::Cubic::default_params()),
+    ];
+    let mut now = Time::ZERO;
+    for i in 0..n {
+        now += Dur::from_millis(3);
+        let ev = AckEvent {
+            now,
+            rtt: Dur::from_millis_f64(rtt_ms),
+            newly_acked: 1500,
+            in_flight: (i as u64 % 40) * 1500,
+            delivered: (i as u64 + 1) * 1500,
+            delivered_at_send: (i as u64).saturating_sub(30) * 1500,
+            delivery_rate: Some(Rate::from_mbps(10.0)),
+            app_limited: false,
+            ecn: false,
         };
-        let lo = Dur::from_millis(d1_ms);
-        let hi = Dur::from_millis(d1_ms + gap_ms);
-        prop_assert!(cfg.target_rate(lo) >= cfg.target_rate(hi));
-    }
-
-    #[test]
-    fn jitter_aware_s_separation(
-        rm_ms in 1u64..100,
-        d_ms in 1u64..50,
-        s in 1.1f64..8.0,
-        expo_max in 5u64..50,
-        base_frac in 0.0f64..0.9,
-    ) {
-        // The design invariant: delays exactly D apart map to rates exactly
-        // a factor s apart. Parameters are constrained so both exponents
-        // stay inside the implementation's ±60 clamp.
-        let cfg = JitterAwareConfig {
-            rm: Dur::from_millis(rm_ms),
-            rmax: Dur::from_millis(rm_ms + d_ms * expo_max),
-            d: Dur::from_millis(d_ms),
-            s,
-            mu_minus: Rate::from_mbps(0.1),
-            a: Rate::from_mbps(0.2),
-            b: 0.9,
-        };
-        let base_ms = ((d_ms * expo_max) as f64 * base_frac) as u64;
-        let d_lo = Dur::from_millis(rm_ms + base_ms);
-        let d_hi = d_lo + cfg.d;
-        let r_lo = cfg.target_rate(d_lo).bytes_per_sec();
-        let r_hi = cfg.target_rate(d_hi).bytes_per_sec();
-        prop_assert!((r_lo / r_hi - s).abs() < s * 1e-6,
-            "ratio={} s={s}", r_lo / r_hi);
-    }
-
-    // ---------- PCC utilities ----------
-
-    #[test]
-    fn vivace_utility_monotone_in_rate_when_clean(
-        x1 in 0.1f64..500.0,
-        dx in 0.1f64..500.0,
-    ) {
-        let u = VivaceUtility::default();
-        prop_assert!(u.eval(x1 + dx, 0.0, 0.0) > u.eval(x1, 0.0, 0.0));
-    }
-
-    #[test]
-    fn vivace_latency_penalty_always_hurts(
-        x in 0.1f64..500.0,
-        grad in 1e-6f64..10.0,
-        loss in 0.0f64..1.0,
-    ) {
-        let u = VivaceUtility::default();
-        prop_assert!(u.eval(x, grad, loss) < u.eval(x, 0.0, loss));
-    }
-
-    #[test]
-    fn allegro_utility_sign_flips_at_threshold(x in 1.0f64..500.0) {
-        let u = AllegroUtility::default();
-        prop_assert!(u.eval(x, 0.01) > 0.0);
-        prop_assert!(u.eval(x, 0.10) < 0.0);
-    }
-
-    #[test]
-    fn allegro_utility_scale_invariant_ordering(
-        x1 in 1.0f64..500.0,
-        k in 1.1f64..4.0,
-        loss in 0.0f64..0.04,
-    ) {
-        // Below the threshold, more rate at the same loss is always better.
-        let u = AllegroUtility::default();
-        prop_assert!(u.eval(x1 * k, loss) > u.eval(x1, loss));
-    }
-
-    // ---------- monitor intervals ----------
-
-    #[test]
-    fn mi_attribution_conserves_bytes(
-        events in prop::collection::vec((1u64..50, 1u64..3_000), 5..100),
-        mi_ms in 10u64..100,
-    ) {
-        // Feed sends at increasing times, ack each exactly one RTT later;
-        // the sum of per-MI acked bytes equals the total acked.
-        let rtt = Dur::from_millis(60);
-        let mut tr = MiTracker::new();
-        let mut now = Time::ZERO;
-        let mut next_mi = Time::ZERO;
-        let mut total = 0u64;
-        let mut sends: Vec<(Time, u64)> = Vec::new();
-        for &(dt_ms, bytes) in &events {
-            now += Dur::from_millis(dt_ms);
-            if now >= next_mi {
-                tr.begin(now, Rate::from_mbps(1.0), 0);
-                next_mi = now + Dur::from_millis(mi_ms);
-            }
-            tr.on_send(now, bytes);
-            sends.push((now, bytes));
-        }
-        for (t, bytes) in sends {
-            tr.on_ack(t + rtt, rtt, bytes);
-            total += bytes;
-        }
-        // Drain all MIs and sum.
-        let mut acked = 0u64;
-        let far = now + Dur::from_secs(10);
-        tr.begin(far, Rate::from_mbps(1.0), 0);
-        while let Some(mi) = tr.pop_complete(far + Dur::from_secs(10), Dur::ZERO) {
-            acked += mi.acked;
-        }
-        prop_assert_eq!(acked, total);
-    }
-
-    // ---------- cwnd floors ----------
-
-    #[test]
-    fn all_ccas_keep_positive_cwnd_under_ack_storms(
-        seed in 0u64..1000,
-        rtt_ms in 1.0f64..500.0,
-        n in 1usize..400,
-    ) {
-        let mut algos: Vec<cca::BoxCca> = vec![
-            Box::new(cca::Vegas::default_params()),
-            Box::new(cca::FastTcp::default_params()),
-            Box::new(cca::Copa::default_params()),
-            Box::new(cca::Bbr::new(1500, seed)),
-            Box::new(cca::Vivace::new(seed)),
-            Box::new(cca::Allegro::new(seed)),
-            Box::new(cca::NewReno::default_params()),
-            Box::new(cca::Cubic::default_params()),
-        ];
-        let mut now = Time::ZERO;
-        for i in 0..n {
-            now += Dur::from_millis(3);
-            let ev = AckEvent {
-                now,
-                rtt: Dur::from_millis_f64(rtt_ms),
-                newly_acked: 1500,
-                in_flight: (i as u64 % 40) * 1500,
-                delivered: (i as u64 + 1) * 1500,
-                delivered_at_send: (i as u64).saturating_sub(30) * 1500,
-                delivery_rate: Some(Rate::from_mbps(10.0)),
-                app_limited: false,
-                ecn: false,
-            };
-            for a in &mut algos {
-                a.on_ack(&ev);
-                prop_assert!(a.cwnd() >= 1500, "{} cwnd=0", a.name());
-                if let Some(r) = a.pacing_rate() {
-                    prop_assert!(r.bytes_per_sec().is_finite());
-                }
+        for a in &mut algos {
+            a.on_ack(&ev);
+            require!(a.cwnd() >= 1500, "{} cwnd=0", a.name());
+            if let Some(r) = a.pacing_rate() {
+                require!(r.bytes_per_sec().is_finite(), "{} pacing not finite", a.name());
             }
         }
     }
+    Ok(())
+}
+
+#[test]
+fn prop_all_ccas_keep_positive_cwnd_under_ack_storms() {
+    check(
+        "all_ccas_keep_positive_cwnd_under_ack_storms",
+        (u64_in(0, 1000), f64_in(1.0, 500.0), usize_in(1, 400)),
+        all_ccas_keep_positive_cwnd_under_ack_storms,
+    );
 }

@@ -75,9 +75,11 @@ impl WindowedMax {
         self.dq.front().map(|&(_, v)| v)
     }
 
-    /// Drop all state.
+    /// Drop all state, including the position watermark: the next insert
+    /// may be at any position, as on a fresh filter.
     pub fn reset(&mut self) {
         self.dq.clear();
+        self.last_pos = 0;
     }
 }
 

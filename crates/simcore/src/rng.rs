@@ -87,6 +87,69 @@ mod tests {
     use super::*;
 
     #[test]
+    fn known_answer_reference_sequence() {
+        // xoshiro256** with SplitMix64 state expansion, per the reference
+        // implementation by Blackman & Vigna (prng.di.unimi.it). Seed 0 is
+        // the canonical vector; seed 42 pins this exact implementation.
+        // Any change to these outputs silently invalidates every recorded
+        // simulation seed in the repo, so they are locked here.
+        let mut r = Xoshiro256::new(0);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            [
+                0x99ec5f36cb75f2b4,
+                0xbf6e1f784956452a,
+                0x1a5f849d4933e6e0,
+                0x6aa594f1262d2d2c
+            ]
+        );
+        let mut r = Xoshiro256::new(42);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            [
+                0x15780b2e0c2ec716,
+                0x6104d9866d113a7e,
+                0xae17533239e499a1,
+                0xecb8ad4703b360a1
+            ]
+        );
+    }
+
+    #[test]
+    fn known_answer_derived_draws() {
+        // The derived draw functions are part of the stable stream too:
+        // next_f64 takes the top 53 bits, range_u64 is Lemire's multiply.
+        let mut r = Xoshiro256::new(42);
+        assert_eq!(r.next_f64(), 0.08386297105988216);
+        let mut r = Xoshiro256::new(7);
+        let got: Vec<u64> = (0..6).map(|_| r.range_u64(100)).collect();
+        assert_eq!(got, [70, 27, 83, 98, 99, 87]);
+    }
+
+    #[test]
+    fn uniformity_chi_squared_smoke() {
+        // 16 buckets, 64k draws: E[χ²] = 15 (df = 15). The p ≈ 1e-4
+        // cutoff is ~45; the seed is fixed, so this cannot flake.
+        let mut r = Xoshiro256::new(12345);
+        let n = 65_536u64;
+        let mut buckets = [0u64; 16];
+        for _ in 0..n {
+            buckets[r.range_u64(16) as usize] += 1;
+        }
+        let expect = n as f64 / 16.0;
+        let chi2: f64 = buckets
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        assert!(chi2 < 45.0, "chi2={chi2} buckets={buckets:?}");
+    }
+
+    #[test]
     fn deterministic_for_same_seed() {
         let mut a = Xoshiro256::new(42);
         let mut b = Xoshiro256::new(42);

@@ -131,6 +131,46 @@ mod tests {
     }
 
     #[test]
+    fn percentile_tail_known_vectors() {
+        // Nearest-rank on 101 evenly spaced points: pXX lands exactly on
+        // the XX value — the vectors the bench harness's p50/p99 rest on.
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 99.0), Some(99.0));
+        assert_eq!(percentile(&xs, 95.0), Some(95.0));
+        assert_eq!(percentile(&xs, 50.0), Some(50.0));
+        // Tiny samples: p99 rounds to the upper rank.
+        assert_eq!(percentile(&[1.0, 2.0], 99.0), Some(2.0));
+        // Input order must not matter.
+        assert_eq!(percentile(&[9.0, 1.0, 5.0], 99.0), Some(9.0));
+    }
+
+    #[test]
+    fn stddev_known_answer() {
+        // Population stddev of the classic textbook vector is exactly 2.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(stddev(&xs), Some(2.0));
+        assert!(stddev(&[]).is_none());
+    }
+
+    #[test]
+    fn jain_two_to_one_split() {
+        // x = (2, 1): (3²)/(2·5) = 0.9.
+        assert!((jain_index(&[2.0, 1.0]).unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_percentiles_on_hundred_points() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs).unwrap();
+        // rank = round(p/100 · 99): p50 → 50 → value 51, p95 → 94 → 95.
+        assert_eq!(s.p50, 51.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.mean, 50.5);
+    }
+
+    #[test]
     fn summary_fields() {
         let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
         assert_eq!(s.n, 3);

@@ -1,158 +1,275 @@
 //! Property tests of the simulation core's foundations.
+//!
+//! Each property is a plain function over a tuple of inputs, so testkit's
+//! failure output is a paste-ready regression test calling it.
 
-use proptest::prelude::*;
 use simcore::filter::{WindowedMax, WindowedMin};
 use simcore::rng::Xoshiro256;
 use simcore::series::TimeSeries;
 use simcore::units::{Dur, Rate, Time};
+use testkit::prop::{check, f64_in, u64_in, vec_of};
+use testkit::{require, require_eq};
 
-proptest! {
-    // ---------- units ----------
+// ---------- units ----------
 
-    #[test]
-    fn dur_float_roundtrip_within_a_nanosecond(ms in 0.0f64..1e7) {
-        let d = Dur::from_millis_f64(ms);
-        prop_assert!((d.as_millis_f64() - ms).abs() < 1e-5);
+fn dur_float_roundtrip_within_a_nanosecond(&ms: &f64) -> Result<(), String> {
+    let d = Dur::from_millis_f64(ms);
+    require!(
+        (d.as_millis_f64() - ms).abs() < 1e-5,
+        "ms={ms} roundtrip={}",
+        d.as_millis_f64()
+    );
+    Ok(())
+}
+
+#[test]
+fn prop_dur_float_roundtrip_within_a_nanosecond() {
+    check(
+        "dur_float_roundtrip_within_a_nanosecond",
+        (f64_in(0.0, 1e7),),
+        |&(ms,): &(f64,)| dur_float_roundtrip_within_a_nanosecond(&ms),
+    );
+}
+
+fn time_plus_dur_minus_dur_is_identity(&(t, d): &(u64, u64)) -> Result<(), String> {
+    let time = Time(t);
+    let dur = Dur(d);
+    require_eq!((time + dur) - dur, time);
+    require_eq!((time + dur).since(time), dur);
+    Ok(())
+}
+
+#[test]
+fn prop_time_plus_dur_minus_dur_is_identity() {
+    check(
+        "time_plus_dur_minus_dur_is_identity",
+        (u64_in(0, u64::MAX / 4), u64_in(0, u64::MAX / 4)),
+        time_plus_dur_minus_dur_is_identity,
+    );
+}
+
+fn rate_tx_time_inverts_bytes_over(&(mbps, bytes): &(f64, u64)) -> Result<(), String> {
+    let r = Rate::from_mbps(mbps);
+    let t = r.tx_time(bytes);
+    // Transmitting for exactly tx_time carries (almost exactly) `bytes`.
+    let carried = r.bytes_over(t) as f64;
+    require!(
+        (carried - bytes as f64).abs() <= bytes as f64 * 1e-6 + 1.0,
+        "bytes={bytes} carried={carried}"
+    );
+    Ok(())
+}
+
+#[test]
+fn prop_rate_tx_time_inverts_bytes_over() {
+    check(
+        "rate_tx_time_inverts_bytes_over",
+        (f64_in(0.1, 10_000.0), u64_in(1, 10_000_000)),
+        rate_tx_time_inverts_bytes_over,
+    );
+}
+
+fn rate_unit_conversions_consistent(&mbps: &f64) -> Result<(), String> {
+    let r = Rate::from_mbps(mbps);
+    require!(
+        (r.bps() / 1e6 - mbps).abs() < mbps * 1e-12 + 1e-12,
+        "mbps={mbps} bps={}",
+        r.bps()
+    );
+    require!(
+        (Rate::from_bps(r.bps()).bytes_per_sec() - r.bytes_per_sec()).abs() < 1e-6,
+        "mbps={mbps}"
+    );
+    Ok(())
+}
+
+#[test]
+fn prop_rate_unit_conversions_consistent() {
+    check(
+        "rate_unit_conversions_consistent",
+        (f64_in(0.001, 100_000.0),),
+        |&(mbps,): &(f64,)| rate_unit_conversions_consistent(&mbps),
+    );
+}
+
+// ---------- series ----------
+
+fn value_at_matches_linear_scan(
+    (points, query): &(Vec<(u64, f64)>, u64),
+) -> Result<(), String> {
+    let query = *query;
+    let mut sorted = points.clone();
+    sorted.sort_by_key(|&(t, _)| t);
+    let mut s = TimeSeries::new();
+    for &(t, v) in &sorted {
+        s.push(Time(t), v);
     }
+    let expect = sorted
+        .iter().rfind(|&&(t, _)| t <= query)          // last point at or before `query`...
+        .map(|&(_, v)| v);
+    // ...except ties: value_at takes the *last* pushed at that time.
+    let expect = {
+        let at_or_before: Vec<&(u64, f64)> =
+            sorted.iter().filter(|&&(t, _)| t <= query).collect();
+        at_or_before.last().map(|&&(_, v)| v).or(expect)
+    };
+    require_eq!(s.value_at(Time(query)), expect);
+    Ok(())
+}
 
-    #[test]
-    fn time_plus_dur_minus_dur_is_identity(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
-        let time = Time(t);
-        let dur = Dur(d);
-        prop_assert_eq!((time + dur) - dur, time);
-        prop_assert_eq!((time + dur).since(time), dur);
+#[test]
+fn prop_value_at_matches_linear_scan() {
+    check(
+        "value_at_matches_linear_scan",
+        (
+            vec_of((u64_in(0, 1_000_000), f64_in(-1e6, 1e6)), 1, 200),
+            u64_in(0, 1_100_000),
+        ),
+        value_at_matches_linear_scan,
+    );
+}
+
+fn shifted_from_preserves_relative_spacing(
+    (offsets, base, cut): &(Vec<u64>, u64, u64),
+) -> Result<(), String> {
+    let mut s = TimeSeries::new();
+    let mut t = *base;
+    for (i, &o) in offsets.iter().enumerate() {
+        t += o;
+        s.push(Time(t), i as f64);
     }
-
-    #[test]
-    fn rate_tx_time_inverts_bytes_over(mbps in 0.1f64..10_000.0, bytes in 1u64..10_000_000) {
-        let r = Rate::from_mbps(mbps);
-        let t = r.tx_time(bytes);
-        // Transmitting for exactly tx_time carries (almost exactly) `bytes`.
-        let carried = r.bytes_over(t) as f64;
-        prop_assert!((carried - bytes as f64).abs() <= bytes as f64 * 1e-6 + 1.0,
-            "bytes={bytes} carried={carried}");
+    let cut_at = Time(base + cut);
+    let shifted = s.shifted_from(cut_at);
+    for w in shifted.points().windows(2) {
+        // Spacing between consecutive surviving points is unchanged.
+        let orig: Vec<(Time, f64)> = s
+            .points()
+            .iter()
+            .copied()
+            .filter(|&(pt, _)| pt >= cut_at)
+            .collect();
+        let i = shifted
+            .points()
+            .iter()
+            .position(|p| p == &w[0])
+            .unwrap();
+        let d_orig = orig[i + 1].0.since(orig[i].0);
+        let d_new = w[1].0.since(w[0].0);
+        require_eq!(d_orig, d_new);
     }
+    Ok(())
+}
 
-    #[test]
-    fn rate_unit_conversions_consistent(mbps in 0.001f64..100_000.0) {
-        let r = Rate::from_mbps(mbps);
-        prop_assert!((r.bps() / 1e6 - mbps).abs() < mbps * 1e-12 + 1e-12);
-        prop_assert!((Rate::from_bps(r.bps()).bytes_per_sec() - r.bytes_per_sec()).abs() < 1e-6);
+#[test]
+fn prop_shifted_from_preserves_relative_spacing() {
+    check(
+        "shifted_from_preserves_relative_spacing",
+        (
+            vec_of(u64_in(0, 10_000), 2, 50),
+            u64_in(0, 1_000_000),
+            u64_in(0, 20_000),
+        ),
+        shifted_from_preserves_relative_spacing,
+    );
+}
+
+// ---------- filters ----------
+
+fn windowed_max_equals_naive((steps, width): &(Vec<(u64, f64)>, u64)) -> Result<(), String> {
+    let width = *width;
+    let mut f = WindowedMax::new(width);
+    let mut hist: Vec<(u64, f64)> = Vec::new();
+    let mut pos = 0u64;
+    for &(dp, v) in steps {
+        pos += dp;
+        f.insert(pos, v);
+        hist.push((pos, v));
+        let naive = hist
+            .iter()
+            .filter(|&&(p, _)| p + width >= pos)
+            .map(|&(_, v)| v)
+            .fold(f64::MIN, f64::max);
+        require_eq!(f.get(), Some(naive));
     }
+    Ok(())
+}
 
-    // ---------- series ----------
+#[test]
+fn prop_windowed_max_equals_naive() {
+    check(
+        "windowed_max_equals_naive",
+        (
+            vec_of((u64_in(0, 5), f64_in(-1e3, 1e3)), 1, 300),
+            u64_in(1, 50),
+        ),
+        windowed_max_equals_naive,
+    );
+}
 
-    #[test]
-    fn value_at_matches_linear_scan(
-        points in prop::collection::vec((0u64..1_000_000, -1e6f64..1e6), 1..200),
-        query in 0u64..1_100_000,
-    ) {
-        let mut sorted = points.clone();
-        sorted.sort_by_key(|&(t, _)| t);
-        let mut s = TimeSeries::new();
-        for &(t, v) in &sorted {
-            s.push(Time(t), v);
-        }
-        let expect = sorted
-            .iter().rfind(|&&(t, _)| t <= query)          // last point at or before `query`...
-            .map(|&(_, v)| v);
-        // ...except ties: value_at takes the *last* pushed at that time.
-        let expect = {
-            let at_or_before: Vec<&(u64, f64)> =
-                sorted.iter().filter(|&&(t, _)| t <= query).collect();
-            at_or_before.last().map(|&&(_, v)| v).or(expect)
-        };
-        prop_assert_eq!(s.value_at(Time(query)), expect);
+fn windowed_min_never_above_latest_sample(
+    (steps, width): &(Vec<(u64, f64)>, u64),
+) -> Result<(), String> {
+    let mut f = WindowedMin::new(*width);
+    let mut pos = 0u64;
+    for &(dp, v) in steps {
+        pos += dp;
+        f.insert(pos, v);
+        require!(f.get().unwrap() <= v, "min above sample {v}");
     }
+    Ok(())
+}
 
-    #[test]
-    fn shifted_from_preserves_relative_spacing(
-        offsets in prop::collection::vec(0u64..10_000, 2..50),
-        base in 0u64..1_000_000,
-        cut in 0u64..20_000,
-    ) {
-        let mut s = TimeSeries::new();
-        let mut t = base;
-        for (i, &o) in offsets.iter().enumerate() {
-            t += o;
-            s.push(Time(t), i as f64);
-        }
-        let cut_at = Time(base + cut);
-        let shifted = s.shifted_from(cut_at);
-        for w in shifted.points().windows(2) {
-            // Spacing between consecutive surviving points is unchanged.
-            let orig: Vec<(Time, f64)> = s
-                .points()
-                .iter()
-                .copied()
-                .filter(|&(pt, _)| pt >= cut_at)
-                .collect();
-            let i = shifted
-                .points()
-                .iter()
-                .position(|p| p == &w[0])
-                .unwrap();
-            let d_orig = orig[i + 1].0.since(orig[i].0);
-            let d_new = w[1].0.since(w[0].0);
-            prop_assert_eq!(d_orig, d_new);
-        }
+#[test]
+fn prop_windowed_min_never_above_latest_sample() {
+    check(
+        "windowed_min_never_above_latest_sample",
+        (
+            vec_of((u64_in(0, 5), f64_in(0.0, 1e3)), 1, 300),
+            u64_in(1, 50),
+        ),
+        windowed_min_never_above_latest_sample,
+    );
+}
+
+// ---------- rng ----------
+
+fn rng_range_f64_in_bounds(&(seed, lo, span): &(u64, f64, f64)) -> Result<(), String> {
+    let mut r = Xoshiro256::new(seed);
+    let hi = lo + span;
+    for _ in 0..100 {
+        let x = r.range_f64(lo, hi);
+        require!(x >= lo && x < hi, "x={x} lo={lo} hi={hi}");
     }
+    Ok(())
+}
 
-    // ---------- filters ----------
+#[test]
+fn prop_rng_range_f64_in_bounds() {
+    check(
+        "rng_range_f64_in_bounds",
+        (
+            u64_in(0, u64::MAX),
+            f64_in(-1e9, 1e9),
+            f64_in(1e-9, 1e9),
+        ),
+        rng_range_f64_in_bounds,
+    );
+}
 
-    #[test]
-    fn windowed_max_equals_naive(
-        steps in prop::collection::vec((0u64..5, -1e3f64..1e3), 1..300),
-        width in 1u64..50,
-    ) {
-        let mut f = WindowedMax::new(width);
-        let mut hist: Vec<(u64, f64)> = Vec::new();
-        let mut pos = 0u64;
-        for &(dp, v) in &steps {
-            pos += dp;
-            f.insert(pos, v);
-            hist.push((pos, v));
-            let naive = hist
-                .iter()
-                .filter(|&&(p, _)| p + width >= pos)
-                .map(|&(_, v)| v)
-                .fold(f64::MIN, f64::max);
-            prop_assert_eq!(f.get(), Some(naive));
-        }
+fn rng_deterministic_per_seed(&seed: &u64) -> Result<(), String> {
+    let mut a = Xoshiro256::new(seed);
+    let mut b = Xoshiro256::new(seed);
+    for _ in 0..50 {
+        require_eq!(a.next_u64(), b.next_u64());
     }
+    Ok(())
+}
 
-    #[test]
-    fn windowed_min_never_above_latest_sample(
-        steps in prop::collection::vec((0u64..5, 0.0f64..1e3), 1..300),
-        width in 1u64..50,
-    ) {
-        let mut f = WindowedMin::new(width);
-        let mut pos = 0u64;
-        for &(dp, v) in &steps {
-            pos += dp;
-            f.insert(pos, v);
-            prop_assert!(f.get().unwrap() <= v);
-        }
-    }
-
-    // ---------- rng ----------
-
-    #[test]
-    fn rng_range_f64_in_bounds(seed in 0u64..u64::MAX, lo in -1e9f64..1e9, span in 1e-9f64..1e9) {
-        let mut r = Xoshiro256::new(seed);
-        let hi = lo + span;
-        for _ in 0..100 {
-            let x = r.range_f64(lo, hi);
-            prop_assert!(x >= lo && x < hi);
-        }
-    }
-
-    #[test]
-    fn rng_deterministic_per_seed(seed in 0u64..u64::MAX) {
-        let mut a = Xoshiro256::new(seed);
-        let mut b = Xoshiro256::new(seed);
-        for _ in 0..50 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
-        }
-    }
+#[test]
+fn prop_rng_deterministic_per_seed() {
+    check(
+        "rng_deterministic_per_seed",
+        (u64_in(0, u64::MAX),),
+        |&(seed,): &(u64,)| rng_deterministic_per_seed(&seed),
+    );
 }

@@ -1,0 +1,259 @@
+//! Measurement harness (in-repo `criterion` replacement).
+//!
+//! Each bench target (`crates/bench/benches/*.rs`, `harness = false`)
+//! constructs a [`Runner`], registers closures with [`Runner::bench`], and
+//! calls [`Runner::finish`]. Per benchmark the runner does a warmup, times N
+//! iterations individually, and reports mean/p50/p99 (computed with
+//! [`simcore::stats`], the same code the experiments trust).
+//!
+//! Results go to stdout for humans and to `results/bench/<target>.json` as
+//! JSON lines for trajectory tracking — one object per benchmark:
+//!
+//! ```json
+//! {"target":"engine","name":"engine/xoshiro_next_1k","quick":false,
+//!  "warmup_iters":2,"iters":10,"mean_ns":123,"p50_ns":120,"p99_ns":150,
+//!  "min_ns":110,"max_ns":151}
+//! ```
+//!
+//! Modes:
+//! * full (default under `cargo bench`): 2 warmup + 10 timed iterations;
+//! * quick/smoke (`cargo bench -- --quick`, or `TESTKIT_BENCH_QUICK=1`):
+//!   1 warmup + 3 timed iterations — a compile-and-run check for CI.
+
+use std::hint::black_box as bb;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Fully qualified benchmark name (`target/function[/param]`).
+    pub name: String,
+    /// Warmup iterations (untimed).
+    pub warmup_iters: u32,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Mean of per-iteration wall times.
+    pub mean_ns: u64,
+    /// Median per-iteration wall time.
+    pub p50_ns: u64,
+    /// 99th-percentile per-iteration wall time (nearest rank).
+    pub p99_ns: u64,
+    /// Fastest iteration.
+    pub min_ns: u64,
+    /// Slowest iteration.
+    pub max_ns: u64,
+}
+
+/// A named benchmark case for [`Runner::bench_group`]: the parameter name
+/// (appended to the group name as `group/param`) and the closure to time.
+pub type GroupCase<'a, R> = (&'a str, Box<dyn FnMut() -> R + 'a>);
+
+/// Bench runner for one target file. See the module docs.
+pub struct Runner {
+    target: String,
+    quick: bool,
+    warmup_iters: u32,
+    iters: u32,
+    results: Vec<Measurement>,
+    filter: Option<String>,
+}
+
+impl Runner {
+    /// Create a runner for `target` (e.g. `"engine"`), reading mode and
+    /// name filter from the command line (`cargo bench -- --quick <filter>`)
+    /// and the `TESTKIT_BENCH_QUICK` environment variable.
+    pub fn from_args(target: &str) -> Runner {
+        let mut quick = std::env::var("TESTKIT_BENCH_QUICK").map(|v| v != "0").unwrap_or(false);
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" | "--smoke" | "--test" => quick = true,
+                // Flags cargo passes to bench binaries; ignore.
+                "--bench" | "--nocapture" | "--exact" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        let (warmup_iters, iters) = if quick { (1, 3) } else { (2, 10) };
+        Runner {
+            target: target.to_string(),
+            quick,
+            warmup_iters,
+            iters,
+            results: Vec::new(),
+            filter,
+        }
+    }
+
+    /// True when running in quick/smoke mode. Bench bodies can use this to
+    /// shorten simulated durations further.
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Register and immediately run one benchmark. The closure's return
+    /// value is passed through [`black_box`](std::hint::black_box) so the
+    /// measured work is not optimized away.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        for _ in 0..self.warmup_iters {
+            bb(f());
+        }
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            bb(f());
+            samples_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+        let m = Measurement {
+            name: name.to_string(),
+            warmup_iters: self.warmup_iters,
+            iters: self.iters,
+            mean_ns: simcore::stats::mean(&samples_ns).unwrap_or(0.0) as u64,
+            p50_ns: simcore::stats::percentile(&samples_ns, 50.0).unwrap_or(0.0) as u64,
+            p99_ns: simcore::stats::percentile(&samples_ns, 99.0).unwrap_or(0.0) as u64,
+            min_ns: samples_ns.iter().cloned().fold(f64::MAX, f64::min) as u64,
+            max_ns: samples_ns.iter().cloned().fold(f64::MIN, f64::max) as u64,
+        };
+        println!(
+            "bench {:<44} mean {:>12}  p50 {:>12}  p99 {:>12}  ({} iters{})",
+            m.name,
+            fmt_ns(m.mean_ns),
+            fmt_ns(m.p50_ns),
+            fmt_ns(m.p99_ns),
+            m.iters,
+            if self.quick { ", quick" } else { "" },
+        );
+        self.results.push(m);
+    }
+
+    /// Run a group of parameterized benchmarks: `group/param` per entry.
+    /// Each case is a `(param_name, closure)` pair — see [`GroupCase`].
+    pub fn bench_group<R>(&mut self, group: &str, cases: Vec<GroupCase<'_, R>>) {
+        for (param, mut f) in cases {
+            self.bench(&format!("{group}/{param}"), &mut f);
+        }
+    }
+
+    /// Write `results/bench/<target>.json` and return the measurements.
+    /// The output directory is resolved from `TESTKIT_BENCH_DIR`, else
+    /// `CARGO_MANIFEST_DIR/../../results/bench` (the workspace layout), else
+    /// `./results/bench`.
+    pub fn finish(self) -> Vec<Measurement> {
+        let dir = std::env::var("TESTKIT_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| match std::env::var("CARGO_MANIFEST_DIR") {
+                Ok(m) => PathBuf::from(m).join("../../results/bench"),
+                Err(_) => PathBuf::from("results/bench"),
+            });
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("testkit::bench: cannot create {}: {e}", dir.display());
+            return self.results;
+        }
+        let path = dir.join(format!("{}.json", self.target));
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                for m in &self.results {
+                    let _ = writeln!(
+                        f,
+                        "{{\"target\":\"{}\",\"name\":\"{}\",\"quick\":{},\
+                         \"warmup_iters\":{},\"iters\":{},\"mean_ns\":{},\
+                         \"p50_ns\":{},\"p99_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+                        json_escape(&self.target),
+                        json_escape(&m.name),
+                        self.quick,
+                        m.warmup_iters,
+                        m.iters,
+                        m.mean_ns,
+                        m.p50_ns,
+                        m.p99_ns,
+                        m.min_ns,
+                        m.max_ns,
+                    );
+                }
+                println!(
+                    "bench results: {} benchmarks -> {}",
+                    self.results.len(),
+                    path.display()
+                );
+            }
+            Err(e) => eprintln!("testkit::bench: cannot write {}: {e}", path.display()),
+        }
+        self.results
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_runner(quick: bool) -> Runner {
+        Runner {
+            target: "selftest".into(),
+            quick,
+            warmup_iters: 1,
+            iters: 4,
+            results: Vec::new(),
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn measures_and_orders_percentiles() {
+        let mut r = test_runner(true);
+        let mut x = 0u64;
+        r.bench("selftest/spin", || {
+            for i in 0..10_000u64 {
+                x = x.wrapping_add(bb(i));
+            }
+            x
+        });
+        let m = &r.results[0];
+        assert!(m.min_ns <= m.p50_ns && m.p50_ns <= m.p99_ns && m.p99_ns <= m.max_ns);
+        assert!(m.mean_ns > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut r = test_runner(true);
+        r.filter = Some("other".into());
+        r.bench("selftest/skipped", || 1);
+        assert!(r.results.is_empty());
+    }
+
+    #[test]
+    fn finish_writes_json_lines() {
+        let dir = std::env::temp_dir().join("testkit_bench_selftest");
+        std::env::set_var("TESTKIT_BENCH_DIR", &dir);
+        let mut r = test_runner(false);
+        r.bench("selftest/a\"quoted\"", || 1);
+        r.finish();
+        std::env::remove_var("TESTKIT_BENCH_DIR");
+        let text = std::fs::read_to_string(dir.join("selftest.json")).unwrap();
+        assert!(text.contains("\"name\":\"selftest/a\\\"quoted\\\"\""), "{text}");
+        assert!(text.contains("\"mean_ns\":"));
+        assert_eq!(text.lines().count(), 1);
+    }
+}

@@ -1,0 +1,536 @@
+//! Property-based testing harness (in-repo `proptest` replacement).
+//!
+//! A property is a plain function `fn(&Input) -> Result<(), String>`; the
+//! harness generates `cases` random inputs from a [`Strategy`], and on the
+//! first failure greedily shrinks the input toward a minimal counterexample,
+//! then panics with the seed and a ready-to-paste regression test.
+//!
+//! ```
+//! use testkit::prop::{check, f64_in, u64_in};
+//!
+//! fn sum_commutes(&(a, b): &(u64, f64)) -> Result<(), String> {
+//!     testkit::require!(a as f64 + b == b + a as f64, "a={a} b={b}");
+//!     Ok(())
+//! }
+//!
+//! // Inside a `#[test]` this is the whole body:
+//! check("sum_commutes", (u64_in(0, 100), f64_in(0.0, 1.0)), sum_commutes);
+//! ```
+//!
+//! Runs are deterministic: the default master seed is fixed, and
+//! `TESTKIT_SEED` / `TESTKIT_CASES` override it for reproduction or soak
+//! runs. Each case derives its own `case seed`, printed on failure, so a
+//! single failing case can be replayed without re-running the whole batch
+//! (see [`Config::only_case_seed`]).
+
+use simcore::rng::Xoshiro256;
+use std::fmt::Debug;
+
+/// Master seed used when `TESTKIT_SEED` is not set. Fixed so that CI and
+/// local runs exercise the same cases — change it deliberately, not often.
+pub const DEFAULT_SEED: u64 = 0x5EED_CAFE_0001;
+
+/// Default number of cases per property when `TESTKIT_CASES` is not set.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// A source of random values with support for shrinking.
+///
+/// `shrink` proposes *strictly simpler* candidates for a failing value
+/// (smaller numbers, shorter vectors); the harness keeps any candidate that
+/// still fails and repeats until no candidate fails.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+    /// Draw one value from `rng`.
+    fn generate(&self, rng: &mut Xoshiro256) -> Self::Value;
+    /// Propose simpler variants of a failing value (possibly empty).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
+}
+
+// ---------- scalar strategies ----------
+
+/// Uniform `u64` in the half-open range `[lo, hi)`.
+pub fn u64_in(lo: u64, hi: u64) -> U64In {
+    assert!(lo < hi, "u64_in: empty range {lo}..{hi}");
+    U64In { lo, hi }
+}
+
+/// See [`u64_in`].
+#[derive(Clone, Copy, Debug)]
+pub struct U64In {
+    lo: u64,
+    hi: u64,
+}
+
+impl Strategy for U64In {
+    type Value = u64;
+    fn generate(&self, rng: &mut Xoshiro256) -> u64 {
+        self.lo + rng.range_u64(self.hi - self.lo)
+    }
+    fn shrink(&self, &v: &u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if v > self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (v - self.lo) / 2;
+            if mid != self.lo && mid != v {
+                out.push(mid);
+            }
+            out.push(v - 1);
+        }
+        out.dedup();
+        out
+    }
+}
+
+/// Uniform `usize` in the half-open range `[lo, hi)`.
+pub fn usize_in(lo: usize, hi: usize) -> UsizeIn {
+    UsizeIn(u64_in(lo as u64, hi as u64))
+}
+
+/// See [`usize_in`].
+#[derive(Clone, Copy, Debug)]
+pub struct UsizeIn(U64In);
+
+impl Strategy for UsizeIn {
+    type Value = usize;
+    fn generate(&self, rng: &mut Xoshiro256) -> usize {
+        self.0.generate(rng) as usize
+    }
+    fn shrink(&self, &v: &usize) -> Vec<usize> {
+        self.0.shrink(&(v as u64)).into_iter().map(|x| x as usize).collect()
+    }
+}
+
+/// Uniform `f64` in the half-open range `[lo, hi)`.
+pub fn f64_in(lo: f64, hi: f64) -> F64In {
+    assert!(lo < hi, "f64_in: empty range {lo}..{hi}");
+    F64In { lo, hi }
+}
+
+/// See [`f64_in`].
+#[derive(Clone, Copy, Debug)]
+pub struct F64In {
+    lo: f64,
+    hi: f64,
+}
+
+impl Strategy for F64In {
+    type Value = f64;
+    fn generate(&self, rng: &mut Xoshiro256) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+    fn shrink(&self, &v: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if v > self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (v - self.lo) / 2.0;
+            if mid != self.lo && mid != v {
+                out.push(mid);
+            }
+            // Rounder numbers read better in regression tests.
+            let trunc = v.trunc();
+            if trunc >= self.lo && trunc < v && trunc != mid {
+                out.push(trunc);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform `bool` (fair coin). Shrinks `true` to `false`.
+pub fn any_bool() -> AnyBool {
+    AnyBool
+}
+
+/// See [`any_bool`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut Xoshiro256) -> bool {
+        rng.bernoulli(0.5)
+    }
+    fn shrink(&self, &v: &bool) -> Vec<bool> {
+        if v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+// ---------- composite strategies ----------
+
+/// `Vec` of values from `elem`, with length uniform in `[min_len, max_len)`.
+///
+/// Shrinks by truncating toward `min_len`, dropping single elements, and
+/// shrinking individual elements in place.
+pub fn vec_of<S: Strategy>(elem: S, min_len: usize, max_len: usize) -> VecOf<S> {
+    assert!(min_len < max_len, "vec_of: empty length range {min_len}..{max_len}");
+    VecOf { elem, min_len, max_len }
+}
+
+/// See [`vec_of`].
+#[derive(Clone, Copy, Debug)]
+pub struct VecOf<S> {
+    elem: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Xoshiro256) -> Vec<S::Value> {
+        let len = self.min_len + rng.range_u64((self.max_len - self.min_len) as u64) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        if v.len() > self.min_len {
+            // Aggressive first: halve toward the minimum length.
+            let half = self.min_len.max(v.len() / 2);
+            if half < v.len() {
+                out.push(v[..half].to_vec());
+            }
+            // Then drop single elements.
+            for i in 0..v.len() {
+                let mut shorter = v.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // Finally shrink elements in place.
+        for i in 0..v.len() {
+            for cand in self.elem.shrink(&v[i]) {
+                let mut w = v.clone();
+                w[i] = cand;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident / $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut Xoshiro256) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+}
+
+// ---------- runner ----------
+
+/// Harness configuration. [`Config::from_env`] is what [`check`] uses.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Master seed; each case derives its own seed from this stream.
+    pub seed: u64,
+    /// Upper bound on property evaluations spent shrinking a failure.
+    pub max_shrink_evals: u32,
+    /// If set, skip generation and run exactly one case with this case seed
+    /// (as printed in a failure report). Set via `TESTKIT_CASE_SEED`.
+    pub only_case_seed: Option<u64>,
+}
+
+impl Config {
+    /// Defaults ([`DEFAULT_CASES`], [`DEFAULT_SEED`]) overridden by the
+    /// `TESTKIT_CASES`, `TESTKIT_SEED` and `TESTKIT_CASE_SEED` environment
+    /// variables (seeds accept decimal or `0x`-prefixed hex).
+    pub fn from_env() -> Config {
+        // A malformed override panics instead of silently falling back to
+        // the defaults: a typo'd replay seed exploring the wrong cases
+        // would look exactly like "the bug is gone".
+        fn env_u64(name: &str, parse: fn(&str) -> Option<u64>) -> Option<u64> {
+            let s = std::env::var(name).ok()?;
+            match parse(&s) {
+                Some(v) => Some(v),
+                None => panic!("{name}={s:?} is not a valid value"),
+            }
+        }
+        Config {
+            cases: env_u64("TESTKIT_CASES", |s| s.parse().ok())
+                .map(|v| v as u32)
+                .unwrap_or(DEFAULT_CASES),
+            seed: env_u64("TESTKIT_SEED", parse_u64).unwrap_or(DEFAULT_SEED),
+            max_shrink_evals: 2000,
+            only_case_seed: env_u64("TESTKIT_CASE_SEED", parse_u64),
+        }
+    }
+
+    /// Same defaults as [`Config::from_env`] but with a fixed case count
+    /// (environment variables still override the seed).
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::from_env()
+        }
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Run `property` against [`Config::from_env`]`.cases` values drawn from
+/// `strategy`. Panics with a shrunken counterexample on failure.
+///
+/// `name` should be the name of the property function so the printed
+/// regression test is paste-ready.
+pub fn check<S: Strategy>(
+    name: &str,
+    strategy: S,
+    property: impl Fn(&S::Value) -> Result<(), String>,
+) {
+    check_with(Config::from_env(), name, strategy, property);
+}
+
+/// [`check`] with an explicit [`Config`] (e.g. a smaller case count for
+/// expensive simulation-backed properties).
+pub fn check_with<S: Strategy>(
+    cfg: Config,
+    name: &str,
+    strategy: S,
+    property: impl Fn(&S::Value) -> Result<(), String>,
+) {
+    let mut master = Xoshiro256::new(cfg.seed);
+    for case in 0..cfg.cases {
+        let case_seed = match cfg.only_case_seed {
+            Some(s) => s,
+            None => master.next_u64(),
+        };
+        let mut rng = Xoshiro256::new(case_seed);
+        let input = strategy.generate(&mut rng);
+        if let Err(err) = property(&input) {
+            let (shrunk, shrunk_err, evals) =
+                shrink_failure(&strategy, &property, input.clone(), err.clone(), cfg.max_shrink_evals);
+            panic!(
+                "\nproperty `{name}` falsified (case {case_no}/{cases}, master seed {seed:#x}, \
+                 case seed {case_seed:#x})\n  \
+                 original: {input:?}\n            -> {err}\n  \
+                 shrunk ({evals} evals): {shrunk:?}\n            -> {shrunk_err}\n\
+                 \nready-to-paste regression test:\n\n    \
+                 /// Regression: `{name}` falsified (testkit case seed {case_seed:#x}).\n    \
+                 #[test]\n    \
+                 fn regression_{name}() {{\n        \
+                 {name}(&{shrunk:?}).unwrap();\n    \
+                 }}\n\n\
+                 replay just this case with TESTKIT_CASE_SEED={case_seed:#x}, or the whole \
+                 batch with TESTKIT_SEED={seed:#x} TESTKIT_CASES={cases}\n",
+                case_no = case + 1,
+                cases = cfg.cases,
+                seed = cfg.seed,
+            );
+        }
+        if cfg.only_case_seed.is_some() {
+            return;
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly replace the failing value with the first
+/// shrink candidate that still fails, until none fails or the eval budget
+/// runs out. Returns the final value, its error, and evals spent.
+fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    property: &impl Fn(&S::Value) -> Result<(), String>,
+    mut value: S::Value,
+    mut error: String,
+    max_evals: u32,
+) -> (S::Value, String, u32) {
+    let mut evals = 0u32;
+    'outer: loop {
+        for cand in strategy.shrink(&value) {
+            if evals >= max_evals {
+                break 'outer;
+            }
+            evals += 1;
+            if let Err(e) = property(&cand) {
+                value = cand;
+                error = e;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, error, evals)
+}
+
+/// Assert a condition inside a property, returning `Err` with the formatted
+/// message (plus the stringified condition) instead of panicking.
+#[macro_export]
+macro_rules! require {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("requirement failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "requirement failed: {} — {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// [`require!`] for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! require_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "requirement failed: {} == {} — left={a:?} right={b:?}",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = (u64_in(0, 1000), f64_in(-1.0, 1.0));
+        let a: Vec<_> = {
+            let mut r = Xoshiro256::new(9);
+            (0..20).map(|_| s.generate(&mut r)).collect()
+        };
+        let b: Vec<_> = {
+            let mut r = Xoshiro256::new(9);
+            (0..20).map(|_| s.generate(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scalars_respect_bounds() {
+        let mut r = Xoshiro256::new(3);
+        for _ in 0..1000 {
+            let x = u64_in(5, 17).generate(&mut r);
+            assert!((5..17).contains(&x));
+            let y = f64_in(-2.0, 3.5).generate(&mut r);
+            assert!((-2.0..3.5).contains(&y));
+            let n = usize_in(1, 4).generate(&mut r);
+            assert!((1..4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_stay_in_range() {
+        let s = u64_in(10, 100);
+        for cand in s.shrink(&57) {
+            assert!((10..100).contains(&cand));
+        }
+        let f = f64_in(0.5, 9.0);
+        for cand in f.shrink(&7.3) {
+            assert!((0.5..9.0).contains(&cand));
+        }
+    }
+
+    #[test]
+    fn greedy_shrink_reaches_the_boundary() {
+        // Property: x < 40. The minimal counterexample in [0, 1000) is 40.
+        let s = u64_in(0, 1000);
+        let prop = |&x: &u64| -> Result<(), String> {
+            if x < 40 {
+                Ok(())
+            } else {
+                Err(format!("x={x}"))
+            }
+        };
+        let (min, _, _) = shrink_failure(&s, &prop, 917, "x=917".into(), 2000);
+        assert_eq!(min, 40);
+    }
+
+    #[test]
+    fn tuple_shrink_minimizes_each_component() {
+        let s = (u64_in(0, 100), u64_in(0, 100));
+        let prop = |&(a, b): &(u64, u64)| -> Result<(), String> {
+            if a + b < 30 {
+                Ok(())
+            } else {
+                Err(format!("a={a} b={b}"))
+            }
+        };
+        let (min, _, _) = shrink_failure(&s, &prop, (80, 90), "".into(), 2000);
+        assert_eq!(min.0 + min.1, 30, "not minimal: {min:?}");
+    }
+
+    #[test]
+    fn vec_shrink_drops_irrelevant_elements() {
+        let s = vec_of(u64_in(0, 100), 0, 50);
+        // Fails iff the vector contains a value ≥ 90: minimal case is one
+        // element equal to 90.
+        let prop = |v: &Vec<u64>| -> Result<(), String> {
+            if v.iter().all(|&x| x < 90) {
+                Ok(())
+            } else {
+                Err("contains big".into())
+            }
+        };
+        let start = vec![3, 99, 17, 91, 4, 12];
+        let (min, _, _) = shrink_failure(&s, &prop, start, "".into(), 4000);
+        assert_eq!(min, vec![90]);
+    }
+
+    #[test]
+    fn check_passes_a_true_property() {
+        check("always_true", u64_in(0, 10), |_| Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "ready-to-paste regression test")]
+    fn check_panics_with_regression_snippet() {
+        check("never_true", u64_in(0, 10), |_| Err("nope".into()));
+    }
+
+    #[test]
+    fn require_macros_return_err() {
+        fn p(x: u64) -> Result<(), String> {
+            crate::require!(x.is_multiple_of(2), "x={x}");
+            crate::require_eq!(x / 2 * 2, x);
+            Ok(())
+        }
+        assert!(p(4).is_ok());
+        assert!(p(3).unwrap_err().contains("x=3"));
+    }
+}

@@ -1,128 +1,176 @@
 //! Property-based integration tests: invariants of the packet-level
 //! emulator that every experiment in the repository silently relies on.
+//!
+//! Each property is a plain function over a tuple of inputs (so testkit's
+//! failure output is a paste-ready regression test calling it), exercised
+//! by `testkit::prop::check_with`. Simulation-backed cases are expensive,
+//! so the case count is fixed at 12 per property, as it was under proptest.
 
-use netsim::{AckPolicy, FlowConfig, Jitter, LinkConfig, Network, SimConfig, SimResult};
-use proptest::prelude::*;
-use simcore::rng::Xoshiro256;
+use netsim::{AckPolicy, FlowConfig, LinkConfig, Network, SimConfig};
 use simcore::units::{Dur, Rate, Time};
+use testkit::harness::run_one;
+use testkit::prop::{check_with, f64_in, u64_in, Config};
+use testkit::require;
 
-fn run_one(
-    cwnd_pkts: u64,
-    rate_mbps: f64,
-    rm_ms: u64,
-    jitter_ms: u64,
-    loss_pct: f64,
-    seed: u64,
-    secs: u64,
-) -> SimResult {
-    let link = LinkConfig::ample_buffer(Rate::from_mbps(rate_mbps));
-    let mut flow = FlowConfig::bulk(
-        Box::new(cca::ConstCwnd::new(cwnd_pkts * 1500)),
-        Dur::from_millis(rm_ms),
-    );
-    if jitter_ms > 0 {
-        flow = flow.with_jitter(Jitter::Random {
-            max: Dur::from_millis(jitter_ms),
-            rng: Xoshiro256::new(seed),
-        });
-    }
-    if loss_pct > 0.0 {
-        flow = flow.with_loss(loss_pct, seed.wrapping_add(1));
-    }
-    Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(secs))).run()
+fn cases() -> Config {
+    Config::with_cases(12)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// RTT can never fall below the propagation delay plus one packet's
-    /// transmission time, whatever the jitter and loss.
-    #[test]
-    fn rtt_never_below_floor(
-        cwnd in 2u64..60,
-        rate in 4.0f64..60.0,
-        rm in 10u64..80,
-        jit in 0u64..10,
-        seed in 0u64..1000,
-    ) {
-        let r = run_one(cwnd, rate, rm, jit, 0.0, seed, 4);
-        let floor = rm as f64 / 1e3 + 1500.0 * 8.0 / (rate * 1e6) - 1e-9;
-        for &(_, rtt) in r.flows[0].rtt.points() {
-            prop_assert!(rtt >= floor, "rtt={rtt} floor={floor}");
-        }
+/// RTT can never fall below the propagation delay plus one packet's
+/// transmission time, whatever the jitter and loss.
+fn rtt_never_below_floor(
+    &(cwnd, rate, rm, jit, seed): &(u64, f64, u64, u64, u64),
+) -> Result<(), String> {
+    let r = run_one(cwnd, rate, rm, jit, 0.0, seed, 4);
+    let floor = rm as f64 / 1e3 + 1500.0 * 8.0 / (rate * 1e6) - 1e-9;
+    for &(_, rtt) in r.flows[0].rtt.points() {
+        require!(rtt >= floor, "rtt={rtt} floor={floor}");
     }
+    Ok(())
+}
 
-    /// Delivered bytes never exceed what the link can carry.
-    #[test]
-    fn throughput_bounded_by_capacity(
-        cwnd in 2u64..200,
-        rate in 4.0f64..60.0,
-        rm in 10u64..80,
-        seed in 0u64..1000,
-    ) {
-        let r = run_one(cwnd, rate, rm, 0, 0.0, seed, 4);
-        let tput = r.flows[0].throughput_at(r.end).mbps();
-        prop_assert!(tput <= rate * 1.001, "tput={tput} rate={rate}");
-    }
+#[test]
+fn prop_rtt_never_below_floor() {
+    check_with(
+        cases(),
+        "rtt_never_below_floor",
+        (
+            u64_in(2, 60),
+            f64_in(4.0, 60.0),
+            u64_in(10, 80),
+            u64_in(0, 10),
+            u64_in(0, 1000),
+        ),
+        rtt_never_below_floor,
+    );
+}
 
-    /// Byte conservation: delivered ≤ sent, and everything sent is either
-    /// delivered, declared lost, dropped, or still in flight (within one
-    /// window of slack).
-    #[test]
-    fn byte_conservation(
-        cwnd in 2u64..80,
-        rate in 4.0f64..60.0,
-        loss in 0.0f64..0.05,
-        seed in 0u64..1000,
-    ) {
-        let r = run_one(cwnd, rate, 40, 0, loss, seed, 4);
-        let m = &r.flows[0];
-        prop_assert!(m.total_delivered() <= m.sent_bytes);
-        // Slack: bytes in flight, bytes SACKed at the receiver but not yet
-        // cumulatively acked (these accumulate while a lost retransmission
-        // stalls the cumulative point — up to an RTO's worth of sending,
-        // more across timeout backoffs), and losses undetected at sim end.
-        let stall_windows = 8 + 10 * m.timeouts;
-        let accounted = m.total_delivered() + m.lost_bytes + stall_windows * (cwnd + 4) * 1500;
-        prop_assert!(
-            m.sent_bytes <= accounted + r.drops[0] * 1500,
-            "sent={} accounted={}",
-            m.sent_bytes,
-            accounted
-        );
-    }
+/// Delivered bytes never exceed what the link can carry.
+fn throughput_bounded_by_capacity(
+    &(cwnd, rate, rm, seed): &(u64, f64, u64, u64),
+) -> Result<(), String> {
+    let r = run_one(cwnd, rate, rm, 0, 0.0, seed, 4);
+    let tput = r.flows[0].throughput_at(r.end).mbps();
+    require!(tput <= rate * 1.001, "tput={tput} rate={rate}");
+    Ok(())
+}
 
-    /// Determinism: identical configurations produce identical runs.
-    #[test]
-    fn bit_level_determinism(
-        cwnd in 2u64..60,
-        jit in 0u64..10,
-        loss in 0.0f64..0.03,
-        seed in 0u64..1000,
-    ) {
-        let a = run_one(cwnd, 24.0, 40, jit, loss, seed, 3);
-        let b = run_one(cwnd, 24.0, 40, jit, loss, seed, 3);
-        prop_assert_eq!(a.flows[0].total_delivered(), b.flows[0].total_delivered());
-        prop_assert_eq!(a.flows[0].sent_bytes, b.flows[0].sent_bytes);
-        prop_assert_eq!(a.flows[0].rtt.len(), b.flows[0].rtt.len());
-    }
+#[test]
+fn prop_throughput_bounded_by_capacity() {
+    check_with(
+        cases(),
+        "throughput_bounded_by_capacity",
+        (
+            u64_in(2, 200),
+            f64_in(4.0, 60.0),
+            u64_in(10, 80),
+            u64_in(0, 1000),
+        ),
+        throughput_bounded_by_capacity,
+    );
+}
 
-    /// The jitter element never reorders: RTT samples of consecutively
-    /// acked packets arrive in ack order (monotone time series), and the
-    /// receiver never sees sequence regressions that create phantom
-    /// delivery (delivered is monotone).
-    #[test]
-    fn delivery_is_monotone(
-        cwnd in 2u64..60,
-        jit in 1u64..15,
-        seed in 0u64..1000,
-    ) {
-        let r = run_one(cwnd, 24.0, 40, jit, 0.0, seed, 3);
-        let pts = r.flows[0].delivered.points();
-        for w in pts.windows(2) {
-            prop_assert!(w[1].1 >= w[0].1);
-        }
+/// Byte conservation: delivered ≤ sent, and everything sent is either
+/// delivered, declared lost, dropped, or still in flight (within one
+/// window of slack).
+fn byte_conservation(&(cwnd, rate, loss, seed): &(u64, f64, f64, u64)) -> Result<(), String> {
+    let r = run_one(cwnd, rate, 40, 0, loss, seed, 4);
+    let m = &r.flows[0];
+    require!(m.total_delivered() <= m.sent_bytes);
+    // Slack: bytes in flight, bytes SACKed at the receiver but not yet
+    // cumulatively acked (these accumulate while a lost retransmission
+    // stalls the cumulative point — up to an RTO's worth of sending,
+    // more across timeout backoffs), and losses undetected at sim end.
+    let stall_windows = 8 + 10 * m.timeouts;
+    let accounted = m.total_delivered() + m.lost_bytes + stall_windows * (cwnd + 4) * 1500;
+    require!(
+        m.sent_bytes <= accounted + r.drops[0] * 1500,
+        "sent={} accounted={}",
+        m.sent_bytes,
+        accounted
+    );
+    Ok(())
+}
+
+#[test]
+fn prop_byte_conservation() {
+    check_with(
+        cases(),
+        "byte_conservation",
+        (
+            u64_in(2, 80),
+            f64_in(4.0, 60.0),
+            f64_in(0.0, 0.05),
+            u64_in(0, 1000),
+        ),
+        byte_conservation,
+    );
+}
+
+/// Regression (ported from tests/emulator_invariants.proptest-regressions,
+/// seed dca141c8…): at this cwnd/loss combination the SACKed-but-not-acked
+/// backlog during a retransmission stall exceeded the old one-window slack
+/// in the byte-conservation accounting.
+#[test]
+fn regression_byte_conservation_sack_stall_backlog() {
+    byte_conservation(&(28, 4.0, 0.04389004328692524, 563)).unwrap();
+}
+
+/// Regression (ported from tests/emulator_invariants.proptest-regressions,
+/// seed 212a4746…): repeated timeouts with backoff let unaccounted bytes
+/// grow past a fixed number of stall windows; the slack must scale with
+/// the observed timeout count.
+#[test]
+fn regression_byte_conservation_timeout_backoff_slack() {
+    byte_conservation(&(15, 57.69840206502283, 0.036773298322155944, 893)).unwrap();
+}
+
+/// Determinism: identical configurations produce identical runs.
+fn bit_level_determinism(&(cwnd, jit, loss, seed): &(u64, u64, f64, u64)) -> Result<(), String> {
+    let a = run_one(cwnd, 24.0, 40, jit, loss, seed, 3);
+    let b = run_one(cwnd, 24.0, 40, jit, loss, seed, 3);
+    testkit::require_eq!(a.flows[0].total_delivered(), b.flows[0].total_delivered());
+    testkit::require_eq!(a.flows[0].sent_bytes, b.flows[0].sent_bytes);
+    testkit::require_eq!(a.flows[0].rtt.len(), b.flows[0].rtt.len());
+    Ok(())
+}
+
+#[test]
+fn prop_bit_level_determinism() {
+    check_with(
+        cases(),
+        "bit_level_determinism",
+        (
+            u64_in(2, 60),
+            u64_in(0, 10),
+            f64_in(0.0, 0.03),
+            u64_in(0, 1000),
+        ),
+        bit_level_determinism,
+    );
+}
+
+/// The jitter element never reorders: RTT samples of consecutively
+/// acked packets arrive in ack order (monotone time series), and the
+/// receiver never sees sequence regressions that create phantom
+/// delivery (delivered is monotone).
+fn delivery_is_monotone(&(cwnd, jit, seed): &(u64, u64, u64)) -> Result<(), String> {
+    let r = run_one(cwnd, 24.0, 40, jit, 0.0, seed, 3);
+    let pts = r.flows[0].delivered.points();
+    for w in pts.windows(2) {
+        require!(w[1].1 >= w[0].1, "regression at t={}", w[1].0);
     }
+    Ok(())
+}
+
+#[test]
+fn prop_delivery_is_monotone() {
+    check_with(
+        cases(),
+        "delivery_is_monotone",
+        (u64_in(2, 60), u64_in(1, 15), u64_in(0, 1000)),
+        delivery_is_monotone,
+    );
 }
 
 #[test]

@@ -9,22 +9,12 @@ use simcore::rng::Xoshiro256;
 use simcore::units::{Dur, Rate, Time};
 use starvation::fairness::check_s_fairness;
 use starvation::merit::{exponential_merit, vegas_family_merit};
+use testkit::harness::asymmetric_jitter_run;
 
 fn jitter_aware(a_mbps: f64) -> BoxCca {
     let mut cfg = JitterAwareConfig::example(Dur::from_millis(50));
     cfg.a = Rate::from_mbps(a_mbps);
     Box::new(cca::JitterAware::new(cfg))
-}
-
-fn asymmetric_jitter_run(mk: impl Fn() -> BoxCca, secs: u64) -> netsim::SimResult {
-    let link = LinkConfig::ample_buffer(Rate::from_mbps(40.0));
-    let rm = Dur::from_millis(50);
-    let jittered = FlowConfig::bulk(mk(), rm).with_jitter(Jitter::Random {
-        max: Dur::from_millis(10),
-        rng: Xoshiro256::new(11),
-    });
-    let clean = FlowConfig::bulk(mk(), rm);
-    Network::new(SimConfig::new(link, vec![jittered, clean], Dur::from_secs(secs))).run()
 }
 
 #[test]

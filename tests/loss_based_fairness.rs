@@ -3,33 +3,9 @@
 //! model checker bounds AIMD's unfairness over the discrete trace grid.
 
 use ccmc::{search_max_ratio, ModelConfig, ModelState, SearchConfig};
-use netsim::{AckPolicy, FlowConfig, LinkConfig, Network, SimConfig};
-use simcore::units::{Dur, Rate, Time};
-
-fn fig7_scenario(mk: fn() -> cca::BoxCca, secs: u64) -> (f64, f64) {
-    let rm = Dur::from_millis(120);
-    let link = LinkConfig {
-        rate: Rate::from_mbps(6.0),
-        buffer_bytes: 60 * 1500,
-        ecn_threshold: None,
-    };
-    let clean = FlowConfig::bulk(mk(), rm);
-    let delayed = FlowConfig::bulk(mk(), rm).with_ack_policy(AckPolicy::Delayed {
-        max_pkts: 4,
-        timeout: Dur::from_millis(100),
-    });
-    let r = Network::new(SimConfig::new(
-        link,
-        vec![clean, delayed],
-        Dur::from_secs(secs),
-    ))
-    .run();
-    let a = Time(r.end.as_nanos() / 10);
-    (
-        r.flows[0].throughput_over(a, r.end).mbps(),
-        r.flows[1].throughput_over(a, r.end).mbps(),
-    )
-}
+use netsim::{FlowConfig, LinkConfig, Network, SimConfig};
+use simcore::units::{Dur, Rate};
+use testkit::harness::fig7_scenario;
 
 #[test]
 fn reno_delayed_ack_unfairness_is_bounded() {

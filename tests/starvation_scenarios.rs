@@ -5,22 +5,9 @@
 use netsim::{AckPolicy, FlowConfig, Jitter, LinkConfig, Network, SimConfig};
 use simcore::rng::Xoshiro256;
 use simcore::units::{Dur, Rate, Time};
-
-fn mbps(r: &netsim::SimResult, flow: usize) -> f64 {
-    r.flows[flow].throughput_at(r.end).mbps()
-}
+use testkit::harness::{allegro_flow, allegro_link, copa_poisoned_flow, mbps};
 
 // ---------- §5.1 Copa ----------
-
-fn copa_poisoned_flow() -> FlowConfig {
-    FlowConfig::bulk(Box::new(cca::Copa::default_params()), Dur::from_millis(59)).with_jitter(
-        Jitter::ExtraExcept {
-            extra: Dur::from_millis(1),
-            period: 5_000,
-            offset: 0,
-        },
-    )
-}
 
 #[test]
 fn copa_single_flow_self_starves_on_poisoned_path() {
@@ -118,23 +105,6 @@ fn vivace_fills_clean_link_alone() {
 }
 
 // ---------- §5.4 PCC Allegro ----------
-
-fn allegro_link() -> LinkConfig {
-    LinkConfig::bdp_buffer(Rate::from_mbps(120.0), Dur::from_millis(40), 1.0)
-}
-
-fn allegro_flow(loss: f64, seed: u64) -> FlowConfig {
-    let f =
-        FlowConfig::bulk(Box::new(cca::Allegro::new(seed)), Dur::from_millis(40)).datagram();
-    if loss > 0.0 {
-        // The representative random stream (see EXPERIMENTS.md — Allegro's
-        // RCT noise makes the outcome stream-dependent; `repro seeds`
-        // publishes the distribution).
-        f.with_loss(loss, 7)
-    } else {
-        f
-    }
-}
 
 #[test]
 fn allegro_asymmetric_random_loss_starves_the_lossy_flow() {
