@@ -40,11 +40,7 @@ fn bench_fig7(r: &mut Runner) {
     use simcore::units::{Dur, Rate};
     r.bench("figures/fig7_reno_delayed_acks_20s", || {
         let rm = Dur::from_millis(120);
-        let link = LinkConfig {
-            rate: Rate::from_mbps(6.0),
-            buffer_bytes: 60 * 1500,
-            ecn_threshold: None,
-        };
+        let link = LinkConfig::new(Rate::from_mbps(6.0), 60 * 1500);
         let clean = FlowConfig::bulk(Box::new(cca::NewReno::default_params()), rm);
         let delayed = FlowConfig::bulk(Box::new(cca::NewReno::default_params()), rm)
             .with_ack_policy(AckPolicy::Delayed {

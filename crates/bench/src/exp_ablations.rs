@@ -22,9 +22,13 @@ use crate::table::{fnum, TextTable};
 use cca::delay_aimd::DelayAimdConfig;
 use cca::jitter_aware::JitterAwareConfig;
 use cca::BoxCca;
-use netsim::{FlowConfig, Jitter, LinkConfig, Network, SimConfig};
+#[cfg(test)]
+use netsim::Network;
+use netsim::{FlowConfig, Jitter, LinkConfig, SimConfig, SimResult};
+use simcore::par;
 use simcore::rng::Xoshiro256;
 use simcore::units::{Dur, Rate, Time};
+use starvation::sweep::{Sweep, SweepJob};
 use std::fmt;
 
 /// One ablation row: configuration label and the two flows' throughputs.
@@ -89,9 +93,50 @@ pub fn bbr_quanta_fixed_point(with_quanta: bool) -> AblationRow {
     }
 }
 
-// ---- 2. Copa poison magnitude ----
+// ---- 2–4: the simulated ablations, as sweep cases ----
 
-fn copa_poison_case(poison_ms: f64, secs: u64) -> AblationRow {
+/// How a case reads its throughputs off the finished run.
+#[derive(Clone, Copy)]
+enum Window {
+    /// Whole-run throughput (Copa's poison accumulates from the start).
+    Full,
+    /// Second-half throughput (skip convergence transients).
+    SecondHalf,
+}
+
+/// One simulated ablation case: report metadata plus the scenario.
+struct Case {
+    group: &'static str,
+    setting: String,
+    window: Window,
+    config: SimConfig,
+}
+
+impl Case {
+    fn row(&self, r: &SimResult) -> AblationRow {
+        let tput = |i: usize| match self.window {
+            Window::Full => r.flows[i].throughput_at(r.end).mbps(),
+            Window::SecondHalf => {
+                let half = Time(r.end.as_nanos() / 2);
+                r.flows[i].throughput_over(half, r.end).mbps()
+            }
+        };
+        AblationRow {
+            group: self.group,
+            setting: self.setting.clone(),
+            flows: (tput(0), tput(1)),
+        }
+    }
+
+    /// Build and run serially (unit tests probe single cases).
+    #[cfg(test)]
+    fn run_serial(&self) -> AblationRow {
+        let r = Network::new(self.config.clone()).run();
+        self.row(&r)
+    }
+}
+
+fn copa_poison_spec(poison_ms: f64, secs: u64) -> Case {
     let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
     let rm_poisoned = Dur::from_millis(60) - Dur::from_millis_f64(poison_ms);
     let poisoned = FlowConfig::bulk(Box::new(cca::Copa::default_params()), rm_poisoned)
@@ -101,25 +146,20 @@ fn copa_poison_case(poison_ms: f64, secs: u64) -> AblationRow {
             offset: 0,
         });
     let clean = FlowConfig::bulk(Box::new(cca::Copa::default_params()), Dur::from_millis(60));
-    let r = Network::new(SimConfig::new(
-        link,
-        vec![poisoned, clean],
-        Dur::from_secs(secs),
-    ))
-    .run();
-    AblationRow {
+    Case {
         group: "copa-poison",
         setting: format!("{poison_ms} ms"),
-        flows: (
-            r.flows[0].throughput_at(r.end).mbps(),
-            r.flows[1].throughput_at(r.end).mbps(),
-        ),
+        window: Window::Full,
+        config: SimConfig::new(link, vec![poisoned, clean], Dur::from_secs(secs)),
     }
 }
 
-// ---- 3. Algorithm 1 design margin ----
+#[cfg(test)]
+fn copa_poison_case(poison_ms: f64, secs: u64) -> AblationRow {
+    copa_poison_spec(poison_ms, secs).run_serial()
+}
 
-fn algo1_margin_case(actual_jitter_ms: u64, secs: u64) -> AblationRow {
+fn algo1_margin_spec(actual_jitter_ms: u64, secs: u64) -> Case {
     let link = LinkConfig::ample_buffer(Rate::from_mbps(40.0));
     let rm = Dur::from_millis(50);
     let mk = || -> BoxCca {
@@ -132,21 +172,20 @@ fn algo1_margin_case(actual_jitter_ms: u64, secs: u64) -> AblationRow {
         rng: Xoshiro256::new(11),
     });
     let clean = FlowConfig::bulk(mk(), rm);
-    let r = Network::new(SimConfig::new(link, vec![jittered, clean], Dur::from_secs(secs))).run();
-    let half = Time(r.end.as_nanos() / 2);
-    AblationRow {
+    Case {
         group: "algo1-margin",
         setting: format!("actual jitter {actual_jitter_ms} ms (designed 10 ms)"),
-        flows: (
-            r.flows[0].throughput_over(half, r.end).mbps(),
-            r.flows[1].throughput_over(half, r.end).mbps(),
-        ),
+        window: Window::SecondHalf,
+        config: SimConfig::new(link, vec![jittered, clean], Dur::from_secs(secs)),
     }
 }
 
-// ---- 4. AIMD-on-delay threshold ----
+#[cfg(test)]
+fn algo1_margin_case(actual_jitter_ms: u64, secs: u64) -> AblationRow {
+    algo1_margin_spec(actual_jitter_ms, secs).run_serial()
+}
 
-fn delay_aimd_case(q_hi_ms: u64, secs: u64) -> AblationRow {
+fn delay_aimd_spec(q_hi_ms: u64, secs: u64) -> Case {
     let rm = Dur::from_millis(50);
     let mk = || -> BoxCca {
         Box::new(cca::DelayAimd::new(DelayAimdConfig {
@@ -163,33 +202,47 @@ fn delay_aimd_case(q_hi_ms: u64, secs: u64) -> AblationRow {
         rng: Xoshiro256::new(11),
     });
     let clean = FlowConfig::bulk(mk(), rm);
-    let r = Network::new(SimConfig::new(link, vec![jittered, clean], Dur::from_secs(secs))).run();
-    let half = Time(r.end.as_nanos() / 2);
-    AblationRow {
+    Case {
         group: "delay-aimd-threshold",
         setting: format!("q_hi = {q_hi_ms} ms (jitter 10 ms)"),
-        flows: (
-            r.flows[0].throughput_over(half, r.end).mbps(),
-            r.flows[1].throughput_over(half, r.end).mbps(),
-        ),
+        window: Window::SecondHalf,
+        config: SimConfig::new(link, vec![jittered, clean], Dur::from_secs(secs)),
     }
 }
 
-/// Run all four ablations.
+/// Run all four ablations using every available core.
 pub fn run(quick: bool) -> AblationsReport {
-    let secs = if quick { 40 } else { 90 };
-    let mut rows = Vec::new();
-    rows.push(bbr_quanta_fixed_point(true));
-    rows.push(bbr_quanta_fixed_point(false));
+    run_with(quick, par::available_jobs())
+}
+
+/// Run all four ablations, the simulated cases across `jobs` workers on the
+/// shared sweep engine. The fixed-point iteration (group 1) is pure
+/// arithmetic and stays serial; row order matches the serial harness.
+pub fn run_with(quick: bool, jobs: usize) -> AblationsReport {
+    let secs = if quick { 40u64 } else { 90 };
+    let mut cases: Vec<Case> = Vec::new();
     for poison in [0.5, 1.0, 2.0, 4.0] {
-        rows.push(copa_poison_case(poison, secs.min(60)));
+        cases.push(copa_poison_spec(poison, secs.min(60)));
     }
     for jit in [5, 10, 20, 40] {
-        rows.push(algo1_margin_case(jit, secs.min(60)));
+        cases.push(algo1_margin_spec(jit, secs.min(60)));
     }
     for q_hi in [5, 20] {
-        rows.push(delay_aimd_case(q_hi, secs.min(60)));
+        cases.push(delay_aimd_spec(q_hi, secs.min(60)));
     }
+    let job_list: Vec<SweepJob> = cases
+        .iter()
+        .map(|c| SweepJob::new(format!("{}/{}", c.group, c.setting), c.config.clone()))
+        .collect();
+    let report = Sweep::new("ablations").jobs(jobs).run(job_list);
+
+    let mut rows = vec![bbr_quanta_fixed_point(true), bbr_quanta_fixed_point(false)];
+    rows.extend(
+        cases
+            .iter()
+            .zip(&report.rows)
+            .map(|(case, row)| case.row(row.result())),
+    );
     AblationsReport { rows }
 }
 

@@ -21,9 +21,13 @@
 use crate::table::{fnum, TextTable};
 use cca::delay_aimd::DelayAimdConfig;
 use cca::BoxCca;
-use netsim::{FlowConfig, Jitter, LinkConfig, Network, SimConfig};
+#[cfg(test)]
+use netsim::Network;
+use netsim::{FlowConfig, Jitter, LinkConfig, SimConfig, SimResult};
+use simcore::par;
 use simcore::rng::Xoshiro256;
 use simcore::units::{Dur, Rate, Time};
+use starvation::sweep::{Sweep, SweepJob};
 use std::fmt;
 
 /// One cell of the phase diagram.
@@ -47,7 +51,9 @@ pub struct BoundaryReport {
     pub jitter_values: Vec<u64>,
 }
 
-fn cell(osc_ms: u64, jitter_ms: u64, secs: u64) -> BoundaryCell {
+/// The scenario behind one cell: two delay-AIMD flows with oscillation
+/// width `Δ = osc_ms`, random jitter `D = jitter_ms` on the first path.
+fn cell_config(osc_ms: u64, jitter_ms: u64, secs: u64) -> SimConfig {
     let rm = Dur::from_millis(50);
     let mk = || -> BoxCca {
         // Sawtooth sweeps [Δ/5, Δ/5 + Δ] of queueing delay: width Δ.
@@ -65,7 +71,11 @@ fn cell(osc_ms: u64, jitter_ms: u64, secs: u64) -> BoundaryCell {
         rng: Xoshiro256::new(7 + osc_ms * 31 + jitter_ms),
     });
     let clean = FlowConfig::bulk(mk(), rm);
-    let r = Network::new(SimConfig::new(link, vec![jittered, clean], Dur::from_secs(secs))).run();
+    SimConfig::new(link, vec![jittered, clean], Dur::from_secs(secs))
+}
+
+/// Second-half throughput ratio of a finished cell run.
+fn cell_from(osc_ms: u64, jitter_ms: u64, r: &SimResult) -> BoundaryCell {
     let half = Time(r.end.as_nanos() / 2);
     let a = r.flows[0].throughput_over(half, r.end).mbps();
     let b = r.flows[1].throughput_over(half, r.end).mbps();
@@ -76,19 +86,39 @@ fn cell(osc_ms: u64, jitter_ms: u64, secs: u64) -> BoundaryCell {
     }
 }
 
-/// Sweep the `Δ × D` grid.
+/// One cell, built and run serially (unit tests probe single cells).
+#[cfg(test)]
+fn cell(osc_ms: u64, jitter_ms: u64, secs: u64) -> BoundaryCell {
+    let r = Network::new(cell_config(osc_ms, jitter_ms, secs)).run();
+    cell_from(osc_ms, jitter_ms, &r)
+}
+
+/// Sweep the `Δ × D` grid using every available core.
 pub fn run(quick: bool) -> BoundaryReport {
+    run_with(quick, par::available_jobs())
+}
+
+/// Sweep the `Δ × D` grid across `jobs` workers on the shared engine.
+/// Cell order (oscillation outer, jitter inner) is preserved at any worker
+/// count.
+pub fn run_with(quick: bool, jobs: usize) -> BoundaryReport {
     let secs = if quick { 30 } else { 60 };
     let osc_values = vec![2u64, 5, 10, 20, 40];
     let jitter_values = vec![2u64, 5, 10, 20, 40];
-    let cells: Vec<BoundaryCell> = std::thread::scope(|scope| {
-        let handles: Vec<_> = osc_values
-            .iter()
-            .flat_map(|&o| jitter_values.iter().map(move |&j| (o, j)))
-            .map(|(o, j)| scope.spawn(move || cell(o, j, secs)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("cell worker")).collect()
-    });
+    let grid: Vec<(u64, u64)> = osc_values
+        .iter()
+        .flat_map(|&o| jitter_values.iter().map(move |&j| (o, j)))
+        .collect();
+    let job_list: Vec<SweepJob> = grid
+        .iter()
+        .map(|&(o, j)| SweepJob::new(format!("osc{o}/jit{j}"), cell_config(o, j, secs)))
+        .collect();
+    let report = Sweep::new("boundary").jobs(jobs).run(job_list);
+    let cells: Vec<BoundaryCell> = grid
+        .iter()
+        .zip(&report.rows)
+        .map(|(&(o, j), row)| cell_from(o, j, row.result()))
+        .collect();
     BoundaryReport {
         cells,
         osc_values,

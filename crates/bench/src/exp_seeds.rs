@@ -5,12 +5,19 @@
 //!
 //! (The §5.1 Copa scenario has no randomness at all — it is bit-identical
 //! across runs — so it needs no sweep.)
+//!
+//! The scenario × seed grid runs on the shared sweep engine
+//! ([`starvation::sweep`]): one job per (scenario, seed), executed across
+//! `--jobs` workers with result order preserved, so the published table is
+//! byte-identical at any worker count.
 
 use crate::table::{fnum, TextTable};
-use netsim::{AckPolicy, FlowConfig, Jitter, LinkConfig, Network, SimConfig};
+use netsim::{AckPolicy, FlowConfig, Jitter, LinkConfig, SimConfig, SimResult};
+use simcore::par;
 use simcore::rng::Xoshiro256;
 use simcore::stats::Summary;
 use simcore::units::{Dur, Rate};
+use starvation::sweep::{Sweep, SweepJob};
 use std::fmt;
 
 /// One scenario's ratio distribution over seeds.
@@ -35,7 +42,7 @@ pub struct SeedsReport {
     pub rows: Vec<SeedRow>,
 }
 
-fn bbr_ratio(seed: u64, secs: u64) -> f64 {
+fn bbr_config(seed: u64, secs: u64) -> SimConfig {
     let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
     let mk = |rm_ms: u64, s: u64| {
         FlowConfig::bulk(Box::new(cca::Bbr::new(1500, s)), Dur::from_millis(rm_ms)).with_jitter(
@@ -45,16 +52,14 @@ fn bbr_ratio(seed: u64, secs: u64) -> f64 {
             },
         )
     };
-    let r = Network::new(SimConfig::new(
+    SimConfig::new(
         link,
         vec![mk(40, seed * 2 + 1), mk(80, seed * 2 + 2)],
         Dur::from_secs(secs),
-    ))
-    .run();
-    r.flows[1].throughput_at(r.end).mbps() / r.flows[0].throughput_at(r.end).mbps()
+    )
 }
 
-fn vivace_ratio(seed: u64, secs: u64) -> f64 {
+fn vivace_config(seed: u64, secs: u64) -> SimConfig {
     let rm = Dur::from_millis(60);
     let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
     let quantized = FlowConfig::bulk(Box::new(cca::Vivace::new(seed * 2 + 1)), rm)
@@ -63,16 +68,10 @@ fn vivace_ratio(seed: u64, secs: u64) -> f64 {
             period: Dur::from_millis(60),
         });
     let clean = FlowConfig::bulk(Box::new(cca::Vivace::new(seed * 2 + 2)), rm).datagram();
-    let r = Network::new(SimConfig::new(
-        link,
-        vec![quantized, clean],
-        Dur::from_secs(secs),
-    ))
-    .run();
-    r.flows[1].throughput_at(r.end).mbps() / r.flows[0].throughput_at(r.end).mbps()
+    SimConfig::new(link, vec![quantized, clean], Dur::from_secs(secs))
 }
 
-fn allegro_ratio(seed: u64, secs: u64) -> f64 {
+fn allegro_config(seed: u64, secs: u64) -> SimConfig {
     let link = LinkConfig::bdp_buffer(Rate::from_mbps(120.0), Dur::from_millis(40), 1.0);
     let lossy = FlowConfig::bulk(
         Box::new(cca::Allegro::new(seed * 2 + 1)),
@@ -85,35 +84,51 @@ fn allegro_ratio(seed: u64, secs: u64) -> f64 {
         Dur::from_millis(40),
     )
     .datagram();
-    let r = Network::new(SimConfig::new(link, vec![lossy, clean], Dur::from_secs(secs))).run();
+    SimConfig::new(link, vec![lossy, clean], Dur::from_secs(secs))
+}
+
+/// Starved-over-other throughput ratio at the end of the run.
+fn end_ratio(r: &SimResult) -> f64 {
     r.flows[1].throughput_at(r.end).mbps() / r.flows[0].throughput_at(r.end).mbps()
 }
 
-/// Run each randomized scenario over `n` seeds.
+/// A scenario constructor: `(seed, secs) → SimConfig`.
+type MkScenario = fn(u64, u64) -> SimConfig;
+
+/// The sweep's scenarios, in publication order.
+const SCENARIOS: [(&str, MkScenario); 3] = [
+    ("BBR Rm 40/80 ms (§5.2)", bbr_config),
+    ("Vivace ACK quantization (§5.3)", vivace_config),
+    ("Allegro asymmetric loss (§5.4)", allegro_config),
+];
+
+/// Run each randomized scenario over `n` seeds, using every available core.
 pub fn run(quick: bool) -> SeedsReport {
+    run_with(quick, par::available_jobs())
+}
+
+/// Run the sweep across `jobs` workers.
+pub fn run_with(quick: bool, jobs: usize) -> SeedsReport {
     let (n, secs) = if quick { (3u64, 40) } else { (5u64, 60) };
-    let sweep = |f: &(dyn Fn(u64, u64) -> f64 + Sync)| -> Vec<f64> {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..n).map(|s| scope.spawn(move || f(s, secs))).collect();
-            handles.into_iter().map(|h| h.join().expect("seed worker")).collect()
+    let job_list: Vec<SweepJob> = SCENARIOS
+        .iter()
+        .flat_map(|(name, mk)| {
+            (0..n).map(move |s| SweepJob::new(format!("{name}/seed{s}"), mk(s, secs)))
         })
-    };
-    SeedsReport {
-        rows: vec![
-            SeedRow {
-                scenario: "BBR Rm 40/80 ms (§5.2)",
-                ratios: sweep(&bbr_ratio),
-            },
-            SeedRow {
-                scenario: "Vivace ACK quantization (§5.3)",
-                ratios: sweep(&vivace_ratio),
-            },
-            SeedRow {
-                scenario: "Allegro asymmetric loss (§5.4)",
-                ratios: sweep(&allegro_ratio),
-            },
-        ],
-    }
+        .collect();
+    let report = Sweep::new("seeds").jobs(jobs).run(job_list);
+    let rows = SCENARIOS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| SeedRow {
+            scenario: name,
+            ratios: report.rows[i * n as usize..(i + 1) * n as usize]
+                .iter()
+                .map(|row| end_ratio(row.result()))
+                .collect(),
+        })
+        .collect();
+    SeedsReport { rows }
 }
 
 impl SeedsReport {

@@ -1,0 +1,163 @@
+//! `repro sweep` — the declarative grid demo of the sweep engine.
+//!
+//! [`starvation::sweep::ScenarioSpec`] expands a cartesian grid
+//! (CCA × rate × RTT × jitter × seed) into the paper's canonical two-flow
+//! asymmetric-jitter topology and runs it across the worker pool. This
+//! experiment sweeps the §5 CCAs over rate and jitter to show the pattern
+//! every reproduction in this harness reduces to: clean cells are fair,
+//! jittered cells starve flow 0, and the grid makes the contrast a table.
+
+use crate::table::{fnum, TextTable};
+use simcore::par;
+use simcore::units::{Dur, Time};
+use starvation::sweep::{CcaSpec, GridPoint, ScenarioSpec};
+use std::fmt;
+
+/// One grid point's measurement.
+#[derive(Clone, Debug)]
+pub struct SweepPointRow {
+    /// The grid coordinates.
+    pub point: GridPoint,
+    /// Second-half throughput of the jittered flow (flow 0), Mbit/s.
+    pub jittered_mbps: f64,
+    /// Second-half throughput of the clean flow (flow 1), Mbit/s.
+    pub clean_mbps: f64,
+}
+
+impl SweepPointRow {
+    /// Clean-over-jittered ratio: > 1 means the impaired flow loses.
+    pub fn ratio(&self) -> f64 {
+        self.clean_mbps / self.jittered_mbps.max(1e-9)
+    }
+}
+
+/// The executed grid.
+pub struct SweepReport {
+    /// One row per grid point, in row-major grid order.
+    pub rows: Vec<SweepPointRow>,
+}
+
+/// The demo grid: the paper's probing CCAs over rate × jitter × seed.
+fn spec(quick: bool) -> ScenarioSpec {
+    let (seeds, secs): (&[u64], u64) = if quick { (&[1], 12) } else { (&[1, 2, 3], 30) };
+    ScenarioSpec::new("grid-demo")
+        .cca(CcaSpec::new("copa", |_s| {
+            Box::new(cca::Copa::default_params())
+        }))
+        .cca(CcaSpec::new("bbr", |s| Box::new(cca::Bbr::new(1500, s))))
+        .rates_mbps(&[40.0, 120.0])
+        .rtts_ms(&[40])
+        .jitters_ms(&[0, 10])
+        .seeds(seeds)
+        .duration(Dur::from_secs(secs))
+        .sample_every(Dur::from_millis(20))
+}
+
+/// Run the demo grid using every available core.
+pub fn run(quick: bool) -> SweepReport {
+    run_with(quick, par::available_jobs())
+}
+
+/// Run the demo grid across `jobs` workers.
+pub fn run_with(quick: bool, jobs: usize) -> SweepReport {
+    let s = spec(quick);
+    let points: Vec<GridPoint> = s.points().into_iter().map(|(_, p)| p).collect();
+    let report = s.run(jobs);
+    let rows = points
+        .into_iter()
+        .zip(&report.rows)
+        .map(|(point, row)| {
+            let r = row.result();
+            let half = Time(r.end.as_nanos() / 2);
+            SweepPointRow {
+                point,
+                jittered_mbps: r.flows[0].throughput_over(half, r.end).mbps(),
+                clean_mbps: r.flows[1].throughput_over(half, r.end).mbps(),
+            }
+        })
+        .collect();
+    SweepReport { rows }
+}
+
+impl SweepReport {
+    /// Render the grid.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "cca",
+            "rate (Mbit/s)",
+            "rtt (ms)",
+            "jitter (ms)",
+            "seed",
+            "flow 0 (Mbit/s)",
+            "flow 1 (Mbit/s)",
+            "ratio",
+        ]);
+        for r in &self.rows {
+            t.row(&[
+                r.point.cca.clone(),
+                fnum(r.point.rate.mbps()),
+                fnum(r.point.rm.as_millis_f64()),
+                fnum(r.point.jitter.as_millis_f64()),
+                r.point.seed.to_string(),
+                fnum(r.jittered_mbps),
+                fnum(r.clean_mbps),
+                fnum(r.ratio()),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Scenario grid (CCA × rate × jitter × seed) on the sweep engine —\n\
+             flow 0 sees the jitter, flow 1 is clean:"
+        )?;
+        write!(f, "{}", self.table().render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_runs_and_keeps_row_major_order() {
+        let r = run_with(true, 4);
+        // 2 ccas × 2 rates × 1 rtt × 2 jitters × 1 seed.
+        assert_eq!(r.rows.len(), 8);
+        let labels: Vec<String> = r.rows.iter().map(|row| row.point.label()).collect();
+        let expected: Vec<String> = spec(true)
+            .points()
+            .into_iter()
+            .map(|(_, p)| p.label())
+            .collect();
+        assert_eq!(labels, expected);
+        for row in &r.rows {
+            assert!(row.jittered_mbps > 0.0, "{}", row.point.label());
+            assert!(row.clean_mbps > 0.0, "{}", row.point.label());
+        }
+    }
+
+    #[test]
+    fn clean_cells_are_fairer_than_jittered_ones() {
+        let r = run_with(true, 4);
+        let mean = |jit: f64| {
+            let v: Vec<f64> = r
+                .rows
+                .iter()
+                .filter(|row| row.point.jitter.as_millis_f64() == jit)
+                .map(|row| row.ratio().max(1.0 / row.ratio()))
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean(10.0) > mean(0.0),
+            "jittered cells should be less fair: clean={} jittered={}",
+            mean(0.0),
+            mean(10.0)
+        );
+    }
+}

@@ -43,11 +43,7 @@ pub struct Fig7Report {
 fn one(cca: &'static str, mk: fn() -> BoxCca, quick: bool) -> Fig7Row {
     let secs = if quick { 60 } else { 200 };
     let rm = Dur::from_millis(120);
-    let link = LinkConfig {
-        rate: Rate::from_mbps(6.0),
-        buffer_bytes: 60 * 1500,
-        ecn_threshold: None,
-    };
+    let link = LinkConfig::new(Rate::from_mbps(6.0), 60 * 1500);
     let clean = FlowConfig::bulk(mk(), rm);
     let delayed = FlowConfig::bulk(mk(), rm).with_ack_policy(AckPolicy::Delayed {
         max_pkts: 4,

@@ -21,6 +21,7 @@ pub mod exp_copa;
 pub mod exp_ecn;
 pub mod exp_merit;
 pub mod exp_seeds;
+pub mod exp_sweep;
 pub mod exp_theorems;
 pub mod exp_vivace;
 pub mod fig1;

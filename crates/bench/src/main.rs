@@ -2,7 +2,7 @@
 //! End-to-End Congestion Control* (SIGCOMM 2022).
 //!
 //! ```text
-//! repro <subcommand> [--quick]
+//! repro <subcommand> [--quick] [--jobs N] [--progress]
 //!
 //!   glossary   Table 1
 //!   fig1       ideal-path RTT trajectory (Copa)
@@ -22,11 +22,18 @@
 //!   ecn        §6.4: ECN-reactive vs loss-reactive AIMD under asymmetric loss
 //!   boundary   the D vs 2δ phase diagram (oscillation × jitter sweep)
 //!   seeds      seed-robustness sweep of the randomized §5 scenarios
+//!   sweep      scenario-grid demo (CCA × rate × jitter × seed)
 //!   all        everything above (CSV into results/)
+//!
+//! --jobs N     worker threads for the sweep-engine experiments
+//!              (default: available parallelism; CSV output is
+//!              byte-identical at any N)
+//! --progress   log each sweep job's completion to stderr
 //! ```
 
 use repro::table::TextTable;
 use repro::*;
+use simcore::par;
 
 fn save(t: &TextTable, name: &str) {
     let path = result_path(name);
@@ -134,8 +141,8 @@ fn run_allegro(quick: bool) {
     save(&r.table(), "allegro.csv");
 }
 
-fn run_merit(quick: bool) {
-    let r = exp_merit::run(quick);
+fn run_merit(quick: bool, jobs: usize) {
+    let r = exp_merit::run_with(quick, jobs);
     println!("{r}");
     save(&r.table(), "merit.csv");
 }
@@ -146,14 +153,14 @@ fn run_algo1(quick: bool) {
     save(&r.table(), "algo1.csv");
 }
 
-fn run_seeds(quick: bool) {
-    let r = exp_seeds::run(quick);
+fn run_seeds(quick: bool, jobs: usize) {
+    let r = exp_seeds::run_with(quick, jobs);
     println!("{r}");
     save(&r.table(), "seeds.csv");
 }
 
-fn run_boundary(quick: bool) {
-    let r = exp_boundary::run(quick);
+fn run_boundary(quick: bool, jobs: usize) {
+    let r = exp_boundary::run_with(quick, jobs);
     println!("{r}");
     save(&r.table(), "boundary.csv");
 }
@@ -164,8 +171,8 @@ fn run_ecn(quick: bool) {
     save(&r.table(), "ecn.csv");
 }
 
-fn run_ablations(quick: bool) {
-    let r = exp_ablations::run(quick);
+fn run_ablations(quick: bool, jobs: usize) {
+    let r = exp_ablations::run_with(quick, jobs);
     println!("{r}");
     save(&r.table(), "ablations.csv");
 }
@@ -176,13 +183,52 @@ fn run_ccmc(quick: bool) {
     save(&r.table(), "ccmc.csv");
 }
 
+fn run_sweep(quick: bool, jobs: usize) {
+    let r = exp_sweep::run_with(quick, jobs);
+    println!("{r}");
+    save(&r.table(), "sweep.csv");
+}
+
+/// Parse `--jobs N` / `--jobs=N`. Returns available parallelism when the
+/// flag is absent; exits with a usage message when it is malformed.
+fn parse_jobs(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--jobs" {
+            it.next().map(String::as_str)
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            Some(v)
+        } else {
+            continue;
+        };
+        return match value.and_then(|v| v.parse::<usize>().ok()) {
+            Some(0) => par::available_jobs(),
+            Some(n) => n,
+            None => {
+                eprintln!("error: --jobs expects a number (got {value:?})");
+                std::process::exit(2);
+            }
+        };
+    }
+    par::available_jobs()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let jobs = parse_jobs(&args);
+    if args.iter().any(|a| a == "--progress") {
+        // The sweep engine reads this when constructing each runner.
+        std::env::set_var("SWEEP_PROGRESS", "1");
+    }
     let cmd = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .find(|(i, a)| {
+            // Skip flags and --jobs' value.
+            !a.starts_with("--") && (*i == 0 || args[i - 1] != "--jobs")
+        })
+        .map(|(_, a)| a.as_str())
         .unwrap_or("help");
 
     let t0 = std::time::Instant::now();
@@ -197,13 +243,14 @@ fn main() {
         "bbr" => run_bbr(quick),
         "vivace" => run_vivace(quick),
         "allegro" => run_allegro(quick),
-        "merit" => run_merit(quick),
+        "merit" => run_merit(quick, jobs),
         "algo1" => run_algo1(quick),
         "ccmc" => run_ccmc(quick),
-        "ablations" => run_ablations(quick),
+        "ablations" => run_ablations(quick, jobs),
         "ecn" => run_ecn(quick),
-        "boundary" => run_boundary(quick),
-        "seeds" => run_seeds(quick),
+        "boundary" => run_boundary(quick, jobs),
+        "seeds" => run_seeds(quick, jobs),
+        "sweep" => run_sweep(quick, jobs),
         "all" => {
             run_glossary();
             run_fig1(quick);
@@ -215,17 +262,18 @@ fn main() {
             run_bbr(quick);
             run_vivace(quick);
             run_allegro(quick);
-            run_merit(quick);
+            run_merit(quick, jobs);
             run_algo1(quick);
             run_ccmc(quick);
-            run_ablations(quick);
+            run_ablations(quick, jobs);
             run_ecn(quick);
-            run_boundary(quick);
-            run_seeds(quick);
+            run_boundary(quick, jobs);
+            run_seeds(quick, jobs);
+            run_sweep(quick, jobs);
         }
         _ => {
             println!(
-                "usage: repro <glossary|fig1|fig2|fig3|thm|fig7|copa|bbr|vivace|allegro|merit|algo1|ccmc|ablations|ecn|boundary|seeds|all> [--quick]"
+                "usage: repro <glossary|fig1|fig2|fig3|thm|fig7|copa|bbr|vivace|allegro|merit|algo1|ccmc|ablations|ecn|boundary|seeds|sweep|all> [--quick] [--jobs N] [--progress]"
             );
             return;
         }

@@ -27,6 +27,10 @@
 //!   (`d_{k+1} = max(0, d_k − D)`).
 //! * [`merit`] — §6.3's figure of merit `µ₊/µ₋` for the Vegas family
 //!   (Eq. 1) vs the exponential mapping (Eq. 2).
+//! * [`sweep`] — the parallel sweep engine: declarative scenario grids
+//!   ([`sweep::ScenarioSpec`]) expanded into `SimConfig`s and executed
+//!   order-preservingly across a worker pool ([`simcore::par`]), with
+//!   per-job panic isolation and JSON-lines timing records.
 //!
 //! # Example
 //!
@@ -52,6 +56,7 @@ pub mod merit;
 pub mod pigeonhole;
 pub mod profiler;
 pub mod runner;
+pub mod sweep;
 pub mod theorem1;
 pub mod theorem2;
 pub mod theorem3;
@@ -62,6 +67,7 @@ pub use fairness::{check_f_efficiency, check_s_fairness};
 pub use pigeonhole::{pigeonhole_search, PigeonholeResult};
 pub use profiler::{profile_rate_delay, ProfilePoint};
 pub use runner::{run_ideal_path, IdealRun, RunSpec};
+pub use sweep::{CcaSpec, ScenarioSpec, Sweep, SweepJob, SweepReport, SweepRow};
 pub use theorem1::{run_theorem1, Theorem1Config, Theorem1Report};
 pub use theorem2::{run_theorem2, Theorem2Config, Theorem2Report};
 pub use theorem3::{run_theorem3, Theorem3Config, Theorem3Report};

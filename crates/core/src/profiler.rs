@@ -10,6 +10,7 @@
 use crate::convergence::{analyze_convergence, ConvergenceReport};
 use crate::runner::{run_ideal_path, RunSpec};
 use cca::CcaFactory;
+use simcore::par;
 use simcore::units::{Dur, Rate};
 
 /// One point of the rate–delay curve.
@@ -34,34 +35,33 @@ impl ProfilePoint {
 
 /// Profile a CCA across a sweep of link rates at fixed `Rm`.
 ///
-/// Runs are independent, so they execute on `std::thread` workers (the
-/// simulator itself stays single-threaded and deterministic per run).
+/// Runs are independent, so they execute on [`simcore::par`]'s worker pool
+/// (the simulator itself stays single-threaded and deterministic per run);
+/// points come back in rate order, non-converged rates are dropped.
 pub fn profile_rate_delay(
     factory: &CcaFactory,
     rates: &[Rate],
     rm: Dur,
     duration: Dur,
 ) -> Vec<ProfilePoint> {
-    let results: Vec<Option<ProfilePoint>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = rates
-            .iter()
-            .map(|&rate| {
-                let factory = factory.clone();
-                scope.spawn(move || {
-                    let run = run_ideal_path(factory(), RunSpec::new(rate, rm, duration));
-                    let convergence = analyze_convergence(&run.rtt, 0.5, 1e-4)?;
-                    Some(ProfilePoint {
-                        rate,
-                        convergence,
-                        throughput: run.tail_throughput(Dur(duration.as_nanos() / 3)),
-                        utilization: run.utilization,
-                    })
-                })
+    par::map(
+        rates.to_vec(),
+        par::available_jobs(),
+        |_i, rate| {
+            let run = run_ideal_path(factory(), RunSpec::new(rate, rm, duration));
+            let convergence = analyze_convergence(&run.rtt, 0.5, 1e-4)?;
+            Some(ProfilePoint {
+                rate,
+                convergence,
+                throughput: run.tail_throughput(Dur(duration.as_nanos() / 3)),
+                utilization: run.utilization,
             })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("profiler worker panicked")).collect()
-    });
-    results.into_iter().flatten().collect()
+        },
+        None,
+    )
+    .into_iter()
+    .flat_map(|r| r.outcome.expect("profiler worker panicked"))
+    .collect()
 }
 
 /// A log-spaced rate sweep from `lo` to `hi` Mbit/s with `n` points

@@ -7,27 +7,17 @@
 //! (Figure 5's bold curves).
 
 use cca::BoxCca;
-use netsim::{FlowConfig, LinkConfig, Network, SimConfig};
+use netsim::Network;
 use simcore::series::TimeSeries;
 use simcore::units::{Dur, Rate, Time};
 
 /// Specification for an ideal-path run.
-#[derive(Clone, Copy, Debug)]
-pub struct RunSpec {
-    /// Bottleneck rate `C`.
-    pub rate: Rate,
-    /// Propagation RTT `Rm`.
-    pub rm: Dur,
-    /// How long to run.
-    pub duration: Dur,
-}
-
-impl RunSpec {
-    /// A run on `(C, Rm)` for `secs` seconds.
-    pub fn new(rate: Rate, rm: Dur, duration: Dur) -> RunSpec {
-        RunSpec { rate, rm, duration }
-    }
-}
+///
+/// This is [`netsim::PathSpec`] under its historical name: the same spec
+/// type `testkit::harness`'s fixtures expand, constructed here with the
+/// impairment fields (jitter, loss) left at zero — Definition 1's ideal
+/// path. One spec type, one expansion into `LinkConfig`/`FlowConfig`.
+pub type RunSpec = netsim::PathSpec;
 
 /// Results of an ideal-path run.
 pub struct IdealRun {
@@ -62,11 +52,10 @@ impl IdealRun {
     }
 }
 
-/// Run `cca` alone on an ideal path.
+/// Run `cca` alone on the path `spec` describes (an *ideal* path when the
+/// spec's jitter/loss fields are zero, as [`RunSpec::new`] leaves them).
 pub fn run_ideal_path(cca: BoxCca, spec: RunSpec) -> IdealRun {
-    let link = LinkConfig::ample_buffer(spec.rate);
-    let flow = FlowConfig::bulk(cca, spec.rm);
-    let net = Network::new(SimConfig::new(link, vec![flow], spec.duration));
+    let net = Network::new(spec.sim(cca));
     let (result, mut ccas) = net.run_capture();
     let m = &result.flows[0];
 

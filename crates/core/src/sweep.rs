@@ -1,0 +1,592 @@
+//! The parallel sweep engine: scenario grids → ordered simulation results.
+//!
+//! Every §5 reproduction and ablation is a sweep of independent
+//! deterministic simulations (seeds × parameters × scenarios). This module
+//! turns such a sweep into data for [`simcore::par`]'s worker pool:
+//!
+//! * [`SweepJob`] — one labelled [`SimConfig`]. Configs are `Clone`, so a
+//!   job list can be expanded once and run at any worker count (the
+//!   determinism suite runs the *same* list at `jobs = 1` and `jobs = 4`
+//!   and asserts bit-identical results).
+//! * [`Sweep`] — the runner: executes a job list across `jobs` workers,
+//!   preserves job order in the output, isolates per-job panics (a
+//!   diverging scenario reports instead of poisoning the sweep), and
+//!   appends JSON-lines timing records to `results/bench/sweep.json`.
+//! * [`ScenarioSpec`] — a declarative grid (CCA constructor × rate × RTT ×
+//!   jitter × seed) that expands into the two-flow asymmetric-jitter
+//!   topology used throughout the paper's §5/§6 experiments: flow 0 sees
+//!   the impairment, flow 1 is clean, and their throughput ratio is the
+//!   starvation measurement.
+//!
+//! Progress reporting: set the `SWEEP_PROGRESS` environment variable (the
+//! `repro --progress` flag does) to log each completion to stderr, or
+//! attach a custom callback with [`Sweep::with_log`]. Reporting order may
+//! vary across runs; result order never does.
+
+use cca::BoxCca;
+use netsim::{FlowConfig, Jitter, LinkConfig, Network, SimConfig, SimResult};
+use simcore::par::{self, Progress};
+use simcore::rng::Xoshiro256;
+use simcore::units::{Dur, Rate};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One labelled scenario in a sweep.
+#[derive(Clone)]
+pub struct SweepJob {
+    /// Row label (lands in reports and timing records).
+    pub label: String,
+    /// The scenario to run.
+    pub config: SimConfig,
+}
+
+impl SweepJob {
+    /// Label a config.
+    pub fn new(label: impl Into<String>, config: SimConfig) -> SweepJob {
+        SweepJob {
+            label: label.into(),
+            config,
+        }
+    }
+}
+
+/// One sweep row: the job's label and its result (or captured panic),
+/// at the same index the job occupied in the input list.
+pub struct SweepRow {
+    /// Position in the job list.
+    pub index: usize,
+    /// The job's label.
+    pub label: String,
+    /// Simulation result, or the panic message of a diverging scenario.
+    pub outcome: Result<SimResult, String>,
+    /// Wall-clock time this job ran for.
+    pub elapsed_ns: u64,
+}
+
+impl SweepRow {
+    /// The result, or a panic repeating the scenario's own panic message.
+    pub fn result(&self) -> &SimResult {
+        match &self.outcome {
+            Ok(r) => r,
+            Err(msg) => panic!("sweep job '{}' panicked: {msg}", self.label),
+        }
+    }
+}
+
+/// An executed sweep: ordered rows plus aggregate timing.
+pub struct SweepReport {
+    /// The sweep's name (tags its timing records).
+    pub name: String,
+    /// Worker count the sweep ran with.
+    pub jobs: usize,
+    /// One row per job, in job-list order.
+    pub rows: Vec<SweepRow>,
+    /// Wall-clock time of the whole sweep.
+    pub elapsed_ns: u64,
+}
+
+impl SweepReport {
+    /// Number of jobs that panicked.
+    pub fn panics(&self) -> usize {
+        self.rows.iter().filter(|r| r.outcome.is_err()).count()
+    }
+
+    /// Results in job order; panics on the first diverged job.
+    pub fn results(&self) -> Vec<&SimResult> {
+        self.rows.iter().map(SweepRow::result).collect()
+    }
+}
+
+/// Where the JSON-lines timing records go. Mirrors `testkit::bench`'s
+/// resolution: `SWEEP_BENCH_DIR`, else `CARGO_MANIFEST_DIR/../../results/
+/// bench` (the workspace layout), else `./results/bench`.
+fn default_timing_path() -> PathBuf {
+    let dir = std::env::var("SWEEP_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| match std::env::var("CARGO_MANIFEST_DIR") {
+            Ok(m) => PathBuf::from(m).join("../../results/bench"),
+            Err(_) => PathBuf::from("results/bench"),
+        });
+    dir.join("sweep.json")
+}
+
+/// Shared log-callback type for sweep progress messages.
+pub type SweepLog = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// The sweep runner. Construct with [`Sweep::new`], configure with the
+/// builder methods, execute with [`Sweep::run`].
+pub struct Sweep {
+    name: String,
+    jobs: usize,
+    timing: Option<PathBuf>,
+    log: Option<SweepLog>,
+}
+
+impl Sweep {
+    /// A sweep named `name` using every available core and the default
+    /// timing sink. Honors the `SWEEP_PROGRESS` environment variable by
+    /// installing a stderr progress logger.
+    pub fn new(name: impl Into<String>) -> Sweep {
+        let log: Option<SweepLog> = match std::env::var("SWEEP_PROGRESS") {
+            Ok(v) if v != "0" => Some(Arc::new(|msg: &str| eprintln!("{msg}"))),
+            _ => None,
+        };
+        Sweep {
+            name: name.into(),
+            jobs: par::available_jobs(),
+            timing: Some(default_timing_path()),
+            log,
+        }
+    }
+
+    /// Builder: worker count (0 means "available parallelism").
+    pub fn jobs(mut self, jobs: usize) -> Sweep {
+        self.jobs = if jobs == 0 { par::available_jobs() } else { jobs };
+        self
+    }
+
+    /// Builder: write timing records to a specific file.
+    pub fn timing_path(mut self, path: PathBuf) -> Sweep {
+        self.timing = Some(path);
+        self
+    }
+
+    /// Builder: disable timing records (unit tests, throwaway sweeps).
+    pub fn timing_off(mut self) -> Sweep {
+        self.timing = None;
+        self
+    }
+
+    /// Builder: attach a progress log callback.
+    pub fn with_log(mut self, log: SweepLog) -> Sweep {
+        self.log = Some(log);
+        self
+    }
+
+    /// Run the job list. Rows come back in job-list order regardless of
+    /// worker count or completion order.
+    pub fn run(self, jobs_list: Vec<SweepJob>) -> SweepReport {
+        let total = jobs_list.len();
+        let labels: Vec<String> = jobs_list.iter().map(|j| j.label.clone()).collect();
+        let configs: Vec<SimConfig> = jobs_list.into_iter().map(|j| j.config).collect();
+
+        let name = self.name;
+        let log = self.log;
+        let progress = |p: Progress| {
+            if let Some(log) = &log {
+                log(&format!(
+                    "sweep {name}: [{done}/{total}] {label} {status} in {ms:.0} ms",
+                    done = p.done,
+                    total = p.total,
+                    label = labels[p.index],
+                    status = if p.ok { "done" } else { "PANICKED" },
+                    ms = p.elapsed.as_secs_f64() * 1e3,
+                ));
+            }
+        };
+
+        let t0 = Instant::now();
+        let reports = par::map(
+            configs,
+            self.jobs,
+            |_i, config| Network::new(config).run(),
+            Some(&progress),
+        );
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+
+        let rows: Vec<SweepRow> = reports
+            .into_iter()
+            .zip(labels)
+            .map(|(r, label)| SweepRow {
+                index: r.index,
+                label,
+                outcome: match r.outcome {
+                    par::JobOutcome::Ok(result) => Ok(result),
+                    par::JobOutcome::Panicked(msg) => Err(msg),
+                },
+                elapsed_ns: r.elapsed.as_nanos() as u64,
+            })
+            .collect();
+
+        let report = SweepReport {
+            name,
+            jobs: self.jobs,
+            rows,
+            elapsed_ns,
+        };
+        if let Some(path) = &self.timing {
+            if let Err(e) = write_timing(path, &report, total) {
+                eprintln!("sweep {}: cannot write {}: {e}", report.name, path.display());
+            }
+        }
+        report
+    }
+}
+
+/// Append JSON-lines timing records: one object per job plus a summary
+/// line per sweep. Each line is a single `write` call, so concurrent
+/// sweeps appending to the same file do not interleave within a line.
+fn write_timing(path: &PathBuf, report: &SweepReport, total: usize) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    for row in &report.rows {
+        let line = format!(
+            "{{\"sweep\":\"{}\",\"index\":{},\"label\":\"{}\",\"ok\":{},\"elapsed_ns\":{}}}\n",
+            json_escape(&report.name),
+            row.index,
+            json_escape(&row.label),
+            row.outcome.is_ok(),
+            row.elapsed_ns,
+        );
+        f.write_all(line.as_bytes())?;
+    }
+    let summary = format!(
+        "{{\"sweep\":\"{}\",\"jobs\":{},\"total\":{},\"panics\":{},\"elapsed_ns\":{}}}\n",
+        json_escape(&report.name),
+        report.jobs,
+        total,
+        report.panics(),
+        report.elapsed_ns,
+    );
+    f.write_all(summary.as_bytes())
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A seeded CCA constructor with a report name: the grid's algorithm axis.
+#[derive(Clone)]
+pub struct CcaSpec {
+    /// Short name for labels ("bbr", "delay-aimd", …).
+    pub name: String,
+    /// Constructor; the seed decorrelates any internal randomness.
+    pub mk: Arc<dyn Fn(u64) -> BoxCca + Send + Sync>,
+}
+
+impl CcaSpec {
+    /// Name a constructor.
+    pub fn new(name: impl Into<String>, mk: impl Fn(u64) -> BoxCca + Send + Sync + 'static) -> CcaSpec {
+        CcaSpec {
+            name: name.into(),
+            mk: Arc::new(mk),
+        }
+    }
+}
+
+/// One point of an expanded grid.
+#[derive(Clone, Debug)]
+pub struct GridPoint {
+    /// CCA name.
+    pub cca: String,
+    /// Bottleneck rate.
+    pub rate: Rate,
+    /// Propagation RTT of both flows.
+    pub rm: Dur,
+    /// Jitter bound on flow 0's path (`ZERO` = clean).
+    pub jitter: Dur,
+    /// Scenario seed (CCA phasing and jitter stream derive from it).
+    pub seed: u64,
+}
+
+impl GridPoint {
+    /// The point's row label: `cca/rate/rtt/jitter/seed`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/r{:.0}/rtt{}/j{}/s{}",
+            self.cca,
+            self.rate.mbps(),
+            self.rm.as_millis_f64(),
+            self.jitter.as_millis_f64(),
+            self.seed
+        )
+    }
+}
+
+/// A declarative scenario grid: the cartesian product of CCA constructors,
+/// link rates, propagation RTTs, jitter bounds and seeds, expanded in that
+/// (row-major) order into two-flow asymmetric-jitter scenarios.
+pub struct ScenarioSpec {
+    /// Sweep name (tags labels and timing records).
+    pub name: String,
+    /// The algorithm axis.
+    pub ccas: Vec<CcaSpec>,
+    /// Bottleneck rates.
+    pub rates: Vec<Rate>,
+    /// Propagation RTTs.
+    pub rtts: Vec<Dur>,
+    /// Jitter bounds applied to flow 0 (`ZERO` entries mean both clean).
+    pub jitters: Vec<Dur>,
+    /// Scenario seeds.
+    pub seeds: Vec<u64>,
+    /// Simulated duration of every point.
+    pub duration: Dur,
+    /// Series decimation interval of every point.
+    pub sample_every: Dur,
+}
+
+impl ScenarioSpec {
+    /// An empty grid running 30-second scenarios at 10 ms decimation.
+    pub fn new(name: impl Into<String>) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.into(),
+            ccas: Vec::new(),
+            rates: Vec::new(),
+            rtts: Vec::new(),
+            jitters: Vec::new(),
+            seeds: vec![0],
+            duration: Dur::from_secs(30),
+            sample_every: Dur::from_millis(10),
+        }
+    }
+
+    /// Builder: add a CCA constructor.
+    pub fn cca(mut self, spec: CcaSpec) -> ScenarioSpec {
+        self.ccas.push(spec);
+        self
+    }
+
+    /// Builder: the rate axis, in Mbit/s.
+    pub fn rates_mbps(mut self, rates: &[f64]) -> ScenarioSpec {
+        self.rates = rates.iter().map(|&m| Rate::from_mbps(m)).collect();
+        self
+    }
+
+    /// Builder: the RTT axis, in milliseconds.
+    pub fn rtts_ms(mut self, rtts: &[u64]) -> ScenarioSpec {
+        self.rtts = rtts.iter().map(|&m| Dur::from_millis(m)).collect();
+        self
+    }
+
+    /// Builder: the jitter axis, in milliseconds (0 = clean paths).
+    pub fn jitters_ms(mut self, jitters: &[u64]) -> ScenarioSpec {
+        self.jitters = jitters.iter().map(|&m| Dur::from_millis(m)).collect();
+        self
+    }
+
+    /// Builder: the seed axis.
+    pub fn seeds(mut self, seeds: &[u64]) -> ScenarioSpec {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Builder: simulated duration per point.
+    pub fn duration(mut self, d: Dur) -> ScenarioSpec {
+        self.duration = d;
+        self
+    }
+
+    /// Builder: series decimation per point.
+    pub fn sample_every(mut self, every: Dur) -> ScenarioSpec {
+        self.sample_every = every;
+        self
+    }
+
+    /// The expanded grid, row-major: cca → rate → rtt → jitter → seed.
+    pub fn points(&self) -> Vec<(CcaSpec, GridPoint)> {
+        let mut out = Vec::new();
+        for cca in &self.ccas {
+            for &rate in &self.rates {
+                for &rm in &self.rtts {
+                    for &jitter in &self.jitters {
+                        for &seed in &self.seeds {
+                            out.push((
+                                cca.clone(),
+                                GridPoint {
+                                    cca: cca.name.clone(),
+                                    rate,
+                                    rm,
+                                    jitter,
+                                    seed,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Expand every point into a labelled two-flow scenario: flow 0 carries
+    /// the jitter (rng derived from the seed), flow 1 is clean; both run the
+    /// point's CCA with decorrelated seeds on an ample-buffer link.
+    pub fn expand(&self) -> Vec<SweepJob> {
+        self.points()
+            .into_iter()
+            .map(|(cca, p)| {
+                let link = LinkConfig::ample_buffer(p.rate);
+                let mut jittered = FlowConfig::bulk((cca.mk)(p.seed * 2 + 1), p.rm);
+                if p.jitter > Dur::ZERO {
+                    jittered = jittered.with_jitter(Jitter::Random {
+                        max: p.jitter,
+                        rng: Xoshiro256::new(p.seed * 31 + 7),
+                    });
+                }
+                let clean = FlowConfig::bulk((cca.mk)(p.seed * 2 + 2), p.rm);
+                let config = SimConfig::new(link, vec![jittered, clean], self.duration)
+                    .with_sample_every(self.sample_every);
+                SweepJob::new(p.label(), config)
+            })
+            .collect()
+    }
+
+    /// Expand and run the grid across `jobs` workers.
+    pub fn run(&self, jobs: usize) -> SweepReport {
+        Sweep::new(self.name.clone()).jobs(jobs).run(self.expand())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec::new("sweep-selftest")
+            .cca(CcaSpec::new("const", |_s| {
+                Box::new(cca::ConstCwnd::new(20 * 1500))
+            }))
+            .rates_mbps(&[12.0, 24.0])
+            .rtts_ms(&[40])
+            .jitters_ms(&[0, 5])
+            .seeds(&[1, 2])
+            .duration(Dur::from_secs(2))
+    }
+
+    #[test]
+    fn grid_expands_row_major() {
+        let spec = tiny_spec();
+        let jobs = spec.expand();
+        // 1 cca × 2 rates × 1 rtt × 2 jitters × 2 seeds.
+        assert_eq!(jobs.len(), 8);
+        assert_eq!(jobs[0].label, "const/r12/rtt40/j0/s1");
+        assert_eq!(jobs[1].label, "const/r12/rtt40/j0/s2");
+        assert_eq!(jobs[2].label, "const/r12/rtt40/j5/s1");
+        assert_eq!(jobs[7].label, "const/r24/rtt40/j5/s2");
+        // Every point is the two-flow topology.
+        assert!(jobs.iter().all(|j| j.config.flows.len() == 2));
+    }
+
+    #[test]
+    fn sweep_rows_are_ordered_and_complete() {
+        let spec = tiny_spec();
+        let report = Sweep::new("selftest").jobs(4).timing_off().run(spec.expand());
+        assert_eq!(report.rows.len(), 8);
+        assert_eq!(report.panics(), 0);
+        for (i, row) in report.rows.iter().enumerate() {
+            assert_eq!(row.index, i);
+            assert!(row.result().flows[0].total_delivered() > 0, "{}", row.label);
+        }
+    }
+
+    #[test]
+    fn cloned_job_list_runs_twice_identically() {
+        let jobs = tiny_spec().expand();
+        let a = Sweep::new("a").jobs(2).timing_off().run(jobs.clone());
+        let b = Sweep::new("b").jobs(3).timing_off().run(jobs);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.label, rb.label);
+            assert_eq!(
+                ra.result().flows[0].sent_bytes,
+                rb.result().flows[0].sent_bytes
+            );
+        }
+    }
+
+    /// A CCA that diverges (panics) on its first acknowledgement — the
+    /// "one scenario poisons the sweep" failure mode the engine isolates.
+    #[derive(Clone)]
+    struct DivergingCca;
+
+    impl cca::CongestionControl for DivergingCca {
+        fn on_ack(&mut self, _ev: &cca::AckEvent) {
+            panic!("scenario diverged");
+        }
+        fn on_loss(&mut self, _ev: &cca::LossEvent) {}
+        fn cwnd(&self) -> u64 {
+            10 * 1500
+        }
+        fn pacing_rate(&self) -> Option<Rate> {
+            None
+        }
+        fn name(&self) -> &'static str {
+            "diverging"
+        }
+        fn clone_box(&self) -> BoxCca {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn panicking_scenario_reports_without_poisoning() {
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(12.0));
+        let rm = Dur::from_millis(40);
+        let good = |label: &str| {
+            SweepJob::new(
+                label,
+                SimConfig::new(
+                    link,
+                    vec![FlowConfig::bulk(Box::new(cca::ConstCwnd::new(10 * 1500)), rm)],
+                    Dur::from_secs(1),
+                ),
+            )
+        };
+        let bad = SweepJob::new(
+            "bad",
+            SimConfig::new(
+                link,
+                vec![FlowConfig::bulk(Box::new(DivergingCca), rm)],
+                Dur::from_secs(1),
+            ),
+        );
+        let report = Sweep::new("panic-isolation")
+            .jobs(2)
+            .timing_off()
+            .run(vec![good("good-0"), bad, good("good-2")]);
+        assert_eq!(report.panics(), 1);
+        assert!(report.rows[0].outcome.is_ok());
+        match &report.rows[1].outcome {
+            Err(msg) => assert!(msg.contains("diverged"), "{msg}"),
+            Ok(_) => panic!("diverging scenario should have panicked"),
+        }
+        assert!(report.rows[2].outcome.is_ok(), "panic must not poison later jobs");
+        assert!(report.rows[2].result().flows[0].total_delivered() > 0);
+    }
+
+    #[test]
+    fn timing_records_are_json_lines() {
+        let dir = std::env::temp_dir().join("sweep_selftest_timing");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sweep.json");
+        let report = Sweep::new("timed")
+            .jobs(2)
+            .timing_path(path.clone())
+            .run(tiny_spec().expand());
+        assert_eq!(report.rows.len(), 8);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // 8 job lines + 1 summary line.
+        assert_eq!(text.lines().count(), 9, "{text}");
+        assert!(text.contains("\"sweep\":\"timed\""));
+        assert!(text.contains("\"label\":\"const/r12/rtt40/j0/s1\""));
+        assert!(text.contains("\"jobs\":2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_callback_fires_per_job() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let report = Sweep::new("logged")
+            .jobs(2)
+            .timing_off()
+            .with_log(Arc::new(move |msg: &str| sink.lock().unwrap().push(msg.to_string())))
+            .run(tiny_spec().expand());
+        assert_eq!(seen.lock().unwrap().len(), report.rows.len());
+        assert!(seen.lock().unwrap().iter().all(|m| m.contains("sweep logged:")));
+    }
+}

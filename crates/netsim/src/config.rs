@@ -57,6 +57,15 @@ pub struct LinkConfig {
 }
 
 impl LinkConfig {
+    /// A link with an explicit tail-drop buffer and ECN disabled.
+    pub fn new(rate: Rate, buffer_bytes: u64) -> LinkConfig {
+        LinkConfig {
+            rate,
+            buffer_bytes,
+            ecn_threshold: None,
+        }
+    }
+
     /// Builder: enable threshold ECN marking.
     pub fn with_ecn(mut self, threshold_bytes: u64) -> LinkConfig {
         self.ecn_threshold = Some(threshold_bytes);
@@ -64,28 +73,33 @@ impl LinkConfig {
     }
 }
 
+/// Seconds of drain held by [`LinkConfig::ample_buffer`]:
+/// `buffer = rate × AMPLE_DRAIN_SECS`.
+pub const AMPLE_DRAIN_SECS: f64 = 100.0;
+
 impl LinkConfig {
-    /// A buffer so large delay-bounding CCAs never overflow it (1000 BDPs
-    /// at 1 s of RTT would still fit for typical experiment rates).
+    /// A buffer so large delay-bounding CCAs never overflow it:
+    /// [`AMPLE_DRAIN_SECS`] (100 s) of drain at `rate` — i.e. 100 BDPs at a
+    /// full second of RTT, thousands at experiment RTTs.
     pub fn ample_buffer(rate: Rate) -> LinkConfig {
-        LinkConfig {
-            rate,
-            buffer_bytes: (rate.bytes_per_sec() * 100.0) as u64,
-            ecn_threshold: None,
-        }
+        LinkConfig::new(rate, (rate.bytes_per_sec() * AMPLE_DRAIN_SECS) as u64)
     }
 
     /// A buffer of `n` bandwidth-delay products for the given RTT.
     pub fn bdp_buffer(rate: Rate, rtt: Dur, n: f64) -> LinkConfig {
-        LinkConfig {
+        LinkConfig::new(
             rate,
-            buffer_bytes: ((rate.bytes_per_sec() * rtt.as_secs_f64() * n) as u64).max(3000),
-            ecn_threshold: None,
-        }
+            ((rate.bytes_per_sec() * rtt.as_secs_f64() * n) as u64).max(3000),
+        )
     }
 }
 
 /// Per-flow configuration.
+///
+/// `Clone` deep-copies the boxed CCA (via `CongestionControl::clone_box`),
+/// so cloned configs replay identically — the sweep engine relies on this to
+/// expand a scenario grid once and run it at any worker count.
+#[derive(Clone)]
 pub struct FlowConfig {
     /// The congestion-control algorithm driving this flow's sender.
     pub cca: BoxCca,
@@ -157,9 +171,22 @@ impl FlowConfig {
         self.start = t;
         self
     }
+
+    /// Builder: replace the packet size.
+    pub fn with_mss(mut self, mss: u64) -> FlowConfig {
+        self.mss = mss;
+        self
+    }
+
+    /// Builder: cap the application's sending rate (`None` = bulk flow).
+    pub fn with_app_limit(mut self, limit: Option<Rate>) -> FlowConfig {
+        self.app_limit = limit;
+        self
+    }
 }
 
 /// A complete scenario.
+#[derive(Clone)]
 pub struct SimConfig {
     /// The shared bottleneck.
     pub link: LinkConfig,
@@ -182,6 +209,90 @@ impl SimConfig {
             sample_every: Dur::from_millis(10),
         }
     }
+
+    /// Builder: replace the series decimation interval.
+    pub fn with_sample_every(mut self, every: Dur) -> SimConfig {
+        self.sample_every = every;
+        self
+    }
+}
+
+/// A single-flow path specification: bottleneck rate, propagation RTT, run
+/// length, and the optional path impairments (random jitter, Bernoulli
+/// loss). This is the one spec type shared by `starvation::runner`'s
+/// ideal-path runs (where the impairments stay zero) and
+/// `testkit::harness`'s fixtures — both expand it into `LinkConfig` /
+/// `FlowConfig` through the same methods instead of re-deriving them.
+#[derive(Clone, Copy, Debug)]
+pub struct PathSpec {
+    /// Bottleneck rate `C`.
+    pub rate: Rate,
+    /// Propagation RTT `Rm`.
+    pub rm: Dur,
+    /// How long to run.
+    pub duration: Dur,
+    /// Random-jitter bound `D` (`ZERO` = no jitter element).
+    pub jitter: Dur,
+    /// Seed for the jitter stream.
+    pub jitter_seed: u64,
+    /// Bernoulli loss probability on the data path (`0` = no loss element).
+    pub loss: f64,
+    /// Seed for the loss process.
+    pub loss_seed: u64,
+}
+
+impl PathSpec {
+    /// An ideal path: no jitter, no loss.
+    pub fn new(rate: Rate, rm: Dur, duration: Dur) -> PathSpec {
+        PathSpec {
+            rate,
+            rm,
+            duration,
+            jitter: Dur::ZERO,
+            jitter_seed: 0,
+            loss: 0.0,
+            loss_seed: 0,
+        }
+    }
+
+    /// Builder: i.i.d. uniform jitter in `[0, max]` from a seeded stream.
+    pub fn with_jitter(mut self, max: Dur, seed: u64) -> PathSpec {
+        self.jitter = max;
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Builder: Bernoulli loss on the data path.
+    pub fn with_loss(mut self, p: f64, seed: u64) -> PathSpec {
+        self.loss = p;
+        self.loss_seed = seed;
+        self
+    }
+
+    /// The ample-buffer bottleneck this spec describes.
+    pub fn link(&self) -> LinkConfig {
+        LinkConfig::ample_buffer(self.rate)
+    }
+
+    /// A bulk flow for `cca` on this path, with the spec's impairments.
+    pub fn flow(&self, cca: BoxCca) -> FlowConfig {
+        let mut f = FlowConfig::bulk(cca, self.rm);
+        if self.jitter > Dur::ZERO {
+            f = f.with_jitter(crate::jitter::Jitter::Random {
+                max: self.jitter,
+                rng: simcore::rng::Xoshiro256::new(self.jitter_seed),
+            });
+        }
+        if self.loss > 0.0 {
+            f = f.with_loss(self.loss, self.loss_seed);
+        }
+        f
+    }
+
+    /// The complete single-flow scenario for `cca`.
+    pub fn sim(&self, cca: BoxCca) -> SimConfig {
+        SimConfig::new(self.link(), vec![self.flow(cca)], self.duration)
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +311,59 @@ mod tests {
         // 120 Mbit/s × 40 ms = 600 kB; 1 BDP.
         let l = LinkConfig::bdp_buffer(Rate::from_mbps(120.0), Dur::from_millis(40), 1.0);
         assert_eq!(l.buffer_bytes, 600_000);
+    }
+
+    #[test]
+    fn ample_buffer_matches_named_constant() {
+        let rate = Rate::from_mbps(120.0);
+        let l = LinkConfig::ample_buffer(rate);
+        assert_eq!(l.buffer_bytes, (rate.bytes_per_sec() * AMPLE_DRAIN_SECS) as u64);
+    }
+
+    #[test]
+    fn configs_clone_deeply() {
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(24.0));
+        let flow = FlowConfig::bulk(Box::new(ConstCwnd::ten_packets()), Dur::from_millis(40))
+            .with_loss(0.01, 3);
+        let cfg = SimConfig::new(link, vec![flow], Dur::from_secs(2))
+            .with_sample_every(Dur::from_millis(5));
+        let copy = cfg.clone();
+        assert_eq!(copy.flows.len(), 1);
+        assert_eq!(copy.flows[0].cca.cwnd(), cfg.flows[0].cca.cwnd());
+        assert_eq!(copy.sample_every, Dur::from_millis(5));
+        // Running both must be possible independently (deep copy of the CCA).
+        use crate::sim::Network;
+        let a = Network::new(cfg).run();
+        let b = Network::new(copy).run();
+        assert_eq!(a.flows[0].sent_bytes, b.flows[0].sent_bytes);
+    }
+
+    #[test]
+    fn mss_and_app_limit_builders() {
+        let f = FlowConfig::bulk(Box::new(ConstCwnd::ten_packets()), Dur::from_millis(40))
+            .with_mss(1200)
+            .with_app_limit(Some(Rate::from_mbps(2.0)));
+        assert_eq!(f.mss, 1200);
+        assert!((f.app_limit.unwrap().mbps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_spec_expands_to_matching_configs() {
+        let spec = PathSpec::new(
+            Rate::from_mbps(24.0),
+            Dur::from_millis(40),
+            Dur::from_secs(3),
+        )
+        .with_jitter(Dur::from_millis(5), 11)
+        .with_loss(0.02, 12);
+        assert_eq!(spec.link().buffer_bytes, LinkConfig::ample_buffer(spec.rate).buffer_bytes);
+        let f = spec.flow(Box::new(ConstCwnd::ten_packets()));
+        assert!(matches!(f.jitter, crate::jitter::Jitter::Random { max, .. } if max == Dur::from_millis(5)));
+        assert_eq!(f.loss_rate, 0.02);
+        assert_eq!(f.loss_seed, 12);
+        let cfg = spec.sim(Box::new(ConstCwnd::ten_packets()));
+        assert_eq!(cfg.flows.len(), 1);
+        assert_eq!(cfg.duration, Dur::from_secs(3));
     }
 
     #[test]

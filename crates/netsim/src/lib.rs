@@ -61,7 +61,7 @@ pub mod receiver;
 pub mod sender;
 pub mod sim;
 
-pub use config::{AckPolicy, FlowConfig, LinkConfig, SimConfig};
+pub use config::{AckPolicy, FlowConfig, LinkConfig, PathSpec, SimConfig, Transport};
 pub use jitter::Jitter;
 pub use metrics::{FlowMetrics, SimResult};
 pub use sim::Network;

@@ -377,11 +377,7 @@ mod tests {
 
     #[test]
     fn finite_buffer_tail_drops() {
-        let link = LinkConfig {
-            rate: Rate::from_mbps(6.0),
-            buffer_bytes: 10 * 1500,
-            ecn_threshold: None,
-        };
+        let link = LinkConfig::new(Rate::from_mbps(6.0), 10 * 1500);
         let flow = FlowConfig::bulk(Box::new(ConstCwnd::new(100 * 1500)), Dur::from_millis(40));
         let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(5))).run();
         assert!(r.drops[0] > 0, "expected tail drops");

@@ -11,6 +11,9 @@
 //!   exact and runs are bit-reproducible.
 //! * [`engine`] — a minimal binary-heap event queue with deterministic
 //!   tie-breaking.
+//! * [`par`] — a scoped worker pool over an indexed job queue: order-
+//!   preserving, panic-isolating, std-only. The execution layer under the
+//!   experiment sweeps (`starvation::sweep`).
 //! * [`rng`] — a self-contained xoshiro256** PRNG so simulation results do
 //!   not depend on external crate versions.
 //! * [`filter`] — windowed min/max and EWMA filters shared by the CCAs
@@ -25,6 +28,7 @@
 
 pub mod engine;
 pub mod filter;
+pub mod par;
 pub mod rng;
 pub mod series;
 pub mod stats;

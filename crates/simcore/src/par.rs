@@ -1,0 +1,285 @@
+//! Deterministic parallel execution: a scoped worker pool over an indexed
+//! job queue.
+//!
+//! Every §5 reproduction is a sweep of *independent* deterministic
+//! simulations, so parallelism must never be observable in the results:
+//!
+//! * **Order preservation** — job `i`'s report lands at index `i` of the
+//!   returned vector no matter which worker ran it or when it finished.
+//!   A sweep at `jobs = 16` produces the same rows, in the same order, as
+//!   the same sweep at `jobs = 1`.
+//! * **Determinism** — workers share nothing but the job counter. Each job
+//!   closure owns its inputs (seeds included), so scheduling cannot leak
+//!   into simulation state.
+//! * **Panic isolation** — a diverging scenario panics *its job*, not the
+//!   sweep: the panic is caught, its message captured into
+//!   [`JobOutcome::Panicked`], and the remaining jobs keep running.
+//! * **Progress** — an optional log callback observes completions (index,
+//!   done/total, per-job elapsed time) as they happen; reporting order may
+//!   differ across runs, results never do.
+//!
+//! Std-only, scoped (no `'static` bounds), no work stealing: workers pull
+//! the next index from an atomic counter, which keeps the scheduler trivial
+//! and the load balance good enough for jobs that each run for milliseconds
+//! to minutes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Worker count to use when the caller does not specify one: the machine's
+/// available parallelism (1 if it cannot be determined).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// How one job ended.
+#[derive(Clone, Debug)]
+pub enum JobOutcome<T> {
+    /// The job returned a value.
+    Ok(T),
+    /// The job panicked; the payload's message, when it was a string.
+    Panicked(String),
+}
+
+impl<T> JobOutcome<T> {
+    /// The value, if the job completed.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            JobOutcome::Ok(v) => Some(v),
+            JobOutcome::Panicked(_) => None,
+        }
+    }
+
+    /// The value, or a panic repeating the job's own panic message.
+    pub fn expect(self, what: &str) -> T {
+        match self {
+            JobOutcome::Ok(v) => v,
+            JobOutcome::Panicked(msg) => panic!("{what}: job panicked: {msg}"),
+        }
+    }
+
+    /// True if the job completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobOutcome::Ok(_))
+    }
+}
+
+/// One job's report: its queue index, outcome, and wall time.
+#[derive(Clone, Debug)]
+pub struct JobReport<T> {
+    /// Position in the job queue (== position in the result vector).
+    pub index: usize,
+    /// Value or captured panic.
+    pub outcome: JobOutcome<T>,
+    /// Wall-clock time the job ran for.
+    pub elapsed: Duration,
+}
+
+/// A completion event handed to the progress callback.
+#[derive(Clone, Copy, Debug)]
+pub struct Progress {
+    /// Index of the job that just finished.
+    pub index: usize,
+    /// Jobs finished so far (including this one).
+    pub done: usize,
+    /// Total jobs in the queue.
+    pub total: usize,
+    /// This job's wall time.
+    pub elapsed: Duration,
+    /// False if the job panicked.
+    pub ok: bool,
+}
+
+/// Progress callback type: observes [`Progress`] events from worker threads.
+pub type ProgressFn<'a> = &'a (dyn Fn(Progress) + Sync);
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f(0), f(1), …, f(n-1)` across `jobs` workers, returning the reports
+/// in index order. `jobs` is clamped to `[1, n]`; at 1 the queue runs on the
+/// calling thread (no threads are spawned, so `jobs = 1` is also the
+/// zero-overhead serial baseline).
+pub fn map_indexed<T, F>(n: usize, jobs: usize, f: F, log: Option<ProgressFn<'_>>) -> Vec<JobReport<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_pool(n, jobs, f, log)
+}
+
+/// Run `f(i, item_i)` for every item across `jobs` workers, returning the
+/// reports in item order. Items are moved into their jobs (each job owns its
+/// input); see [`map_indexed`] for the scheduling contract.
+pub fn map<I, T, F>(items: Vec<I>, jobs: usize, f: F, log: Option<ProgressFn<'_>>) -> Vec<JobReport<T>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = items.len();
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+    run_pool(
+        n,
+        jobs,
+        |i| {
+            let item = slots[i].lock().expect("job slot").take().expect("job taken once");
+            f(i, item)
+        },
+        log,
+    )
+}
+
+/// The shared pool: an atomic next-index counter, one result slot per job,
+/// `catch_unwind` around every job body.
+fn run_pool<T, F>(n: usize, jobs: usize, f: F, log: Option<ProgressFn<'_>>) -> Vec<JobReport<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, n.max(1));
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<JobReport<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    let worker = |_w: usize| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let t0 = Instant::now();
+        let outcome = match catch_unwind(AssertUnwindSafe(|| f(i))) {
+            Ok(v) => JobOutcome::Ok(v),
+            Err(payload) => JobOutcome::Panicked(panic_message(payload)),
+        };
+        let elapsed = t0.elapsed();
+        let ok = outcome.is_ok();
+        *results[i].lock().expect("result slot") = Some(JobReport { index: i, outcome, elapsed });
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(log) = log {
+            log(Progress { index: i, done: finished, total: n, elapsed, ok });
+        }
+    };
+
+    if jobs == 1 {
+        worker(0);
+    } else {
+        std::thread::scope(|scope| {
+            for w in 0..jobs {
+                scope.spawn(move || worker(w));
+            }
+        });
+    }
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result mutex").expect("every index ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        // Jobs finish out of order (later indices sleep less); reports must
+        // still come back 0..n.
+        let reports = map_indexed(
+            8,
+            4,
+            |i| {
+                std::thread::sleep(Duration::from_millis(8 - i as u64));
+                i * 10
+            },
+            None,
+        );
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(*r.outcome.clone().ok().as_ref().unwrap(), i * 10);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let a: Vec<u64> = map_indexed(32, 1, f, None).into_iter().map(|r| r.outcome.expect("a")).collect();
+        let b: Vec<u64> = map_indexed(32, 7, f, None).into_iter().map(|r| r.outcome.expect("b")).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn panic_is_isolated_and_captured() {
+        let reports = map_indexed(
+            5,
+            3,
+            |i| {
+                if i == 2 {
+                    panic!("job {i} diverged");
+                }
+                i
+            },
+            None,
+        );
+        assert_eq!(reports.len(), 5);
+        for (i, r) in reports.iter().enumerate() {
+            if i == 2 {
+                match &r.outcome {
+                    JobOutcome::Panicked(msg) => assert!(msg.contains("diverged"), "{msg}"),
+                    JobOutcome::Ok(_) => panic!("job 2 should have panicked"),
+                }
+            } else {
+                assert!(r.outcome.is_ok(), "job {i} should have survived job 2's panic");
+            }
+        }
+    }
+
+    #[test]
+    fn map_moves_items_into_jobs() {
+        let items: Vec<String> = (0..6).map(|i| format!("item-{i}")).collect();
+        let reports = map(items, 3, |i, s| format!("{s}/{i}"), None);
+        for (i, r) in reports.into_iter().enumerate() {
+            assert_eq!(r.outcome.expect("map"), format!("item-{i}/{i}"));
+        }
+    }
+
+    #[test]
+    fn progress_callback_sees_every_completion() {
+        let seen = Mutex::new(Vec::new());
+        let log = |p: Progress| seen.lock().unwrap().push((p.index, p.done, p.total, p.ok));
+        map_indexed(6, 2, |i| i, Some(&log));
+        let mut events = seen.into_inner().unwrap();
+        assert_eq!(events.len(), 6);
+        events.sort();
+        let indices: Vec<usize> = events.iter().map(|e| e.0).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4, 5]);
+        assert!(events.iter().all(|e| e.2 == 6 && e.3));
+        // `done` counts reach the total exactly once.
+        let mut dones: Vec<usize> = events.iter().map(|e| e.1).collect();
+        dones.sort();
+        assert_eq!(dones, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn empty_and_oversubscribed_edge_cases() {
+        let none: Vec<JobReport<u32>> = map_indexed(0, 8, |_| 1, None);
+        assert!(none.is_empty());
+        // More workers than jobs: clamped, still correct.
+        let one = map_indexed(1, 64, |i| i + 100, None);
+        assert_eq!(one[0].outcome.clone().ok(), Some(100));
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+}

@@ -6,7 +6,7 @@
 //! exactly one place, and tests/benches measure the same configuration.
 
 use cca::BoxCca;
-use netsim::{AckPolicy, FlowConfig, Jitter, LinkConfig, Network, SimConfig, SimResult};
+use netsim::{AckPolicy, FlowConfig, Jitter, LinkConfig, Network, PathSpec, SimConfig, SimResult};
 use simcore::rng::Xoshiro256;
 use simcore::units::{Dur, Rate, Time};
 
@@ -19,6 +19,10 @@ pub fn mbps(r: &SimResult, flow: usize) -> f64 {
 /// workhorse. `cwnd_pkts` is in 1500-byte packets; jitter is i.i.d. uniform
 /// in `[0, jitter_ms]` (off when 0); `loss_pct` is a Bernoulli loss
 /// fraction (off when 0).
+///
+/// Expands a [`netsim::PathSpec`] — the same spec type
+/// `starvation::runner::run_ideal_path` consumes — so fixtures and
+/// ideal-path runs derive their `LinkConfig`/`FlowConfig` from one place.
 pub fn run_one(
     cwnd_pkts: u64,
     rate_mbps: f64,
@@ -28,21 +32,18 @@ pub fn run_one(
     seed: u64,
     secs: u64,
 ) -> SimResult {
-    let link = LinkConfig::ample_buffer(Rate::from_mbps(rate_mbps));
-    let mut flow = FlowConfig::bulk(
-        Box::new(cca::ConstCwnd::new(cwnd_pkts * 1500)),
+    let mut spec = PathSpec::new(
+        Rate::from_mbps(rate_mbps),
         Dur::from_millis(rm_ms),
+        Dur::from_secs(secs),
     );
     if jitter_ms > 0 {
-        flow = flow.with_jitter(Jitter::Random {
-            max: Dur::from_millis(jitter_ms),
-            rng: Xoshiro256::new(seed),
-        });
+        spec = spec.with_jitter(Dur::from_millis(jitter_ms), seed);
     }
     if loss_pct > 0.0 {
-        flow = flow.with_loss(loss_pct, seed.wrapping_add(1));
+        spec = spec.with_loss(loss_pct, seed.wrapping_add(1));
     }
-    Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(secs))).run()
+    Network::new(spec.sim(Box::new(cca::ConstCwnd::new(cwnd_pkts * 1500)))).run()
 }
 
 /// Two identical-CCA flows on a 40 Mbit/s, `Rm` = 50 ms path; the first
@@ -97,11 +98,7 @@ pub fn allegro_flow(loss: f64, seed: u64) -> FlowConfig {
 /// skipping the first tenth of the run.
 pub fn fig7_scenario(mk: impl Fn() -> BoxCca, secs: u64) -> (f64, f64) {
     let rm = Dur::from_millis(120);
-    let link = LinkConfig {
-        rate: Rate::from_mbps(6.0),
-        buffer_bytes: 60 * 1500,
-        ecn_threshold: None,
-    };
+    let link = LinkConfig::new(Rate::from_mbps(6.0), 60 * 1500);
     let clean = FlowConfig::bulk(mk(), rm);
     let delayed = FlowConfig::bulk(mk(), rm).with_ack_policy(AckPolicy::Delayed {
         max_pkts: 4,

@@ -96,6 +96,42 @@ fn same_seed_is_bit_identical_across_fresh_network_objects() {
     assert_bit_identical(&a, &b);
 }
 
+/// The same scenario grid, expanded once and run at `jobs = 1` (inline on
+/// the calling thread) and `jobs = 4` (worker pool): every row must come
+/// back in the same order with a bit-identical result. This is the property
+/// that makes `repro ... --jobs N` produce byte-identical CSVs at any
+/// worker count.
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    use starvation::sweep::{CcaSpec, ScenarioSpec, Sweep};
+
+    let spec = ScenarioSpec::new("determinism")
+        .cca(CcaSpec::new("bbr", |s| Box::new(cca::Bbr::new(1500, s))))
+        .cca(CcaSpec::new("cubic", |_s| {
+            Box::new(cca::Cubic::default_params())
+        }))
+        .rates_mbps(&[24.0])
+        .rtts_ms(&[40, 80])
+        .jitters_ms(&[0, 5])
+        .seeds(&[1, 2])
+        .duration(Dur::from_secs(3));
+    let jobs = spec.expand();
+    assert_eq!(jobs.len(), 16);
+
+    let serial = Sweep::new("det-serial")
+        .jobs(1)
+        .timing_off()
+        .run(jobs.clone());
+    let parallel = Sweep::new("det-parallel").jobs(4).timing_off().run(jobs);
+
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(s.index, p.index);
+        assert_eq!(s.label, p.label);
+        assert_bit_identical(s.result(), p.result());
+    }
+}
+
 #[test]
 fn different_seed_changes_the_packet_trace() {
     let a = run(42);
