@@ -23,12 +23,18 @@
 //!   boundary   the D vs 2δ phase diagram (oscillation × jitter sweep)
 //!   seeds      seed-robustness sweep of the randomized §5 scenarios
 //!   sweep      scenario-grid demo (CCA × rate × jitter × seed)
+//!   trace      stream a canonical scenario's audited event trace as
+//!              JSON-lines into results/trace/<scenario>.jsonl
+//!              (scenarios: reno-ideal, copa-jitter, bbr-two-flow,
+//!              vivace-lossy)
 //!   all        everything above (CSV into results/)
 //!
 //! --jobs N     worker threads for the sweep-engine experiments
 //!              (default: available parallelism; CSV output is
 //!              byte-identical at any N)
 //! --progress   log each sweep job's completion to stderr
+//! --audit      run every sweep-engine scenario under the runtime
+//!              invariant auditor (an invariant violation fails the row)
 //! ```
 
 use repro::table::TextTable;
@@ -189,6 +195,39 @@ fn run_sweep(quick: bool, jobs: usize) {
     save(&r.table(), "sweep.csv");
 }
 
+/// Run a canonical scenario under the auditor, streaming its full event
+/// trace as JSON-lines into `results/trace/<scenario>.jsonl`.
+fn run_trace(scenario: Option<&str>) {
+    let names = starvation::CANONICAL.join("|");
+    let Some(name) = scenario else {
+        eprintln!("usage: repro trace <{names}>");
+        std::process::exit(2);
+    };
+    let Some(cfg) = starvation::canonical_scenario(name) else {
+        eprintln!("error: unknown scenario '{name}' (expected one of: {names})");
+        std::process::exit(2);
+    };
+    let path = result_path(&format!("trace/{name}.jsonl"));
+    let sink_path = path.clone();
+    let cfg = cfg
+        .with_trace(std::sync::Arc::new(move || {
+            let sink = simcore::trace::JsonlSink::create(&sink_path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", sink_path.display()));
+            Box::new(sink) as Box<dyn simcore::trace::TraceSink>
+        }))
+        .with_audit(true);
+    let r = netsim::Network::new(cfg).run();
+    println!("trace {name}: audit clean");
+    for (i, f) in r.flows.iter().enumerate() {
+        println!(
+            "  flow {i}: {:.2} Mbit/s, {} bytes delivered",
+            f.throughput_at(r.end).mbps(),
+            f.total_delivered()
+        );
+    }
+    println!("  → {}", path.display());
+}
+
 /// Parse `--jobs N` / `--jobs=N`. Returns available parallelism when the
 /// flag is absent; exits with a usage message when it is malformed.
 fn parse_jobs(args: &[String]) -> usize {
@@ -221,15 +260,20 @@ fn main() {
         // The sweep engine reads this when constructing each runner.
         std::env::set_var("SWEEP_PROGRESS", "1");
     }
-    let cmd = args
+    if args.iter().any(|a| a == "--audit") {
+        // The sweep engine reads this when constructing each runner.
+        std::env::set_var("SWEEP_AUDIT", "1");
+    }
+    let positional: Vec<&str> = args
         .iter()
         .enumerate()
-        .find(|(i, a)| {
+        .filter(|(i, a)| {
             // Skip flags and --jobs' value.
-            !a.starts_with("--") && (*i == 0 || args[i - 1] != "--jobs")
+            !a.starts_with("--") && (*i == 0 || args[*i - 1] != "--jobs")
         })
         .map(|(_, a)| a.as_str())
-        .unwrap_or("help");
+        .collect();
+    let cmd = positional.first().copied().unwrap_or("help");
 
     let t0 = std::time::Instant::now();
     match cmd {
@@ -251,6 +295,7 @@ fn main() {
         "boundary" => run_boundary(quick, jobs),
         "seeds" => run_seeds(quick, jobs),
         "sweep" => run_sweep(quick, jobs),
+        "trace" => run_trace(positional.get(1).copied()),
         "all" => {
             run_glossary();
             run_fig1(quick);
@@ -273,7 +318,7 @@ fn main() {
         }
         _ => {
             println!(
-                "usage: repro <glossary|fig1|fig2|fig3|thm|fig7|copa|bbr|vivace|allegro|merit|algo1|ccmc|ablations|ecn|boundary|seeds|sweep|all> [--quick] [--jobs N] [--progress]"
+                "usage: repro <glossary|fig1|fig2|fig3|thm|fig7|copa|bbr|vivace|allegro|merit|algo1|ccmc|ablations|ecn|boundary|seeds|sweep|trace|all> [--quick] [--jobs N] [--progress] [--audit]"
             );
             return;
         }

@@ -288,6 +288,26 @@ impl CongestionControl for Bbr {
         "bbr"
     }
 
+    fn internals(&self, probe: &mut dyn FnMut(&'static str, f64)) {
+        probe(
+            "bbr.state",
+            match self.state {
+                BbrState::Startup => 0.0,
+                BbrState::Drain => 1.0,
+                BbrState::ProbeBw => 2.0,
+                BbrState::ProbeRtt => 3.0,
+            },
+        );
+        if let Some(bw) = self.btl_bw() {
+            probe("bbr.btl_bw", bw.bytes_per_sec());
+        }
+        if let Some(rt) = self.rt_prop() {
+            probe("bbr.rt_prop", rt.as_secs_f64());
+        }
+        probe("bbr.pacing_gain", self.pacing_gain());
+        probe("bbr.round", self.round_count as f64);
+    }
+
     fn clone_box(&self) -> Box<dyn CongestionControl> {
         Box::new(self.clone())
     }

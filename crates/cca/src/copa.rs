@@ -304,6 +304,24 @@ impl CongestionControl for Copa {
         "copa"
     }
 
+    fn internals(&self, probe: &mut dyn FnMut(&'static str, f64)) {
+        if let Some(m) = self.min_rtt() {
+            probe("copa.min_rtt", m.as_secs_f64());
+        }
+        if let Some(s) = self.standing_rtt() {
+            probe("copa.standing_rtt", s.as_secs_f64());
+        }
+        if let Some(q) = self.queueing_delay() {
+            probe("copa.queueing_delay", q.as_secs_f64());
+        }
+        probe("copa.velocity", self.velocity);
+        probe("copa.delta", self.effective_delta());
+        probe(
+            "copa.competitive",
+            (self.mode() == CopaMode::Competitive) as u8 as f64,
+        );
+    }
+
     fn clone_box(&self) -> Box<dyn CongestionControl> {
         Box::new(self.clone())
     }

@@ -135,6 +135,13 @@ impl CongestionControl for NewReno {
         "newreno"
     }
 
+    fn internals(&self, probe: &mut dyn FnMut(&'static str, f64)) {
+        if self.ssthresh < f64::MAX {
+            probe("newreno.ssthresh", self.ssthresh);
+        }
+        probe("newreno.slow_start", self.in_slow_start() as u8 as f64);
+    }
+
     fn clone_box(&self) -> Box<dyn CongestionControl> {
         Box::new(self.clone())
     }

@@ -98,6 +98,16 @@ pub trait CongestionControl: Send {
     /// Short algorithm name for reports ("copa", "bbr", …).
     fn name(&self) -> &'static str;
 
+    /// Report named internal state to `probe` — estimator outputs, mode
+    /// flags, target rates — one `(key, value)` pair per scalar. The
+    /// tracing subsystem forwards each pair as a per-flow probe event, so
+    /// a trace shows *why* the CCA chose its window (BBR's bandwidth
+    /// filter, Copa's min-RTT, …), not just the window itself. Keys should
+    /// be stable, `"algo.field"`-style names. Default: report nothing.
+    fn internals(&self, probe: &mut dyn FnMut(&'static str, f64)) {
+        let _ = probe;
+    }
+
     /// Clone into a box — used to snapshot converged CCA state.
     fn clone_box(&self) -> Box<dyn CongestionControl>;
 }

@@ -308,6 +308,15 @@ impl CongestionControl for Vivace {
         "vivace"
     }
 
+    fn internals(&self, probe: &mut dyn FnMut(&'static str, f64)) {
+        probe("vivace.base_rate", self.base_rate().bytes_per_sec());
+        probe("vivace.rate", self.current_rate().bytes_per_sec());
+        probe("vivace.omega", self.omega);
+        if let Some(srtt) = self.srtt {
+            probe("vivace.srtt", srtt);
+        }
+    }
+
     fn clone_box(&self) -> Box<dyn CongestionControl> {
         Box::new(self.clone())
     }

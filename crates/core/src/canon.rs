@@ -1,0 +1,119 @@
+//! Canonical trace scenarios: four small, fixed configurations that
+//! exercise every event class the trace subsystem emits.
+//!
+//! These back two consumers:
+//!
+//! * the golden-trace regression suite (`tests/golden_traces.rs`), which
+//!   pins a per-event-class digest of each scenario's full event stream —
+//!   any change to simulator scheduling, transport behaviour, or CCA
+//!   dynamics shows up as a digest mismatch;
+//! * `repro trace <scenario>`, which streams the same scenarios as
+//!   JSON-lines for ad-hoc inspection.
+//!
+//! The configurations are deliberately frozen: durations, rates, seeds and
+//! CCA parameters are part of the golden contract. Behaviour changes that
+//! are *intended* re-record the goldens (`BLESS=1`); anything else is a
+//! regression.
+
+use netsim::{FlowConfig, Jitter, LinkConfig, SimConfig};
+use simcore::rng::Xoshiro256;
+use simcore::units::{Dur, Rate};
+
+/// Names of the canonical scenarios, in registry order.
+pub const CANONICAL: &[&str] = &["reno-ideal", "copa-jitter", "bbr-two-flow", "vivace-lossy"];
+
+/// Build a canonical scenario by name. `None` for unknown names.
+///
+/// Every scenario is deterministic and runs in well under a second:
+///
+/// * `reno-ideal` — one NewReno flow on an ample-buffer ideal path
+///   (slow start, congestion avoidance, ACK clocking; no loss, no jitter).
+/// * `copa-jitter` — one Copa flow through 10 ms of random jitter
+///   (jitter-hold/release events, delay-sensitive cwnd dynamics).
+/// * `bbr-two-flow` — two BBR flows share a 2-BDP buffer (queue build-up,
+///   tail drops, retransmissions, two-flow FIFO interleaving).
+/// * `vivace-lossy` — one PCC Vivace datagram flow with 2% Bernoulli loss
+///   (SACK-style per-packet ACKs, loss events without retransmission).
+pub fn canonical_scenario(name: &str) -> Option<SimConfig> {
+    let cfg = match name {
+        "reno-ideal" => {
+            let link = LinkConfig::ample_buffer(Rate::from_mbps(24.0));
+            let flow = FlowConfig::bulk(Box::new(cca::NewReno::default_params()), Dur::from_millis(40));
+            SimConfig::new(link, vec![flow], Dur::from_secs(5))
+        }
+        "copa-jitter" => {
+            let link = LinkConfig::ample_buffer(Rate::from_mbps(24.0));
+            let flow = FlowConfig::bulk(Box::new(cca::Copa::default_params()), Dur::from_millis(40))
+                .with_jitter(Jitter::Random {
+                    max: Dur::from_millis(10),
+                    rng: Xoshiro256::new(42),
+                });
+            SimConfig::new(link, vec![flow], Dur::from_secs(5))
+        }
+        "bbr-two-flow" => {
+            let rate = Rate::from_mbps(24.0);
+            let rm = Dur::from_millis(40);
+            // 1 BDP of buffer: BBR's startup overshoot (2 flows probing at
+            // once) tail-drops, so the canonical set covers drop events.
+            let link = LinkConfig::bdp_buffer(rate, rm, 1.0);
+            let flows = vec![
+                FlowConfig::bulk(Box::new(cca::Bbr::default_params()), rm),
+                FlowConfig::bulk(Box::new(cca::Bbr::default_params()), rm),
+            ];
+            SimConfig::new(link, flows, Dur::from_secs(5))
+        }
+        "vivace-lossy" => {
+            let link = LinkConfig::ample_buffer(Rate::from_mbps(24.0));
+            let flow = FlowConfig::bulk(Box::new(cca::Vivace::default_params()), Dur::from_millis(40))
+                .datagram()
+                .with_loss(0.02, 7);
+            SimConfig::new(link, vec![flow], Dur::from_secs(5))
+        }
+        _ => return None,
+    };
+    Some(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Network;
+    use simcore::trace::{RingSink, TraceSink};
+    use std::sync::Arc;
+
+    #[test]
+    fn every_canonical_name_resolves() {
+        for name in CANONICAL {
+            assert!(canonical_scenario(name).is_some(), "{name}");
+        }
+        assert!(canonical_scenario("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn canonical_scenarios_pass_audit_and_emit_all_core_classes() {
+        // Union across the four scenarios must cover the full event
+        // vocabulary (drop/retransmit/rto come from bbr-two-flow and
+        // vivace-lossy; jitter classes appear everywhere).
+        let mut seen: std::collections::BTreeSet<&'static str> = Default::default();
+        for name in CANONICAL {
+            let ring = RingSink::new(16);
+            let probe = ring.clone();
+            let cfg = canonical_scenario(name)
+                .unwrap()
+                .with_trace(Arc::new(move || Box::new(probe.clone()) as Box<dyn TraceSink>))
+                .with_audit(true);
+            let r = Network::new(cfg).run();
+            assert!(r.flows[0].total_delivered() > 0, "{name}");
+            let digest = ring.digest();
+            for class in ["send", "enqueue", "dequeue", "jitter-hold", "jitter-release", "ack", "cwnd", "probe", "run-end"] {
+                assert!(digest.count(class) > 0, "{name} missing {class}");
+            }
+            for (class, _) in digest.classes() {
+                seen.insert(class);
+            }
+        }
+        for class in ["drop", "retransmit", "rto"] {
+            assert!(seen.contains(class), "no canonical scenario emits {class}");
+        }
+    }
+}

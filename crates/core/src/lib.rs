@@ -27,6 +27,8 @@
 //!   (`d_{k+1} = max(0, d_k − D)`).
 //! * [`merit`] — §6.3's figure of merit `µ₊/µ₋` for the Vegas family
 //!   (Eq. 1) vs the exponential mapping (Eq. 2).
+//! * [`canon`] — canonical trace scenarios: four frozen configurations
+//!   backing the golden-trace regression suite and `repro trace`.
 //! * [`sweep`] — the parallel sweep engine: declarative scenario grids
 //!   ([`sweep::ScenarioSpec`]) expanded into `SimConfig`s and executed
 //!   order-preservingly across a worker pool ([`simcore::par`]), with
@@ -48,6 +50,7 @@
 //! assert!(conv.delta() < 0.010);
 //! ```
 
+pub mod canon;
 pub mod convergence;
 pub mod emulation;
 pub mod fairness;
@@ -61,6 +64,7 @@ pub mod theorem1;
 pub mod theorem2;
 pub mod theorem3;
 
+pub use canon::{canonical_scenario, CANONICAL};
 pub use convergence::{analyze_convergence, ConvergenceReport};
 pub use emulation::{EmulationPlan, plan_emulation};
 pub use fairness::{check_f_efficiency, check_s_fairness};

@@ -106,7 +106,10 @@ mod tests {
         // tail (plus the packet's own 0.5 ms transmission).
         let end = run.rtt.end_time();
         let a = end - Dur::from_secs(5);
-        let mean = run.rtt.mean_in(a, end).unwrap();
+        let mean = run
+            .rtt
+            .mean_in(a, end)
+            .expect("converged Vegas samples RTTs over the whole tail window");
         assert!(mean > 0.0405 && mean < 0.045, "mean rtt={mean}");
     }
 
@@ -120,7 +123,10 @@ mod tests {
         let run = run_ideal_path(Box::new(cca::Vegas::default_params()), spec);
         // Late-run rate samples should be near link rate.
         let end = run.rate.end_time();
-        let tail = run.rate.mean_in(end - Dur::from_secs(3), end).unwrap();
+        let tail = run
+            .rate
+            .mean_in(end - Dur::from_secs(3), end)
+            .expect("a saturating ideal-path run records rate samples to the end");
         let tail_mbps = tail * 8.0 / 1e6;
         assert!((tail_mbps - 24.0).abs() < 3.0, "tail={tail_mbps}");
     }

@@ -122,22 +122,27 @@ pub struct Sweep {
     jobs: usize,
     timing: Option<PathBuf>,
     log: Option<SweepLog>,
+    audit: bool,
 }
 
 impl Sweep {
     /// A sweep named `name` using every available core and the default
     /// timing sink. Honors the `SWEEP_PROGRESS` environment variable by
-    /// installing a stderr progress logger.
+    /// installing a stderr progress logger, and `SWEEP_AUDIT` (the
+    /// `repro --audit` flag) by running every row under the runtime
+    /// invariant auditor.
     pub fn new(name: impl Into<String>) -> Sweep {
         let log: Option<SweepLog> = match std::env::var("SWEEP_PROGRESS") {
             Ok(v) if v != "0" => Some(Arc::new(|msg: &str| eprintln!("{msg}"))),
             _ => None,
         };
+        let audit = matches!(std::env::var("SWEEP_AUDIT"), Ok(v) if v != "0");
         Sweep {
             name: name.into(),
             jobs: par::available_jobs(),
             timing: Some(default_timing_path()),
             log,
+            audit,
         }
     }
 
@@ -165,12 +170,25 @@ impl Sweep {
         self
     }
 
+    /// Builder: run every row under the runtime invariant auditor
+    /// ([`simcore::trace::Auditor`]). An invariant violation panics inside
+    /// the job, so it surfaces as that row's `Err` outcome without
+    /// poisoning the rest of the sweep.
+    pub fn audit(mut self, on: bool) -> Sweep {
+        self.audit = on;
+        self
+    }
+
     /// Run the job list. Rows come back in job-list order regardless of
     /// worker count or completion order.
     pub fn run(self, jobs_list: Vec<SweepJob>) -> SweepReport {
         let total = jobs_list.len();
         let labels: Vec<String> = jobs_list.iter().map(|j| j.label.clone()).collect();
-        let configs: Vec<SimConfig> = jobs_list.into_iter().map(|j| j.config).collect();
+        let audit = self.audit;
+        let configs: Vec<SimConfig> = jobs_list
+            .into_iter()
+            .map(|j| if audit { j.config.with_audit(true) } else { j.config })
+            .collect();
 
         let name = self.name;
         let log = self.log;
@@ -555,6 +573,29 @@ mod tests {
         }
         assert!(report.rows[2].outcome.is_ok(), "panic must not poison later jobs");
         assert!(report.rows[2].result().flows[0].total_delivered() > 0);
+    }
+
+    #[test]
+    fn audited_sweep_matches_unaudited() {
+        // The auditor must pass on every grid row and change nothing.
+        let jobs = tiny_spec().expand();
+        let plain = Sweep::new("plain").jobs(2).timing_off().run(jobs.clone());
+        let audited = Sweep::new("audited").jobs(2).timing_off().audit(true).run(jobs);
+        assert_eq!(audited.panics(), 0);
+        for (ra, rb) in plain.rows.iter().zip(&audited.rows) {
+            assert_eq!(
+                ra.result().flows[0].sent_bytes,
+                rb.result().flows[0].sent_bytes,
+                "{}",
+                ra.label
+            );
+            assert_eq!(
+                ra.result().flows[0].total_delivered(),
+                rb.result().flows[0].total_delivered(),
+                "{}",
+                ra.label
+            );
+        }
     }
 
     #[test]

@@ -197,22 +197,61 @@ pub struct SimConfig {
     /// Decimation interval for cwnd/rate series (RTT samples are always
     /// recorded exactly; set this small only for short runs).
     pub sample_every: Dur,
+    /// Trace-sink factory (`None` = no tracing, the zero-cost default).
+    /// A factory rather than a sink keeps the config `Clone`: every
+    /// `Network` builds its own sink at construction.
+    pub trace: Option<simcore::trace::TraceFactory>,
+    /// Run the scenario under the runtime invariant auditor
+    /// ([`simcore::trace::Auditor`]); any trace sink becomes its
+    /// downstream consumer. A violation panics with event context, which
+    /// the sweep engine's per-job isolation reports as a failed row.
+    pub audit: bool,
+    /// Per-flow jitter-bound overrides `(flow, bound)` for the auditor.
+    /// This exists for mutation tests: declaring a bound *below* the
+    /// jitter policy's real one must make the audit fail through the full
+    /// simulation pipeline. Not for production configs.
+    pub audit_jitter_override: Vec<(usize, Dur)>,
 }
 
 impl SimConfig {
-    /// A scenario with 10 ms series decimation.
+    /// A scenario with 10 ms series decimation and no tracing.
     pub fn new(link: LinkConfig, flows: Vec<FlowConfig>, duration: Dur) -> SimConfig {
         SimConfig {
             link,
             flows,
             duration,
             sample_every: Dur::from_millis(10),
+            trace: None,
+            audit: false,
+            audit_jitter_override: Vec::new(),
         }
     }
 
     /// Builder: replace the series decimation interval.
     pub fn with_sample_every(mut self, every: Dur) -> SimConfig {
         self.sample_every = every;
+        self
+    }
+
+    /// Builder: attach a trace-sink factory; each run built from this
+    /// config creates one sink and streams every simulator event into it.
+    pub fn with_trace(mut self, factory: simcore::trace::TraceFactory) -> SimConfig {
+        self.trace = Some(factory);
+        self
+    }
+
+    /// Builder: enable (or disable) the runtime invariant auditor.
+    pub fn with_audit(mut self, on: bool) -> SimConfig {
+        self.audit = on;
+        self
+    }
+
+    /// Builder: override the audited jitter bound for `flow`. A test hook:
+    /// setting a bound tighter than the configured jitter policy's real
+    /// bound seeds a violation the auditor must catch (and report with
+    /// event context) — the mutation test for the audit machinery itself.
+    pub fn with_audit_jitter_bound(mut self, flow: usize, bound: Dur) -> SimConfig {
+        self.audit_jitter_override.push((flow, bound));
         self
     }
 }

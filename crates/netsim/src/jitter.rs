@@ -79,6 +79,25 @@ pub enum Jitter {
     },
 }
 
+impl Jitter {
+    /// The policy's displacement bound `D`: the most extra delay any packet
+    /// can experience between arriving at the element and being released,
+    /// including the no-reorder floor (with in-order arrivals, a floored
+    /// release still sits within the *previous* packet's bound). `None`
+    /// means the policy has no a-priori bound (the token bucket's delay
+    /// depends on the arrival process), so the audit skips the check.
+    pub fn bound(&self) -> Option<Dur> {
+        match self {
+            Jitter::None => Some(Dur::ZERO),
+            Jitter::Random { max, .. }
+            | Jitter::Script { max, .. }
+            | Jitter::TargetRtt { max, .. } => Some(*max),
+            Jitter::ExtraExcept { extra, .. } => Some(*extra),
+            Jitter::TokenBucket { .. } => None,
+        }
+    }
+}
+
 /// Runtime state of a flow's jitter element.
 #[derive(Clone, Debug)]
 pub struct JitterElement {

@@ -64,4 +64,5 @@ pub mod sim;
 pub use config::{AckPolicy, FlowConfig, LinkConfig, PathSpec, SimConfig, Transport};
 pub use jitter::Jitter;
 pub use metrics::{FlowMetrics, SimResult};
+pub use sender::Accounting;
 pub use sim::Network;

@@ -78,6 +78,12 @@ impl Bottleneck {
         self.queue.len()
     }
 
+    /// The queued packets, head (next to depart) first. The trace
+    /// subsystem uses this to settle conservation at the end of a run.
+    pub fn queued_packets(&self) -> impl Iterator<Item = &Packet> + '_ {
+        self.queue.iter()
+    }
+
     /// The queueing delay a newly arriving byte would experience.
     pub fn queue_delay(&self) -> Dur {
         self.rate.tx_time(self.queued_bytes)

@@ -74,12 +74,21 @@ impl FlowMetrics {
     }
 
     /// Mean RTT over `[a, b]`, seconds.
+    ///
+    /// `None` when the window holds no RTT samples — a flow that never
+    /// started, stalled (RTO storm), or whose window predates its first
+    /// valid (non-Karn-excluded) sample. Callers must decide explicitly:
+    /// `expect` with the scenario's reason when samples are guaranteed,
+    /// or a domain-appropriate default when a silent flow is a legal
+    /// outcome (starvation scenarios produce exactly such flows).
     pub fn mean_rtt_in(&self, a: Time, b: Time) -> Option<f64> {
         self.rtt.mean_in(a, b)
     }
 
     /// Min/max RTT over `[a, b]` in seconds — `(d_min, d_max)` of
     /// Definition 1 when measured over the converged region.
+    ///
+    /// `None` on an empty sample window, exactly as [`Self::mean_rtt_in`].
     pub fn rtt_range_in(&self, a: Time, b: Time) -> Option<(f64, f64)> {
         Some((self.rtt.min_in(a, b)?, self.rtt.max_in(a, b)?))
     }

@@ -34,6 +34,30 @@ pub enum Emit {
     Blocked,
 }
 
+/// A snapshot of one flow's byte accounting, taken after processing an
+/// acknowledgement. The trace auditor checks the exact identity
+/// `sent + spurious_rtx = delivered + in_flight + lost + unresolved`:
+/// every transmitted byte is delivered, outstanding, declared lost, or
+/// held by the receiver above the cumulative point (`unresolved`), and
+/// the only slack is loss declarations the cumulative ACK later revoked
+/// (`spurious_rtx`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Accounting {
+    /// Lifetime bytes transmitted, including retransmissions.
+    pub sent: u64,
+    /// Lifetime bytes cumulatively acknowledged.
+    pub delivered: u64,
+    /// Bytes currently outstanding.
+    pub in_flight: u64,
+    /// Lifetime bytes declared lost.
+    pub lost: u64,
+    /// Bytes SACKed or RTO-orphaned above the cumulative point.
+    pub unresolved: u64,
+    /// Bytes declared lost whose original copy was cumulatively
+    /// acknowledged before the retransmission left.
+    pub spurious_rtx: u64,
+}
+
 /// Sending endpoint of one flow.
 pub struct Sender {
     flow: FlowId,
@@ -55,6 +79,15 @@ pub struct Sender {
     /// Holes already retransmitted in the current recovery episode
     /// (RFC 6675-style: each hole is retransmitted once per episode).
     retx_done: std::collections::BTreeSet<u64>,
+    /// SACKed sequences orphaned by an RTO (`sacked` is cleared on
+    /// timeout, but the receiver still holds those packets above the
+    /// cumulative point). Kept so byte accounting stays exact: these bytes
+    /// are neither in flight nor delivered nor lost.
+    limbo: std::collections::BTreeSet<u64>,
+    /// Bytes declared lost whose original transmission was cumulatively
+    /// acknowledged before the retransmission left (spurious go-back-N
+    /// declarations; the sim-level test notes this over-count).
+    spurious_rtx: u64,
     /// Total bytes cumulatively acknowledged.
     delivered: u64,
     dup_acks: u32,
@@ -94,6 +127,8 @@ impl Sender {
             retx_queue: VecDeque::new(),
             sacked: std::collections::BTreeSet::new(),
             retx_done: std::collections::BTreeSet::new(),
+            limbo: std::collections::BTreeSet::new(),
+            spurious_rtx: 0,
             delivered: 0,
             dup_acks: 0,
             recover: None,
@@ -146,6 +181,18 @@ impl Sender {
     /// Whether the sender is in NewReno recovery.
     pub fn in_recovery(&self) -> bool {
         self.recover.is_some()
+    }
+
+    /// Current byte-accounting snapshot (see [`Accounting`]).
+    pub fn accounting(&self) -> Accounting {
+        Accounting {
+            sent: self.metrics.sent_bytes,
+            delivered: self.delivered,
+            in_flight: self.in_flight(),
+            lost: self.metrics.lost_bytes,
+            unresolved: (self.sacked.len() + self.limbo.len()) as u64 * self.mss,
+            spurious_rtx: self.spurious_rtx,
+        }
     }
 
     /// Current RTO deadline the simulator should have armed.
@@ -275,9 +322,15 @@ impl Sender {
         for seq in old_next..=new_cum {
             self.outstanding.remove(&seq);
         }
-        // Prune bookkeeping below the new cumulative point.
+        // Prune bookkeeping below the new cumulative point. Pending
+        // retransmissions the cumulative ACK overtakes were spurious loss
+        // declarations (the "lost" original actually arrived); count them
+        // so byte accounting stays an exact identity.
         self.sacked = self.sacked.split_off(&(new_cum + 1));
+        self.limbo = self.limbo.split_off(&(new_cum + 1));
+        let before = self.retx_queue.len();
         self.retx_queue.retain(|&s| s > new_cum);
+        self.spurious_rtx += (before - self.retx_queue.len()) as u64 * self.mss;
 
         // Recovery exits when the loss episode's window is fully acked.
         if let Some(recover) = self.recover {
@@ -502,7 +555,10 @@ impl Sender {
         self.metrics.timeouts += 1;
         self.recover = None;
         self.retx_done.clear();
-        self.sacked.clear();
+        // The receiver still holds the SACKed packets above the cumulative
+        // point; they are no longer tracked for recovery but their bytes
+        // stay accounted (in `limbo`) until the cumulative ACK passes them.
+        self.limbo.append(&mut self.sacked);
         self.dup_acks = 0;
         self.rto_backoff += 1;
         self.cca.on_loss(&LossEvent {

@@ -24,6 +24,7 @@ use crate::receiver::Receiver;
 use crate::sender::{Emit, Sender};
 use simcore::engine::EventQueue;
 use simcore::rng::Xoshiro256;
+use simcore::trace::{Auditor, Event, FlowAuditSpec, TraceSink};
 use simcore::units::{Dur, Time};
 
 /// Simulator events.
@@ -59,12 +60,38 @@ pub struct Network {
     /// Deadline of the most recently scheduled Rto event per flow
     /// (deduplicates timer events).
     rto_scheduled: Vec<Option<Time>>,
+    /// Trace sink (possibly an [`Auditor`] wrapping the configured sink).
+    /// `None` — the default — costs one branch per instrumentation point.
+    trace: Option<Box<dyn TraceSink>>,
     end: Time,
 }
 
 impl Network {
     /// Build a network from a scenario description.
     pub fn new(cfg: SimConfig) -> Network {
+        // Build the trace sink first: the audit specs need per-flow MSS and
+        // jitter bounds before `cfg.flows` is consumed below.
+        let trace: Option<Box<dyn TraceSink>> = {
+            let inner: Option<Box<dyn TraceSink>> = cfg.trace.as_ref().map(|factory| factory());
+            if cfg.audit {
+                let mut specs: Vec<FlowAuditSpec> = cfg
+                    .flows
+                    .iter()
+                    .map(|f| FlowAuditSpec {
+                        mss: f.mss,
+                        jitter_bound: f.jitter.bound(),
+                    })
+                    .collect();
+                for &(flow, bound) in &cfg.audit_jitter_override {
+                    if let Some(spec) = specs.get_mut(flow) {
+                        spec.jitter_bound = Some(bound);
+                    }
+                }
+                Some(Box::new(Auditor::new(specs, inner)))
+            } else {
+                inner
+            }
+        };
         let mut link = Bottleneck::new(cfg.link.rate, cfg.link.buffer_bytes);
         link.set_ecn_threshold(cfg.link.ecn_threshold);
         let mut q = EventQueue::new();
@@ -103,6 +130,7 @@ impl Network {
             loss,
             wake_armed,
             rto_scheduled,
+            trace,
             end,
         }
     }
@@ -165,6 +193,17 @@ impl Network {
                     break;
                 }
                 Emit::Pkt(pkt) => {
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.event(
+                            now,
+                            &Event::Send {
+                                flow,
+                                seq: pkt.seq,
+                                bytes: pkt.bytes,
+                                retransmit: pkt.retransmit,
+                            },
+                        );
+                    }
                     self.arm_rto(flow);
                     self.inject(pkt);
                 }
@@ -180,12 +219,29 @@ impl Network {
                 return; // vanished on the path; RTO/dupacks will notice
             }
         }
+        let (flow, seq, bytes) = (pkt.flow, pkt.seq, pkt.bytes);
         match self.link.enqueue(now, pkt) {
-            Enqueue::Dropped => {}
-            Enqueue::Accepted(Some(first_departure)) => {
-                self.q.schedule_at(first_departure, Ev::Depart);
+            Enqueue::Dropped => {
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.event(now, &Event::Drop { flow, seq, bytes });
+                }
             }
-            Enqueue::Accepted(None) => {}
+            Enqueue::Accepted(first_departure) => {
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.event(
+                        now,
+                        &Event::Enqueue {
+                            flow,
+                            seq,
+                            bytes,
+                            queued_bytes: self.link.queued_bytes(),
+                        },
+                    );
+                }
+                if let Some(t) = first_departure {
+                    self.q.schedule_at(t, Ev::Depart);
+                }
+            }
         }
     }
 
@@ -237,12 +293,37 @@ impl Network {
                     if f == Self::PHANTOM {
                         continue; // warm-start filler: occupies queue only
                     }
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.event(
+                            now,
+                            &Event::Dequeue {
+                                flow: f,
+                                seq: pkt.seq,
+                                bytes: pkt.bytes,
+                                queued_bytes: self.link.queued_bytes(),
+                            },
+                        );
+                    }
                     let at_element = now + self.rm[f];
                     let release = self.jitters[f].release_time(at_element, pkt.sent_at, pkt.bytes);
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.event(
+                            now,
+                            &Event::JitterHold {
+                                flow: f,
+                                seq: pkt.seq,
+                                arrive: at_element,
+                                release,
+                            },
+                        );
+                    }
                     self.q.schedule_at(release, Ev::DataArrive(pkt));
                 }
                 Ev::DataArrive(pkt) => {
                     let f = pkt.flow;
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.event(now, &Event::JitterRelease { flow: f, seq: pkt.seq });
+                    }
                     let out = self.receivers[f].on_data(now, pkt);
                     if let Some(deadline) = out.arm_flush {
                         self.q.schedule_at(deadline, Ev::RxFlush(f, deadline));
@@ -259,12 +340,59 @@ impl Network {
                 }
                 Ev::AckArrive(ack) => {
                     let f = ack.flow;
+                    let rtt_before = self.senders[f].metrics.rtt.len();
                     self.senders[f].process_ack(now, &ack);
+                    if self.trace.is_some() {
+                        let s = &self.senders[f];
+                        // A new point in the RTT series means this ACK
+                        // yielded a (Karn-valid) sample.
+                        let rtt = if s.metrics.rtt.len() > rtt_before {
+                            s.metrics
+                                .rtt
+                                .last()
+                                .map(|(_, secs)| Dur((secs * 1e9).round() as u64))
+                        } else {
+                            None
+                        };
+                        let acct = s.accounting();
+                        let cwnd = s.cwnd();
+                        let pacing = s.cca().pacing_rate();
+                        let mut probes: Vec<(&'static str, f64)> = Vec::new();
+                        s.cca().internals(&mut |k, v| probes.push((k, v)));
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.event(
+                                now,
+                                &Event::Ack {
+                                    flow: f,
+                                    cum_seq: ack.cum_seq,
+                                    rtt,
+                                    sent: acct.sent,
+                                    delivered: acct.delivered,
+                                    in_flight: acct.in_flight,
+                                    lost: acct.lost,
+                                    unresolved: acct.unresolved,
+                                    spurious_rtx: acct.spurious_rtx,
+                                },
+                            );
+                            tr.event(now, &Event::CwndUpdate { flow: f, cwnd, pacing });
+                            for (key, value) in probes {
+                                tr.event(now, &Event::Probe { flow: f, key, value });
+                            }
+                        }
+                    }
                     self.arm_rto(f);
                     self.pump(f);
                 }
                 Ev::Rto(f, deadline) => {
                     if self.senders[f].on_rto(now, deadline) {
+                        if self.trace.is_some() {
+                            let cwnd = self.senders[f].cwnd();
+                            let pacing = self.senders[f].cca().pacing_rate();
+                            if let Some(tr) = self.trace.as_mut() {
+                                tr.event(now, &Event::Rto { flow: f });
+                                tr.event(now, &Event::CwndUpdate { flow: f, cwnd, pacing });
+                            }
+                        }
                         self.arm_rto(f);
                         self.pump(f);
                     }
@@ -281,6 +409,17 @@ impl Network {
             );
         }
         let end = self.end;
+        if self.trace.is_some() {
+            let queued = self
+                .link
+                .queued_packets()
+                .filter(|p| p.flow != Self::PHANTOM)
+                .count() as u64;
+            if let Some(tr) = self.trace.as_mut() {
+                tr.event(end, &Event::RunEnd { queued_pkts: queued });
+                tr.finish(end);
+            }
+        }
         let utilization = self.link.utilization(end);
         let drops = (0..self.senders.len()).map(|f| self.link.drops(f)).collect();
         let jitter_clamps = self.jitters.iter().map(|j| j.clamp_violations()).collect();
@@ -328,7 +467,7 @@ mod tests {
         // 1500 B at 12 Mbit/s = 1 ms of transmission + 50 ms Rm.
         let (lo, hi) = r.flows[0]
             .rtt_range_in(Time::from_secs(1), r.end)
-            .unwrap();
+            .expect("an unqueued constant window samples RTTs continuously");
         assert!((lo - 0.051).abs() < 1e-6, "lo={lo}");
         assert!((hi - 0.051).abs() < 1e-6, "hi={hi}");
     }
@@ -340,7 +479,9 @@ mod tests {
         let tput = r.flows[0].throughput_at(r.end).mbps();
         assert!(tput > 11.0, "tput={tput}");
         // Standing queue of ~50 packets → RTT ≈ 100 ms.
-        let mean = r.flows[0].mean_rtt_in(Time::from_secs(2), r.end).unwrap();
+        let mean = r.flows[0]
+            .mean_rtt_in(Time::from_secs(2), r.end)
+            .expect("a saturating flow samples RTTs past warmup");
         assert!((mean - 0.100).abs() < 0.01, "mean={mean}");
     }
 
@@ -398,7 +539,9 @@ mod tests {
                 rng: Xoshiro256::new(5),
             });
         let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(5))).run();
-        let (lo, hi) = r.flows[0].rtt_range_in(Time::from_secs(1), r.end).unwrap();
+        let (lo, hi) = r.flows[0]
+            .rtt_range_in(Time::from_secs(1), r.end)
+            .expect("the jittered flow still delivers and samples RTTs");
         assert!(lo >= 0.051 - 1e-9);
         assert!(hi > 0.060, "hi={hi}");
         assert!(hi < 0.072, "hi={hi}");
@@ -463,6 +606,66 @@ mod tests {
         let frac = m.loss_fraction();
         assert!((frac - 0.05).abs() < 0.01, "loss={frac}");
         assert_eq!(m.retransmitted_bytes, 0);
+    }
+
+    #[test]
+    fn audited_lossy_jittery_run_passes_and_traces() {
+        // The auditor's six invariants must hold on a stressful scenario:
+        // 2% loss (RTO go-back-N, spurious retransmits), 5 ms jitter, a
+        // finite buffer (tail drops). A RingSink downstream of the auditor
+        // verifies the full event stream reaches the configured sink.
+        use simcore::trace::{RingSink, TraceSink};
+        use std::sync::Arc;
+        let ring = RingSink::new(64);
+        let probe = ring.clone();
+        let link = LinkConfig::new(Rate::from_mbps(12.0), 30 * 1500);
+        let flow = FlowConfig::bulk(Box::new(ConstCwnd::new(30 * 1500)), Dur::from_millis(40))
+            .with_loss(0.02, 123)
+            .with_jitter(Jitter::Random {
+                max: Dur::from_millis(5),
+                rng: Xoshiro256::new(11),
+            });
+        let cfg = SimConfig::new(link, vec![flow], Dur::from_secs(5))
+            .with_trace(Arc::new(move || {
+                Box::new(probe.clone()) as Box<dyn TraceSink>
+            }))
+            .with_audit(true);
+        let r = Network::new(cfg).run();
+        assert!(r.flows[0].total_delivered() > 0);
+        let digest = ring.digest();
+        for class in ["send", "enqueue", "dequeue", "jitter-hold", "ack", "cwnd", "run-end"] {
+            assert!(digest.count(class) > 0, "no {class} events: {}", digest.render());
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        // NullSink tracing and auditing must be observationally inert.
+        let run = |trace: bool| {
+            let link = LinkConfig::ample_buffer(Rate::from_mbps(12.0));
+            let flow =
+                FlowConfig::bulk(Box::new(ConstCwnd::new(30 * 1500)), Dur::from_millis(40))
+                    .with_loss(0.01, 9)
+                    .with_jitter(Jitter::Random {
+                        max: Dur::from_millis(5),
+                        rng: Xoshiro256::new(3),
+                    });
+            let mut cfg = SimConfig::new(link, vec![flow], Dur::from_secs(3));
+            if trace {
+                cfg = cfg
+                    .with_trace(std::sync::Arc::new(|| {
+                        Box::new(simcore::trace::NullSink) as Box<dyn simcore::trace::TraceSink>
+                    }))
+                    .with_audit(true);
+            }
+            let r = Network::new(cfg).run();
+            (
+                r.flows[0].total_delivered(),
+                r.flows[0].sent_bytes,
+                r.flows[0].lost_bytes,
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! * [`series`] — time-series recording used for RTT/rate trajectories
 //!   (Figures 1, 5, 6 of the paper).
 //! * [`stats`] — summary statistics, percentiles and Jain's fairness index.
+//! * [`trace`] — structured event tracing ([`trace::TraceSink`] with null,
+//!   ring-buffer and JSON-lines sinks) and the runtime invariant
+//!   [`trace::Auditor`]. Zero-cost when disabled: the simulator holds an
+//!   `Option` that stays `None` by default.
 //!
 //! The design follows the smoltcp school: event-driven, no allocation
 //! tricks, no async runtime (the workload is CPU-bound and must be
@@ -32,6 +36,7 @@ pub mod par;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod trace;
 pub mod units;
 
 pub use engine::EventQueue;

@@ -218,6 +218,6 @@ fn warm_start_prefill_creates_initial_delay() {
     // And the queue drains: late RTTs return to Rm + tx.
     let late = r.flows[0]
         .mean_rtt_in(Time::from_millis(1500), r.end)
-        .unwrap();
+        .expect("the flow keeps sampling RTTs after the prefilled queue drains");
     assert!(late < 0.045, "late={late}");
 }

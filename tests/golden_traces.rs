@@ -1,0 +1,100 @@
+//! Golden-trace regression tests: pin a per-event-class digest of each
+//! canonical scenario's complete event stream.
+//!
+//! Every digest line is `class count fnv64` where the hash folds each
+//! event's timestamp and fields **in emission order**, so the goldens pin
+//! the exact packet-level timeline — scheduling order, transport behaviour
+//! (retransmits, RTOs), queue occupancy, jitter schedules and CCA dynamics
+//! all feed the hash. Any change to simulator semantics shows up here as a
+//! mismatch on the affected class.
+//!
+//! # Re-recording
+//!
+//! When a behaviour change is *intended* (a CCA fix, a transport change),
+//! re-record the goldens and commit the diff alongside the change that
+//! caused it:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_traces
+//! git diff tests/golden/   # review: only expected classes moved
+//! ```
+//!
+//! The canonical scenarios (`starvation::canon`) are frozen; never "fix" a
+//! mismatch by tweaking a scenario — that silently re-bases the contract.
+
+use netsim::Network;
+use simcore::trace::{RingSink, TraceSink};
+use starvation::{canonical_scenario, CANONICAL};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Run one canonical scenario under the auditor and digest its trace.
+fn digest_of(name: &str) -> String {
+    let ring = RingSink::new(16);
+    let probe = ring.clone();
+    let cfg = canonical_scenario(name)
+        .unwrap_or_else(|| panic!("unknown canonical scenario {name}"))
+        .with_trace(Arc::new(move || Box::new(probe.clone()) as Box<dyn TraceSink>))
+        .with_audit(true);
+    Network::new(cfg).run();
+    ring.digest().render()
+}
+
+#[test]
+fn golden_trace_digests_match() {
+    let bless = std::env::var_os("BLESS").is_some();
+    let dir = golden_dir();
+    let mut mismatches = Vec::new();
+    for &name in CANONICAL {
+        let got = digest_of(name);
+        let path = dir.join(format!("{name}.digest"));
+        if bless {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {}: {e}\nrecord it with: BLESS=1 cargo test --test golden_traces",
+                path.display()
+            )
+        });
+        if got != want {
+            mismatches.push(format!(
+                "scenario {name}: trace digest changed\n--- recorded ({})\n{want}--- current\n{got}",
+                path.display()
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{}\nIf this change in simulator behaviour is intended, re-record with:\n  BLESS=1 cargo test --test golden_traces\nand commit the golden diff together with the change.",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn digests_are_stable_across_runs() {
+    // The digest is a pure function of the scenario: two fresh networks
+    // must hash to the same value (the property that makes the goldens
+    // meaningful across machines and job counts).
+    for &name in CANONICAL {
+        assert_eq!(digest_of(name), digest_of(name), "{name}");
+    }
+}
+
+#[test]
+fn digests_distinguish_scenarios() {
+    // Four different scenarios must produce four different digests —
+    // a degenerate digest (constant output) would vacuously pass above.
+    let all: Vec<String> = CANONICAL.iter().map(|n| digest_of(n)).collect();
+    for i in 0..all.len() {
+        for j in i + 1..all.len() {
+            assert_ne!(all[i], all[j], "{} vs {}", CANONICAL[i], CANONICAL[j]);
+        }
+    }
+}

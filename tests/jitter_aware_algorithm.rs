@@ -113,7 +113,9 @@ fn delay_aimd_oscillates_instead_of_converging() {
     );
     let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(40))).run();
     let half = Time(r.end.as_nanos() / 2);
-    let (lo, hi) = r.flows[0].rtt_range_in(half, r.end).unwrap();
+    let (lo, hi) = r.flows[0]
+        .rtt_range_in(half, r.end)
+        .expect("a saturating Vegas flow samples RTTs throughout the second half");
     assert!(
         hi - lo > 0.010,
         "oscillation {:.1} ms not > jitter 10 ms",

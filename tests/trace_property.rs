@@ -1,0 +1,138 @@
+//! Property tests: the runtime invariant auditor holds over *random* grid
+//! points of the paper's two-flow scenario space.
+//!
+//! Each case draws (CCA, rate, RTT, jitter, loss, seed), runs the scenario
+//! under the full [`simcore::trace::Auditor`], and converts any invariant
+//! violation into a property failure so the harness shrinks toward the
+//! smallest violating configuration. Failures print a replayable
+//! `TESTKIT_CASE_SEED`; the six audited invariants are conservation of
+//! packets, bottleneck FIFO order, bounded jitter displacement, monotonic
+//! sim clock, cwnd ≥ 1 MSS, and exact per-flow byte accounting.
+
+use netsim::{FlowConfig, Jitter, LinkConfig, Network, SimConfig};
+use simcore::rng::Xoshiro256;
+use simcore::units::{Dur, Rate};
+use testkit::prop::{check_with, u64_in, usize_in, Config};
+use testkit::require;
+
+/// The randomized CCA axis: adaptive algorithms with distinct dynamics
+/// (window-based loss/delay reaction, rate-based probing, model-driven).
+fn make_cca(idx: usize, seed: u64) -> cca::BoxCca {
+    match idx {
+        0 => Box::new(cca::NewReno::default_params()),
+        1 => Box::new(cca::Copa::default_params()),
+        2 => Box::new(cca::Bbr::new(1500, seed)),
+        3 => Box::new(cca::Cubic::default_params()),
+        _ => Box::new(cca::Vegas::default_params()),
+    }
+}
+
+/// One random grid point: two flows (flow 0 jittered and lossy, flow 1
+/// clean) on a finite-buffer link, audited end to end.
+fn audited_point(
+    &(cca_idx, rate_mbps, rtt_ms, jitter_ms, loss_pm, seed): &(usize, u64, u64, u64, u64, u64),
+) -> Result<(), String> {
+    let rate = Rate::from_mbps(rate_mbps as f64);
+    let rm = Dur::from_millis(rtt_ms);
+    let link = LinkConfig::bdp_buffer(rate, rm, 1.5);
+    let mut jittered = FlowConfig::bulk(make_cca(cca_idx, seed * 2 + 1), rm);
+    if jitter_ms > 0 {
+        jittered = jittered.with_jitter(Jitter::Random {
+            max: Dur::from_millis(jitter_ms),
+            rng: Xoshiro256::new(seed * 31 + 7),
+        });
+    }
+    if loss_pm > 0 {
+        // loss_pm is per-mille: up to 3% Bernoulli loss.
+        jittered = jittered.with_loss(loss_pm as f64 / 1000.0, seed + 100);
+    }
+    let clean = FlowConfig::bulk(make_cca(cca_idx, seed * 2 + 2), rm);
+    let cfg = SimConfig::new(link, vec![jittered, clean], Dur::from_secs(2)).with_audit(true);
+
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Network::new(cfg).run()
+    }));
+    match outcome {
+        Ok(r) => {
+            require!(
+                r.flows.iter().any(|f| f.total_delivered() > 0),
+                "no flow delivered anything (rate={rate_mbps} rtt={rtt_ms})"
+            );
+            Ok(())
+        }
+        Err(e) => {
+            let msg = e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic".into());
+            Err(format!("audit violation: {msg}"))
+        }
+    }
+}
+
+#[test]
+fn random_grid_points_pass_audit() {
+    // 32 simulation-backed cases (~2 simulated seconds each); the strategy
+    // spans the paper's experimental ranges. TESTKIT_CASES/TESTKIT_SEED
+    // override for soak runs; failures print a TESTKIT_CASE_SEED replay.
+    check_with(
+        Config::with_cases(32),
+        "audited_point",
+        (
+            usize_in(0, 5),   // CCA
+            u64_in(6, 49),    // rate, Mbit/s
+            u64_in(10, 101),  // propagation RTT, ms
+            u64_in(0, 21),    // jitter bound, ms (0 = clean)
+            u64_in(0, 31),    // loss, per-mille
+            u64_in(0, 1 << 32),
+        ),
+        audited_point,
+    );
+}
+
+/// Datagram transports take the SACK accounting path in the sender; audit
+/// that pipeline too (Vivace is the paper's datagram CCA).
+fn audited_datagram_point(
+    &(rate_mbps, rtt_ms, loss_pm, seed): &(u64, u64, u64, u64),
+) -> Result<(), String> {
+    let rate = Rate::from_mbps(rate_mbps as f64);
+    let rm = Dur::from_millis(rtt_ms);
+    let link = LinkConfig::ample_buffer(rate);
+    let flow = FlowConfig::bulk(Box::new(cca::Vivace::default_params()), rm)
+        .datagram()
+        .with_loss(loss_pm as f64 / 1000.0, seed + 5);
+    let cfg = SimConfig::new(link, vec![flow], Dur::from_secs(2)).with_audit(true);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Network::new(cfg).run()
+    }));
+    match outcome {
+        Ok(r) => {
+            require!(r.flows[0].total_delivered() > 0, "datagram flow stalled");
+            Ok(())
+        }
+        Err(e) => {
+            let msg = e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic".into());
+            Err(format!("audit violation: {msg}"))
+        }
+    }
+}
+
+#[test]
+fn random_datagram_points_pass_audit() {
+    check_with(
+        Config::with_cases(16),
+        "audited_datagram_point",
+        (
+            u64_in(6, 49),   // rate, Mbit/s
+            u64_in(10, 101), // propagation RTT, ms
+            u64_in(1, 51),   // loss, per-mille (always lossy: the point)
+            u64_in(0, 1 << 32),
+        ),
+        audited_datagram_point,
+    );
+}
