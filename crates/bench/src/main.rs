@@ -27,7 +27,9 @@
 //!              JSON-lines into results/trace/<scenario>.jsonl
 //!              (scenarios: reno-ideal, copa-jitter, bbr-two-flow,
 //!              vivace-lossy)
-//!   all        everything above (CSV into results/)
+//!   lint       run the simlint workspace invariant checks
+//!              ([--json] [--deny-warnings]; exits 1 on findings)
+//!   all        everything above (CSV into results/; excludes lint)
 //!
 //! --jobs N     worker threads for the sweep-engine experiments
 //!              (default: available parallelism; CSV output is
@@ -228,6 +230,41 @@ fn run_trace(scenario: Option<&str>) {
     println!("  → {}", path.display());
 }
 
+/// `repro lint [--json] [--deny-warnings]`: run the `simlint` workspace
+/// invariant checks (see `crates/simlint`). Exits 0 when clean, 1 when
+/// findings fail the run, 2 when the workspace root cannot be located.
+fn run_lint(args: &[String]) -> ! {
+    let json = args.iter().any(|a| a == "--json");
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    // Resolve the workspace root the same way from `cargo run` (manifest
+    // dir is crates/bench) and from an installed binary (walk up from cwd).
+    let start = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => std::path::PathBuf::from(m),
+        Err(_) => std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from(".")),
+    };
+    let Some(root) = simlint::find_workspace_root(&start) else {
+        eprintln!("error: no [workspace] manifest found above {}", start.display());
+        std::process::exit(2);
+    };
+    let report = simlint::lint_workspace(&simlint::Config::for_workspace(&root));
+    for d in &report.diags {
+        if json {
+            println!("{}", d.render_json());
+        } else {
+            println!("{}", d.render_human());
+        }
+    }
+    if !json {
+        eprintln!(
+            "lint: {} file(s) checked, {} error(s), {} warning(s)",
+            report.files_checked,
+            report.errors(),
+            report.warnings()
+        );
+    }
+    std::process::exit(if report.failed(deny_warnings) { 1 } else { 0 });
+}
+
 /// Parse `--jobs N` / `--jobs=N`. Returns available parallelism when the
 /// flag is absent; exits with a usage message when it is malformed.
 fn parse_jobs(args: &[String]) -> usize {
@@ -275,6 +312,7 @@ fn main() {
         .collect();
     let cmd = positional.first().copied().unwrap_or("help");
 
+    // simlint: allow(determinism): CLI reports elapsed wall time to the terminal only
     let t0 = std::time::Instant::now();
     match cmd {
         "glossary" => run_glossary(),
@@ -296,6 +334,7 @@ fn main() {
         "seeds" => run_seeds(quick, jobs),
         "sweep" => run_sweep(quick, jobs),
         "trace" => run_trace(positional.get(1).copied()),
+        "lint" => run_lint(&args),
         "all" => {
             run_glossary();
             run_fig1(quick);
@@ -318,7 +357,7 @@ fn main() {
         }
         _ => {
             println!(
-                "usage: repro <glossary|fig1|fig2|fig3|thm|fig7|copa|bbr|vivace|allegro|merit|algo1|ccmc|ablations|ecn|boundary|seeds|sweep|trace|all> [--quick] [--jobs N] [--progress] [--audit]"
+                "usage: repro <glossary|fig1|fig2|fig3|thm|fig7|copa|bbr|vivace|allegro|merit|algo1|ccmc|ablations|ecn|boundary|seeds|sweep|trace|lint|all> [--quick] [--jobs N] [--progress] [--audit]"
             );
             return;
         }

@@ -238,11 +238,11 @@ impl Allegro {
     fn conclude_trial(&mut self) {
         let ups: Vec<f64> = (0..4)
             .filter(|&i| self.trial_dirs[i])
-            .map(|i| self.trial_utils[i].unwrap())
+            .map(|i| self.trial_utils[i].expect("conclude_trial runs only after all 4 sub-trials"))
             .collect();
         let downs: Vec<f64> = (0..4)
             .filter(|&i| !self.trial_dirs[i])
-            .map(|i| self.trial_utils[i].unwrap())
+            .map(|i| self.trial_utils[i].expect("conclude_trial runs only after all 4 sub-trials"))
             .collect();
         let mut up_wins = 0;
         let (mut up_sum, mut down_sum) = (0.0, 0.0);

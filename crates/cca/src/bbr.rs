@@ -208,7 +208,7 @@ impl CongestionControl for Bbr {
         let rtt_s = ev.rtt.as_secs_f64();
         let prior = self.rt_prop.get();
         self.rt_prop.insert(ev.now.as_nanos(), rtt_s);
-        if prior.is_none() || rtt_s <= prior.unwrap() {
+        if prior.is_none_or(|p| rtt_s <= p) {
             self.rtprop_stamp = ev.now;
         }
 

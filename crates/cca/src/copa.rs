@@ -170,7 +170,7 @@ impl CongestionControl for Copa {
         // Standing-RTT window is srtt/2, per the Copa paper. WindowedMin has
         // a fixed width, so rebuild the filter when the desired width drifts
         // by more than 2× (Copa is insensitive to small width errors).
-        let srtt = self.srtt.unwrap();
+        let srtt = self.srtt.expect("srtt assigned unconditionally above");
         let want_width = Dur::from_secs_f64(srtt / 2.0).as_nanos().max(1);
         if want_width * 2 < self.standing_width || want_width > self.standing_width * 2 {
             let mut f = WindowedMin::new(want_width);

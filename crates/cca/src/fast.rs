@@ -80,8 +80,11 @@ impl CongestionControl for FastTcp {
         }
         self.next_update = ev.now + self.period;
 
-        let rtt = self.srtt.unwrap();
-        let base = self.base_rtt.unwrap().as_secs_f64();
+        let rtt = self.srtt.expect("srtt assigned unconditionally above");
+        let base = self
+            .base_rtt
+            .expect("base_rtt seeded by the first ACK, before any update")
+            .as_secs_f64();
         if rtt <= 0.0 {
             return;
         }

@@ -133,7 +133,7 @@ impl CongestionControl for JitterAware {
         // Exactly one update per Rm, independent of ACK count (CCAC-guided
         // design note (b) in §6.3).
         self.next_update = ev.now + self.cfg.rm;
-        let d = self.last_rtt.unwrap();
+        let d = self.last_rtt.expect("last_rtt assigned at the top of on_ack");
         let target = self.cfg.target_rate(d);
         if self.rate < target {
             self.rate = self.rate + self.cfg.a;

@@ -123,6 +123,7 @@ pub struct Sweep {
     timing: Option<PathBuf>,
     log: Option<SweepLog>,
     audit: bool,
+    wall_clock: bool,
 }
 
 impl Sweep {
@@ -137,12 +138,14 @@ impl Sweep {
             _ => None,
         };
         let audit = matches!(std::env::var("SWEEP_AUDIT"), Ok(v) if v != "0");
+        let wall_clock = matches!(std::env::var("SWEEP_TIMING_WALL"), Ok(v) if v != "0");
         Sweep {
             name: name.into(),
             jobs: par::available_jobs(),
             timing: Some(default_timing_path()),
             log,
             audit,
+            wall_clock,
         }
     }
 
@@ -167,6 +170,16 @@ impl Sweep {
     /// Builder: attach a progress log callback.
     pub fn with_log(mut self, log: SweepLog) -> Sweep {
         self.log = Some(log);
+        self
+    }
+
+    /// Builder: include wall-clock `elapsed_ns` fields in the timing
+    /// records. Off by default (or via the `SWEEP_TIMING_WALL` environment
+    /// variable) so that two identical sweeps write byte-identical timing
+    /// files — wall time is the only nondeterministic field, and keeping it
+    /// out by default means timing artifacts never diff golden outputs.
+    pub fn wall_clock(mut self, on: bool) -> Sweep {
+        self.wall_clock = on;
         self
     }
 
@@ -205,6 +218,7 @@ impl Sweep {
             }
         };
 
+        // simlint: allow(determinism): sweep wall time feeds the (gated) timing sidecar only
         let t0 = Instant::now();
         let reports = par::map(
             configs,
@@ -235,7 +249,7 @@ impl Sweep {
             elapsed_ns,
         };
         if let Some(path) = &self.timing {
-            if let Err(e) = write_timing(path, &report, total) {
+            if let Err(e) = write_timing(path, &report, total, self.wall_clock) {
                 eprintln!("sweep {}: cannot write {}: {e}", report.name, path.display());
             }
         }
@@ -246,29 +260,38 @@ impl Sweep {
 /// Append JSON-lines timing records: one object per job plus a summary
 /// line per sweep. Each line is a single `write` call, so concurrent
 /// sweeps appending to the same file do not interleave within a line.
-fn write_timing(path: &PathBuf, report: &SweepReport, total: usize) -> std::io::Result<()> {
+///
+/// The wall-clock `elapsed_ns` fields are emitted only when `wall` is set
+/// ([`Sweep::wall_clock`] / `SWEEP_TIMING_WALL`): everything else in a
+/// record is a pure function of the job list, so without them two runs of
+/// the same sweep produce byte-identical files.
+fn write_timing(path: &PathBuf, report: &SweepReport, total: usize, wall: bool) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
     let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
     for row in &report.rows {
+        let wall_field =
+            if wall { format!(",\"elapsed_ns\":{}", row.elapsed_ns) } else { String::new() };
         let line = format!(
-            "{{\"sweep\":\"{}\",\"index\":{},\"label\":\"{}\",\"ok\":{},\"elapsed_ns\":{}}}\n",
+            "{{\"sweep\":\"{}\",\"index\":{},\"label\":\"{}\",\"ok\":{}{}}}\n",
             json_escape(&report.name),
             row.index,
             json_escape(&row.label),
             row.outcome.is_ok(),
-            row.elapsed_ns,
+            wall_field,
         );
         f.write_all(line.as_bytes())?;
     }
+    let wall_field =
+        if wall { format!(",\"elapsed_ns\":{}", report.elapsed_ns) } else { String::new() };
     let summary = format!(
-        "{{\"sweep\":\"{}\",\"jobs\":{},\"total\":{},\"panics\":{},\"elapsed_ns\":{}}}\n",
+        "{{\"sweep\":\"{}\",\"jobs\":{},\"total\":{},\"panics\":{}{}}}\n",
         json_escape(&report.name),
         report.jobs,
         total,
         report.panics(),
-        report.elapsed_ns,
+        wall_field,
     );
     f.write_all(summary.as_bytes())
 }
@@ -599,13 +622,14 @@ mod tests {
     }
 
     #[test]
-    fn timing_records_are_json_lines() {
+    fn timing_records_are_json_lines_and_deterministic_by_default() {
         let dir = std::env::temp_dir().join("sweep_selftest_timing");
         let _ = std::fs::remove_dir_all(&dir);
         let path = dir.join("sweep.json");
         let report = Sweep::new("timed")
             .jobs(2)
             .timing_path(path.clone())
+            .wall_clock(false)
             .run(tiny_spec().expand());
         assert_eq!(report.rows.len(), 8);
         let text = std::fs::read_to_string(&path).unwrap();
@@ -614,6 +638,36 @@ mod tests {
         assert!(text.contains("\"sweep\":\"timed\""));
         assert!(text.contains("\"label\":\"const/r12/rtt40/j0/s1\""));
         assert!(text.contains("\"jobs\":2"));
+        // Wall-clock fields are opt-in; by default the file is a pure
+        // function of the job list.
+        assert!(!text.contains("elapsed_ns"), "{text}");
+
+        // Re-running the identical sweep appends byte-identical records.
+        let _ = Sweep::new("timed")
+            .jobs(3)
+            .timing_path(path.clone())
+            .wall_clock(false)
+            .run(tiny_spec().expand());
+        let text2 = std::fs::read_to_string(&path).unwrap();
+        let (first, second) = text2.split_at(text.len());
+        assert_eq!(first, text);
+        assert_eq!(second.replace("\"jobs\":3", "\"jobs\":2"), text);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wall_clock_timing_is_opt_in() {
+        let dir = std::env::temp_dir().join("sweep_selftest_timing_wall");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sweep.json");
+        let _ = Sweep::new("walled")
+            .jobs(2)
+            .timing_path(path.clone())
+            .wall_clock(true)
+            .run(tiny_spec().expand());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 9, "{text}");
+        assert!(text.lines().all(|l| l.contains("\"elapsed_ns\":")), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

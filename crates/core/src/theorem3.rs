@@ -119,7 +119,7 @@ pub fn run_theorem3(factory: &CcaFactory, cfg: Theorem3Config) -> Theorem3Report
         let next = subtract_floor(&trace, cfg.d, cfg.rm);
         let tput = run_against_trace(factory, &next, cfg.rm, cfg.replay_rate, cfg.duration);
         let max_delay = next.max_in(Time::ZERO, next.end_time()).unwrap_or(0.0);
-        let prev = steps.last().unwrap().throughput_mbps;
+        let prev = steps.last().expect("steps seeded with the k=0 entry").throughput_mbps;
         steps.push(TraceStep {
             k,
             throughput_mbps: tput,

@@ -2,7 +2,7 @@
 
 use crate::jitter::Jitter;
 use cca::BoxCca;
-use simcore::units::{Dur, Rate, Time};
+use simcore::units::{f64_as_bytes, Dur, Rate, Time};
 
 /// Transport reliability model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -82,14 +82,14 @@ impl LinkConfig {
     /// [`AMPLE_DRAIN_SECS`] (100 s) of drain at `rate` — i.e. 100 BDPs at a
     /// full second of RTT, thousands at experiment RTTs.
     pub fn ample_buffer(rate: Rate) -> LinkConfig {
-        LinkConfig::new(rate, (rate.bytes_per_sec() * AMPLE_DRAIN_SECS) as u64)
+        LinkConfig::new(rate, f64_as_bytes(rate.bytes_per_sec() * AMPLE_DRAIN_SECS))
     }
 
     /// A buffer of `n` bandwidth-delay products for the given RTT.
     pub fn bdp_buffer(rate: Rate, rtt: Dur, n: f64) -> LinkConfig {
         LinkConfig::new(
             rate,
-            ((rate.bytes_per_sec() * rtt.as_secs_f64() * n) as u64).max(3000),
+            f64_as_bytes(rate.bytes_per_sec() * rtt.as_secs_f64() * n).max(3000),
         )
     }
 }

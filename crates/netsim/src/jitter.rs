@@ -25,7 +25,7 @@
 
 use simcore::rng::Xoshiro256;
 use simcore::series::TimeSeries;
-use simcore::units::{Dur, Time};
+use simcore::units::{bytes_as_f64, Dur, Time};
 
 /// Per-flow non-congestive delay policy.
 #[derive(Clone, Debug)]
@@ -121,7 +121,7 @@ impl JitterElement {
     /// Wrap a policy.
     pub fn new(policy: Jitter) -> Self {
         let tbf_tokens = match &policy {
-            Jitter::TokenBucket { bucket, .. } => *bucket as f64,
+            Jitter::TokenBucket { bucket, .. } => bytes_as_f64(*bucket),
             _ => 0.0,
         };
         JitterElement {
@@ -154,8 +154,8 @@ impl JitterElement {
             let elapsed = now.since(self.tbf_last).as_secs_f64();
             self.tbf_last = now;
             self.tbf_tokens =
-                (self.tbf_tokens + rate.bytes_per_sec() * elapsed).min(bucket as f64);
-            self.tbf_tokens -= bytes as f64;
+                (self.tbf_tokens + rate.bytes_per_sec() * elapsed).min(bytes_as_f64(bucket));
+            self.tbf_tokens -= bytes_as_f64(bytes);
             let delay = if self.tbf_tokens >= 0.0 {
                 Dur::ZERO
             } else {

@@ -177,7 +177,7 @@ impl Bottleneck {
         }
         self.busy = true;
         self.last_busy_start = Some(now);
-        let head = self.queue.front().unwrap();
+        let head = self.queue.front().expect("queue checked non-empty above");
         Some(now + self.rate.tx_time(head.bytes))
     }
 }

@@ -6,7 +6,7 @@
 
 use simcore::series::TimeSeries;
 use simcore::stats;
-use simcore::units::{Dur, Rate, Time};
+use simcore::units::{bytes_as_f64, f64_as_bytes, Dur, Rate, Time};
 
 /// Everything recorded about one flow during a run.
 #[derive(Clone, Debug)]
@@ -52,7 +52,7 @@ impl FlowMetrics {
 
     /// Total bytes delivered by the end of the record.
     pub fn total_delivered(&self) -> u64 {
-        self.delivered.last().map(|(_, v)| v as u64).unwrap_or(0)
+        self.delivered.last().map(|(_, v)| f64_as_bytes(v)).unwrap_or(0)
     }
 
     /// The paper's throughput at time `t`: delivered bytes in
@@ -98,7 +98,7 @@ impl FlowMetrics {
         if self.sent_bytes == 0 {
             0.0
         } else {
-            self.lost_bytes as f64 / self.sent_bytes as f64
+            bytes_as_f64(self.lost_bytes) / bytes_as_f64(self.sent_bytes)
         }
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::config::AckPolicy;
 use crate::packet::{Ack, FlowId, Packet};
-use simcore::units::Time;
+use simcore::units::{count_as_u64, Time};
 use std::collections::BTreeSet;
 
 /// What the receiver wants done after processing an event.
@@ -93,7 +93,7 @@ impl Receiver {
             echo_sent_at: held.echo_sent_at,
             echo_retransmit: held.echo_retransmit,
             acked_count: held.count,
-            ooo_count: self.ooo.len() as u64,
+            ooo_count: count_as_u64(self.ooo.len()),
             ecn_echo: held.ecn,
             sack_seq: None,
             sack_blocks: self.sack_blocks(),
@@ -158,7 +158,7 @@ impl Receiver {
                 arm_flush: None,
             },
             AckPolicy::Delayed { max_pkts, timeout } => {
-                if self.pending.len() as u64 >= max_pkts {
+                if count_as_u64(self.pending.len()) >= max_pkts {
                     self.flush_deadline = None;
                     RxOutput {
                         acks: self.drain_pending(),

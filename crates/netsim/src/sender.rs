@@ -12,7 +12,7 @@ use crate::metrics::FlowMetrics;
 use crate::packet::{Ack, FlowId, Packet};
 use cca::{AckEvent, BoxCca, LossEvent, LossKind};
 use simcore::filter::RttEstimator;
-use simcore::units::{Dur, Rate, Time};
+use simcore::units::{bytes_as_f64, count_as_u64, Dur, Rate, Time};
 use std::collections::{BTreeMap, VecDeque};
 
 /// A transmitted-but-unacknowledged packet.
@@ -145,7 +145,7 @@ impl Sender {
 
     /// Bytes currently in flight.
     pub fn in_flight(&self) -> u64 {
-        self.outstanding.len() as u64 * self.mss
+        count_as_u64(self.outstanding.len()) * self.mss
     }
 
     /// Total bytes cumulatively acknowledged.
@@ -190,7 +190,7 @@ impl Sender {
             delivered: self.delivered,
             in_flight: self.in_flight(),
             lost: self.metrics.lost_bytes,
-            unresolved: (self.sacked.len() + self.limbo.len()) as u64 * self.mss,
+            unresolved: count_as_u64(self.sacked.len() + self.limbo.len()) * self.mss,
             spurious_rtx: self.spurious_rtx,
         }
     }
@@ -330,7 +330,7 @@ impl Sender {
         self.limbo = self.limbo.split_off(&(new_cum + 1));
         let before = self.retx_queue.len();
         self.retx_queue.retain(|&s| s > new_cum);
-        self.spurious_rtx += (before - self.retx_queue.len()) as u64 * self.mss;
+        self.spurious_rtx += count_as_u64(before - self.retx_queue.len()) * self.mss;
 
         // Recovery exits when the loss episode's window is fully acked.
         if let Some(recover) = self.recover {
@@ -368,10 +368,10 @@ impl Sender {
         if let Some(rtt) = rtt {
             self.metrics.rtt.push(now, rtt.as_secs_f64());
         }
-        self.metrics.delivered.push(now, self.delivered as f64);
+        self.metrics.delivered.push(now, bytes_as_f64(self.delivered));
         if now.checked_since(self.last_sample).is_none_or(|d| d >= self.sample_every) {
             self.last_sample = now;
-            self.metrics.cwnd.push(now, self.cca.cwnd() as f64);
+            self.metrics.cwnd.push(now, bytes_as_f64(self.cca.cwnd()));
             if let Some(r) = self.cca.pacing_rate() {
                 self.metrics.pacing.push(now, r.bytes_per_sec());
             }
@@ -437,13 +437,13 @@ impl Sender {
         let rtt = now.since(pkt.sent_at);
         self.rtt_est.update(rtt);
         self.metrics.rtt.push(now, rtt.as_secs_f64());
-        self.metrics.delivered.push(now, self.delivered as f64);
+        self.metrics.delivered.push(now, bytes_as_f64(self.delivered));
         if now
             .checked_since(self.last_sample)
             .is_none_or(|d| d >= self.sample_every)
         {
             self.last_sample = now;
-            self.metrics.cwnd.push(now, self.cca.cwnd() as f64);
+            self.metrics.cwnd.push(now, bytes_as_f64(self.cca.cwnd()));
             if let Some(r) = self.cca.pacing_rate() {
                 self.metrics.pacing.push(now, r.bytes_per_sec());
             }
@@ -505,7 +505,7 @@ impl Sender {
             return;
         }
         let first_sent = holes[0].1;
-        let lost_bytes = holes.len() as u64 * self.mss;
+        let lost_bytes = count_as_u64(holes.len()) * self.mss;
         for (s, _) in &holes {
             self.outstanding.remove(s);
             self.retx_queue.push_back(*s);
@@ -542,7 +542,7 @@ impl Sender {
         // Everything in flight is presumed lost; reliable transports
         // go-back-N, datagram transports just move on.
         let lost: Vec<u64> = self.outstanding.keys().copied().collect();
-        let lost_bytes = lost.len() as u64 * self.mss;
+        let lost_bytes = count_as_u64(lost.len()) * self.mss;
         self.outstanding.clear();
         if self.transport == Transport::Reliable {
             for seq in lost {

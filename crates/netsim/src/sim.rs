@@ -25,7 +25,7 @@ use crate::sender::{Emit, Sender};
 use simcore::engine::EventQueue;
 use simcore::rng::Xoshiro256;
 use simcore::trace::{Auditor, Event, FlowAuditSpec, TraceSink};
-use simcore::units::{Dur, Time};
+use simcore::units::{count_as_u64, Dur, Time};
 
 /// Simulator events.
 #[derive(Debug)]
@@ -350,7 +350,7 @@ impl Network {
                             s.metrics
                                 .rtt
                                 .last()
-                                .map(|(_, secs)| Dur((secs * 1e9).round() as u64))
+                                .map(|(_, secs)| Dur::from_secs_f64(secs))
                         } else {
                             None
                         };
@@ -410,11 +410,9 @@ impl Network {
         }
         let end = self.end;
         if self.trace.is_some() {
-            let queued = self
-                .link
-                .queued_packets()
-                .filter(|p| p.flow != Self::PHANTOM)
-                .count() as u64;
+            let queued = count_as_u64(
+                self.link.queued_packets().filter(|p| p.flow != Self::PHANTOM).count(),
+            );
             if let Some(tr) = self.trace.as_mut() {
                 tr.event(end, &Event::RunEnd { queued_pkts: queued });
                 tr.finish(end);

@@ -156,6 +156,7 @@ where
         if i >= n {
             break;
         }
+        // simlint: allow(determinism): per-job wall time is diagnostics only, never a result
         let t0 = Instant::now();
         let outcome = match catch_unwind(AssertUnwindSafe(|| f(i))) {
             Ok(v) => JobOutcome::Ok(v),

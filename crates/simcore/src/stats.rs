@@ -26,7 +26,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     }
     assert!((0.0..=100.0).contains(&p));
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
     let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
     Some(v[rank])
 }
@@ -39,6 +39,7 @@ pub fn jain_index(xs: &[f64]) -> Option<f64> {
     }
     let s: f64 = xs.iter().sum();
     let s2: f64 = xs.iter().map(|x| x * x).sum();
+    // simlint: allow(float-eq): exact-zero sentinel for all-zero input, not a tolerance compare
     if s2 == 0.0 {
         return None;
     }
@@ -55,6 +56,7 @@ pub fn max_min_ratio(xs: &[f64]) -> Option<f64> {
     let max = xs.iter().cloned().fold(f64::MIN, f64::max);
     let min = xs.iter().cloned().fold(f64::MAX, f64::min);
     assert!(min >= 0.0, "throughputs cannot be negative");
+    // simlint: allow(float-eq): exact zero is the starvation sentinel (Definition 2)
     if min == 0.0 {
         return Some(f64::INFINITY);
     }

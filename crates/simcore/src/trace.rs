@@ -457,18 +457,18 @@ impl RingSink {
 
     /// Snapshot of the retained (most recent) events.
     pub fn events(&self) -> Vec<(Time, Event)> {
-        self.inner.lock().unwrap().ring.iter().cloned().collect()
+        self.inner.lock().expect("ring sink mutex poisoned").ring.iter().cloned().collect()
     }
 
     /// Snapshot of the digest.
     pub fn digest(&self) -> TraceDigest {
-        self.inner.lock().unwrap().digest.clone()
+        self.inner.lock().expect("ring sink mutex poisoned").digest.clone()
     }
 }
 
 impl TraceSink for RingSink {
     fn event(&mut self, at: Time, ev: &Event) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock().expect("ring sink mutex poisoned");
         g.digest.observe(at, ev);
         if g.ring.len() == g.cap {
             g.ring.pop_front();

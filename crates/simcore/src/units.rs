@@ -344,6 +344,31 @@ impl fmt::Display for Rate {
 /// paper's 1500-byte packets (§4.1).
 pub const DEFAULT_PKT_BYTES: u64 = 1500;
 
+/// Widen a byte (or packet) count to `f64` for rate math.
+///
+/// This and its inverses below are the *named* unit casts the `simlint`
+/// `unit-cast` rule steers netsim code toward: a raw `as f64` says nothing
+/// about what quantity is crossing the int/float boundary or what happens
+/// to fractional values, so every conversion routes through one of these
+/// helpers where the unit and rounding policy are spelled out once.
+pub fn bytes_as_f64(n: u64) -> f64 {
+    n as f64
+}
+
+/// Truncate a non-negative `f64` byte quantity back to a whole count.
+///
+/// Same semantics as the raw `as u64` cast it replaces: truncation toward
+/// zero, NaN → 0, saturation at `u64::MAX`. Callers that want rounding
+/// should round before converting.
+pub fn f64_as_bytes(x: f64) -> u64 {
+    x as u64
+}
+
+/// Widen a `usize` count (queue lengths, packet tallies) to `u64`.
+pub fn count_as_u64(n: usize) -> u64 {
+    n as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +463,16 @@ mod tests {
         let a = Rate::from_mbps(1.0);
         let b = Rate::from_mbps(2.0);
         assert_eq!(a - b, Rate::ZERO);
+    }
+
+    #[test]
+    fn named_casts_match_raw_semantics() {
+        assert_eq!(bytes_as_f64(1500), 1500.0);
+        assert_eq!(f64_as_bytes(12.9), 12); // truncates, never rounds
+        assert_eq!(f64_as_bytes(-1.0), 0);
+        assert_eq!(f64_as_bytes(f64::NAN), 0);
+        assert_eq!(f64_as_bytes(f64::INFINITY), u64::MAX);
+        assert_eq!(count_as_u64(7usize), 7u64);
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! A suppression with nothing to suppress is itself an SL000 error.
+// simlint: allow(determinism): stale justification
+fn nothing_nondeterministic_here() -> u32 {
+    42
+}

@@ -1,0 +1,5 @@
+//! A justified, *used* suppression is clean: directive plus violation.
+fn timing() -> Duration {
+    let t0 = Instant::now(); // simlint: allow(determinism): measures the lint pass itself
+    t0.elapsed()
+}

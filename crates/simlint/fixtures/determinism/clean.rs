@@ -1,0 +1,21 @@
+//! The deterministic counterparts: simulated clock, seeded PRNG, ordered
+//! maps, plus a justified suppression on a real timing site.
+use std::collections::BTreeMap;
+
+fn sim_clock(now: Time) -> u64 {
+    now.as_nanos()
+}
+
+fn seeded() -> u64 {
+    let mut rng = Xoshiro256::new(42);
+    rng.next_u64()
+}
+
+fn ordered(m: &BTreeMap<u32, u32>) -> u32 {
+    m.values().sum()
+}
+
+fn bench_timing() -> Duration {
+    let t0 = Instant::now(); // simlint: allow(determinism): wall-clock is the measurement here
+    t0.elapsed()
+}

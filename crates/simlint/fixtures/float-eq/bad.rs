@@ -1,0 +1,7 @@
+//! Deliberate SL003 violations: exact equality on float expressions.
+fn checks(x: f64, r: Rate, d: Dur) -> bool {
+    let a = x == 0.0;
+    let b = r.mbps() != 12.0;
+    let c = d.as_secs_f64() == 1.0;
+    a && b && c
+}

@@ -1,0 +1,7 @@
+//! Tolerance comparison and integer-domain comparison both pass.
+fn checks(x: f64, r: Rate, d: Dur) -> bool {
+    let a = (x - 0.0).abs() < 1e-9;
+    let b = (r.mbps() - 12.0).abs() < 1e-9;
+    let c = d.as_nanos() == 1_000_000_000;
+    a && b && c
+}

@@ -1,0 +1,6 @@
+//! Deliberate SL002 violations: a bare unwrap and an empty expect.
+fn head(q: &[u32]) -> u32 {
+    let first = q.first().unwrap();
+    let last = q.last().expect("");
+    first + last
+}

@@ -1,0 +1,17 @@
+//! Documented expects pass; test code may unwrap freely.
+fn head(q: &[u32]) -> u32 {
+    *q.first().expect("caller guarantees a non-empty queue")
+}
+
+fn fallbacks(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let q = vec![1u32];
+        assert_eq!(*q.first().unwrap(), 1);
+    }
+}

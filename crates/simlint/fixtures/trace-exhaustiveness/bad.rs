@@ -1,0 +1,8 @@
+//! Deliberate SL005 violation: a sink that silently drops unknown events.
+fn classify(ev: &Event) -> u32 {
+    match ev {
+        Event::Send { .. } => 1,
+        Event::Drop { .. } => 2,
+        _ => 0,
+    }
+}

@@ -1,0 +1,15 @@
+//! Every variant listed: adding an Event variant breaks the build here.
+fn classify(ev: &Event) -> u32 {
+    match ev {
+        Event::Send { .. } => 1,
+        Event::Drop { .. } => 2,
+        Event::RunEnd { .. } => 3,
+    }
+}
+
+fn unrelated(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => 0,
+    }
+}

@@ -1,0 +1,7 @@
+//! Deliberate SL004 violations: raw unit casts.
+fn casts(bytes: u64, pkts: usize, secs: f64) -> (f64, u64, u64) {
+    let a = bytes as f64;
+    let b = pkts as u64;
+    let c = (secs * 1e9).round() as u64;
+    (a, b, c)
+}

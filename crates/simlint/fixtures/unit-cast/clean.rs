@@ -1,0 +1,8 @@
+//! The named converters (and non-unit casts) pass.
+fn casts(bytes: u64, pkts: usize, secs: f64) -> (f64, u64, Dur) {
+    let a = bytes_as_f64(bytes);
+    let b = count_as_u64(pkts);
+    let c = Dur::from_secs_f64(secs);
+    let _idx = b as usize;
+    (a, b, c)
+}

@@ -1,0 +1,503 @@
+//! The lint engine: configuration, file discovery, suppression directives,
+//! and the driver that runs every rule over a file set.
+//!
+//! ## Suppression
+//!
+//! A finding is suppressed with a per-line directive naming the rule (slug
+//! or `SLnnn` ID), either trailing the offending line or on a comment line
+//! directly above it:
+//!
+//! ```text
+//! let t0 = Instant::now(); // simlint: allow(determinism): bench timing only
+//! ```
+//!
+//! ```text
+//! // simlint: allow(panic-policy): mutex poisoning is unrecoverable here
+//! let g = self.inner.lock().unwrap();
+//! ```
+//!
+//! Directives carry a free-form justification after the closing paren.
+//! **Unused directives are themselves errors** (`SL000/unused-allow`): a
+//! suppression that no longer suppresses anything is stale documentation
+//! and gets removed rather than rotting. TOML manifests use the same
+//! syntax behind `#` comments.
+
+use crate::diag::{Diagnostic, RuleId, Severity};
+use crate::lexer::{self, Token};
+use crate::rules;
+use std::path::{Path, PathBuf};
+
+/// Which paths each scoped rule applies to, plus walk exclusions.
+/// Paths are workspace-relative with `/` separators; a scope entry matches
+/// any file under that prefix.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workspace root all paths are relative to.
+    pub root: PathBuf,
+    /// Library-crate sources held to the panic policy (SL002).
+    pub panic_scope: Vec<String>,
+    /// Sim/CCA sources held to the float-eq rule (SL003).
+    pub float_scope: Vec<String>,
+    /// Sources held to the unit-cast rule (SL004).
+    pub cast_scope: Vec<String>,
+    /// Files exempt from the determinism rule (SL001) wholesale. Empty for
+    /// this workspace: the four legitimate wall-clock sites carry explicit
+    /// justified `allow` directives instead, so each exemption is visible
+    /// at the site it covers.
+    pub determinism_allow: Vec<String>,
+    /// Directory names never descended into.
+    pub skip_dirs: Vec<String>,
+}
+
+impl Config {
+    /// The scopes for *this* workspace: panic/float policy over the four
+    /// library crates, unit-cast over `netsim`, everything else global.
+    pub fn for_workspace(root: impl Into<PathBuf>) -> Config {
+        let lib = ["crates/simcore/src", "crates/netsim/src", "crates/cca/src", "crates/core/src"];
+        Config {
+            root: root.into(),
+            panic_scope: lib.iter().map(|s| s.to_string()).collect(),
+            float_scope: lib.iter().map(|s| s.to_string()).collect(),
+            cast_scope: vec!["crates/netsim/src".to_string()],
+            determinism_allow: Vec::new(),
+            skip_dirs: vec![
+                "target".to_string(),
+                ".git".to_string(),
+                // simlint's own rule fixtures deliberately violate rules.
+                "fixtures".to_string(),
+                // Generated experiment artifacts, not source.
+                "results".to_string(),
+            ],
+        }
+    }
+
+    /// A config whose scoped rules apply to every file — what the fixture
+    /// tests use so a fixture exercises its rule regardless of location.
+    pub fn everything(root: impl Into<PathBuf>) -> Config {
+        Config {
+            root: root.into(),
+            panic_scope: vec![String::new()],
+            float_scope: vec![String::new()],
+            cast_scope: vec![String::new()],
+            determinism_allow: Vec::new(),
+            skip_dirs: vec!["target".to_string(), ".git".to_string()],
+        }
+    }
+
+    fn in_scope(scope: &[String], rel: &str) -> bool {
+        scope.iter().any(|p| rel.starts_with(p.as_str()))
+    }
+}
+
+/// One parsed `allow(…)` directive.
+#[derive(Clone, Debug)]
+struct Directive {
+    /// Line the directive suppresses (its own line, or the next when the
+    /// directive is alone on its line).
+    target: u32,
+    /// Rules it names.
+    rules: Vec<RuleId>,
+    /// Where the directive itself sits (for unused-allow reporting).
+    line: u32,
+    col: u32,
+    used: bool,
+}
+
+/// Parse directives out of a Rust token stream. `code_lines` is the set of
+/// lines holding at least one non-comment token, used to decide whether a
+/// directive trails code (applies to its own line) or stands alone
+/// (applies to the next line).
+fn rust_directives(tokens: &[Token], path: &str, diags: &mut Vec<Diagnostic>) -> Vec<Directive> {
+    let code_lines: std::collections::BTreeSet<u32> =
+        tokens.iter().filter(|t| !t.is_comment()).map(|t| t.line).collect();
+    let mut out = Vec::new();
+    for t in tokens.iter().filter(|t| t.is_comment()) {
+        let body = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_end_matches('/')
+            .trim_end_matches('*');
+        if let Some(d) = parse_directive(body, t.line, t.col, code_lines.contains(&t.line), path, diags)
+        {
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// Parse directives out of a TOML file's `#` comments.
+fn toml_directives(src: &str, path: &str, diags: &mut Vec<Diagnostic>) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let before = rules::strip_toml_comment(raw);
+        if before.len() == raw.len() {
+            continue; // no comment on this line
+        }
+        let comment = &raw[before.len()..];
+        let col = before.chars().count() as u32 + 1;
+        let has_code = !before.trim().is_empty();
+        if let Some(d) =
+            parse_directive(comment.trim_start_matches('#'), line, col, has_code, path, diags)
+        {
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// Parse one comment body. Returns a directive if it is a well-formed
+/// `simlint: allow(rule[, rule…])`, records an SL000 diagnostic if it
+/// mentions simlint but cannot be parsed or names an unknown rule.
+fn parse_directive(
+    body: &str,
+    line: u32,
+    col: u32,
+    trails_code: bool,
+    path: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<Directive> {
+    let body = body.trim();
+    let rest = body.strip_prefix("simlint:")?.trim_start();
+    let bad = |msg: String, diags: &mut Vec<Diagnostic>| {
+        diags.push(Diagnostic::new(RuleId::UnusedAllow, path, line, col, msg));
+        None
+    };
+    let Some(inner) = rest.strip_prefix("allow(").and_then(|r| r.split_once(')')) else {
+        return bad(
+            format!("malformed simlint directive (expected `simlint: allow(<rule>)`): `{body}`"),
+            diags,
+        );
+    };
+    let mut rules_named = Vec::new();
+    for name in inner.0.split(',') {
+        let name = name.trim();
+        match RuleId::from_name(name) {
+            Some(r) => rules_named.push(r),
+            None => {
+                return bad(format!("unknown rule `{name}` in simlint allow directive"), diags)
+            }
+        }
+    }
+    if rules_named.is_empty() {
+        return bad("empty simlint allow directive".to_string(), diags);
+    }
+    Some(Directive {
+        target: if trails_code { line } else { line + 1 },
+        rules: rules_named,
+        line,
+        col,
+        used: false,
+    })
+}
+
+/// Apply directives: drop suppressed findings, then report unused
+/// directives as SL000 errors.
+fn apply_suppressions(
+    path: &str,
+    mut directives: Vec<Directive>,
+    raw: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for d in raw {
+        let mut suppressed = false;
+        for dir in directives.iter_mut() {
+            if dir.target == d.line && dir.rules.contains(&d.rule) {
+                dir.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for dir in directives.iter().filter(|d| !d.used) {
+        let names: Vec<&str> = dir.rules.iter().map(|r| r.slug()).collect();
+        out.push(Diagnostic::new(
+            RuleId::UnusedAllow,
+            path,
+            dir.line,
+            dir.col,
+            format!(
+                "unused suppression: allow({}) matched no finding on line {}; remove it",
+                names.join(", "),
+                dir.target
+            ),
+        ));
+    }
+    out
+}
+
+/// Lint one Rust source file. `rel` is the workspace-relative path used
+/// both for scope decisions and in diagnostics.
+pub fn lint_rust(cfg: &Config, rel: &str, src: &str) -> Vec<Diagnostic> {
+    let tokens = lexer::lex(src);
+    let mut raw = Vec::new();
+    let mut directives = rust_directives(&tokens, rel, &mut raw);
+    let code: Vec<Token> = tokens.into_iter().filter(|t| !t.is_comment()).collect();
+    let spans = rules::test_spans(&code);
+
+    if !cfg.determinism_allow.iter().any(|p| p == rel) {
+        rules::determinism(rel, &code, &mut raw);
+    }
+    if Config::in_scope(&cfg.panic_scope, rel) {
+        rules::panic_policy(rel, &code, &spans, &mut raw);
+    }
+    if Config::in_scope(&cfg.float_scope, rel) {
+        rules::float_eq(rel, &code, &spans, &mut raw);
+    }
+    if Config::in_scope(&cfg.cast_scope, rel) {
+        rules::unit_cast(rel, &code, &spans, &mut raw);
+    }
+    rules::trace_exhaustiveness(rel, &code, &mut raw);
+
+    // SL000 parse errors must never be "suppressed" by their own directive.
+    let (meta, raw): (Vec<_>, Vec<_>) = raw.into_iter().partition(|d| d.rule == RuleId::UnusedAllow);
+    let mut out = apply_suppressions(rel, std::mem::take(&mut directives), raw);
+    out.extend(meta);
+    sort_diags(&mut out);
+    out
+}
+
+/// Lint one `Cargo.toml`.
+pub fn lint_manifest(_cfg: &Config, rel: &str, src: &str) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    let directives = toml_directives(src, rel, &mut raw);
+    let (meta, mut findings): (Vec<_>, Vec<_>) =
+        raw.into_iter().partition(|d| d.rule == RuleId::UnusedAllow);
+    let mut rule_out = Vec::new();
+    rules::dep_hygiene(rel, src, &mut rule_out);
+    findings.extend(rule_out);
+    let mut out = apply_suppressions(rel, directives, findings);
+    out.extend(meta);
+    sort_diags(&mut out);
+    out
+}
+
+fn sort_diags(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule.id()).cmp(&(b.file.as_str(), b.line, b.col, b.rule.id()))
+    });
+}
+
+/// A finished lint run.
+pub struct LintReport {
+    /// Findings across all files, sorted by (file, line, col).
+    pub diags: Vec<Diagnostic>,
+    /// Number of files inspected.
+    pub files_checked: usize,
+}
+
+impl LintReport {
+    /// Count of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diags.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Count of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diags.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// Should the process exit non-zero?
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && self.warnings() > 0)
+    }
+}
+
+/// Lint every `.rs` and `Cargo.toml` under the config's root.
+pub fn lint_workspace(cfg: &Config) -> LintReport {
+    let mut files = Vec::new();
+    collect_files(cfg, &cfg.root, &mut files);
+    files.sort(); // deterministic output order, independent of readdir order
+    lint_paths(cfg, &files)
+}
+
+/// Lint an explicit file list (absolute or root-relative paths).
+pub fn lint_paths(cfg: &Config, files: &[PathBuf]) -> LintReport {
+    let mut diags = Vec::new();
+    let mut checked = 0usize;
+    for f in files {
+        let abs = if f.is_absolute() { f.clone() } else { cfg.root.join(f) };
+        let rel = abs
+            .strip_prefix(&cfg.root)
+            .unwrap_or(&abs)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(src) = std::fs::read_to_string(&abs) else {
+            diags.push(Diagnostic::new(
+                RuleId::UnusedAllow,
+                &rel,
+                1,
+                1,
+                "cannot read file".to_string(),
+            ));
+            continue;
+        };
+        checked += 1;
+        if rel.ends_with(".rs") {
+            diags.extend(lint_rust(cfg, &rel, &src));
+        } else if rel.ends_with("Cargo.toml") {
+            diags.extend(lint_manifest(cfg, &rel, &src));
+        }
+    }
+    sort_diags(&mut diags);
+    LintReport { diags, files_checked: checked }
+}
+
+fn collect_files(cfg: &Config, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !cfg.skip_dirs.iter().any(|s| s.as_str() == name) {
+                collect_files(cfg, &path, out);
+            }
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+}
+
+/// Walk upward from `start` to the manifest that declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::everything("/nonexistent")
+    }
+
+    #[test]
+    fn trailing_directive_suppresses_same_line() {
+        let src = "fn f() { let m: HashMap<u8,u8> = x; } // simlint: allow(determinism): test map\n";
+        let out = lint_rust(&cfg(), "f.rs", src);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn standalone_directive_suppresses_next_line() {
+        let src = "// simlint: allow(determinism): deliberate\nfn f() { let m: HashMap<u8,u8> = x; }\n";
+        let out = lint_rust(&cfg(), "f.rs", src);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn directive_accepts_numeric_id() {
+        let src = "fn f() { let m: HashSet<u8> = x; } // simlint: allow(SL001)\n";
+        let out = lint_rust(&cfg(), "f.rs", src);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn unused_directive_is_an_error() {
+        let src = "// simlint: allow(determinism): nothing here\nfn f() {}\n";
+        let out = lint_rust(&cfg(), "f.rs", src);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, RuleId::UnusedAllow);
+        assert!(out[0].message.contains("unused suppression"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn unknown_rule_in_directive_is_an_error() {
+        let src = "fn f() {} // simlint: allow(no-such-rule)\n";
+        let out = lint_rust(&cfg(), "f.rs", src);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(out[0].message.contains("unknown rule"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn malformed_directive_is_an_error() {
+        let src = "fn f() {} // simlint: allowing(determinism)\n";
+        let out = lint_rust(&cfg(), "f.rs", src);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(out[0].message.contains("malformed"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn directive_suppresses_only_named_rule() {
+        // The determinism finding is suppressed; the unwrap still fires.
+        let src = "fn f() { let m: HashMap<u8,u8> = y.unwrap(); } // simlint: allow(determinism)\n";
+        let out = lint_rust(&cfg(), "f.rs", src);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, RuleId::PanicPolicy);
+    }
+
+    #[test]
+    fn multi_rule_directive() {
+        let src =
+            "fn f() { let m: HashMap<u8,u8> = y.unwrap(); } // simlint: allow(determinism, panic-policy)\n";
+        let out = lint_rust(&cfg(), "f.rs", src);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn scoped_rules_respect_config_paths() {
+        let mut c = Config::for_workspace("/nonexistent");
+        c.determinism_allow.clear();
+        // unwrap outside the panic scope: no finding.
+        let out = lint_rust(&c, "crates/bench/src/x.rs", "fn f() { y.unwrap(); }");
+        assert!(out.is_empty(), "{out:#?}");
+        // Same code inside a library crate: finding.
+        let out = lint_rust(&c, "crates/netsim/src/x.rs", "fn f() { y.unwrap(); }");
+        assert_eq!(out.len(), 1, "{out:#?}");
+    }
+
+    #[test]
+    fn determinism_allowlist_exempts_whole_file() {
+        let mut c = Config::for_workspace("/nonexistent");
+        c.determinism_allow.push("crates/x/src/timing.rs".to_string());
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(lint_rust(&c, "crates/x/src/timing.rs", src).is_empty());
+        assert_eq!(lint_rust(&c, "crates/x/src/other.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn toml_directive_suppresses_dep_finding() {
+        let toml = "[dependencies]\nserde = \"1.0\" # simlint: allow(dep-hygiene): fixture\n";
+        let out = lint_manifest(&cfg(), "Cargo.toml", toml);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn toml_unused_directive_is_an_error() {
+        let toml = "[package]\nname = \"x\" # simlint: allow(dep-hygiene)\n";
+        let out = lint_manifest(&cfg(), "Cargo.toml", toml);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, RuleId::UnusedAllow);
+    }
+
+    #[test]
+    fn report_failure_logic() {
+        let mk = |sev: Severity| Diagnostic {
+            rule: RuleId::FloatEq,
+            severity: sev,
+            file: "f.rs".into(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+        };
+        let warn_only = LintReport { diags: vec![mk(Severity::Warning)], files_checked: 1 };
+        assert!(!warn_only.failed(false));
+        assert!(warn_only.failed(true));
+        let err = LintReport { diags: vec![mk(Severity::Error)], files_checked: 1 };
+        assert!(err.failed(false));
+    }
+}

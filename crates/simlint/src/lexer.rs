@@ -1,0 +1,581 @@
+//! A minimal Rust lexer — just enough syntax to lint reliably.
+//!
+//! The rules in this crate match on *token* sequences, never on raw text,
+//! so a `.unwrap()` inside a string literal or a `match` inside a comment
+//! can't produce a false positive. That requires getting the genuinely
+//! tricky parts of Rust's lexical grammar right:
+//!
+//! * raw strings `r"…"` / `r#"…"#` (any number of hashes), byte strings
+//!   `b"…"`, `br#"…"#`, and raw identifiers `r#match`;
+//! * nested block comments `/* /* */ */`;
+//! * `'a` the lifetime vs `'a'` the char literal (including escaped chars
+//!   like `'\''` and `'\u{1F600}'`);
+//! * float literals vs field access (`1.5` is a float, `1.max(2)` is an
+//!   integer then a method call, `0..10` is an integer then a range).
+//!
+//! Everything else (idents, numbers, punctuation) is deliberately simple.
+//! The lexer never fails: unterminated literals run to end of file and
+//! unknown bytes become one-character punctuation tokens.
+
+/// What kind of token a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`match`, `as`, `unwrap`, …). Raw identifiers
+    /// (`r#match`) lex as `Ident` with the `r#` stripped.
+    Ident,
+    /// A lifetime such as `'a` or `'static` (leading `'` included in text).
+    Lifetime,
+    /// A char or byte literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// Any string literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// An integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// A float literal (`1.5`, `1e9`, `2f64`).
+    Float,
+    /// Punctuation, possibly multi-character (`::`, `=>`, `==`, `!=`, `..`).
+    Punct,
+    /// A `// …` comment (doc comments included), text up to the newline.
+    LineComment,
+    /// A `/* … */` comment (nesting handled), full text.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for comment tokens (which code-pattern rules skip).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+
+    /// For a [`TokenKind::Str`] token: true when the literal is empty
+    /// (`""`, `r""`, `r#""#`, `b""` …).
+    pub fn str_is_empty(&self) -> bool {
+        debug_assert_eq!(self.kind, TokenKind::Str);
+        let t = self.text.trim_start_matches(['b', 'r']);
+        let t = t.trim_matches('#');
+        t == "\"\""
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xc0 != 0x80 {
+            // Count characters, not bytes: UTF-8 continuation bytes don't
+            // advance the column.
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Multi-character punctuation, longest first so maximal munch wins
+/// (`..=` before `..` before `.`; `=>` and `==` before `=`).
+const PUNCTS: &[&str] = &[
+    "..=", "<<=", ">>=", "...", "::", "=>", "==", "!=", "<=", ">=", "->", "..", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lex `src` into tokens (comments included). Never fails.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+
+    while let Some(b) = c.peek(0) {
+        let (line, col, start) = (c.line, c.col, c.pos);
+        let text = |c: &Cursor, start: usize| src[start..c.pos].to_string();
+
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+
+        // Comments.
+        if c.starts_with("//") {
+            while let Some(b) = c.peek(0) {
+                if b == b'\n' {
+                    break;
+                }
+                c.bump();
+            }
+            out.push(Token { kind: TokenKind::LineComment, text: text(&c, start), line, col });
+            continue;
+        }
+        if c.starts_with("/*") {
+            c.bump();
+            c.bump();
+            let mut depth = 1usize;
+            while depth > 0 && c.peek(0).is_some() {
+                if c.starts_with("/*") {
+                    depth += 1;
+                    c.bump();
+                    c.bump();
+                } else if c.starts_with("*/") {
+                    depth -= 1;
+                    c.bump();
+                    c.bump();
+                } else {
+                    c.bump();
+                }
+            }
+            out.push(Token { kind: TokenKind::BlockComment, text: text(&c, start), line, col });
+            continue;
+        }
+
+        // String-literal prefixes and raw identifiers. These must come
+        // before the generic identifier path: `r"`, `r#"`, `b"`, `br#"` are
+        // strings, `b'` is a byte char, `r#foo` is a raw identifier.
+        if b == b'r' || b == b'b' {
+            let mut k = 1; // bytes of prefix consumed so far ("r" or "b")
+            if b == b'b' && c.peek(1) == Some(b'r') {
+                k = 2; // "br"
+            }
+            let mut hashes = 0usize;
+            while c.peek(k + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            let raw = k == 2 || b == b'r';
+            if raw && c.peek(k + hashes) == Some(b'"') {
+                // Raw (byte) string: consume prefix, hashes, opening quote.
+                for _ in 0..k + hashes + 1 {
+                    c.bump();
+                }
+                let closer: String =
+                    std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+                while c.peek(0).is_some() && !c.starts_with(&closer) {
+                    c.bump();
+                }
+                for _ in 0..closer.len() {
+                    c.bump();
+                }
+                out.push(Token { kind: TokenKind::Str, text: text(&c, start), line, col });
+                continue;
+            }
+            if b == b'b' && hashes == 0 && c.peek(1) == Some(b'"') {
+                // b"…": lex as a cooked string below after consuming `b`.
+                c.bump();
+                lex_cooked_string(&mut c);
+                out.push(Token { kind: TokenKind::Str, text: text(&c, start), line, col });
+                continue;
+            }
+            if b == b'b' && c.peek(1) == Some(b'\'') {
+                // b'…' byte literal.
+                c.bump();
+                c.bump();
+                lex_char_body(&mut c);
+                out.push(Token { kind: TokenKind::Char, text: text(&c, start), line, col });
+                continue;
+            }
+            if b == b'r' && hashes == 1 && c.peek(2).is_some_and(is_ident_start) {
+                // Raw identifier r#foo: skip the r# and fall through to the
+                // ident body so `r#match` compares equal to `match`-free
+                // idents by its real name.
+                c.bump();
+                c.bump();
+                let istart = c.pos;
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[istart..c.pos].to_string(),
+                    line,
+                    col,
+                });
+                continue;
+            }
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(b) {
+            while c.peek(0).is_some_and(is_ident_continue) {
+                c.bump();
+            }
+            out.push(Token { kind: TokenKind::Ident, text: text(&c, start), line, col });
+            continue;
+        }
+
+        // Numbers.
+        if b.is_ascii_digit() {
+            let mut float = false;
+            if c.starts_with("0x") || c.starts_with("0X") || c.starts_with("0o") || c.starts_with("0b") {
+                c.bump();
+                c.bump();
+                while c.peek(0).is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+                    c.bump();
+                }
+            } else {
+                while c.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                    c.bump();
+                }
+                // A dot makes a float only when followed by a digit (or by
+                // nothing identifier-like: `1.` is a float, `1.max` is not,
+                // `0..10` is not).
+                if c.peek(0) == Some(b'.')
+                    && c.peek(1) != Some(b'.')
+                    && !c.peek(1).is_some_and(is_ident_start)
+                {
+                    float = true;
+                    c.bump();
+                    while c.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                        c.bump();
+                    }
+                }
+                // Exponent.
+                if c.peek(0).is_some_and(|b| b == b'e' || b == b'E') {
+                    let sign = usize::from(matches!(c.peek(1), Some(b'+') | Some(b'-')));
+                    if c.peek(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+                        float = true;
+                        c.bump(); // e
+                        for _ in 0..sign {
+                            c.bump();
+                        }
+                        while c.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                            c.bump();
+                        }
+                    }
+                }
+                // Type suffix (u64, f64, usize, …).
+                let sstart = c.pos;
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                if src[sstart..c.pos].starts_with('f') {
+                    float = true;
+                }
+            }
+            let kind = if float { TokenKind::Float } else { TokenKind::Int };
+            out.push(Token { kind, text: text(&c, start), line, col });
+            continue;
+        }
+
+        // Lifetimes vs char literals.
+        if b == b'\'' {
+            let next = c.peek(1);
+            let after = c.peek(2);
+            if next == Some(b'\\') {
+                // Escaped char literal.
+                c.bump();
+                c.bump();
+                lex_char_body_after_escape(&mut c);
+                out.push(Token { kind: TokenKind::Char, text: text(&c, start), line, col });
+            } else if next.is_some_and(is_ident_start) && after != Some(b'\'') {
+                // Lifetime: 'a, 'static, '_ followed by a non-quote.
+                c.bump();
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                out.push(Token { kind: TokenKind::Lifetime, text: text(&c, start), line, col });
+            } else {
+                // Char literal: 'x' (including 'a' where the closing quote
+                // disambiguates from a lifetime).
+                c.bump();
+                lex_char_body(&mut c);
+                out.push(Token { kind: TokenKind::Char, text: text(&c, start), line, col });
+            }
+            continue;
+        }
+
+        // Cooked strings.
+        if b == b'"' {
+            lex_cooked_string(&mut c);
+            out.push(Token { kind: TokenKind::Str, text: text(&c, start), line, col });
+            continue;
+        }
+
+        // Punctuation (multi-char first).
+        let mut matched = false;
+        for p in PUNCTS {
+            if c.starts_with(p) {
+                for _ in 0..p.len() {
+                    c.bump();
+                }
+                out.push(Token { kind: TokenKind::Punct, text: (*p).to_string(), line, col });
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            c.bump();
+            out.push(Token { kind: TokenKind::Punct, text: text(&c, start), line, col });
+        }
+    }
+
+    out
+}
+
+/// Consume a cooked string body starting at the opening `"`.
+fn lex_cooked_string(c: &mut Cursor) {
+    c.bump(); // opening quote
+    while let Some(b) = c.peek(0) {
+        c.bump();
+        if b == b'\\' {
+            c.bump(); // whatever is escaped, including `\"` and `\\`
+        } else if b == b'"' {
+            break;
+        }
+    }
+}
+
+/// Consume a char-literal body after the opening `'` (unescaped form).
+fn lex_char_body(c: &mut Cursor) {
+    if c.peek(0) == Some(b'\\') {
+        c.bump();
+        lex_char_body_after_escape(c);
+        return;
+    }
+    c.bump(); // the char itself (multi-byte chars: bump to char boundary)
+    while c.peek(0).is_some_and(|b| b & 0xc0 == 0x80) {
+        c.bump();
+    }
+    if c.peek(0) == Some(b'\'') {
+        c.bump();
+    }
+}
+
+/// Consume the rest of an escaped char literal, cursor just past the `\`.
+fn lex_char_body_after_escape(c: &mut Cursor) {
+    c.bump(); // the escaped character ('n', '\'', 'u', 'x', …)
+    // `\u{…}` and `\x..` bodies, then the closing quote.
+    while let Some(b) = c.peek(0) {
+        if b == b'\'' {
+            c.bump();
+            break;
+        }
+        if b == b'\n' {
+            break; // unterminated; don't eat the rest of the file
+        }
+        c.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("foo.unwrap()");
+        assert_eq!(
+            t,
+            vec![
+                (TokenKind::Ident, "foo".into()),
+                (TokenKind::Punct, ".".into()),
+                (TokenKind::Ident, "unwrap".into()),
+                (TokenKind::Punct, "(".into()),
+                (TokenKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn multichar_puncts_munch_maximally() {
+        let t = kinds("a::b => c == d != e ..= f");
+        let puncts: Vec<String> = t
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(puncts, vec!["::", "=>", "==", "!=", "..="]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let t = kinds(r####"let s = r#"quote " inside"#;"####);
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Str && s.contains("quote")));
+        // Nothing inside the raw string became a token.
+        assert!(!t.iter().any(|(_, s)| s == "inside"));
+    }
+
+    #[test]
+    fn raw_string_contains_fake_code() {
+        // A `.unwrap()` inside a raw string must stay inside the literal.
+        let t = kinds(r#"let s = r"x.unwrap()"; y"#);
+        let idents: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "y"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let t = kinds(r##"b"bytes" br#"raw bytes"# b'x'"##);
+        assert_eq!(t[0].0, TokenKind::Str);
+        assert_eq!(t[1].0, TokenKind::Str);
+        assert_eq!(t[2].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "b"]);
+        assert!(t.iter().any(|(k, _)| *k == TokenKind::BlockComment));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let q = '\\''; }");
+        let lifetimes: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars = t.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let t = kinds("&'static str; &'_ u8");
+        let lifetimes: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'static", "'_"]);
+    }
+
+    #[test]
+    fn unicode_char_literal() {
+        let t = kinds("let c = '\u{1F600}'; x");
+        assert!(t.iter().any(|(k, _)| *k == TokenKind::Char));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "x"));
+    }
+
+    #[test]
+    fn escaped_unicode_char_literal() {
+        let t = kinds(r"let c = '\u{1F600}'; x");
+        assert!(t.iter().any(|(k, _)| *k == TokenKind::Char));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "x"));
+    }
+
+    #[test]
+    fn float_vs_method_call_vs_range() {
+        assert_eq!(kinds("1.5")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1e9")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1.5e-3")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1.max(2)")[0].0, TokenKind::Int);
+        let range = kinds("0..10");
+        assert_eq!(range[0].0, TokenKind::Int);
+        assert_eq!(range[1], (TokenKind::Punct, "..".into()));
+        assert_eq!(range[2].0, TokenKind::Int);
+        assert_eq!(kinds("0xff_u64")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1_000u64")[0].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let t = kinds("r#match + other");
+        assert_eq!(t[0], (TokenKind::Ident, "match".into()));
+        assert_eq!(t[2], (TokenKind::Ident, "other".into()));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let t = kinds(r#"let s = "escaped \" quote"; z"#);
+        let idents: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "z"]);
+    }
+
+    #[test]
+    fn empty_string_detection() {
+        let toks = lex(r####"let a = ""; let b = "x"; let c = r#""#;"####);
+        let strs: Vec<bool> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.str_is_empty())
+            .collect();
+        assert_eq!(strs, vec![true, false, true]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn doc_comments_are_line_comments() {
+        let toks = lex("/// docs\n//! inner\ncode");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert!(toks[2].is_ident("code"));
+    }
+
+    #[test]
+    fn unterminated_literals_reach_eof_without_panic() {
+        lex("let s = \"unterminated");
+        lex("let s = r#\"unterminated");
+        lex("/* unterminated");
+        lex("let c = 'x");
+    }
+}

@@ -1,0 +1,187 @@
+//! `simlint` — a hermetic static-analysis pass for this workspace's own
+//! invariants.
+//!
+//! The paper's reproductions rest on bit-exact deterministic emulation:
+//! the determinism suite proves `jobs=4 ≡ jobs=1`, the golden-trace suite
+//! pins packet-level timelines, and the runtime auditor checks invariants
+//! *while a simulation runs*. None of that stops a future change from
+//! statically reintroducing nondeterminism (a wall clock, an unseeded RNG,
+//! hash-order iteration) or from silently dropping a new `trace::Event`
+//! variant behind a `_ =>` arm. Clippy can't encode repo-specific rules
+//! and the workspace is deliberately dependency-free, so the checker is
+//! built in-repo: a minimal Rust [`lexer`], a rule registry ([`diag`]),
+//! the [`rules`] themselves, and an [`engine`] that walks the workspace,
+//! applies per-line `// simlint: allow(<rule>)` suppressions, and emits
+//! human or JSON-lines diagnostics.
+//!
+//! Run it as `repro lint`, as the `simlint` binary
+//! (`cargo run -p simlint -- --workspace --deny-warnings`), or call
+//! [`engine::lint_workspace`] directly. The rules:
+//!
+//! | ID | slug | severity | checks |
+//! |----|------|----------|--------|
+//! | SL000 | unused-allow | error | suppressions that suppress nothing |
+//! | SL001 | determinism | error | wall clocks, unseeded RNG, hash-order iteration |
+//! | SL002 | panic-policy | error | bare `.unwrap()` / empty `.expect("")` in library crates |
+//! | SL003 | float-eq | warning | `==`/`!=` on float expressions in sim/CCA code |
+//! | SL004 | unit-cast | warning | raw `as f64`/`as u64` unit casts in `netsim` |
+//! | SL005 | trace-exhaustiveness | error | wildcard arms in `match` over `trace::Event` |
+//! | SL006 | dep-hygiene | error | registry/git dependencies in any manifest |
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{Diagnostic, RuleId, Severity, ALL_RULES};
+pub use engine::{find_workspace_root, lint_workspace, Config, LintReport};
+
+/// The shipped fixtures, embedded so the self-check works from any cwd:
+/// (rule, fixture path, source, expected-dirty).
+pub const FIXTURES: &[(RuleId, &str, &str, bool)] = &[
+    (
+        RuleId::Determinism,
+        "fixtures/determinism/bad.rs",
+        include_str!("../fixtures/determinism/bad.rs"),
+        true,
+    ),
+    (
+        RuleId::Determinism,
+        "fixtures/determinism/clean.rs",
+        include_str!("../fixtures/determinism/clean.rs"),
+        false,
+    ),
+    (
+        RuleId::PanicPolicy,
+        "fixtures/panic-policy/bad.rs",
+        include_str!("../fixtures/panic-policy/bad.rs"),
+        true,
+    ),
+    (
+        RuleId::PanicPolicy,
+        "fixtures/panic-policy/clean.rs",
+        include_str!("../fixtures/panic-policy/clean.rs"),
+        false,
+    ),
+    (
+        RuleId::FloatEq,
+        "fixtures/float-eq/bad.rs",
+        include_str!("../fixtures/float-eq/bad.rs"),
+        true,
+    ),
+    (
+        RuleId::FloatEq,
+        "fixtures/float-eq/clean.rs",
+        include_str!("../fixtures/float-eq/clean.rs"),
+        false,
+    ),
+    (
+        RuleId::UnitCast,
+        "fixtures/unit-cast/bad.rs",
+        include_str!("../fixtures/unit-cast/bad.rs"),
+        true,
+    ),
+    (
+        RuleId::UnitCast,
+        "fixtures/unit-cast/clean.rs",
+        include_str!("../fixtures/unit-cast/clean.rs"),
+        false,
+    ),
+    (
+        RuleId::TraceExhaustiveness,
+        "fixtures/trace-exhaustiveness/bad.rs",
+        include_str!("../fixtures/trace-exhaustiveness/bad.rs"),
+        true,
+    ),
+    (
+        RuleId::TraceExhaustiveness,
+        "fixtures/trace-exhaustiveness/clean.rs",
+        include_str!("../fixtures/trace-exhaustiveness/clean.rs"),
+        false,
+    ),
+    (
+        RuleId::DepHygiene,
+        "fixtures/dep-hygiene/bad.toml",
+        include_str!("../fixtures/dep-hygiene/bad.toml"),
+        true,
+    ),
+    (
+        RuleId::DepHygiene,
+        "fixtures/dep-hygiene/clean.toml",
+        include_str!("../fixtures/dep-hygiene/clean.toml"),
+        false,
+    ),
+    (
+        RuleId::UnusedAllow,
+        "fixtures/allow/unused.rs",
+        include_str!("../fixtures/allow/unused.rs"),
+        true,
+    ),
+    (
+        RuleId::UnusedAllow,
+        "fixtures/allow/used.rs",
+        include_str!("../fixtures/allow/used.rs"),
+        false,
+    ),
+];
+
+/// Lint one embedded fixture with scoped rules opened up to every path.
+pub fn lint_fixture(path: &str, src: &str) -> Vec<Diagnostic> {
+    let cfg = Config::everything("/");
+    if path.ends_with(".toml") {
+        engine::lint_manifest(&cfg, path, src)
+    } else {
+        engine::lint_rust(&cfg, path, src)
+    }
+}
+
+/// Self-check over the embedded fixtures: every `bad` variant must report
+/// at least one finding, all of its own rule; every `clean` variant must
+/// report none. Returns human-readable failure lines (empty = pass).
+pub fn self_check() -> Vec<String> {
+    let mut failures = Vec::new();
+    for &(rule, path, src, dirty) in FIXTURES {
+        let diags = lint_fixture(path, src);
+        if dirty {
+            if diags.is_empty() {
+                failures.push(format!("{path}: expected {} findings, got none", rule.slug()));
+            }
+            for d in &diags {
+                if d.rule != rule {
+                    failures.push(format!(
+                        "{path}: expected only {} findings, got {}",
+                        rule.slug(),
+                        d.render_human()
+                    ));
+                }
+            }
+        } else if !diags.is_empty() {
+            failures.push(format!(
+                "{path}: clean variant reported {} finding(s), first: {}",
+                diags.len(),
+                diags[0].render_human()
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_check_passes() {
+        let failures = self_check();
+        assert!(failures.is_empty(), "{failures:#?}");
+    }
+
+    #[test]
+    fn every_rule_has_bad_and_clean_fixtures() {
+        for &rule in ALL_RULES {
+            let dirty = FIXTURES.iter().any(|&(r, _, _, d)| r == rule && d);
+            let clean = FIXTURES.iter().any(|&(r, _, _, d)| r == rule && !d);
+            assert!(dirty && clean, "rule {} missing fixtures", rule.slug());
+        }
+    }
+}

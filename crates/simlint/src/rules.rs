@@ -1,0 +1,755 @@
+//! The lint rules. Each rule walks the token stream (never raw text — see
+//! [`crate::lexer`]) and pushes [`Diagnostic`]s. Rules stay deliberately
+//! lexical: they encode *repo invariants*, not general Rust semantics, so a
+//! heuristic that is precise on this codebase beats a type-aware analysis
+//! we can't build without external dependencies.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::{Token, TokenKind};
+
+/// Token-index ranges covered by `#[cfg(test)]` items (usually
+/// `mod tests { … }`). Panic-policy, float-eq, and unit-cast skip these:
+/// test code may unwrap and compare freely.
+pub fn test_spans(code: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].is_punct("#") && is_cfg_test_attr(code, i)) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // `#![cfg(test)]` (inner attribute): the whole file is test code.
+        if code.get(i + 1).is_some_and(|t| t.is_punct("!")) {
+            spans.push((start, code.len().saturating_sub(1)));
+            return spans;
+        }
+        let mut j = skip_attr(code, i);
+        // Any further attributes on the same item (`#[test]`, docs, …).
+        while code.get(j).is_some_and(|t| t.is_punct("#"))
+            && code.get(j + 1).is_some_and(|t| t.is_punct("["))
+        {
+            j = skip_attr(code, j);
+        }
+        // The item ends at its closing brace, or at `;` for braceless items.
+        let (mut brace, mut paren, mut bracket) = (0i32, 0i32, 0i32);
+        let mut end = code.len().saturating_sub(1);
+        while j < code.len() {
+            match code[j].text.as_str() {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        end = j;
+                        break;
+                    }
+                }
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                ";" if brace == 0 && paren == 0 && bracket == 0 => {
+                    end = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        spans.push((start, end));
+        i = end + 1;
+    }
+    spans
+}
+
+/// Is `code[i..]` the start of `#[cfg(test)]` / `#![cfg(test)]`?
+fn is_cfg_test_attr(code: &[Token], i: usize) -> bool {
+    let mut j = i + 1;
+    if code.get(j).is_some_and(|t| t.is_punct("!")) {
+        j += 1;
+    }
+    code.get(j).is_some_and(|t| t.is_punct("["))
+        && code.get(j + 1).is_some_and(|t| t.is_ident("cfg"))
+        && code.get(j + 2).is_some_and(|t| t.is_punct("("))
+        && code.get(j + 3).is_some_and(|t| t.is_ident("test"))
+        && code.get(j + 4).is_some_and(|t| t.is_punct(")"))
+        && code.get(j + 5).is_some_and(|t| t.is_punct("]"))
+}
+
+/// Index just past an attribute starting at `code[i]` (`#` or `#!`).
+fn skip_attr(code: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if code.get(j).is_some_and(|t| t.is_punct("!")) {
+        j += 1;
+    }
+    if !code.get(j).is_some_and(|t| t.is_punct("[")) {
+        return j;
+    }
+    let mut depth = 0i32;
+    while j < code.len() {
+        match code[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+fn in_spans(spans: &[(usize, usize)], i: usize) -> bool {
+    spans.iter().any(|&(a, b)| i >= a && i <= b)
+}
+
+/// SL001 — determinism: wall clocks, unseeded RNG, and hash-order
+/// iteration are forbidden. The emulator's results are compared
+/// bit-for-bit across runs and worker counts; any of these would make
+/// golden digests machine- or run-dependent. Applies to test code too
+/// (the golden/determinism suites are exactly where this matters most).
+pub fn determinism(path: &str, code: &[Token], out: &mut Vec<Diagnostic>) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let msg = match t.text.as_str() {
+            "Instant"
+                if code.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                    && code.get(i + 2).is_some_and(|t| t.is_ident("now")) =>
+            {
+                "Instant::now() reads the wall clock; simulated code must use the \
+                 event-queue clock (simcore::units::Time)"
+            }
+            "SystemTime" => {
+                "SystemTime reads the wall clock; simulated code must use the \
+                 event-queue clock (simcore::units::Time)"
+            }
+            "thread_rng" | "ThreadRng" => {
+                "thread_rng is unseeded; use simcore::rng::Xoshiro256 with an explicit seed"
+            }
+            "HashMap" | "HashSet" => {
+                "HashMap/HashSet iterate in hash order, which varies across runs; \
+                 use BTreeMap/BTreeSet for deterministic iteration"
+            }
+            _ => continue,
+        };
+        out.push(Diagnostic::new(RuleId::Determinism, path, t.line, t.col, msg.to_string()));
+    }
+}
+
+/// SL002 — panic policy: library crates must not `.unwrap()` bare; every
+/// `.expect("…")` must carry a non-empty message documenting the invariant
+/// that makes the panic unreachable (the PR 3 convention).
+pub fn panic_policy(path: &str, code: &[Token], spans: &[(usize, usize)], out: &mut Vec<Diagnostic>) {
+    for (i, t) in code.iter().enumerate() {
+        if !t.is_punct(".") || in_spans(spans, i) {
+            continue;
+        }
+        if code.get(i + 1).is_some_and(|t| t.is_ident("unwrap"))
+            && code.get(i + 2).is_some_and(|t| t.is_punct("("))
+            && code.get(i + 3).is_some_and(|t| t.is_punct(")"))
+        {
+            let at = &code[i + 1];
+            out.push(Diagnostic::new(
+                RuleId::PanicPolicy,
+                path,
+                at.line,
+                at.col,
+                "bare .unwrap() in a library crate; use .expect(\"…\") with a message \
+                 stating why the value is always present"
+                    .to_string(),
+            ));
+        }
+        if code.get(i + 1).is_some_and(|t| t.is_ident("expect"))
+            && code.get(i + 2).is_some_and(|t| t.is_punct("("))
+            && code.get(i + 3).is_some_and(|t| t.kind == TokenKind::Str && t.str_is_empty())
+            && code.get(i + 4).is_some_and(|t| t.is_punct(")"))
+        {
+            let at = &code[i + 1];
+            out.push(Diagnostic::new(
+                RuleId::PanicPolicy,
+                path,
+                at.line,
+                at.col,
+                ".expect(\"\") with an empty message documents nothing; state the \
+                 invariant that makes this infallible"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Unit accessors known to return `f64`: seeing one feed `==`/`!=` is the
+/// float-comparison the rule exists to catch.
+const FLOAT_METHODS: &[&str] =
+    &["as_secs_f64", "as_millis_f64", "mbps", "bps", "bytes_per_sec", "pkts_per_sec"];
+
+/// SL003 — float-eq: `==`/`!=` on float expressions. Exact float equality
+/// is almost always a latent bug in rate/delay math (two mathematically
+/// equal quantities computed along different paths need not be bit-equal);
+/// compare against a tolerance or restructure on integer nanoseconds.
+pub fn float_eq(path: &str, code: &[Token], spans: &[(usize, usize)], out: &mut Vec<Diagnostic>) {
+    let is_floaty = |t: &Token| {
+        t.kind == TokenKind::Float
+            || (t.kind == TokenKind::Ident && (t.text == "f64" || t.text.ends_with("_f64")))
+    };
+    for (i, t) in code.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=")) || in_spans(spans, i) {
+            continue;
+        }
+        let mut floaty = code.get(i + 1).is_some_and(&is_floaty)
+            || (i > 0 && is_floaty(&code[i - 1]));
+        // `x.mbps() == y`: scan back over the call's parens to the method.
+        if !floaty && i > 0 && code[i - 1].is_punct(")") {
+            let mut depth = 0i32;
+            for j in (0..i).rev() {
+                match code[j].text.as_str() {
+                    ")" => depth += 1,
+                    "(" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            floaty = j > 0
+                                && code[j - 1].kind == TokenKind::Ident
+                                && (FLOAT_METHODS.contains(&code[j - 1].text.as_str())
+                                    || code[j - 1].text.ends_with("_f64"));
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if floaty {
+            out.push(Diagnostic::new(
+                RuleId::FloatEq,
+                path,
+                t.line,
+                t.col,
+                format!(
+                    "`{}` on a float expression; compare with a tolerance or use \
+                     integer nanoseconds/bytes",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// SL004 — unit-cast: raw `as f64` / `as u64` in `netsim`. Time and byte
+/// quantities must go through the named converters in `simcore::units`
+/// (`bytes_as_f64`, `f64_as_bytes`, `count_as_u64`, `Dur::from_secs_f64`)
+/// so every conversion names its unit and rounding policy.
+pub fn unit_cast(path: &str, code: &[Token], spans: &[(usize, usize)], out: &mut Vec<Diagnostic>) {
+    for (i, t) in code.iter().enumerate() {
+        if !t.is_ident("as") || in_spans(spans, i) {
+            continue;
+        }
+        let Some(target) = code.get(i + 1) else { continue };
+        if target.is_ident("f64") || target.is_ident("u64") {
+            out.push(Diagnostic::new(
+                RuleId::UnitCast,
+                path,
+                t.line,
+                t.col,
+                format!(
+                    "raw `as {}` on a time/byte quantity; use a named converter from \
+                     simcore::units (bytes_as_f64, f64_as_bytes, count_as_u64, \
+                     Dur::from_secs_f64) so the unit and rounding policy are explicit",
+                    target.text
+                ),
+            ));
+        }
+    }
+}
+
+/// SL005 — trace-exhaustiveness: a `match` over `trace::Event` must list
+/// every variant. A `_ =>` (or catch-all binding) arm means a future
+/// `Event` variant silently falls through a sink or the auditor, and the
+/// golden digests drift without any compile- or lint-time signal.
+pub fn trace_exhaustiveness(path: &str, code: &[Token], out: &mut Vec<Diagnostic>) {
+    for i in 0..code.len() {
+        if code[i].is_ident("match") {
+            check_match(path, code, i, out);
+        }
+    }
+}
+
+/// Index of the `}` matching the `{` at `code[open]`.
+fn matching_brace(code: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+fn check_match(path: &str, code: &[Token], kw: usize, out: &mut Vec<Diagnostic>) {
+    // Scrutinee: everything up to the first `{` at bracket/paren depth 0.
+    // (Rust forbids bare struct literals in match scrutinees, so the first
+    // such brace is the match body.)
+    let (mut paren, mut bracket) = (0i32, 0i32);
+    let mut body = None;
+    for (j, t) in code.iter().enumerate().skip(kw + 1) {
+        match t.text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" if paren == 0 && bracket == 0 => {
+                body = Some(j);
+                break;
+            }
+            ";" | "}" if paren == 0 && bracket == 0 => break,
+            _ => {}
+        }
+        // A nested `match` in the scrutinee gets its own visit.
+        if j > kw + 1 && t.is_ident("match") {
+            break;
+        }
+    }
+    let Some(body) = body else { return };
+    let close = matching_brace(code, body);
+
+    let mut is_event_match = false;
+    // (line, col, what) of arms that would swallow new variants.
+    let mut wildcards: Vec<(u32, u32, String)> = Vec::new();
+
+    let mut k = body + 1;
+    while k < close {
+        // Pattern: tokens up to `=>` at relative depth 0.
+        let (mut p, mut br, mut bc) = (0i32, 0i32, 0i32);
+        let pat_start = k;
+        while k < close {
+            let t = &code[k];
+            if p == 0 && br == 0 && bc == 0 && t.is_punct("=>") {
+                break;
+            }
+            match t.text.as_str() {
+                "(" => p += 1,
+                ")" => p -= 1,
+                "[" => br += 1,
+                "]" => br -= 1,
+                "{" => bc += 1,
+                "}" => bc -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= close {
+            break;
+        }
+        let pat = &code[pat_start..k];
+        if pat
+            .windows(2)
+            .any(|w| w[0].is_ident("Event") && w[1].is_punct("::"))
+        {
+            is_event_match = true;
+        }
+        analyze_pattern(pat, &mut wildcards);
+        k += 1; // past `=>`
+
+        // Body: a block, or an expression up to `,` at relative depth 0.
+        if k < close && code[k].is_punct("{") {
+            k = matching_brace(code, k) + 1;
+        } else {
+            let (mut p, mut br, mut bc) = (0i32, 0i32, 0i32);
+            while k < close {
+                let t = &code[k];
+                if p == 0 && br == 0 && bc == 0 && t.is_punct(",") {
+                    break;
+                }
+                match t.text.as_str() {
+                    "(" => p += 1,
+                    ")" => p -= 1,
+                    "[" => br += 1,
+                    "]" => br -= 1,
+                    "{" => bc += 1,
+                    "}" => bc -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        if k < close && code[k].is_punct(",") {
+            k += 1;
+        }
+    }
+
+    if is_event_match {
+        for (line, col, what) in wildcards {
+            out.push(Diagnostic::new(
+                RuleId::TraceExhaustiveness,
+                path,
+                line,
+                col,
+                format!(
+                    "{what} in a match over trace::Event; list every variant so a new \
+                     event is a compile-time error, not a silent digest drift"
+                ),
+            ));
+        }
+    }
+}
+
+/// Record catch-all alternatives in one arm's pattern: a bare `_` or a
+/// bare binding identifier (both match any variant). Guarded arms
+/// (`_ if cond =>`) are not flagged: they don't exhaust the match alone.
+fn analyze_pattern(pat: &[Token], wildcards: &mut Vec<(u32, u32, String)>) {
+    let (mut p, mut br, mut bc) = (0i32, 0i32, 0i32);
+    let mut alt: Vec<&Token> = Vec::new();
+    let mut alts: Vec<Vec<&Token>> = Vec::new();
+    for t in pat {
+        match t.text.as_str() {
+            "(" => p += 1,
+            ")" => p -= 1,
+            "[" => br += 1,
+            "]" => br -= 1,
+            "{" => bc += 1,
+            "}" => bc -= 1,
+            "|" if p == 0 && br == 0 && bc == 0 => {
+                alts.push(std::mem::take(&mut alt));
+                continue;
+            }
+            _ => {}
+        }
+        alt.push(t);
+    }
+    alts.push(alt);
+    for alt in alts {
+        match alt.as_slice() {
+            [t] if t.text == "_" => {
+                wildcards.push((t.line, t.col, "wildcard `_` arm".to_string()));
+            }
+            [t] if t.kind == TokenKind::Ident && t.text != "true" && t.text != "false" => {
+                wildcards.push((
+                    t.line,
+                    t.col,
+                    format!("catch-all binding `{}` arm", t.text),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// SL006 — dep-hygiene: every dependency in every workspace manifest must
+/// be an in-repo `path` dependency (or inherit one via `workspace = true`).
+/// The build is `--locked --offline`; a registry or git spec would break
+/// hermeticity the moment someone runs `cargo update`.
+pub fn dep_hygiene(path: &str, src: &str, out: &mut Vec<Diagnostic>) {
+    let mut section: Option<String> = None;
+    // An open `[dependencies.<name>]`-style table: (header line, name, has_path).
+    let mut dep_table: Option<(u32, String, bool)> = None;
+
+    let flush = |table: &mut Option<(u32, String, bool)>, out: &mut Vec<Diagnostic>| {
+        if let Some((line, name, has_path)) = table.take() {
+            if !has_path {
+                out.push(Diagnostic::new(
+                    RuleId::DepHygiene,
+                    path,
+                    line,
+                    1,
+                    format!(
+                        "dependency table `{name}` has no `path` key; only in-repo path \
+                         dependencies are allowed (the workspace builds --locked --offline)"
+                    ),
+                ));
+            }
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush(&mut dep_table, out);
+            let name = line.trim_matches(['[', ']']).trim().to_string();
+            if name.ends_with("dependencies") {
+                section = Some(name);
+            } else if let Some(dep_name) = dep_table_name(&name) {
+                section = None;
+                dep_table = Some((lineno, dep_name, false));
+            } else {
+                section = None;
+            }
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        let val = line[eq + 1..].trim();
+        if let Some((_, _, has_path)) = dep_table.as_mut() {
+            if key == "path" {
+                *has_path = true;
+            }
+            continue;
+        }
+        if section.is_none() {
+            continue;
+        }
+        let ok = (key.ends_with(".workspace") && val == "true")
+            || (val.starts_with('{')
+                && (inline_table_has_key(val, "path") || inline_table_has_key(val, "workspace")));
+        if !ok {
+            out.push(Diagnostic::new(
+                RuleId::DepHygiene,
+                path,
+                lineno,
+                1,
+                format!(
+                    "dependency `{key}` is not an in-repo path dependency; registry and \
+                     git specs are forbidden (the workspace builds --locked --offline)"
+                ),
+            ));
+        }
+    }
+    flush(&mut dep_table, out);
+}
+
+/// `[dependencies.foo]` / `[dev-dependencies.foo]` /
+/// `[workspace.dependencies.foo]` → `Some("foo")`.
+fn dep_table_name(section: &str) -> Option<String> {
+    let parts: Vec<&str> = section.split('.').collect();
+    // A dotted component *ending* in "dependencies" covers dev-/build-
+    // variants; whatever follows it is the dependency name.
+    let at = parts.iter().position(|p| p.ends_with("dependencies"))?;
+    if at + 1 >= parts.len() {
+        return None;
+    }
+    Some(parts[at + 1..].join("."))
+}
+
+/// Does an inline table `{ … }` contain `key =` at its top level?
+fn inline_table_has_key(val: &str, key: &str) -> bool {
+    let mut rest = val;
+    while let Some(at) = rest.find(key) {
+        let before_ok = at == 0
+            || matches!(rest.as_bytes()[at - 1], b'{' | b',' | b' ' | b'\t');
+        let after = rest[at + key.len()..].trim_start();
+        if before_ok && after.starts_with('=') {
+            return true;
+        }
+        rest = &rest[at + key.len()..];
+    }
+    false
+}
+
+/// Strip a `#`-comment from a TOML line, respecting basic strings.
+pub fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code(src: &str) -> Vec<Token> {
+        lex(src).into_iter().filter(|t| !t.is_comment()).collect()
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_mod() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn b() { y.unwrap(); } }";
+        let toks = code(src);
+        let spans = test_spans(&toks);
+        assert_eq!(spans.len(), 1);
+        let mut out = Vec::new();
+        panic_policy("f.rs", &toks, &spans, &mut out);
+        // Only the non-test unwrap is reported.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn test_spans_handle_attr_stacks_and_semicolon_items() {
+        let src = "#[cfg(test)]\n#[path = \"x.rs\"]\nmod tests;\nfn c() { z.unwrap(); }";
+        let toks = code(src);
+        let spans = test_spans(&toks);
+        let mut out = Vec::new();
+        panic_policy("f.rs", &toks, &spans, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn determinism_catches_all_four_classes() {
+        let src = "use std::time::{Instant, SystemTime};\nfn f() { let t = Instant::now(); \
+                   let r = thread_rng(); let m: HashMap<u8, u8> = HashMap::new(); }";
+        let toks = code(src);
+        let mut out = Vec::new();
+        determinism("f.rs", &toks, &mut out);
+        // SystemTime (import), Instant::now, thread_rng, HashMap ×2.
+        assert_eq!(out.len(), 5, "{out:#?}");
+        assert!(out.iter().all(|d| d.rule == RuleId::Determinism));
+    }
+
+    #[test]
+    fn determinism_ignores_bare_instant_type() {
+        // `Instant` as a type (e.g. a stored timestamp passed in from an
+        // allowlisted module) is fine; only `Instant::now()` reads a clock.
+        let toks = code("fn f(t0: Instant) -> u64 { t0.elapsed().as_nanos() }");
+        let mut out = Vec::new();
+        determinism("f.rs", &toks, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn panic_policy_allows_documented_expect() {
+        let toks = code("fn f() { x.expect(\"queue is non-empty: we just pushed\"); }");
+        let mut out = Vec::new();
+        panic_policy("f.rs", &toks, &test_spans(&toks), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn panic_policy_rejects_empty_expect() {
+        let toks = code("fn f() { x.expect(\"\"); }");
+        let mut out = Vec::new();
+        panic_policy("f.rs", &toks, &test_spans(&toks), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn panic_policy_ignores_unwrap_or_variants() {
+        let toks = code("fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }");
+        let mut out = Vec::new();
+        panic_policy("f.rs", &toks, &test_spans(&toks), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn float_eq_catches_literal_and_method_forms() {
+        let toks = code("fn f() { if x == 0.0 {} if r.mbps() != y {} if a.as_secs_f64() == b {} }");
+        let mut out = Vec::new();
+        float_eq("f.rs", &toks, &[], &mut out);
+        assert_eq!(out.len(), 3, "{out:#?}");
+    }
+
+    #[test]
+    fn float_eq_ignores_integer_compares() {
+        let toks = code("fn f() { if x == 0 {} if t.as_nanos() != u {} if s == \"x\" {} }");
+        let mut out = Vec::new();
+        float_eq("f.rs", &toks, &[], &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn unit_cast_catches_f64_and_u64_only() {
+        let toks = code("fn f() { let a = x as f64; let b = y as u64; let c = z as usize; }");
+        let mut out = Vec::new();
+        unit_cast("f.rs", &toks, &[], &mut out);
+        assert_eq!(out.len(), 2, "{out:#?}");
+    }
+
+    #[test]
+    fn trace_exhaustiveness_flags_wildcard_and_binding() {
+        let src = "fn f(ev: &Event) { match ev { Event::Send { .. } => 1, _ => 0 }; \
+                   match ev { Event::Drop { .. } => 1, other => 0 }; }";
+        let toks = code(src);
+        let mut out = Vec::new();
+        trace_exhaustiveness("f.rs", &toks, &mut out);
+        assert_eq!(out.len(), 2, "{out:#?}");
+        assert!(out[0].message.contains("wildcard"), "{}", out[0].message);
+        assert!(out[1].message.contains("catch-all binding `other`"), "{}", out[1].message);
+    }
+
+    #[test]
+    fn trace_exhaustiveness_ignores_non_event_matches() {
+        let src = "fn f(x: u8) -> u8 { match x { 1 => 2, _ => 0 } }";
+        let toks = code(src);
+        let mut out = Vec::new();
+        trace_exhaustiveness("f.rs", &toks, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn trace_exhaustiveness_accepts_exhaustive_event_match() {
+        let src = "fn f(ev: &Event) { match ev { Event::Send { .. } | Event::Drop { .. } => 1, \
+                   Event::RunEnd { .. } => 0 }; }";
+        let toks = code(src);
+        let mut out = Vec::new();
+        trace_exhaustiveness("f.rs", &toks, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn trace_exhaustiveness_skips_guarded_wildcards() {
+        let src = "fn f(ev: &Event, c: bool) { match ev { Event::Send { .. } => 1, \
+                   _ if c => 2, Event::RunEnd { .. } => 0, _ => 3 }; }";
+        let toks = code(src);
+        let mut out = Vec::new();
+        trace_exhaustiveness("f.rs", &toks, &mut out);
+        // Only the unguarded `_` arm fires.
+        assert_eq!(out.len(), 1, "{out:#?}");
+    }
+
+    #[test]
+    fn trace_exhaustiveness_finds_nested_match() {
+        let src = "fn f(ev: &Event, x: u8) { match x { 1 => match ev { Event::Rto { .. } => 1, \
+                   _ => 0 }, _ => 9 } }";
+        let toks = code(src);
+        let mut out = Vec::new();
+        trace_exhaustiveness("f.rs", &toks, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+    }
+
+    #[test]
+    fn dep_hygiene_accepts_path_and_workspace_deps() {
+        let toml = "[dependencies]\nsimcore = { path = \"../simcore\" }\ntestkit.workspace = true\n\
+                    [workspace.dependencies]\ncca = { path = \"crates/cca\" }\n";
+        let mut out = Vec::new();
+        dep_hygiene("Cargo.toml", toml, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn dep_hygiene_rejects_registry_and_git_specs() {
+        let toml = "[dependencies]\nserde = \"1.0\"\nrand = { version = \"0.8\" }\n\
+                    left = { git = \"https://example.com/x\" }\n";
+        let mut out = Vec::new();
+        dep_hygiene("Cargo.toml", toml, &mut out);
+        assert_eq!(out.len(), 3, "{out:#?}");
+    }
+
+    #[test]
+    fn dep_hygiene_checks_dotted_dep_tables() {
+        let toml = "[dependencies.serde]\nversion = \"1.0\"\n\n[dependencies.simcore]\n\
+                    path = \"../simcore\"\n";
+        let mut out = Vec::new();
+        dep_hygiene("Cargo.toml", toml, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(out[0].message.contains("serde"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn dep_hygiene_ignores_package_metadata() {
+        let toml = "[package]\nname = \"x\"\nversion.workspace = true\n\n[profile.release]\ndebug = true\n";
+        let mut out = Vec::new();
+        dep_hygiene("Cargo.toml", toml, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+}

@@ -107,6 +107,7 @@ impl Runner {
         }
         let mut samples_ns: Vec<f64> = Vec::with_capacity(self.iters as usize);
         for _ in 0..self.iters {
+            // simlint: allow(determinism): benchmarking measures real wall time by design
             let t0 = Instant::now();
             bb(f());
             samples_ns.push(t0.elapsed().as_nanos() as f64);
