@@ -25,6 +25,7 @@ pub mod exp_sweep;
 pub mod exp_theorems;
 pub mod exp_vivace;
 pub mod fig1;
+pub mod perfbench;
 pub mod fig2;
 pub mod fig3;
 pub mod fig7;

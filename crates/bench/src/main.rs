@@ -29,7 +29,13 @@
 //!              vivace-lossy)
 //!   lint       run the simlint workspace invariant checks
 //!              ([--json] [--deny-warnings]; exits 1 on findings)
-//!   all        everything above (CSV into results/; excludes lint)
+//!   perfbench  hot-path performance suite (EventQueue micro-benches,
+//!              canonical-scenario and sweep macro-benches); appends
+//!              labelled records to BENCH_netsim.json at the repo root
+//!              ([--label NAME], default "dev"; --check validates the
+//!              file's schema and exits without benchmarking)
+//!   all        everything above (CSV into results/; excludes lint and
+//!              perfbench)
 //!
 //! --jobs N     worker threads for the sweep-engine experiments
 //!              (default: available parallelism; CSV output is
@@ -265,6 +271,57 @@ fn run_lint(args: &[String]) -> ! {
     std::process::exit(if report.failed(deny_warnings) { 1 } else { 0 });
 }
 
+/// `repro perfbench [--quick] [--label NAME] [--check]`: run the hot-path
+/// performance suite, appending labelled records to `BENCH_netsim.json`
+/// at the repo root. `--check` only validates the committed trajectory's
+/// schema (CI runs it after the quick suite).
+fn run_perfbench(args: &[String]) {
+    let check_only = args.iter().any(|a| a == "--check");
+    if check_only {
+        let path = perfbench::trajectory_path();
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        match perfbench::validate(&text) {
+            Ok(n) => println!("perfbench: {} valid {} record(s) in {}", n, perfbench::SCHEMA, path.display()),
+            Err(e) => {
+                eprintln!("error: {} failed schema validation: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        match perfbench::compare(&text) {
+            Ok(lines) => {
+                for l in lines {
+                    println!("{l}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut label = String::from("dev");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--label" {
+            match it.next() {
+                Some(v) => label = v.clone(),
+                None => {
+                    eprintln!("error: --label expects a name");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--label=") {
+            label = v.to_string();
+        }
+    }
+    perfbench::run(quick, &label);
+}
+
 /// Parse `--jobs N` / `--jobs=N`. Returns available parallelism when the
 /// flag is absent; exits with a usage message when it is malformed.
 fn parse_jobs(args: &[String]) -> usize {
@@ -305,8 +362,9 @@ fn main() {
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            // Skip flags and --jobs' value.
-            !a.starts_with("--") && (*i == 0 || args[*i - 1] != "--jobs")
+            // Skip flags and the values of --jobs / --label.
+            !a.starts_with("--")
+                && (*i == 0 || (args[*i - 1] != "--jobs" && args[*i - 1] != "--label"))
         })
         .map(|(_, a)| a.as_str())
         .collect();
@@ -335,6 +393,7 @@ fn main() {
         "sweep" => run_sweep(quick, jobs),
         "trace" => run_trace(positional.get(1).copied()),
         "lint" => run_lint(&args),
+        "perfbench" => run_perfbench(&args),
         "all" => {
             run_glossary();
             run_fig1(quick);
@@ -357,7 +416,7 @@ fn main() {
         }
         _ => {
             println!(
-                "usage: repro <glossary|fig1|fig2|fig3|thm|fig7|copa|bbr|vivace|allegro|merit|algo1|ccmc|ablations|ecn|boundary|seeds|sweep|trace|lint|all> [--quick] [--jobs N] [--progress] [--audit]"
+                "usage: repro <glossary|fig1|fig2|fig3|thm|fig7|copa|bbr|vivace|allegro|merit|algo1|ccmc|ablations|ecn|boundary|seeds|sweep|trace|lint|perfbench|all> [--quick] [--jobs N] [--progress] [--audit] [--label NAME] [--check]"
             );
             return;
         }

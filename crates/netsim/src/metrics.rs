@@ -66,8 +66,16 @@ impl FlowMetrics {
     }
 
     /// Mean throughput over a window `[a, b]` (delivered delta / elapsed).
+    ///
+    /// An empty or inverted window (`b <= a`) yields [`Rate::ZERO`]: it
+    /// arises legitimately when a flow starts within `window` of the run's
+    /// end (or exactly at it) and `steady_throughputs` clamps the window
+    /// start to the flow start. Such a flow delivered nothing steady-state
+    /// — zero is the honest answer, not a panic.
     pub fn throughput_over(&self, a: Time, b: Time) -> Rate {
-        assert!(b > a);
+        if b <= a {
+            return Rate::ZERO;
+        }
         let d_a = self.delivered.value_at(a).unwrap_or(0.0);
         let d_b = self.delivered.value_at(b).unwrap_or(0.0);
         Rate::from_bytes_per_sec((d_b - d_a).max(0.0) / b.since(a).as_secs_f64())
@@ -186,6 +194,36 @@ mod tests {
         m.delivered.push(Time::from_secs(2), 1e6);
         // 1 MB over 1 s since start = 8 Mbit/s.
         assert!((m.throughput_at(Time::from_secs(2)).mbps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_over_empty_or_inverted_window_is_zero() {
+        let m = metrics_with_delivery();
+        let t = Time::from_secs(1);
+        assert_eq!(m.throughput_over(t, t), Rate::ZERO);
+        assert_eq!(m.throughput_over(Time::from_secs(2), t), Rate::ZERO);
+    }
+
+    #[test]
+    fn steady_throughputs_with_late_starting_flow() {
+        // Regression: a flow starting within `window` of the run's end
+        // (here: exactly at it) clamps the window to an empty interval,
+        // which used to panic. It must report zero steady throughput.
+        let mut early = FlowMetrics::new(Time::ZERO);
+        early.delivered.push(Time::from_secs(5), 5e6);
+        let late = FlowMetrics::new(Time::from_secs(5));
+        let inside = FlowMetrics::new(Time::from_secs(4));
+        let r = SimResult {
+            flows: vec![early, late, inside],
+            utilization: 0.9,
+            drops: vec![0, 0, 0],
+            jitter_clamps: vec![0, 0, 0],
+            end: Time::from_secs(5),
+        };
+        let steady = r.steady_throughputs(Dur::from_secs(2));
+        assert!(steady[0].mbps() > 0.0);
+        assert_eq!(steady[1], Rate::ZERO);
+        assert_eq!(steady[2], Rate::ZERO); // started inside window, no delivery
     }
 
     #[test]

@@ -4,15 +4,26 @@
 use crate::config::AckPolicy;
 use crate::packet::{Ack, FlowId, Packet};
 use simcore::units::{count_as_u64, Time};
-use std::collections::BTreeSet;
+use simcore::InlineVec;
+
+/// ACK batch released by one receiver event. Inline capacity covers every
+/// reliable-mode path (at most one ACK) and typical delayed datagram
+/// flushes; larger datagram bursts spill to the heap.
+pub type AckBatch = InlineVec<Ack, 4>;
 
 /// What the receiver wants done after processing an event.
 #[derive(Clone, Debug, Default)]
 pub struct RxOutput {
     /// ACKs to send immediately (datagram receivers may release several).
-    pub acks: Vec<Ack>,
+    pub acks: AckBatch,
     /// Arm (or re-arm) the flush timer at this time.
     pub arm_flush: Option<Time>,
+}
+
+fn one_ack(ack: Ack) -> AckBatch {
+    let mut acks = AckBatch::new();
+    acks.push(ack);
+    acks
 }
 
 impl RxOutput {
@@ -36,6 +47,81 @@ struct Held {
     ecn: bool,
 }
 
+/// Out-of-order sequence numbers above the cumulative point, kept as a
+/// sorted list of maximal contiguous inclusive ranges.
+///
+/// The per-seq `BTreeSet` this replaced made every ACK pay an `O(holes)`
+/// rescan to build SACK blocks; with coalesced ranges the blocks are just
+/// the top (up to) three entries, read off in `O(1)` per ACK, and inserts
+/// are a binary search plus at most one merge. The range list is tiny in
+/// practice (a loss episode's worth of holes), so the `Vec` shifts on
+/// insert/absorb are cheap.
+#[derive(Clone, Debug, Default)]
+struct OooRanges {
+    /// Sorted, disjoint, non-adjacent (maximal) inclusive ranges.
+    ranges: Vec<(u64, u64)>,
+    /// Total sequence numbers across all ranges.
+    count: u64,
+}
+
+impl OooRanges {
+    fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn contains(&self, seq: u64) -> bool {
+        let idx = self.ranges.partition_point(|&(lo, _)| lo <= seq);
+        idx > 0 && self.ranges[idx - 1].1 >= seq
+    }
+
+    /// Insert a sequence number known to be absent (callers check
+    /// `contains` first), merging with adjacent ranges to stay maximal.
+    fn insert(&mut self, seq: u64) {
+        debug_assert!(!self.contains(seq));
+        let idx = self.ranges.partition_point(|&(lo, _)| lo <= seq);
+        let merges_prev = idx > 0 && self.ranges[idx - 1].1 + 1 == seq;
+        let merges_next = idx < self.ranges.len() && seq + 1 == self.ranges[idx].0;
+        match (merges_prev, merges_next) {
+            (true, true) => {
+                self.ranges[idx - 1].1 = self.ranges[idx].1;
+                self.ranges.remove(idx);
+            }
+            (true, false) => self.ranges[idx - 1].1 = seq,
+            (false, true) => self.ranges[idx].0 = seq,
+            (false, false) => self.ranges.insert(idx, (seq, seq)),
+        }
+        self.count += 1;
+    }
+
+    /// If the lowest range starts exactly at `next`, absorb it and return
+    /// the new cumulative point (one past the range). Mirrors the old
+    /// per-seq `while remove(next) { next += 1 }` loop: ranges are maximal,
+    /// so the whole contiguous run goes at once.
+    fn absorb_from(&mut self, next: u64) -> Option<u64> {
+        let &(lo, hi) = self.ranges.first()?;
+        if lo != next {
+            return None;
+        }
+        self.ranges.remove(0);
+        self.count -= hi - lo + 1;
+        Some(hi + 1)
+    }
+
+    /// The three highest ranges, highest first — exactly the blocks the old
+    /// reverse scan over individual sequence numbers produced.
+    fn blocks(&self) -> [Option<(u64, u64)>; 3] {
+        let mut blocks: [Option<(u64, u64)>; 3] = [None; 3];
+        for (slot, &range) in blocks.iter_mut().zip(self.ranges.iter().rev()) {
+            *slot = Some(range);
+        }
+        blocks
+    }
+}
+
 /// Receiving endpoint of one flow.
 #[derive(Clone, Debug)]
 pub struct Receiver {
@@ -44,7 +130,7 @@ pub struct Receiver {
     /// Next in-order sequence expected.
     next_expected: u64,
     /// Out-of-order packets held above the cumulative point.
-    ooo: BTreeSet<u64>,
+    ooo: OooRanges,
     held: Option<Held>,
     /// Datagram mode: per-packet ACKs awaiting release.
     pending: Vec<Held>,
@@ -63,7 +149,7 @@ impl Receiver {
             flow,
             policy,
             next_expected: 0,
-            ooo: BTreeSet::new(),
+            ooo: OooRanges::default(),
             held: None,
             pending: Vec::new(),
             datagram: false,
@@ -96,36 +182,11 @@ impl Receiver {
             ooo_count: count_as_u64(self.ooo.len()),
             ecn_echo: held.ecn,
             sack_seq: None,
-            sack_blocks: self.sack_blocks(),
+            // The three most recent contiguous out-of-order ranges (RFC
+            // 2018 reports the newest blocks first; "recent" = highest),
+            // maintained incrementally by [`OooRanges`].
+            sack_blocks: self.ooo.blocks(),
         }
-    }
-
-    /// The three most recent contiguous out-of-order ranges (RFC 2018
-    /// reports the newest blocks first; "recent" here means highest).
-    fn sack_blocks(&self) -> [Option<(u64, u64)>; 3] {
-        let mut blocks: [Option<(u64, u64)>; 3] = [None; 3];
-        let mut n = 0;
-        let mut cur: Option<(u64, u64)> = None;
-        for &seq in self.ooo.iter().rev() {
-            match cur {
-                None => cur = Some((seq, seq)),
-                Some((lo, hi)) if seq + 1 == lo => cur = Some((seq, hi)),
-                Some(done) => {
-                    blocks[n] = Some(done);
-                    n += 1;
-                    if n == 3 {
-                        return blocks;
-                    }
-                    cur = Some((seq, seq));
-                }
-            }
-        }
-        if let Some(done) = cur {
-            if n < 3 {
-                blocks[n] = Some(done);
-            }
-        }
-        blocks
     }
 
     fn make_sack(&self, held: Held) -> Ack {
@@ -168,7 +229,7 @@ impl Receiver {
                     let deadline = now + timeout;
                     self.flush_deadline = Some(deadline);
                     RxOutput {
-                        acks: Vec::new(),
+                        acks: AckBatch::new(),
                         arm_flush: Some(deadline),
                     }
                 } else {
@@ -182,7 +243,7 @@ impl Receiver {
                     let deadline = Time(next);
                     self.flush_deadline = Some(deadline);
                     RxOutput {
-                        acks: Vec::new(),
+                        acks: AckBatch::new(),
                         arm_flush: Some(deadline),
                     }
                 } else {
@@ -192,8 +253,9 @@ impl Receiver {
         }
     }
 
-    fn drain_pending(&mut self) -> Vec<Ack> {
+    fn drain_pending(&mut self) -> AckBatch {
         let pending = std::mem::take(&mut self.pending);
+        // simlint: allow(hot-path-alloc): collects into AckBatch (InlineVec) — inline storage, no heap at delayed-ack batch sizes
         pending.into_iter().map(|h| self.make_sack(h)).collect()
     }
 
@@ -203,13 +265,13 @@ impl Receiver {
         if self.datagram {
             return self.datagram_on_data(now, pkt);
         }
-        let duplicate = pkt.seq < self.next_expected || self.ooo.contains(&pkt.seq);
+        let duplicate = pkt.seq < self.next_expected || self.ooo.contains(pkt.seq);
         let in_order = pkt.seq == self.next_expected;
         if in_order {
             self.next_expected += 1;
             // Absorb any contiguous out-of-order run.
-            while self.ooo.remove(&self.next_expected) {
-                self.next_expected += 1;
+            if let Some(next) = self.ooo.absorb_from(self.next_expected) {
+                self.next_expected = next;
             }
         } else if !duplicate {
             self.ooo.insert(pkt.seq);
@@ -235,7 +297,7 @@ impl Receiver {
             AckPolicy::PerPacket => {
                 self.held = None;
                 RxOutput {
-                    acks: vec![self.make_ack(held)],
+                    acks: one_ack(self.make_ack(held)),
                     arm_flush: None,
                 }
             }
@@ -248,14 +310,14 @@ impl Receiver {
                     self.held = None;
                     self.flush_deadline = None;
                     RxOutput {
-                        acks: vec![self.make_ack(held)],
+                        acks: one_ack(self.make_ack(held)),
                         arm_flush: None,
                     }
                 } else if self.flush_deadline.is_none() {
                     let deadline = now + timeout;
                     self.flush_deadline = Some(deadline);
                     RxOutput {
-                        acks: Vec::new(),
+                        acks: AckBatch::new(),
                         arm_flush: Some(deadline),
                     }
                 } else {
@@ -271,7 +333,7 @@ impl Receiver {
                     let deadline = Time(next);
                     self.flush_deadline = Some(deadline);
                     RxOutput {
-                        acks: Vec::new(),
+                        acks: AckBatch::new(),
                         arm_flush: Some(deadline),
                     }
                 } else {
@@ -283,17 +345,17 @@ impl Receiver {
 
     /// The flush timer fired (the caller passes the deadline the event was
     /// scheduled for; stale timers are ignored).
-    pub fn on_flush(&mut self, deadline: Time) -> Vec<Ack> {
+    pub fn on_flush(&mut self, deadline: Time) -> AckBatch {
         if self.flush_deadline != Some(deadline) {
-            return Vec::new(); // superseded
+            return AckBatch::new(); // superseded
         }
         self.flush_deadline = None;
         if self.datagram {
             return self.drain_pending();
         }
         match self.held.take() {
-            Some(held) => vec![self.make_ack(held)],
-            None => Vec::new(),
+            Some(held) => one_ack(self.make_ack(held)),
+            None => AckBatch::new(),
         }
     }
 }

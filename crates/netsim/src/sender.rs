@@ -294,10 +294,13 @@ impl Sender {
         let echo = self.outstanding.get(&ack.echo_seq).copied();
         for block in ack.sack_blocks.iter().flatten() {
             let (lo, hi) = *block;
-            for seq in lo..=hi {
-                if self.outstanding.remove(&seq).is_some() {
-                    self.sacked.insert(seq);
-                }
+            // Walk only the sequences still outstanding inside the block.
+            // Blocks repeat on every ACK of a loss episode and are mostly
+            // already merged; probing each seq in `lo..=hi` made this the
+            // simulator's hottest loop.
+            while let Some((&seq, _)) = self.outstanding.range(lo..=hi).next() {
+                self.outstanding.remove(&seq);
+                self.sacked.insert(seq);
             }
         }
 

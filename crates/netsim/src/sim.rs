@@ -263,20 +263,22 @@ impl Network {
     /// CCA state (cloned). The theorem constructions use the snapshots as
     /// the "converged initial states" of the 2-flow scenario (proof step 3).
     pub fn run_capture(mut self) -> (SimResult, Vec<cca::BoxCca>) {
+        // Diagnostic event tally, read once so the per-event bookkeeping is
+        // a predictable branch instead of an env lookup (or, previously, an
+        // unconditional array write) in the hot loop.
+        let evstats = std::env::var_os("NETSIM_EVSTATS").is_some();
         let mut evcount = [0u64; 6];
-        while let Some(t) = self.q.peek_time() {
-            if t > self.end {
-                break;
+        while let Some((now, ev)) = self.q.pop_at_or_before(self.end) {
+            if evstats {
+                evcount[match ev {
+                    Ev::Wake(_) => 0,
+                    Ev::Depart => 1,
+                    Ev::DataArrive(_) => 2,
+                    Ev::AckArrive(_) => 3,
+                    Ev::RxFlush(..) => 4,
+                    Ev::Rto(..) => 5,
+                }] += 1;
             }
-            let (now, ev) = self.q.pop().expect("peeked");
-            evcount[match ev {
-                Ev::Wake(_) => 0,
-                Ev::Depart => 1,
-                Ev::DataArrive(_) => 2,
-                Ev::AckArrive(_) => 3,
-                Ev::RxFlush(..) => 4,
-                Ev::Rto(..) => 5,
-            }] += 1;
             match ev {
                 Ev::Wake(f) => {
                     if self.wake_armed[f] == Some(now) {
@@ -357,7 +359,8 @@ impl Network {
                         let acct = s.accounting();
                         let cwnd = s.cwnd();
                         let pacing = s.cca().pacing_rate();
-                        let mut probes: Vec<(&'static str, f64)> = Vec::new();
+                        let mut probes: simcore::InlineVec<(&'static str, f64), 4> =
+                            simcore::InlineVec::new();
                         s.cca().internals(&mut |k, v| probes.push((k, v)));
                         if let Some(tr) = self.trace.as_mut() {
                             tr.event(
@@ -401,7 +404,7 @@ impl Network {
         }
         // Diagnostic: set NETSIM_EVSTATS=1 to print per-run event counts
         // (this is how the pacing-timer duplication bug was found).
-        if std::env::var_os("NETSIM_EVSTATS").is_some() {
+        if evstats {
             eprintln!(
                 "evstats: wake={} depart={} data={} ack={} flush={} rto={} heap={}",
                 evcount[0], evcount[1], evcount[2], evcount[3], evcount[4], evcount[5],
@@ -419,10 +422,14 @@ impl Network {
             }
         }
         let utilization = self.link.utilization(end);
+        // simlint: allow(hot-path-alloc): end-of-run result assembly, once per run
         let drops = (0..self.senders.len()).map(|f| self.link.drops(f)).collect();
+        // simlint: allow(hot-path-alloc): end-of-run result assembly, once per run
         let jitter_clamps = self.jitters.iter().map(|j| j.clamp_violations()).collect();
+        // simlint: allow(hot-path-alloc): end-of-run result assembly, once per run
         let ccas: Vec<cca::BoxCca> = self.senders.iter().map(|s| s.cca_snapshot()).collect();
         let result = SimResult {
+            // simlint: allow(hot-path-alloc): end-of-run result assembly, once per run
             flows: self.senders.into_iter().map(|s| s.metrics).collect(),
             utilization,
             drops,

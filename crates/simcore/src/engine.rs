@@ -8,34 +8,15 @@
 //! The queue is generic over the event payload; the network simulator in
 //! `netsim` instantiates it with its own event enum. There is no trait-object
 //! dispatch or async machinery — the main loop is a plain `while let`.
+//!
+//! Storage is a hierarchical timer wheel ([`crate::wheel::TimerWheel`]):
+//! near-horizon schedule/pop are `O(1)` bitmap operations instead of
+//! `O(log n)` heap sifts, with the exact same `(time, seq)` firing order the
+//! original binary heap produced — golden-trace digests are bit-identical
+//! across the swap.
 
 use crate::units::{Dur, Time};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-struct Entry<E> {
-    at: Time,
-    seq: u64,
-    ev: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, o: &Self) -> bool {
-        self.at == o.at && self.seq == o.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
-        Some(self.cmp(o))
-    }
-}
-impl<E> Ord for Entry<E> {
-    // Reversed: BinaryHeap is a max-heap, we want earliest (time, seq) first.
-    fn cmp(&self, o: &Self) -> Ordering {
-        (o.at, o.seq).cmp(&(self.at, self.seq))
-    }
-}
+use crate::wheel::TimerWheel;
 
 /// A deterministic future-event list.
 ///
@@ -43,9 +24,7 @@ impl<E> Ord for Entry<E> {
 /// the event's timestamp. Scheduling an event in the past is a bug and
 /// panics.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    seq: u64,
-    now: Time,
+    wheel: TimerWheel<E>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -58,15 +37,13 @@ impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            now: Time::ZERO,
+            wheel: TimerWheel::new(),
         }
     }
 
     /// Current simulated time (timestamp of the last popped event).
     pub fn now(&self) -> Time {
-        self.now
+        self.wheel.now()
     }
 
     /// Schedule `ev` to fire at absolute time `at`.
@@ -74,46 +51,41 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is before the current time — the simulation can never
     /// act on the past.
     pub fn schedule_at(&mut self, at: Time, ev: E) {
-        assert!(
-            at >= self.now,
-            "scheduling into the past: at={at:?} now={:?}",
-            self.now
-        );
-        self.heap.push(Entry {
-            at,
-            seq: self.seq,
-            ev,
-        });
-        self.seq += 1;
+        self.wheel.schedule_at(at, ev);
     }
 
     /// Schedule `ev` to fire `after` from now.
     pub fn schedule_after(&mut self, after: Dur, ev: E) {
-        let at = self.now.saturating_add(after);
+        let at = self.now().saturating_add(after);
         self.schedule_at(at, ev);
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        let e = self.heap.pop()?;
-        debug_assert!(e.at >= self.now);
-        self.now = e.at;
-        Some((e.at, e.ev))
+        self.wheel.pop()
+    }
+
+    /// Pop the earliest event only if its timestamp is `<= limit`;
+    /// otherwise leave the queue untouched and return `None`. The
+    /// simulator's main loop uses this in place of `peek_time` + `pop` so
+    /// the next-event search runs once per event.
+    pub fn pop_at_or_before(&mut self, limit: Time) -> Option<(Time, E)> {
+        self.wheel.pop_at_or_before(limit)
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
+        self.wheel.peek_time()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
     }
 }
 

@@ -1,0 +1,284 @@
+//! A small vector that stores up to `N` elements inline, spilling to a
+//! heap `Vec` only when it grows past `N`.
+//!
+//! The per-event hot paths in `netsim` (ACK emission, trace probes) carry
+//! tiny, bounded collections — almost always 0 or 1 elements, rarely more
+//! than a delayed-ACK flush's worth. Allocating a `Vec` per event turns
+//! into malloc/free churn that dominates the simulator's profile at scale.
+//! `InlineVec<T, 4>` keeps the common case entirely on the stack while
+//! preserving `Vec`-like ergonomics (`push`, indexing, iteration,
+//! `IntoIterator`) and having no unsafe code: inline storage is
+//! `[Option<T>; N]`, which the compiler lays out densely for the payload
+//! types used here.
+//!
+//! This is deliberately *not* a general-purpose smallvec: no `remove`, no
+//! `Deref<Target=[T]>`, no capacity tuning. The simulator only ever
+//! appends, reads and drains — a minimal API is easier to keep obviously
+//! correct.
+
+/// Growable vector with inline storage for the first `N` elements.
+#[derive(Clone, Debug)]
+pub struct InlineVec<T, const N: usize> {
+    inner: Inner<T, N>,
+}
+
+#[derive(Clone, Debug)]
+enum Inner<T, const N: usize> {
+    Inline { arr: [Option<T>; N], len: usize },
+    Heap(Vec<T>),
+}
+
+impl<T, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// An empty vector. Does not allocate.
+    pub fn new() -> Self {
+        InlineVec {
+            inner: Inner::Inline {
+                arr: std::array::from_fn(|_| None),
+                len: 0,
+            },
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Inner::Inline { len, .. } => *len,
+            Inner::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append an element, spilling to the heap past `N` elements.
+    pub fn push(&mut self, value: T) {
+        match &mut self.inner {
+            Inner::Inline { arr, len } => {
+                if *len < N {
+                    arr[*len] = Some(value);
+                    *len += 1;
+                } else {
+                    let mut v: Vec<T> = Vec::with_capacity(N + 1);
+                    v.extend(arr.iter_mut().filter_map(Option::take));
+                    v.push(value);
+                    self.inner = Inner::Heap(v);
+                }
+            }
+            Inner::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Remove all elements. Inline storage is retained; a spilled heap
+    /// buffer is dropped so the vector is allocation-free again.
+    pub fn clear(&mut self) {
+        *self = Self::new();
+    }
+
+    /// Borrow the element at `index`, or `None` past the end.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        match &self.inner {
+            Inner::Inline { arr, len } => {
+                if index < *len {
+                    arr[index].as_ref()
+                } else {
+                    None
+                }
+            }
+            Inner::Heap(v) => v.get(index),
+        }
+    }
+
+    /// Iterate over borrowed elements in insertion order.
+    pub fn iter(&self) -> Iter<'_, T> {
+        match &self.inner {
+            Inner::Inline { arr, len } => Iter::Inline(arr[..*len].iter()),
+            Inner::Heap(v) => Iter::Heap(v.iter()),
+        }
+    }
+}
+
+impl<T, const N: usize> std::ops::Index<usize> for InlineVec<T, N> {
+    type Output = T;
+    fn index(&self, index: usize) -> &T {
+        self.get(index).expect("InlineVec index out of bounds")
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+/// Borrowing iterator over an [`InlineVec`].
+pub enum Iter<'a, T> {
+    /// Inline storage: the slice of occupied `Option` cells.
+    Inline(std::slice::Iter<'a, Option<T>>),
+    /// Spilled storage.
+    Heap(std::slice::Iter<'a, T>),
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        match self {
+            // Cells below `len` are always `Some`; `and_then` just unwraps
+            // without a panic path.
+            Iter::Inline(it) => it.next().and_then(Option::as_ref),
+            Iter::Heap(it) => it.next(),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Iter::Inline(it) => it.size_hint(),
+            Iter::Heap(it) => it.size_hint(),
+        }
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Owning iterator over an [`InlineVec`].
+pub enum IntoIter<T, const N: usize> {
+    /// Inline storage: occupied cells yield, trailing `None`s are skipped
+    /// by the `Flatten`.
+    Inline(std::iter::Flatten<std::array::IntoIter<Option<T>, N>>),
+    /// Spilled storage.
+    Heap(std::vec::IntoIter<T>),
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        match self {
+            IntoIter::Inline(it) => it.next(),
+            IntoIter::Heap(it) => it.next(),
+        }
+    }
+}
+
+impl<T, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> IntoIter<T, N> {
+        match self.inner {
+            Inner::Inline { arr, .. } => IntoIter::Inline(arr.into_iter().flatten()),
+            Inner::Heap(v) => IntoIter::Heap(v.into_iter()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_inline() {
+        let v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.get(0), None);
+        assert_eq!(v.iter().count(), 0);
+        assert_eq!(v.into_iter().count(), 0);
+    }
+
+    #[test]
+    fn push_and_index_within_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i * 10);
+        }
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[0], 0);
+        assert_eq!(v[3], 30);
+        assert!(matches!(v.inner, Inner::Inline { .. }));
+        let collected: Vec<u32> = v.iter().copied().collect();
+        assert_eq!(collected, vec![0, 10, 20, 30]);
+        let owned: Vec<u32> = v.into_iter().collect();
+        assert_eq!(owned, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn spills_past_capacity_preserving_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(matches!(v.inner, Inner::Heap(_)));
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[4], 4);
+        let collected: Vec<u32> = v.iter().copied().collect();
+        assert_eq!(collected, vec![0, 1, 2, 3, 4]);
+        let owned: Vec<u32> = v.into_iter().collect();
+        assert_eq!(owned, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_out_of_bounds_panics() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        v.push(1);
+        let _ = v[1];
+    }
+
+    #[test]
+    fn clear_resets_to_inline() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        v.clear();
+        assert!(v.is_empty());
+        assert!(matches!(v.inner, Inner::Inline { .. }));
+        v.push(7);
+        assert_eq!(v[0], 7);
+    }
+
+    #[test]
+    fn equality_and_from_iter() {
+        let a: InlineVec<u32, 4> = (0..3).collect();
+        let b: InlineVec<u32, 4> = (0..3).collect();
+        let c: InlineVec<u32, 4> = (0..6).collect(); // spilled
+        assert_eq!(a, b);
+        assert!(a != c);
+        let d: InlineVec<u32, 4> = c.iter().copied().take(3).collect();
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn clone_of_spilled_and_inline() {
+        let mut v: InlineVec<String, 2> = InlineVec::new();
+        v.push("a".into());
+        let w = v.clone();
+        assert_eq!(w[0], "a");
+        v.push("b".into());
+        v.push("c".into());
+        let s = v.clone();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[2], "c");
+    }
+}

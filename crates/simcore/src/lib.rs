@@ -9,8 +9,14 @@
 //! * [`units`] — strongly-typed simulated time ([`Time`], [`Dur`]) and
 //!   rates ([`Rate`]). Time is integer nanoseconds, so event ordering is
 //!   exact and runs are bit-reproducible.
-//! * [`engine`] — a minimal binary-heap event queue with deterministic
-//!   tie-breaking.
+//! * [`engine`] — the event queue API with deterministic tie-breaking,
+//!   backed by [`wheel`].
+//! * [`wheel`] — a hierarchical timer wheel: `O(1)` near-horizon
+//!   schedule/pop with the exact `(time, seq)` firing order of a binary
+//!   heap, plus an overflow heap for the far future.
+//! * [`inlinevec`] — a small-capacity inline vector that spills to the heap
+//!   only past `N` elements; used to keep per-event hot paths in `netsim`
+//!   allocation-free.
 //! * [`par`] — a scoped worker pool over an indexed job queue: order-
 //!   preserving, panic-isolating, std-only. The execution layer under the
 //!   experiment sweeps (`starvation::sweep`).
@@ -32,14 +38,17 @@
 
 pub mod engine;
 pub mod filter;
+pub mod inlinevec;
 pub mod par;
 pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod trace;
 pub mod units;
+pub mod wheel;
 
 pub use engine::EventQueue;
+pub use inlinevec::InlineVec;
 pub use rng::Xoshiro256;
 pub use series::TimeSeries;
 pub use units::{Dur, Rate, Time};

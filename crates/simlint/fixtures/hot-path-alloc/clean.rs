@@ -1,0 +1,21 @@
+//! SL007 fixture: event-handling code that stays allocation-free, plus
+//! the two sanctioned escapes — allocation in a non-event fn, and a
+//! justified `allow` on a genuinely once-per-run site.
+
+pub fn build_state(n: usize) -> Vec<u64> {
+    let mut v = Vec::new(); // constructors may allocate: not an event fn
+    v.reserve(n);
+    v
+}
+
+pub fn on_data(buf: &mut Vec<u64>, seq: u64) -> usize {
+    buf.push(seq); // reuses the caller-owned buffer: nothing per event
+    buf.len()
+}
+
+pub fn on_flush(buf: &mut Vec<u64>) -> Vec<u64> {
+    // simlint: allow(hot-path-alloc): runs once at end of run, not per event
+    let out: Vec<u64> = buf.iter().copied().collect();
+    buf.clear();
+    out
+}

@@ -44,6 +44,8 @@ pub enum RuleId {
     TraceExhaustiveness,
     /// SL006 — registry dependencies in workspace manifests.
     DepHygiene,
+    /// SL007 — per-event heap allocation in netsim's event-handling fns.
+    HotPathAlloc,
 }
 
 /// Every rule, in ID order — the registry the CLI lists and the engine runs.
@@ -55,6 +57,7 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::UnitCast,
     RuleId::TraceExhaustiveness,
     RuleId::DepHygiene,
+    RuleId::HotPathAlloc,
 ];
 
 impl RuleId {
@@ -68,6 +71,7 @@ impl RuleId {
             RuleId::UnitCast => "SL004",
             RuleId::TraceExhaustiveness => "SL005",
             RuleId::DepHygiene => "SL006",
+            RuleId::HotPathAlloc => "SL007",
         }
     }
 
@@ -81,6 +85,7 @@ impl RuleId {
             RuleId::UnitCast => "unit-cast",
             RuleId::TraceExhaustiveness => "trace-exhaustiveness",
             RuleId::DepHygiene => "dep-hygiene",
+            RuleId::HotPathAlloc => "hot-path-alloc",
         }
     }
 
@@ -94,6 +99,7 @@ impl RuleId {
             RuleId::UnitCast => Severity::Warning,
             RuleId::TraceExhaustiveness => Severity::Error,
             RuleId::DepHygiene => Severity::Error,
+            RuleId::HotPathAlloc => Severity::Warning,
         }
     }
 
@@ -115,6 +121,10 @@ impl RuleId {
                 "wildcard arm in a match over trace::Event (new events would be silently dropped)"
             }
             RuleId::DepHygiene => "registry dependency in a workspace manifest (must be path-only)",
+            RuleId::HotPathAlloc => {
+                "heap allocation (Vec::new, vec![], Box::new, .collect(), .to_vec()) inside an \
+                 event-handling fn on the simulator hot path"
+            }
         }
     }
 
@@ -204,7 +214,10 @@ mod tests {
     #[test]
     fn ids_are_stable_and_unique() {
         let ids: Vec<&str> = ALL_RULES.iter().map(|r| r.id()).collect();
-        assert_eq!(ids, vec!["SL000", "SL001", "SL002", "SL003", "SL004", "SL005", "SL006"]);
+        assert_eq!(
+            ids,
+            vec!["SL000", "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007"]
+        );
         let slugs: std::collections::BTreeSet<&str> = ALL_RULES.iter().map(|r| r.slug()).collect();
         assert_eq!(slugs.len(), ALL_RULES.len());
     }

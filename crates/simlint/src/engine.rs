@@ -40,6 +40,8 @@ pub struct Config {
     pub float_scope: Vec<String>,
     /// Sources held to the unit-cast rule (SL004).
     pub cast_scope: Vec<String>,
+    /// Hot-path files held allocation-free per event (SL007).
+    pub alloc_scope: Vec<String>,
     /// Files exempt from the determinism rule (SL001) wholesale. Empty for
     /// this workspace: the four legitimate wall-clock sites carry explicit
     /// justified `allow` directives instead, so each exemption is visible
@@ -59,6 +61,13 @@ impl Config {
             panic_scope: lib.iter().map(|s| s.to_string()).collect(),
             float_scope: lib.iter().map(|s| s.to_string()).collect(),
             cast_scope: vec!["crates/netsim/src".to_string()],
+            // The per-event bodies the perfbench suite measures: the sim
+            // loop, the receiver's ACK machinery, the bottleneck queue.
+            alloc_scope: vec![
+                "crates/netsim/src/sim.rs".to_string(),
+                "crates/netsim/src/receiver.rs".to_string(),
+                "crates/netsim/src/link.rs".to_string(),
+            ],
             determinism_allow: Vec::new(),
             skip_dirs: vec![
                 "target".to_string(),
@@ -79,6 +88,7 @@ impl Config {
             panic_scope: vec![String::new()],
             float_scope: vec![String::new()],
             cast_scope: vec![String::new()],
+            alloc_scope: vec![String::new()],
             determinism_allow: Vec::new(),
             skip_dirs: vec!["target".to_string(), ".git".to_string()],
         }
@@ -249,6 +259,9 @@ pub fn lint_rust(cfg: &Config, rel: &str, src: &str) -> Vec<Diagnostic> {
     }
     if Config::in_scope(&cfg.cast_scope, rel) {
         rules::unit_cast(rel, &code, &spans, &mut raw);
+    }
+    if Config::in_scope(&cfg.alloc_scope, rel) {
+        rules::hot_path_alloc(rel, &code, &spans, &mut raw);
     }
     rules::trace_exhaustiveness(rel, &code, &mut raw);
 

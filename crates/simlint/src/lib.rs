@@ -27,6 +27,7 @@
 //! | SL004 | unit-cast | warning | raw `as f64`/`as u64` unit casts in `netsim` |
 //! | SL005 | trace-exhaustiveness | error | wildcard arms in `match` over `trace::Event` |
 //! | SL006 | dep-hygiene | error | registry/git dependencies in any manifest |
+//! | SL007 | hot-path-alloc | warning | heap allocation in netsim's per-event fns |
 
 pub mod diag;
 pub mod engine;
@@ -109,6 +110,18 @@ pub const FIXTURES: &[(RuleId, &str, &str, bool)] = &[
         RuleId::DepHygiene,
         "fixtures/dep-hygiene/clean.toml",
         include_str!("../fixtures/dep-hygiene/clean.toml"),
+        false,
+    ),
+    (
+        RuleId::HotPathAlloc,
+        "fixtures/hot-path-alloc/bad.rs",
+        include_str!("../fixtures/hot-path-alloc/bad.rs"),
+        true,
+    ),
+    (
+        RuleId::HotPathAlloc,
+        "fixtures/hot-path-alloc/clean.rs",
+        include_str!("../fixtures/hot-path-alloc/clean.rs"),
         false,
     ),
     (

@@ -445,6 +445,120 @@ fn analyze_pattern(pat: &[Token], wildcards: &mut Vec<(u32, u32, String)>) {
     }
 }
 
+/// Event-handling functions held allocation-free by SL007, beyond the
+/// `on_*` naming convention. These are the bodies executed once per
+/// simulated event (or per packet/ACK within one): the per-event loop
+/// itself, the send/receive handlers it dispatches to, and the bottleneck
+/// queue operations. Constructors, prefill/warm-start helpers, and
+/// analysis code in the same files are deliberately absent — allocating
+/// once per run is fine.
+const HOT_FNS: &[&str] = &[
+    "run_capture",
+    "pump",
+    "inject",
+    "arm_rto",
+    "process_ack",
+    "try_emit",
+    "enqueue",
+    "depart",
+    "datagram_on_data",
+    "drain_pending",
+    "make_ack",
+    "make_sack",
+    "one_ack",
+];
+
+fn is_hot_fn(name: &str) -> bool {
+    name.starts_with("on_") || HOT_FNS.contains(&name)
+}
+
+/// SL007 — hot-path-alloc: heap allocation inside an event-handling fn.
+/// The perfbench suite showed per-event `Vec` churn (ACK batches, SACK
+/// rescans, trace probe buffers) dominating simulator wall-clock; those
+/// paths now reuse buffers or use `simcore::InlineVec`. This rule keeps
+/// new allocations from creeping back into the per-event bodies: inside a
+/// hot fn (named in [`HOT_FNS`] or `on_*`) it flags `Vec::new` /
+/// `Vec::with_capacity`, `vec![…]`, `Box::new`, `.collect()` and
+/// `.to_vec()`. Genuinely once-per-run sites inside a hot fn (end-of-run
+/// result assembly, collects into `InlineVec`) carry justified
+/// `simlint: allow(hot-path-alloc)` escapes.
+pub fn hot_path_alloc(path: &str, code: &[Token], spans: &[(usize, usize)], out: &mut Vec<Diagnostic>) {
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].is_ident("fn") || in_spans(spans, i) {
+            i += 1;
+            continue;
+        }
+        let Some(name) = code.get(i + 1) else { break };
+        if name.kind != TokenKind::Ident || !is_hot_fn(&name.text) {
+            i += 2;
+            continue;
+        }
+        // Body: first `{` past the signature at paren/bracket depth 0
+        // (`;` first means a bodiless trait method — skip it).
+        let (mut paren, mut bracket) = (0i32, 0i32);
+        let mut open = None;
+        for (j, t) in code.iter().enumerate().skip(i + 2) {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" if paren == 0 && bracket == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if paren == 0 && bracket == 0 => break,
+                _ => {}
+            }
+        }
+        let Some(open) = open else {
+            i += 2;
+            continue;
+        };
+        let close = matching_brace(code, open);
+        for j in open..=close.min(code.len().saturating_sub(1)) {
+            let t = &code[j];
+            let what = if t.is_ident("Vec")
+                && code.get(j + 1).is_some_and(|t| t.is_punct("::"))
+                && code
+                    .get(j + 2)
+                    .is_some_and(|t| t.is_ident("new") || t.is_ident("with_capacity"))
+            {
+                format!("`Vec::{}`", code[j + 2].text)
+            } else if t.is_ident("Box")
+                && code.get(j + 1).is_some_and(|t| t.is_punct("::"))
+                && code.get(j + 2).is_some_and(|t| t.is_ident("new"))
+            {
+                "`Box::new`".to_string()
+            } else if t.is_ident("vec") && code.get(j + 1).is_some_and(|t| t.is_punct("!")) {
+                "`vec![…]`".to_string()
+            } else if t.is_punct(".")
+                && code
+                    .get(j + 1)
+                    .is_some_and(|t| t.is_ident("collect") || t.is_ident("to_vec"))
+            {
+                format!("`.{}()`", code[j + 1].text)
+            } else {
+                continue;
+            };
+            let at = if t.is_punct(".") { &code[j + 1] } else { t };
+            out.push(Diagnostic::new(
+                RuleId::HotPathAlloc,
+                path,
+                at.line,
+                at.col,
+                format!(
+                    "{what} allocates inside event-handling fn `{}`; reuse a buffer, use \
+                     simcore::InlineVec, or justify a once-per-run site with an allow",
+                    name.text
+                ),
+            ));
+        }
+        i = close + 1;
+    }
+}
+
 /// SL006 — dep-hygiene: every dependency in every workspace manifest must
 /// be an in-repo `path` dependency (or inherit one via `workspace = true`).
 /// The build is `--locked --offline`; a registry or git spec would break
@@ -715,6 +829,49 @@ mod tests {
         let mut out = Vec::new();
         trace_exhaustiveness("f.rs", &toks, &mut out);
         assert_eq!(out.len(), 1, "{out:#?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_all_five_forms_in_hot_fns() {
+        let src = "fn on_data(n: usize) { let a = Vec::new(); let b = vec![0; n]; \
+                   let c = Box::new(n); let d: Vec<u8> = b.iter().copied().collect(); \
+                   let e = d.to_vec(); let f = Vec::with_capacity(n); }";
+        let toks = code(src);
+        let mut out = Vec::new();
+        hot_path_alloc("f.rs", &toks, &[], &mut out);
+        assert_eq!(out.len(), 6, "{out:#?}");
+        assert!(out.iter().all(|d| d.rule == RuleId::HotPathAlloc));
+        assert!(out[0].message.contains("on_data"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn hot_path_alloc_ignores_cold_fns_and_non_allocating_hot_fns() {
+        let src = "fn new(n: usize) -> Vec<u8> { vec![0; n] }\n\
+                   fn prefill_queue(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n\
+                   fn on_data(buf: &mut Vec<u8>, b: u8) { buf.push(b); }";
+        let toks = code(src);
+        let mut out = Vec::new();
+        hot_path_alloc("f.rs", &toks, &test_spans(&toks), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_skips_test_spans() {
+        let src = "#[cfg(test)]\nmod tests { fn on_data() -> Vec<u8> { Vec::new() } }";
+        let toks = code(src);
+        let mut out = Vec::new();
+        hot_path_alloc("f.rs", &toks, &test_spans(&toks), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_covers_listed_event_fns() {
+        let src = "fn depart() -> Vec<u8> { Vec::new() }\n\
+                   fn process_ack() -> Vec<u8> { Vec::new() }";
+        let toks = code(src);
+        let mut out = Vec::new();
+        hot_path_alloc("f.rs", &toks, &[], &mut out);
+        assert_eq!(out.len(), 2, "{out:#?}");
     }
 
     #[test]

@@ -78,6 +78,19 @@ fn dep_hygiene_bad_fixture() {
 }
 
 #[test]
+fn hot_path_alloc_bad_fixture_lines() {
+    let diags = diags_for("hot-path-alloc/bad.rs");
+    assert!(diags.iter().all(|d| d.rule == RuleId::HotPathAlloc), "{diags:#?}");
+    assert_finding(&diags, RuleId::HotPathAlloc, "hot-path-alloc/bad.rs", 5); // Vec::new
+    assert_finding(&diags, RuleId::HotPathAlloc, "hot-path-alloc/bad.rs", 7); // .to_vec()
+    assert_finding(&diags, RuleId::HotPathAlloc, "hot-path-alloc/bad.rs", 8); // Box::new
+    assert_finding(&diags, RuleId::HotPathAlloc, "hot-path-alloc/bad.rs", 9); // .collect()
+    assert_finding(&diags, RuleId::HotPathAlloc, "hot-path-alloc/bad.rs", 14); // vec![…]
+    assert_finding(&diags, RuleId::HotPathAlloc, "hot-path-alloc/bad.rs", 18); // with_capacity
+    assert_eq!(diags.len(), 6, "{diags:#?}");
+}
+
+#[test]
 fn unused_allow_is_itself_an_error() {
     let diags = diags_for("allow/unused.rs");
     assert_eq!(diags.len(), 1, "{diags:#?}");

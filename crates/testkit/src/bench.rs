@@ -50,6 +50,33 @@ pub struct Measurement {
 /// (appended to the group name as `group/param`) and the closure to time.
 pub type GroupCase<'a, R> = (&'a str, Box<dyn FnMut() -> R + 'a>);
 
+/// Time one closure: `warmup_iters` untimed runs, then `iters` individually
+/// timed runs, summarized with [`simcore::stats`]. This is the measurement
+/// primitive behind [`Runner::bench`]; standalone harnesses (e.g.
+/// `repro perfbench`) call it directly and do their own reporting.
+pub fn measure<R>(name: &str, warmup_iters: u32, iters: u32, mut f: impl FnMut() -> R) -> Measurement {
+    for _ in 0..warmup_iters {
+        bb(f());
+    }
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        // simlint: allow(determinism): benchmarking measures real wall time by design
+        let t0 = Instant::now();
+        bb(f());
+        samples_ns.push(t0.elapsed().as_nanos() as f64);
+    }
+    Measurement {
+        name: name.to_string(),
+        warmup_iters,
+        iters,
+        mean_ns: simcore::stats::mean(&samples_ns).unwrap_or(0.0) as u64,
+        p50_ns: simcore::stats::percentile(&samples_ns, 50.0).unwrap_or(0.0) as u64,
+        p99_ns: simcore::stats::percentile(&samples_ns, 99.0).unwrap_or(0.0) as u64,
+        min_ns: samples_ns.iter().cloned().fold(f64::MAX, f64::min) as u64,
+        max_ns: samples_ns.iter().cloned().fold(f64::MIN, f64::max) as u64,
+    }
+}
+
 /// Bench runner for one target file. See the module docs.
 pub struct Runner {
     target: String,
@@ -102,26 +129,7 @@ impl Runner {
                 return;
             }
         }
-        for _ in 0..self.warmup_iters {
-            bb(f());
-        }
-        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.iters as usize);
-        for _ in 0..self.iters {
-            // simlint: allow(determinism): benchmarking measures real wall time by design
-            let t0 = Instant::now();
-            bb(f());
-            samples_ns.push(t0.elapsed().as_nanos() as f64);
-        }
-        let m = Measurement {
-            name: name.to_string(),
-            warmup_iters: self.warmup_iters,
-            iters: self.iters,
-            mean_ns: simcore::stats::mean(&samples_ns).unwrap_or(0.0) as u64,
-            p50_ns: simcore::stats::percentile(&samples_ns, 50.0).unwrap_or(0.0) as u64,
-            p99_ns: simcore::stats::percentile(&samples_ns, 99.0).unwrap_or(0.0) as u64,
-            min_ns: samples_ns.iter().cloned().fold(f64::MAX, f64::min) as u64,
-            max_ns: samples_ns.iter().cloned().fold(f64::MIN, f64::max) as u64,
-        };
+        let m = measure(name, self.warmup_iters, self.iters, &mut f);
         println!(
             "bench {:<44} mean {:>12}  p50 {:>12}  p99 {:>12}  ({} iters{})",
             m.name,

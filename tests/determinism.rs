@@ -132,6 +132,44 @@ fn parallel_sweep_is_bit_identical_to_serial() {
     }
 }
 
+/// The audited variant: every row runs under the runtime invariant
+/// auditor, at four workers, and must still match the serial rows bit for
+/// bit. This doubles as the check that the timer-wheel event queue keeps
+/// every auditor invariant (FIFO ties, clock monotonicity) while the
+/// worker pool interleaves rows arbitrarily.
+#[test]
+fn audited_parallel_sweep_is_bit_identical_to_serial() {
+    use starvation::sweep::{CcaSpec, ScenarioSpec, Sweep};
+
+    let spec = ScenarioSpec::new("determinism-audited")
+        .cca(CcaSpec::new("bbr", |s| Box::new(cca::Bbr::new(1500, s))))
+        .rates_mbps(&[24.0])
+        .rtts_ms(&[40])
+        .jitters_ms(&[0, 5])
+        .seeds(&[1, 2])
+        .duration(Dur::from_secs(2));
+    let jobs = spec.expand();
+    assert_eq!(jobs.len(), 4);
+
+    let serial = Sweep::new("det-audit-serial")
+        .jobs(1)
+        .audit(true)
+        .timing_off()
+        .run(jobs.clone());
+    let parallel = Sweep::new("det-audit-parallel")
+        .jobs(4)
+        .audit(true)
+        .timing_off()
+        .run(jobs);
+
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(s.index, p.index);
+        assert_eq!(s.label, p.label);
+        assert_bit_identical(s.result(), p.result());
+    }
+}
+
 #[test]
 fn different_seed_changes_the_packet_trace() {
     let a = run(42);
