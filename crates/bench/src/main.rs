@@ -29,6 +29,12 @@
 //!              vivace-lossy)
 //!   lint       run the simlint workspace invariant checks
 //!              ([--json] [--deny-warnings]; exits 1 on findings)
+//!   fuzz       coverage-guided scenario fuzzing with the runtime
+//!              invariant auditor as the bug oracle ([--seed N]
+//!              [--count N] [--out DIR] [--replay FILE]; seeds from
+//!              tests/scenarios/, writes coverage.txt, findings.jsonl
+//!              and minimal finding-NNN.scn reproducers into the out
+//!              dir; exits 1 on findings; --quick caps the run for CI)
 //!   perfbench  hot-path performance suite (EventQueue micro-benches,
 //!              canonical-scenario and sweep macro-benches); appends
 //!              labelled records to BENCH_netsim.json at the repo root
@@ -322,6 +328,136 @@ fn run_perfbench(args: &[String]) {
     perfbench::run(quick, &label);
 }
 
+/// Parse a `--flag VALUE` / `--flag=VALUE` string option.
+fn parse_opt(args: &[String], flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            match it.next() {
+                Some(v) => return Some(v.clone()),
+                None => {
+                    eprintln!("error: {flag} expects a value");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// `repro fuzz [--quick] [--seed N] [--count N] [--jobs N] [--out DIR]
+/// [--replay FILE]`: run the coverage-guided scenario fuzzer
+/// (`crates/scenario`) with the runtime invariant auditor as the bug
+/// oracle. Deterministic per seed at any job count. Exits 1 when the run
+/// produced findings, 2 on bad usage, 0 when clean.
+///
+/// `--replay FILE` instead re-runs one `.scn` file (e.g. a shrunk
+/// `finding-NNN.scn` reproducer) under the auditor and reports whether it
+/// still fails.
+fn run_fuzz(args: &[String], quick: bool, jobs: usize) -> ! {
+    // Locate the seed corpus relative to the workspace root, the same way
+    // `repro lint` resolves its scan root.
+    let start = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => std::path::PathBuf::from(m),
+        Err(_) => std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from(".")),
+    };
+    let Some(root) = simlint::find_workspace_root(&start) else {
+        eprintln!("error: no [workspace] manifest found above {}", start.display());
+        std::process::exit(2);
+    };
+
+    if let Some(file) = parse_opt(args, "--replay") {
+        let path = std::path::PathBuf::from(file);
+        let s = scenario::load_file(&path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        let cfg = scenario::compile(&s).with_audit(true);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            netsim::Network::new(cfg).run()
+        }));
+        match outcome {
+            Ok(r) => {
+                println!("replay {}: audit clean", path.display());
+                for (i, f) in r.flows.iter().enumerate() {
+                    println!(
+                        "  flow {i}: {:.2} Mbit/s, {} bytes delivered",
+                        f.throughput_at(r.end).mbps(),
+                        f.total_delivered()
+                    );
+                }
+                std::process::exit(0);
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                println!("replay {}: FAILS under the auditor", path.display());
+                println!("  {}", msg.lines().next().unwrap_or(msg));
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let parse_num = |flag: &str, default: u64| -> u64 {
+        match parse_opt(args, flag) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: {flag} expects a number (got {v:?})");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    };
+    let seed = parse_num("--seed", 1);
+    // CI's smoke floor is 200 generated scenarios; --quick stays just
+    // above it, a full run explores much further.
+    let count = parse_num("--count", if quick { 240 } else { 2000 }) as usize;
+    let out_dir = parse_opt(args, "--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| result_path("fuzz"));
+    let corpus_dir = root.join("tests/scenarios");
+    let corpus = scenario::load_dir(&corpus_dir).unwrap_or_else(|e| {
+        eprintln!("error: bad corpus file: {e}");
+        std::process::exit(2);
+    });
+
+    let mut opts = scenario::FuzzOptions::new(seed, out_dir.clone());
+    opts.count = count;
+    opts.jobs = jobs;
+    opts.corpus = corpus;
+    opts.verbose = true;
+    println!(
+        "fuzz: seed {seed}, {count} scenarios, corpus {} file(s) from {}",
+        opts.corpus.len(),
+        corpus_dir.display()
+    );
+    let report = scenario::fuzz(&opts).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "fuzz: {} scenario(s) executed, {} coverage feature(s) ({} new), {} violation(s)",
+        report.executed, report.features, report.new_features, report.violations
+    );
+    for f in &report.findings {
+        println!(
+            "  finding: {} (from {}, {} shrink evals)\n    {}",
+            f.path.display(),
+            f.origin,
+            f.shrink_evals,
+            f.message.lines().next().unwrap_or("")
+        );
+    }
+    println!("  → {}", out_dir.join("coverage.txt").display());
+    println!("  → {}", out_dir.join("findings.jsonl").display());
+    std::process::exit(if report.violations > 0 { 1 } else { 0 });
+}
+
 /// Parse `--jobs N` / `--jobs=N`. Returns available parallelism when the
 /// flag is absent; exits with a usage message when it is malformed.
 fn parse_jobs(args: &[String]) -> usize {
@@ -362,9 +498,11 @@ fn main() {
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            // Skip flags and the values of --jobs / --label.
+            // Skip flags and the values of value-taking flags.
+            const VALUE_FLAGS: &[&str] =
+                &["--jobs", "--label", "--seed", "--count", "--out", "--replay"];
             !a.starts_with("--")
-                && (*i == 0 || (args[*i - 1] != "--jobs" && args[*i - 1] != "--label"))
+                && (*i == 0 || !VALUE_FLAGS.contains(&args[*i - 1].as_str()))
         })
         .map(|(_, a)| a.as_str())
         .collect();
@@ -393,6 +531,7 @@ fn main() {
         "sweep" => run_sweep(quick, jobs),
         "trace" => run_trace(positional.get(1).copied()),
         "lint" => run_lint(&args),
+        "fuzz" => run_fuzz(&args, quick, jobs),
         "perfbench" => run_perfbench(&args),
         "all" => {
             run_glossary();
@@ -416,7 +555,7 @@ fn main() {
         }
         _ => {
             println!(
-                "usage: repro <glossary|fig1|fig2|fig3|thm|fig7|copa|bbr|vivace|allegro|merit|algo1|ccmc|ablations|ecn|boundary|seeds|sweep|trace|lint|perfbench|all> [--quick] [--jobs N] [--progress] [--audit] [--label NAME] [--check]"
+                "usage: repro <glossary|fig1|fig2|fig3|thm|fig7|copa|bbr|vivace|allegro|merit|algo1|ccmc|ablations|ecn|boundary|seeds|sweep|trace|lint|fuzz|perfbench|all> [--quick] [--jobs N] [--progress] [--audit] [--label NAME] [--check] [--seed N] [--count N] [--out DIR] [--replay FILE]"
             );
             return;
         }

@@ -1,26 +1,42 @@
 //! Canonical trace scenarios: four small, fixed configurations that
 //! exercise every event class the trace subsystem emits.
 //!
-//! These back two consumers:
+//! The scenarios live as `.scn` files in `tests/scenarios/` — the
+//! scenario-DSL corpus — compiled in via `include_str!` so this crate
+//! stays hermetic. They back three consumers:
 //!
 //! * the golden-trace regression suite (`tests/golden_traces.rs`), which
 //!   pins a per-event-class digest of each scenario's full event stream —
-//!   any change to simulator scheduling, transport behaviour, or CCA
-//!   dynamics shows up as a digest mismatch;
+//!   any change to simulator scheduling, transport behaviour, CCA
+//!   dynamics, *or the DSL compiler* shows up as a digest mismatch;
 //! * `repro trace <scenario>`, which streams the same scenarios as
-//!   JSON-lines for ad-hoc inspection.
+//!   JSON-lines for ad-hoc inspection;
+//! * the scenario fuzzer (`repro fuzz`), which uses them as its seed
+//!   corpus.
 //!
 //! The configurations are deliberately frozen: durations, rates, seeds and
 //! CCA parameters are part of the golden contract. Behaviour changes that
 //! are *intended* re-record the goldens (`BLESS=1`); anything else is a
 //! regression.
 
-use netsim::{FlowConfig, Jitter, LinkConfig, SimConfig};
-use simcore::rng::Xoshiro256;
-use simcore::units::{Dur, Rate};
+use netsim::SimConfig;
 
 /// Names of the canonical scenarios, in registry order.
 pub const CANONICAL: &[&str] = &["reno-ideal", "copa-jitter", "bbr-two-flow", "vivace-lossy"];
+
+/// The committed `.scn` sources, embedded so the canon is available
+/// without filesystem access. Same order as [`CANONICAL`].
+const SOURCES: &[(&str, &str)] = &[
+    ("reno-ideal", include_str!("../../../tests/scenarios/reno-ideal.scn")),
+    ("copa-jitter", include_str!("../../../tests/scenarios/copa-jitter.scn")),
+    ("bbr-two-flow", include_str!("../../../tests/scenarios/bbr-two-flow.scn")),
+    ("vivace-lossy", include_str!("../../../tests/scenarios/vivace-lossy.scn")),
+];
+
+/// The `.scn` source of a canonical scenario. `None` for unknown names.
+pub fn canonical_source(name: &str) -> Option<&'static str> {
+    SOURCES.iter().find(|(n, _)| *n == name).map(|(_, src)| *src)
+}
 
 /// Build a canonical scenario by name. `None` for unknown names.
 ///
@@ -30,48 +46,17 @@ pub const CANONICAL: &[&str] = &["reno-ideal", "copa-jitter", "bbr-two-flow", "v
 ///   (slow start, congestion avoidance, ACK clocking; no loss, no jitter).
 /// * `copa-jitter` — one Copa flow through 10 ms of random jitter
 ///   (jitter-hold/release events, delay-sensitive cwnd dynamics).
-/// * `bbr-two-flow` — two BBR flows share a 2-BDP buffer (queue build-up,
+/// * `bbr-two-flow` — two BBR flows share a 1-BDP buffer (queue build-up,
 ///   tail drops, retransmissions, two-flow FIFO interleaving).
 /// * `vivace-lossy` — one PCC Vivace datagram flow with 2% Bernoulli loss
 ///   (SACK-style per-packet ACKs, loss events without retransmission).
 pub fn canonical_scenario(name: &str) -> Option<SimConfig> {
-    let cfg = match name {
-        "reno-ideal" => {
-            let link = LinkConfig::ample_buffer(Rate::from_mbps(24.0));
-            let flow = FlowConfig::bulk(Box::new(cca::NewReno::default_params()), Dur::from_millis(40));
-            SimConfig::new(link, vec![flow], Dur::from_secs(5))
-        }
-        "copa-jitter" => {
-            let link = LinkConfig::ample_buffer(Rate::from_mbps(24.0));
-            let flow = FlowConfig::bulk(Box::new(cca::Copa::default_params()), Dur::from_millis(40))
-                .with_jitter(Jitter::Random {
-                    max: Dur::from_millis(10),
-                    rng: Xoshiro256::new(42),
-                });
-            SimConfig::new(link, vec![flow], Dur::from_secs(5))
-        }
-        "bbr-two-flow" => {
-            let rate = Rate::from_mbps(24.0);
-            let rm = Dur::from_millis(40);
-            // 1 BDP of buffer: BBR's startup overshoot (2 flows probing at
-            // once) tail-drops, so the canonical set covers drop events.
-            let link = LinkConfig::bdp_buffer(rate, rm, 1.0);
-            let flows = vec![
-                FlowConfig::bulk(Box::new(cca::Bbr::default_params()), rm),
-                FlowConfig::bulk(Box::new(cca::Bbr::default_params()), rm),
-            ];
-            SimConfig::new(link, flows, Dur::from_secs(5))
-        }
-        "vivace-lossy" => {
-            let link = LinkConfig::ample_buffer(Rate::from_mbps(24.0));
-            let flow = FlowConfig::bulk(Box::new(cca::Vivace::default_params()), Dur::from_millis(40))
-                .datagram()
-                .with_loss(0.02, 7);
-            SimConfig::new(link, vec![flow], Dur::from_secs(5))
-        }
-        _ => return None,
-    };
-    Some(cfg)
+    let src = canonical_source(name)?;
+    // The corpus is committed and covered by the golden suite; a parse
+    // failure here means the checked-in file was corrupted.
+    let parsed = scenario::parse(src)
+        .unwrap_or_else(|e| panic!("canonical scenario `{name}` failed to parse: {e}"));
+    Some(scenario::compile(&parsed))
 }
 
 #[cfg(test)]
@@ -87,6 +72,20 @@ mod tests {
             assert!(canonical_scenario(name).is_some(), "{name}");
         }
         assert!(canonical_scenario("no-such-scenario").is_none());
+        assert!(canonical_source("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn embedded_sources_match_the_files_on_disk() {
+        // include_str! snapshots the corpus at compile time; this test
+        // fails fast if the on-disk files drift from the embedded copies
+        // without a rebuild (e.g. a stale incremental cache).
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/scenarios");
+        for name in CANONICAL {
+            let on_disk = std::fs::read_to_string(dir.join(format!("{name}.scn")))
+                .unwrap_or_else(|e| panic!("{name}.scn: {e}"));
+            assert_eq!(canonical_source(name), Some(on_disk.as_str()), "{name}");
+        }
     }
 
     #[test]

@@ -50,6 +50,26 @@ impl SweepJob {
             config,
         }
     }
+
+    /// Lower a parsed scenario-DSL file into a sweep job, labelled with
+    /// the scenario's declared name. Lets `.scn` files ride in the same
+    /// sweep as grid-expanded jobs:
+    ///
+    /// ```
+    /// use starvation::sweep::SweepJob;
+    /// let s = scenario::parse(
+    ///     r#"scenario "dsl-row" {
+    ///          link { rate 8mbps buffer ample }
+    ///          duration 400ms
+    ///          flow f0 { cca reno rtt 20ms }
+    ///        }"#,
+    /// ).unwrap();
+    /// let job = SweepJob::from_scenario(&s);
+    /// assert_eq!(job.label, "dsl-row");
+    /// ```
+    pub fn from_scenario(s: &scenario::Scenario) -> SweepJob {
+        SweepJob::new(s.name.clone(), scenario::compile(s))
+    }
 }
 
 /// One sweep row: the job's label and its result (or captured panic),
@@ -496,6 +516,34 @@ mod tests {
             .jitters_ms(&[0, 5])
             .seeds(&[1, 2])
             .duration(Dur::from_secs(2))
+    }
+
+    #[test]
+    fn scenario_files_lower_into_sweep_jobs() {
+        // A DSL row and the equivalent hand-built job run identically in
+        // one sweep (corpus entries can ride alongside grid points).
+        let parsed = scenario::parse(
+            r#"scenario "dsl-row" {
+                 link { rate 12mbps buffer ample }
+                 duration 1s
+                 flow f0 { cca reno rtt 40ms }
+               }"#,
+        )
+        .expect("parses");
+        let by_hand = SimConfig::new(
+            netsim::LinkConfig::ample_buffer(Rate::from_mbps(12.0)),
+            vec![netsim::FlowConfig::bulk(
+                Box::new(cca::NewReno::default_params()),
+                Dur::from_millis(40),
+            )],
+            Dur::from_secs(1),
+        );
+        let jobs = vec![SweepJob::from_scenario(&parsed), SweepJob::new("hand", by_hand)];
+        let report = Sweep::new("dsl-interop").jobs(2).timing_off().run(jobs);
+        assert_eq!(report.rows[0].label, "dsl-row");
+        let a = report.rows[0].outcome.as_ref().expect("dsl row runs");
+        let b = report.rows[1].outcome.as_ref().expect("hand row runs");
+        assert_eq!(a.flows[0].sent_bytes, b.flows[0].sent_bytes);
     }
 
     #[test]

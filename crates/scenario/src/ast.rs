@@ -1,0 +1,209 @@
+//! The scenario AST: what a `.scn` file denotes.
+//!
+//! Every node derives `PartialEq`, and the pretty-printer
+//! ([`crate::printer`]) emits a canonical form whose re-parse is
+//! structurally identical — the round-trip property the test suite pins.
+//! To make that identity exact the AST stores *source-level* quantities:
+//! durations as integer nanoseconds ([`Dur`]), rates as `f64` Mbit/s
+//! (Rust's `f64` Display is shortest-round-trip, so `print ∘ parse` loses
+//! nothing), seeds as plain integers.
+
+use simcore::units::Dur;
+
+/// A complete scenario: one bottleneck link shared by one or more flows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (labels findings, golden digests, sweep rows).
+    pub name: String,
+    /// The shared bottleneck.
+    pub link: Link,
+    /// Simulated run length.
+    pub duration: Dur,
+    /// Optional series-decimation override (`sample-every`).
+    pub sample_every: Option<Dur>,
+    /// The competing flows, in declaration order.
+    pub flows: Vec<Flow>,
+}
+
+/// Bottleneck link description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Link {
+    /// Drain rate in Mbit/s.
+    pub rate_mbps: f64,
+    /// Tail-drop buffer sizing.
+    pub buffer: Buffer,
+    /// ECN marking threshold in bytes of backlog (`None` = disabled).
+    pub ecn_bytes: Option<u64>,
+}
+
+/// Buffer sizing policies, mirroring `netsim::LinkConfig`'s constructors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Buffer {
+    /// `LinkConfig::ample_buffer`: never overflows for delay-bounding CCAs.
+    Ample,
+    /// An explicit byte count.
+    Bytes(u64),
+    /// `n` bandwidth-delay products at the given RTT.
+    Bdp {
+        /// Number of BDPs.
+        n: f64,
+        /// RTT the BDP is computed against.
+        rtt: Dur,
+    },
+}
+
+/// One flow: a CCA on a path with optional impairments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Flow {
+    /// Flow id (unique within the scenario; `f0`, `f1`, …).
+    pub id: String,
+    /// Which congestion-control algorithm drives the sender.
+    pub cca: CcaId,
+    /// Propagation RTT `Rm` of this flow's path.
+    pub rtt: Dur,
+    /// Optional i.i.d. uniform random jitter element.
+    pub jitter: Option<JitterSpec>,
+    /// Optional Bernoulli loss element.
+    pub loss: Option<LossSpec>,
+    /// UDP-like datagram transport (default: TCP-like reliable).
+    pub datagram: bool,
+    /// Delayed start offset from t = 0.
+    pub start: Option<Dur>,
+    /// Packet-size override (default 1500).
+    pub mss: Option<u64>,
+    /// Audited jitter-bound override — the fault-injection hook
+    /// (`SimConfig::with_audit_jitter_bound`). Declaring a bound below the
+    /// jitter element's real one seeds an invariant violation; the fuzzer
+    /// oracle tests use this, generation never emits it.
+    pub audit_jitter_bound: Option<Dur>,
+}
+
+/// Random-jitter element: uniform delay in `[0, max]` from a seeded stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JitterSpec {
+    /// Upper bound `D`.
+    pub max: Dur,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+/// Bernoulli loss element on the data path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LossSpec {
+    /// Loss probability.
+    pub rate: f64,
+    /// Seed of the loss process.
+    pub seed: u64,
+}
+
+/// The CCA registry: every algorithm the `cca` crate implements, by the
+/// slug the DSL (and the repo's labels) use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CcaId {
+    /// TCP NewReno.
+    Reno,
+    /// TCP Cubic.
+    Cubic,
+    /// TCP Vegas.
+    Vegas,
+    /// FAST TCP.
+    Fast,
+    /// LEDBAT.
+    Ledbat,
+    /// Copa.
+    Copa,
+    /// BBR v1.
+    Bbr,
+    /// Verus.
+    Verus,
+    /// PCC Vivace.
+    Vivace,
+    /// PCC Allegro.
+    Allegro,
+    /// AIMD-on-delay (§6.2).
+    DelayAimd,
+    /// Algorithm 1 (§6.3).
+    JitterAware,
+    /// Constant-cwnd "silly CCA" (§4.2).
+    ConstCwnd,
+}
+
+/// Every CCA, in registry order (the order fuzz coverage enumerates pairs).
+pub const ALL_CCAS: &[CcaId] = &[
+    CcaId::Reno,
+    CcaId::Cubic,
+    CcaId::Vegas,
+    CcaId::Fast,
+    CcaId::Ledbat,
+    CcaId::Copa,
+    CcaId::Bbr,
+    CcaId::Verus,
+    CcaId::Vivace,
+    CcaId::Allegro,
+    CcaId::DelayAimd,
+    CcaId::JitterAware,
+    CcaId::ConstCwnd,
+];
+
+impl CcaId {
+    /// The DSL name of this CCA.
+    pub fn slug(self) -> &'static str {
+        match self {
+            CcaId::Reno => "reno",
+            CcaId::Cubic => "cubic",
+            CcaId::Vegas => "vegas",
+            CcaId::Fast => "fast",
+            CcaId::Ledbat => "ledbat",
+            CcaId::Copa => "copa",
+            CcaId::Bbr => "bbr",
+            CcaId::Verus => "verus",
+            CcaId::Vivace => "vivace",
+            CcaId::Allegro => "allegro",
+            CcaId::DelayAimd => "delay-aimd",
+            CcaId::JitterAware => "jitter-aware",
+            CcaId::ConstCwnd => "const-cwnd",
+        }
+    }
+
+    /// Resolve a DSL name. `None` for unknown slugs.
+    pub fn from_slug(s: &str) -> Option<CcaId> {
+        ALL_CCAS.iter().copied().find(|c| c.slug() == s)
+    }
+
+    /// Heuristic bound on the CCA's steady-state delay oscillation δ,
+    /// used only to bias fuzz mutation toward the paper's `D ≈ 2·δ_max`
+    /// starvation boundary. Not a measured quantity — a rough prior:
+    /// delay-convergent CCAs sit low, buffer-filling ones high.
+    pub fn delta_hint(self) -> Dur {
+        let ms = match self {
+            CcaId::Vegas | CcaId::Fast => 3,
+            CcaId::Ledbat | CcaId::Copa => 5,
+            CcaId::Bbr | CcaId::Vivace | CcaId::JitterAware | CcaId::DelayAimd => 10,
+            CcaId::Verus | CcaId::Allegro => 15,
+            CcaId::Reno | CcaId::Cubic => 20,
+            CcaId::ConstCwnd => 1,
+        };
+        Dur::from_millis(ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_round_trip_through_the_registry() {
+        for &c in ALL_CCAS {
+            assert_eq!(CcaId::from_slug(c.slug()), Some(c));
+        }
+        assert_eq!(CcaId::from_slug("renno"), None);
+    }
+
+    #[test]
+    fn registry_has_no_duplicate_slugs() {
+        let mut slugs: Vec<&str> = ALL_CCAS.iter().map(|c| c.slug()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), ALL_CCAS.len());
+    }
+}

@@ -1,0 +1,349 @@
+//! Random scenario generation and shrinking: a `testkit::prop::Strategy`
+//! over [`Scenario`] ASTs.
+//!
+//! One strategy serves two consumers:
+//!
+//! * the parser round-trip property (`parse ∘ print` is identity), which
+//!   wants broad structural coverage of the AST;
+//! * the fuzzer, which draws fresh scenarios from [`Strategy::generate`],
+//!   mutates corpus entries with [`mutate`], and minimizes findings
+//!   through [`Strategy::shrink`] via `testkit::prop::minimize`.
+//!
+//! Values are drawn from small curated sets (rates, RTTs, jitter bounds)
+//! rather than raw ranges: every draw is a config the simulator runs in
+//! tens of milliseconds, and set membership keeps printed scenarios tidy.
+//! Generation never emits `audit-jitter-bound` — that field exists to
+//! *seed* violations from corpus files; mutation and shrinking preserve
+//! it so a seeded failure stays a failure while it minimizes.
+
+use crate::ast::{Buffer, CcaId, Flow, JitterSpec, Link, LossSpec, Scenario, ALL_CCAS};
+use simcore::rng::Xoshiro256;
+use simcore::units::Dur;
+use testkit::prop::Strategy;
+
+/// Link rates the generator draws from, in Mbit/s. Capped so the slowest
+/// draw (max rate × max duration) still simulates in well under a second.
+const RATES_MBPS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 48.0, 96.0];
+
+/// Propagation RTTs, in milliseconds — down to 2 ms so extreme rate/RTT
+/// ratios (96 Mbit/s over 2 ms vs 1 Mbit/s over 160 ms) are reachable.
+const RTTS_MS: &[u64] = &[2, 5, 10, 20, 40, 80, 160];
+
+/// Jitter bounds, in milliseconds.
+const JITTERS_MS: &[u64] = &[1, 2, 5, 8, 10, 12, 15, 20, 25, 40];
+
+/// Loss probabilities.
+const LOSSES: &[f64] = &[0.005, 0.01, 0.02, 0.05, 0.1];
+
+/// Run lengths, in milliseconds.
+const DURATIONS_MS: &[u64] = &[400, 700, 1000, 1500, 2000];
+
+/// Start offsets for non-first flows, in milliseconds.
+const STARTS_MS: &[u64] = &[100, 250, 500];
+
+/// Explicit buffer sizes, in bytes.
+const BUFFER_BYTES: &[u64] = &[30_000, 60_000, 120_000];
+
+/// Packet-size overrides.
+const MSS: &[u64] = &[600, 1200];
+
+/// The shortest duration shrinking may reach.
+const MIN_DURATION: Dur = Dur(200_000_000); // 200 ms
+
+fn pick<T: Copy>(rng: &mut Xoshiro256, set: &[T]) -> T {
+    set[rng.range_u64(set.len() as u64) as usize]
+}
+
+fn pick_cca(rng: &mut Xoshiro256) -> CcaId {
+    pick(rng, ALL_CCAS)
+}
+
+/// Generates (and shrinks) whole scenarios. [`ScenarioStrategy::default`]
+/// is what both the round-trip test and the fuzzer use.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioStrategy {
+    /// Maximum number of flows per scenario.
+    pub max_flows: usize,
+}
+
+impl Default for ScenarioStrategy {
+    fn default() -> Self {
+        ScenarioStrategy { max_flows: 3 }
+    }
+}
+
+impl ScenarioStrategy {
+    fn gen_flow(&self, rng: &mut Xoshiro256, index: usize) -> Flow {
+        let cca = pick_cca(rng);
+        let jitter = if rng.bernoulli(0.6) {
+            Some(JitterSpec { max: Dur::from_millis(pick(rng, JITTERS_MS)), seed: rng.range_u64(1000) })
+        } else {
+            None
+        };
+        let loss = if rng.bernoulli(0.3) {
+            Some(LossSpec { rate: pick(rng, LOSSES), seed: rng.range_u64(1000) })
+        } else {
+            None
+        };
+        Flow {
+            id: format!("f{index}"),
+            cca,
+            rtt: Dur::from_millis(pick(rng, RTTS_MS)),
+            jitter,
+            loss,
+            datagram: rng.bernoulli(0.25),
+            start: if index > 0 && rng.bernoulli(0.3) {
+                Some(Dur::from_millis(pick(rng, STARTS_MS)))
+            } else {
+                None
+            },
+            mss: if rng.bernoulli(0.15) { Some(pick(rng, MSS)) } else { None },
+            audit_jitter_bound: None,
+        }
+    }
+
+    fn gen_link(&self, rng: &mut Xoshiro256, rtt: Dur) -> Link {
+        let buffer = match rng.range_u64(10) {
+            0..=4 => Buffer::Ample,
+            5..=8 => Buffer::Bdp { n: pick(rng, &[0.5, 1.0, 2.0]), rtt },
+            _ => Buffer::Bytes(pick(rng, BUFFER_BYTES)),
+        };
+        Link {
+            rate_mbps: pick(rng, RATES_MBPS),
+            buffer,
+            ecn_bytes: if rng.bernoulli(0.1) { Some(pick(rng, &[15_000u64, 30_000])) } else { None },
+        }
+    }
+}
+
+impl Strategy for ScenarioStrategy {
+    type Value = Scenario;
+
+    fn generate(&self, rng: &mut Xoshiro256) -> Scenario {
+        let n_flows = 1 + rng.range_u64(self.max_flows as u64) as usize;
+        let flows: Vec<Flow> = (0..n_flows).map(|i| self.gen_flow(rng, i)).collect();
+        let link = self.gen_link(rng, flows[0].rtt);
+        Scenario {
+            name: "gen".to_string(),
+            link,
+            duration: Dur::from_millis(pick(rng, DURATIONS_MS)),
+            sample_every: if rng.bernoulli(0.2) { Some(Dur::from_millis(20)) } else { None },
+            flows,
+        }
+    }
+
+    /// Strictly-simpler candidates, most aggressive first: fewer flows,
+    /// shorter runs, then impairments and overrides stripped one by one,
+    /// then scalars moved toward their tamest values.
+    fn shrink(&self, s: &Scenario) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        if s.flows.len() > 1 {
+            for i in 0..s.flows.len() {
+                let mut t = s.clone();
+                t.flows.remove(i);
+                out.push(t);
+            }
+        }
+        if s.duration > MIN_DURATION {
+            let mut t = s.clone();
+            t.duration = Dur((s.duration.as_nanos() / 2).max(MIN_DURATION.as_nanos()));
+            out.push(t);
+        }
+        for i in 0..s.flows.len() {
+            let f = &s.flows[i];
+            let with = |edit: &dyn Fn(&mut Flow)| {
+                let mut t = s.clone();
+                edit(&mut t.flows[i]);
+                t
+            };
+            if f.loss.is_some() {
+                out.push(with(&|f| f.loss = None));
+            }
+            if let Some(j) = f.jitter {
+                if j.max > Dur::from_millis(1) {
+                    out.push(with(&|f| {
+                        if let Some(j) = &mut f.jitter {
+                            j.max = Dur((j.max.as_nanos() / 2).max(1_000_000));
+                        }
+                    }));
+                }
+                out.push(with(&|f| f.jitter = None));
+            }
+            if f.datagram {
+                out.push(with(&|f| f.datagram = false));
+            }
+            if f.start.is_some() {
+                out.push(with(&|f| f.start = None));
+            }
+            if f.mss.is_some() {
+                out.push(with(&|f| f.mss = None));
+            }
+            if f.audit_jitter_bound.is_some() {
+                out.push(with(&|f| f.audit_jitter_bound = None));
+            }
+            if f.cca != CcaId::ConstCwnd {
+                out.push(with(&|f| f.cca = CcaId::ConstCwnd));
+            }
+        }
+        if s.sample_every.is_some() {
+            let mut t = s.clone();
+            t.sample_every = None;
+            out.push(t);
+        }
+        if s.link.ecn_bytes.is_some() {
+            let mut t = s.clone();
+            t.link.ecn_bytes = None;
+            out.push(t);
+        }
+        if s.link.buffer != Buffer::Ample {
+            let mut t = s.clone();
+            t.link.buffer = Buffer::Ample;
+            out.push(t);
+        }
+        // simlint: allow(float-eq): rates come from a discrete pick-list; this tests "already at the shrink target", not numeric closeness
+        if s.link.rate_mbps != 8.0 {
+            let mut t = s.clone();
+            t.link.rate_mbps = 8.0;
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Mutate a corpus scenario: apply one to three random edits. Preserves
+/// `audit-jitter-bound` fields (shrinking, not mutation, removes those).
+/// `boundary_jitter` draws a jitter bound near the paper's `2·δ_max`
+/// starvation boundary for the flow's CCA.
+pub fn mutate(rng: &mut Xoshiro256, strategy: &ScenarioStrategy, mut s: Scenario) -> Scenario {
+    let edits = 1 + rng.range_u64(3);
+    for _ in 0..edits {
+        let i = rng.range_u64(s.flows.len() as u64) as usize;
+        match rng.range_u64(10) {
+            0 => s.flows[i].cca = pick_cca(rng),
+            1 => {
+                let max = boundary_jitter(rng, s.flows[i].cca);
+                s.flows[i].jitter = Some(JitterSpec { max, seed: rng.range_u64(1000) });
+            }
+            2 => {
+                s.flows[i].jitter = if rng.bernoulli(0.5) {
+                    Some(JitterSpec {
+                        max: Dur::from_millis(pick(rng, JITTERS_MS)),
+                        seed: rng.range_u64(1000),
+                    })
+                } else {
+                    None
+                };
+            }
+            3 => s.link.rate_mbps = pick(rng, RATES_MBPS),
+            4 => {
+                let rtt = Dur::from_millis(pick(rng, RTTS_MS));
+                s.flows[i].rtt = rtt;
+            }
+            5 => {
+                s.flows[i].loss = if rng.bernoulli(0.5) {
+                    Some(LossSpec { rate: pick(rng, LOSSES), seed: rng.range_u64(1000) })
+                } else {
+                    None
+                };
+            }
+            6 => {
+                if s.flows.len() < strategy.max_flows {
+                    s.flows.push(strategy.gen_flow(rng, s.flows.len()));
+                } else if s.flows.len() > 1 {
+                    let i = rng.range_u64(s.flows.len() as u64) as usize;
+                    s.flows.remove(i);
+                }
+                // Renumber so ids stay unique whatever the corpus called
+                // its flows (reparse of the printed form requires it).
+                for (k, f) in s.flows.iter_mut().enumerate() {
+                    f.id = format!("f{k}");
+                }
+            }
+            7 => s.flows[i].datagram = !s.flows[i].datagram,
+            8 => s.duration = Dur::from_millis(pick(rng, DURATIONS_MS)),
+            _ => {
+                s.link.buffer = match rng.range_u64(3) {
+                    0 => Buffer::Ample,
+                    1 => Buffer::Bdp { n: pick(rng, &[0.5, 1.0, 2.0]), rtt: s.flows[0].rtt },
+                    _ => Buffer::Bytes(pick(rng, BUFFER_BYTES)),
+                };
+            }
+        }
+    }
+    s
+}
+
+/// A jitter bound within ±20% of `2·δ_max` for the CCA — the region where
+/// the paper's Theorem 2 says non-starvation runs out of room.
+pub fn boundary_jitter(rng: &mut Xoshiro256, cca: CcaId) -> Dur {
+    let target = 2.0 * cca.delta_hint().as_millis_f64();
+    let ms = (target * rng.range_f64(0.8, 1.2)).round().max(1.0);
+    Dur::from_millis(ms as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse;
+
+    #[test]
+    fn generated_scenarios_print_parse_and_compile() {
+        let s = ScenarioStrategy::default();
+        let mut rng = Xoshiro256::new(11);
+        for _ in 0..50 {
+            let scn = s.generate(&mut rng);
+            let printed = scn.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("generated scenario must parse: {e}\n{printed}"));
+            assert_eq!(reparsed, scn);
+            let cfg = compile(&scn);
+            assert_eq!(cfg.flows.len(), scn.flows.len());
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_valid_and_strictly_simpler() {
+        let strat = ScenarioStrategy::default();
+        let mut rng = Xoshiro256::new(12);
+        for _ in 0..20 {
+            let scn = strat.generate(&mut rng);
+            for cand in strat.shrink(&scn) {
+                assert_ne!(cand, scn, "shrink must propose a different value");
+                let printed = cand.to_string();
+                assert_eq!(parse(&printed).expect("candidate parses"), cand);
+                assert!(cand.duration >= MIN_DURATION);
+                assert!(!cand.flows.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_keeps_scenarios_well_formed() {
+        let strat = ScenarioStrategy::default();
+        let mut rng = Xoshiro256::new(13);
+        let mut scn = strat.generate(&mut rng);
+        for _ in 0..100 {
+            scn = mutate(&mut rng, &strat, scn);
+            let printed = scn.to_string();
+            assert_eq!(parse(&printed).expect("mutant parses"), scn, "{printed}");
+            assert!(!scn.flows.is_empty());
+            assert!(scn.flows.len() <= strat.max_flows);
+            // Flow ids must stay unique for the printed form to reparse.
+            let mut ids: Vec<&str> = scn.flows.iter().map(|f| f.id.as_str()).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), scn.flows.len());
+        }
+    }
+
+    #[test]
+    fn boundary_jitter_brackets_twice_the_delta_hint() {
+        let mut rng = Xoshiro256::new(14);
+        for _ in 0..200 {
+            let d = boundary_jitter(&mut rng, CcaId::Copa);
+            let ms = d.as_millis_f64();
+            assert!((8.0..=12.0).contains(&ms), "{ms} outside ±20% of 10 ms");
+        }
+    }
+}

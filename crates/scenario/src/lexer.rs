@@ -1,0 +1,238 @@
+//! Lexer for the `.scn` scenario language.
+//!
+//! Built from scratch in the style of `simlint`'s lexer: no external
+//! dependencies, a flat token stream with line/column positions. The
+//! vocabulary is deliberately tiny —
+//!
+//! * identifiers/keywords: `[A-Za-z_][A-Za-z0-9_-]*` (hyphens allowed so
+//!   CCA slugs like `delay-aimd` and fields like `audit-jitter-bound` are
+//!   single tokens);
+//! * numbers: `[0-9]+(.[0-9]+)?` followed by an optional alphabetic unit
+//!   suffix that stays part of the token text (`40ms`, `24mbps`, `0.02`,
+//!   `120000B`) — the parser interprets the suffix, so a wrong unit is a
+//!   parse diagnostic with a position, not a lex error;
+//! * strings: double-quoted, no escapes (scenario names);
+//! * punctuation: `{` and `}`;
+//! * comments: `#` to end of line, skipped.
+
+use std::fmt;
+
+/// Token kinds. Numbers keep their unit suffix in [`Token::text`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (may contain `-` after the first character).
+    Ident,
+    /// Number with optional unit suffix, e.g. `40ms`, `0.02`, `120000B`.
+    Number,
+    /// Double-quoted string (text excludes the quotes).
+    Str,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// End of input.
+    Eof,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token's text (without quotes for strings).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// A parse (or lex) failure with a stable message and source position.
+///
+/// Rendered as `line:col: message`; the negative-parse suite pins these
+/// messages, so wording changes are contract changes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Human-readable description of the failure.
+    pub msg: String,
+}
+
+impl ParseError {
+    /// Build an error at a position.
+    pub fn new(line: u32, col: u32, msg: impl Into<String>) -> ParseError {
+        ParseError { line, col, msg: msg.into() }
+    }
+
+    /// Build an error at a token's position.
+    pub fn at(tok: &Token, msg: impl Into<String>) -> ParseError {
+        ParseError::new(tok.line, tok.col, msg)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenize `src`. The returned stream always ends with an [`TokKind::Eof`]
+/// token carrying the position just past the input.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        let mut bump = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            c
+        };
+        if c == '\n' || c == ' ' || c == '\t' || c == '\r' {
+            bump(&mut chars);
+        } else if c == '#' {
+            while let Some(&c) = chars.peek() {
+                if c == '\n' {
+                    break;
+                }
+                bump(&mut chars);
+            }
+        } else if c == '{' {
+            bump(&mut chars);
+            out.push(Token { kind: TokKind::LBrace, text: "{".into(), line: tline, col: tcol });
+        } else if c == '}' {
+            bump(&mut chars);
+            out.push(Token { kind: TokKind::RBrace, text: "}".into(), line: tline, col: tcol });
+        } else if c == '"' {
+            bump(&mut chars);
+            let mut text = String::new();
+            loop {
+                match chars.peek() {
+                    Some('"') => {
+                        bump(&mut chars);
+                        break;
+                    }
+                    Some('\n') | None => {
+                        return Err(ParseError::new(tline, tcol, "unterminated string"));
+                    }
+                    Some(&c) => {
+                        text.push(c);
+                        bump(&mut chars);
+                    }
+                }
+            }
+            out.push(Token { kind: TokKind::Str, text, line: tline, col: tcol });
+        } else if c.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_digit() || c == '.' {
+                    text.push(c);
+                    bump(&mut chars);
+                } else {
+                    break;
+                }
+            }
+            // The unit suffix travels with the number token.
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphabetic() {
+                    text.push(c);
+                    bump(&mut chars);
+                } else {
+                    break;
+                }
+            }
+            out.push(Token { kind: TokKind::Number, text, line: tline, col: tcol });
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let mut text = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                    text.push(c);
+                    bump(&mut chars);
+                } else {
+                    break;
+                }
+            }
+            out.push(Token { kind: TokKind::Ident, text, line: tline, col: tcol });
+        } else {
+            return Err(ParseError::new(tline, tcol, format!("unexpected character `{c}`")));
+        }
+    }
+    out.push(Token { kind: TokKind::Eof, text: String::new(), line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_basic_vocabulary() {
+        let toks = lex("scenario \"x\" { rate 24mbps }").expect("lexes");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["scenario", "x", "{", "rate", "24mbps", "}", ""]);
+        assert_eq!(toks[4].kind, TokKind::Number);
+        assert_eq!(toks[1].kind, TokKind::Str);
+    }
+
+    #[test]
+    fn hyphenated_idents_are_single_tokens() {
+        let toks = lex("audit-jitter-bound delay-aimd").expect("lexes");
+        assert_eq!(toks[0].text, "audit-jitter-bound");
+        assert_eq!(toks[1].text, "delay-aimd");
+    }
+
+    #[test]
+    fn numbers_keep_unit_suffixes_and_decimals() {
+        let toks = lex("0.02 40ms 120000B 5s").expect("lexes");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["0.02", "40ms", "120000B", "5s", ""]);
+        assert!(toks[..4].iter().all(|t| t.kind == TokKind::Number));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        assert_eq!(
+            kinds("# header\nflow f0 { # trailing\n}\n"),
+            [TokKind::Ident, TokKind::Ident, TokKind::LBrace, TokKind::RBrace, TokKind::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let toks = lex("a\n  bb cc").expect("lexes");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (2, 6));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = lex("scenario \"oops").expect_err("must fail");
+        assert_eq!((err.line, err.col), (1, 10));
+        assert!(err.msg.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn stray_character_is_an_error() {
+        let err = lex("flow $x").expect_err("must fail");
+        assert_eq!((err.line, err.col), (1, 6));
+        assert!(err.msg.contains("unexpected character"), "{err}");
+    }
+}

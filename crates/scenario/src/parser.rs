@@ -1,0 +1,611 @@
+//! Recursive-descent parser for the `.scn` scenario language.
+//!
+//! Grammar (whitespace-insensitive; `#` comments; see DESIGN.md §10):
+//!
+//! ```text
+//! scenario     ::= "scenario" STRING "{" item* "}"
+//! item         ::= link | "duration" dur | "sample-every" dur | flow
+//! link         ::= "link" "{" ("rate" rate | "buffer" buffer | "ecn" bytes)* "}"
+//! buffer       ::= "ample" | bytes | "bdp" number dur
+//! flow         ::= "flow" IDENT "{" field* "}"
+//! field        ::= "cca" IDENT | "rtt" dur
+//!                | "jitter" dur "seed" int | "loss" number "seed" int
+//!                | "transport" ("reliable" | "datagram")
+//!                | "start" dur | "mss" int | "audit-jitter-bound" dur
+//! dur          ::= NUMBER with unit s | ms | us | ns
+//! rate         ::= NUMBER with unit gbps | mbps | kbps
+//! bytes        ::= NUMBER with unit B
+//! ```
+//!
+//! Required: one `link` block (with `rate` and `buffer`), a `duration`,
+//! and at least one flow (each with `cca` and `rtt`). Everything else is
+//! optional. Errors are fail-fast and carry a 1-based line/column plus a
+//! *stable* message — the negative-parse suite pins the exact wording.
+
+use crate::ast::{Buffer, CcaId, Flow, JitterSpec, Link, LossSpec, Scenario, ALL_CCAS};
+use crate::lexer::{lex, ParseError, TokKind, Token};
+use simcore::units::Dur;
+
+/// Parse one `.scn` source into a [`Scenario`].
+pub fn parse(src: &str) -> Result<Scenario, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let scenario = p.scenario()?;
+    let t = p.peek().clone();
+    if t.kind != TokKind::Eof {
+        return Err(ParseError::at(&t, format!("expected end of input, got `{}`", t.text)));
+    }
+    Ok(scenario)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kind(&mut self, kind: TokKind, what: &str) -> Result<Token, ParseError> {
+        let t = self.advance();
+        if t.kind != kind {
+            return Err(ParseError::at(&t, format!("expected {what}, got `{}`", display(&t))));
+        }
+        Ok(t)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<Token, ParseError> {
+        let t = self.advance();
+        if t.kind != TokKind::Ident || t.text != kw {
+            return Err(ParseError::at(&t, format!("expected `{kw}`, got `{}`", display(&t))));
+        }
+        Ok(t)
+    }
+
+    fn scenario(&mut self) -> Result<Scenario, ParseError> {
+        let kw = self.expect_keyword("scenario")?;
+        let name = self.expect_kind(TokKind::Str, "a scenario name string")?;
+        self.expect_kind(TokKind::LBrace, "`{`")?;
+
+        let mut link: Option<Link> = None;
+        let mut duration: Option<Dur> = None;
+        let mut sample_every: Option<Dur> = None;
+        let mut flows: Vec<Flow> = Vec::new();
+        let mut flow_pos: Vec<(String, u32, u32)> = Vec::new();
+
+        loop {
+            let t = self.advance();
+            match t.kind {
+                TokKind::RBrace => break,
+                TokKind::Ident => match t.text.as_str() {
+                    "link" => {
+                        if link.is_some() {
+                            return Err(ParseError::at(&t, "duplicate `link` block"));
+                        }
+                        link = Some(self.link_block()?);
+                    }
+                    "duration" => {
+                        if duration.is_some() {
+                            return Err(ParseError::at(&t, "duplicate field `duration` in scenario block"));
+                        }
+                        duration = Some(self.positive_dur("duration")?);
+                    }
+                    "sample-every" => {
+                        if sample_every.is_some() {
+                            return Err(ParseError::at(
+                                &t,
+                                "duplicate field `sample-every` in scenario block",
+                            ));
+                        }
+                        sample_every = Some(self.positive_dur("sample-every")?);
+                    }
+                    "flow" => {
+                        let (flow, id_tok) = self.flow_block()?;
+                        if let Some((_, l, c)) =
+                            flow_pos.iter().find(|(id, _, _)| *id == flow.id)
+                        {
+                            return Err(ParseError::at(
+                                &id_tok,
+                                format!("duplicate flow id `{}` (first declared at {l}:{c})", flow.id),
+                            ));
+                        }
+                        flow_pos.push((flow.id.clone(), id_tok.line, id_tok.col));
+                        flows.push(flow);
+                    }
+                    other => {
+                        return Err(ParseError::at(
+                            &t,
+                            format!(
+                                "unknown item `{other}` in scenario block (expected: link, duration, sample-every, flow)"
+                            ),
+                        ));
+                    }
+                },
+                _ => {
+                    return Err(ParseError::at(
+                        &t,
+                        format!("expected a scenario item or `}}`, got `{}`", display(&t)),
+                    ));
+                }
+            }
+        }
+
+        let Some(link) = link else {
+            return Err(ParseError::at(&kw, "scenario is missing a `link` block"));
+        };
+        let Some(duration) = duration else {
+            return Err(ParseError::at(&kw, "scenario is missing required field `duration`"));
+        };
+        if flows.is_empty() {
+            return Err(ParseError::at(&kw, "scenario has no flows (at least one `flow` block is required)"));
+        }
+        Ok(Scenario { name: name.text, link, duration, sample_every, flows })
+    }
+
+    fn link_block(&mut self) -> Result<Link, ParseError> {
+        let open = self.expect_kind(TokKind::LBrace, "`{`")?;
+        let mut rate: Option<f64> = None;
+        let mut buffer: Option<Buffer> = None;
+        let mut ecn: Option<u64> = None;
+        loop {
+            let t = self.advance();
+            match t.kind {
+                TokKind::RBrace => break,
+                TokKind::Ident => match t.text.as_str() {
+                    "rate" => {
+                        if rate.is_some() {
+                            return Err(ParseError::at(&t, "duplicate field `rate` in link block"));
+                        }
+                        let tok = self.expect_kind(TokKind::Number, "a rate")?;
+                        let mbps = parse_rate(&tok)?;
+                        if mbps <= 0.0 {
+                            return Err(ParseError::at(&tok, "link rate must be positive"));
+                        }
+                        rate = Some(mbps);
+                    }
+                    "buffer" => {
+                        if buffer.is_some() {
+                            return Err(ParseError::at(&t, "duplicate field `buffer` in link block"));
+                        }
+                        buffer = Some(self.buffer_spec()?);
+                    }
+                    "ecn" => {
+                        if ecn.is_some() {
+                            return Err(ParseError::at(&t, "duplicate field `ecn` in link block"));
+                        }
+                        let tok = self.expect_kind(TokKind::Number, "a byte count")?;
+                        ecn = Some(parse_bytes(&tok)?);
+                    }
+                    other => {
+                        return Err(ParseError::at(
+                            &t,
+                            format!("unknown field `{other}` in link block (expected: rate, buffer, ecn)"),
+                        ));
+                    }
+                },
+                _ => {
+                    return Err(ParseError::at(
+                        &t,
+                        format!("expected a link field or `}}`, got `{}`", display(&t)),
+                    ));
+                }
+            }
+        }
+        let Some(rate_mbps) = rate else {
+            return Err(ParseError::at(&open, "link is missing required field `rate`"));
+        };
+        let Some(buffer) = buffer else {
+            return Err(ParseError::at(&open, "link is missing required field `buffer`"));
+        };
+        Ok(Link { rate_mbps, buffer, ecn_bytes: ecn })
+    }
+
+    fn buffer_spec(&mut self) -> Result<Buffer, ParseError> {
+        let t = self.advance();
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "ample") => Ok(Buffer::Ample),
+            (TokKind::Ident, "bdp") => {
+                let n_tok = self.expect_kind(TokKind::Number, "a BDP multiple")?;
+                let n = parse_bare_f64(&n_tok)?;
+                if n <= 0.0 {
+                    return Err(ParseError::at(&n_tok, "BDP multiple must be positive"));
+                }
+                let rtt = self.positive_dur("bdp")?;
+                Ok(Buffer::Bdp { n, rtt })
+            }
+            (TokKind::Number, _) => Ok(Buffer::Bytes(parse_bytes(&t)?)),
+            _ => Err(ParseError::at(
+                &t,
+                format!(
+                    "expected a buffer spec: `ample`, a byte count like `120000B`, or `bdp <n> <rtt>`; got `{}`",
+                    display(&t)
+                ),
+            )),
+        }
+    }
+
+    fn flow_block(&mut self) -> Result<(Flow, Token), ParseError> {
+        let id_tok = self.expect_kind(TokKind::Ident, "a flow id")?;
+        self.expect_kind(TokKind::LBrace, "`{`")?;
+        let mut cca: Option<CcaId> = None;
+        let mut rtt: Option<Dur> = None;
+        let mut jitter: Option<JitterSpec> = None;
+        let mut loss: Option<LossSpec> = None;
+        let mut datagram = false;
+        let mut transport_seen = false;
+        let mut start: Option<Dur> = None;
+        let mut mss: Option<u64> = None;
+        let mut audit_jitter_bound: Option<Dur> = None;
+        let id = id_tok.text.clone();
+
+        loop {
+            let t = self.advance();
+            match t.kind {
+                TokKind::RBrace => break,
+                TokKind::Ident => {
+                    let dup = |field: &str| {
+                        ParseError::at(&t, format!("duplicate field `{field}` in flow `{id}`"))
+                    };
+                    match t.text.as_str() {
+                        "cca" => {
+                            if cca.is_some() {
+                                return Err(dup("cca"));
+                            }
+                            let tok = self.expect_kind(TokKind::Ident, "a CCA name")?;
+                            let Some(c) = CcaId::from_slug(&tok.text) else {
+                                let known: Vec<&str> = ALL_CCAS.iter().map(|c| c.slug()).collect();
+                                return Err(ParseError::at(
+                                    &tok,
+                                    format!(
+                                        "unknown CCA `{}` (expected one of: {})",
+                                        tok.text,
+                                        known.join(", ")
+                                    ),
+                                ));
+                            };
+                            cca = Some(c);
+                        }
+                        "rtt" => {
+                            if rtt.is_some() {
+                                return Err(dup("rtt"));
+                            }
+                            rtt = Some(self.positive_dur("rtt")?);
+                        }
+                        "jitter" => {
+                            if jitter.is_some() {
+                                return Err(dup("jitter"));
+                            }
+                            let tok = self.expect_kind(TokKind::Number, "a duration")?;
+                            let max = parse_dur(&tok)?;
+                            self.expect_keyword("seed")?;
+                            let seed_tok = self.expect_kind(TokKind::Number, "a seed")?;
+                            jitter = Some(JitterSpec { max, seed: parse_bare_int(&seed_tok)? });
+                        }
+                        "loss" => {
+                            if loss.is_some() {
+                                return Err(dup("loss"));
+                            }
+                            let tok = self.expect_kind(TokKind::Number, "a loss probability")?;
+                            let rate = parse_bare_f64(&tok)?;
+                            if !(0.0..=1.0).contains(&rate) {
+                                return Err(ParseError::at(
+                                    &tok,
+                                    format!("loss probability must be in [0, 1], got `{}`", tok.text),
+                                ));
+                            }
+                            self.expect_keyword("seed")?;
+                            let seed_tok = self.expect_kind(TokKind::Number, "a seed")?;
+                            loss = Some(LossSpec { rate, seed: parse_bare_int(&seed_tok)? });
+                        }
+                        "transport" => {
+                            if transport_seen {
+                                return Err(dup("transport"));
+                            }
+                            transport_seen = true;
+                            let tok = self.expect_kind(TokKind::Ident, "a transport")?;
+                            datagram = match tok.text.as_str() {
+                                "datagram" => true,
+                                "reliable" => false,
+                                other => {
+                                    return Err(ParseError::at(
+                                        &tok,
+                                        format!("unknown transport `{other}` (expected: reliable, datagram)"),
+                                    ));
+                                }
+                            };
+                        }
+                        "start" => {
+                            if start.is_some() {
+                                return Err(dup("start"));
+                            }
+                            let tok = self.expect_kind(TokKind::Number, "a duration")?;
+                            start = Some(parse_dur(&tok)?);
+                        }
+                        "mss" => {
+                            if mss.is_some() {
+                                return Err(dup("mss"));
+                            }
+                            let tok = self.expect_kind(TokKind::Number, "a packet size")?;
+                            let v = parse_bare_int(&tok)?;
+                            if v == 0 {
+                                return Err(ParseError::at(&tok, "mss must be positive"));
+                            }
+                            mss = Some(v);
+                        }
+                        "audit-jitter-bound" => {
+                            if audit_jitter_bound.is_some() {
+                                return Err(dup("audit-jitter-bound"));
+                            }
+                            audit_jitter_bound = Some(self.positive_dur("audit-jitter-bound")?);
+                        }
+                        other => {
+                            return Err(ParseError::at(
+                                &t,
+                                format!(
+                                    "unknown field `{other}` in flow block (expected: cca, rtt, jitter, loss, transport, start, mss, audit-jitter-bound)"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                _ => {
+                    return Err(ParseError::at(
+                        &t,
+                        format!("expected a flow field or `}}`, got `{}`", display(&t)),
+                    ));
+                }
+            }
+        }
+
+        let Some(cca) = cca else {
+            return Err(ParseError::at(&id_tok, format!("flow `{id}` is missing required field `cca`")));
+        };
+        let Some(rtt) = rtt else {
+            return Err(ParseError::at(&id_tok, format!("flow `{id}` is missing required field `rtt`")));
+        };
+        Ok((
+            Flow { id, cca, rtt, jitter, loss, datagram, start, mss, audit_jitter_bound },
+            id_tok,
+        ))
+    }
+
+    /// A duration value that must be strictly positive (`what` names the
+    /// field in the diagnostic).
+    fn positive_dur(&mut self, what: &str) -> Result<Dur, ParseError> {
+        let tok = self.expect_kind(TokKind::Number, "a duration")?;
+        let d = parse_dur(&tok)?;
+        if d == Dur::ZERO {
+            return Err(ParseError::at(&tok, format!("{what} must be positive")));
+        }
+        Ok(d)
+    }
+}
+
+/// How a token reads in a diagnostic (`<eof>` for end of input).
+fn display(t: &Token) -> String {
+    if t.kind == TokKind::Eof {
+        "<eof>".to_string()
+    } else {
+        t.text.clone()
+    }
+}
+
+/// Split a number token into its numeric text and unit suffix.
+fn split_number(text: &str) -> (&str, &str) {
+    let cut = text.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(text.len());
+    text.split_at(cut)
+}
+
+fn numeric_value(tok: &Token, digits: &str) -> Result<f64, ParseError> {
+    digits
+        .parse::<f64>()
+        .map_err(|_| ParseError::at(tok, format!("malformed number `{}`", tok.text)))
+}
+
+/// Parse a duration: a number with unit `s`, `ms`, `us` or `ns`.
+fn parse_dur(tok: &Token) -> Result<Dur, ParseError> {
+    let (digits, unit) = split_number(&tok.text);
+    let scale = match unit {
+        "ns" => 1.0,
+        "us" => 1e3,
+        "ms" => 1e6,
+        "s" => 1e9,
+        "" => {
+            return Err(ParseError::at(
+                tok,
+                format!("missing unit: expected a duration (s/ms/us/ns), got bare `{}`", tok.text),
+            ));
+        }
+        _ => {
+            return Err(ParseError::at(
+                tok,
+                format!("unit mismatch: expected a duration (s/ms/us/ns), got `{}`", tok.text),
+            ));
+        }
+    };
+    Ok(Dur((numeric_value(tok, digits)? * scale).round() as u64))
+}
+
+/// Parse a rate into Mbit/s: a number with unit `gbps`, `mbps` or `kbps`.
+fn parse_rate(tok: &Token) -> Result<f64, ParseError> {
+    let (digits, unit) = split_number(&tok.text);
+    let scale = match unit {
+        "gbps" => 1000.0,
+        "mbps" => 1.0,
+        "kbps" => 0.001,
+        "" => {
+            return Err(ParseError::at(
+                tok,
+                format!("missing unit: expected a rate (gbps/mbps/kbps), got bare `{}`", tok.text),
+            ));
+        }
+        _ => {
+            return Err(ParseError::at(
+                tok,
+                format!("unit mismatch: expected a rate (gbps/mbps/kbps), got `{}`", tok.text),
+            ));
+        }
+    };
+    Ok(numeric_value(tok, digits)? * scale)
+}
+
+/// Parse a byte count: an integer with unit `B`.
+fn parse_bytes(tok: &Token) -> Result<u64, ParseError> {
+    let (digits, unit) = split_number(&tok.text);
+    if unit != "B" {
+        return Err(ParseError::at(
+            tok,
+            format!("unit mismatch: expected a byte count like `120000B`, got `{}`", tok.text),
+        ));
+    }
+    digits
+        .parse::<u64>()
+        .map_err(|_| ParseError::at(tok, format!("expected an integer byte count, got `{}`", tok.text)))
+}
+
+/// Parse a unitless integer (seeds, packet sizes).
+fn parse_bare_int(tok: &Token) -> Result<u64, ParseError> {
+    let (digits, unit) = split_number(&tok.text);
+    if !unit.is_empty() {
+        return Err(ParseError::at(
+            tok,
+            format!("unit mismatch: expected a bare number, got `{}`", tok.text),
+        ));
+    }
+    digits
+        .parse::<u64>()
+        .map_err(|_| ParseError::at(tok, format!("expected an integer, got `{}`", tok.text)))
+}
+
+/// Parse a unitless float (loss probabilities, BDP multiples).
+fn parse_bare_f64(tok: &Token) -> Result<f64, ParseError> {
+    let (digits, unit) = split_number(&tok.text);
+    if !unit.is_empty() {
+        return Err(ParseError::at(
+            tok,
+            format!("unit mismatch: expected a bare number, got `{}`", tok.text),
+        ));
+    }
+    numeric_value(tok, digits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::Dur;
+
+    const COPA_JITTER: &str = r#"
+scenario "copa-jitter" {
+  link { rate 24mbps buffer ample }
+  duration 5s
+  flow f0 {
+    cca copa
+    rtt 40ms
+    jitter 10ms seed 42
+  }
+}
+"#;
+
+    #[test]
+    fn parses_a_canonical_scenario() {
+        let s = parse(COPA_JITTER).expect("parses");
+        assert_eq!(s.name, "copa-jitter");
+        assert_eq!(s.link.rate_mbps, 24.0);
+        assert_eq!(s.link.buffer, Buffer::Ample);
+        assert_eq!(s.duration, Dur::from_secs(5));
+        assert_eq!(s.sample_every, None);
+        assert_eq!(s.flows.len(), 1);
+        let f = &s.flows[0];
+        assert_eq!(f.id, "f0");
+        assert_eq!(f.cca, CcaId::Copa);
+        assert_eq!(f.rtt, Dur::from_millis(40));
+        assert_eq!(f.jitter, Some(JitterSpec { max: Dur::from_millis(10), seed: 42 }));
+        assert!(!f.datagram);
+    }
+
+    #[test]
+    fn parses_every_field() {
+        let src = r#"
+scenario "kitchen-sink" {
+  link { rate 48mbps buffer bdp 1.5 40ms ecn 30000B }
+  duration 2s
+  sample-every 5ms
+  flow a { cca bbr rtt 40ms }
+  flow b {
+    cca vivace
+    rtt 20ms
+    jitter 8ms seed 3
+    loss 0.02 seed 7
+    transport datagram
+    start 500ms
+    mss 1200
+    audit-jitter-bound 1ms
+  }
+}
+"#;
+        let s = parse(src).expect("parses");
+        assert_eq!(s.link.buffer, Buffer::Bdp { n: 1.5, rtt: Dur::from_millis(40) });
+        assert_eq!(s.link.ecn_bytes, Some(30000));
+        assert_eq!(s.sample_every, Some(Dur::from_millis(5)));
+        let b = &s.flows[1];
+        assert_eq!(b.loss, Some(LossSpec { rate: 0.02, seed: 7 }));
+        assert!(b.datagram);
+        assert_eq!(b.start, Some(Dur::from_millis(500)));
+        assert_eq!(b.mss, Some(1200));
+        assert_eq!(b.audit_jitter_bound, Some(Dur::from_millis(1)));
+    }
+
+    #[test]
+    fn field_order_is_free() {
+        let src = r#"
+scenario "reordered" {
+  flow f0 { rtt 40ms cca reno }
+  duration 1s
+  link { buffer 60000B rate 8mbps }
+}
+"#;
+        let s = parse(src).expect("parses");
+        assert_eq!(s.link.buffer, Buffer::Bytes(60000));
+        assert_eq!(s.flows[0].cca, CcaId::Reno);
+    }
+
+    #[test]
+    fn rate_units_normalize_to_mbps() {
+        let mk = |rate: &str| {
+            parse(&format!(
+                "scenario \"r\" {{ link {{ rate {rate} buffer ample }} duration 1s flow f {{ cca reno rtt 40ms }} }}"
+            ))
+            .expect("parses")
+            .link
+            .rate_mbps
+        };
+        assert_eq!(mk("500kbps"), 0.5);
+        assert_eq!(mk("2gbps"), 2000.0);
+        assert_eq!(mk("24mbps"), 24.0);
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = parse("scenario \"x\" {\n  link { rate 24mbps buffer ample }\n  duration 0s\n  flow f { cca reno rtt 40ms }\n}")
+            .expect_err("zero duration");
+        assert_eq!((err.line, err.col), (3, 12));
+        assert_eq!(err.msg, "duration must be positive");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let src = format!("{COPA_JITTER} extra");
+        let err = parse(&src).expect_err("trailing tokens");
+        assert!(err.msg.contains("expected end of input"), "{err}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Canonical pretty-printer: `Scenario` → `.scn` source.
+//!
+//! The output is the language's *canonical form*: durations print in the
+//! largest unit that divides them evenly, rates print in Mbit/s with
+//! Rust's shortest-round-trip `f64` formatting, optional fields are
+//! omitted at their defaults. `parse(print(ast)) == ast` for every AST the
+//! parser can produce — the round-trip property test pins this — which is
+//! what lets the fuzzer hand a mutated AST to the shrinker and write the
+//! minimal reproducer back out as a file.
+
+use crate::ast::{Buffer, Flow, Link, Scenario};
+use simcore::units::Dur;
+use std::fmt;
+
+/// Format a duration in the largest evenly-dividing unit.
+fn fmt_dur(d: Dur) -> String {
+    let ns = d.as_nanos();
+    if ns == 0 {
+        return "0s".to_string();
+    }
+    if ns.is_multiple_of(1_000_000_000) {
+        format!("{}s", ns / 1_000_000_000)
+    } else if ns.is_multiple_of(1_000_000) {
+        format!("{}ms", ns / 1_000_000)
+    } else if ns.is_multiple_of(1_000) {
+        format!("{}us", ns / 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link {{ rate {}mbps buffer ", self.rate_mbps)?;
+        match self.buffer {
+            Buffer::Ample => write!(f, "ample")?,
+            Buffer::Bytes(b) => write!(f, "{b}B")?,
+            Buffer::Bdp { n, rtt } => write!(f, "bdp {n} {}", fmt_dur(rtt))?,
+        }
+        if let Some(ecn) = self.ecn_bytes {
+            write!(f, " ecn {ecn}B")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+impl fmt::Display for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  flow {} {{", self.id)?;
+        writeln!(f, "    cca {}", self.cca.slug())?;
+        writeln!(f, "    rtt {}", fmt_dur(self.rtt))?;
+        if let Some(j) = self.jitter {
+            writeln!(f, "    jitter {} seed {}", fmt_dur(j.max), j.seed)?;
+        }
+        if let Some(l) = self.loss {
+            writeln!(f, "    loss {} seed {}", l.rate, l.seed)?;
+        }
+        if self.datagram {
+            writeln!(f, "    transport datagram")?;
+        }
+        if let Some(start) = self.start {
+            writeln!(f, "    start {}", fmt_dur(start))?;
+        }
+        if let Some(mss) = self.mss {
+            writeln!(f, "    mss {mss}")?;
+        }
+        if let Some(b) = self.audit_jitter_bound {
+            writeln!(f, "    audit-jitter-bound {}", fmt_dur(b))?;
+        }
+        write!(f, "  }}")
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario \"{}\" {{", self.name)?;
+        writeln!(f, "  {}", self.link)?;
+        writeln!(f, "  duration {}", fmt_dur(self.duration))?;
+        if let Some(every) = self.sample_every {
+            writeln!(f, "  sample-every {}", fmt_dur(every))?;
+        }
+        for flow in &self.flows {
+            writeln!(f, "{flow}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CcaId, JitterSpec, LossSpec};
+    use crate::parser::parse;
+
+    #[test]
+    fn durations_pick_the_largest_even_unit() {
+        assert_eq!(fmt_dur(Dur::from_secs(5)), "5s");
+        assert_eq!(fmt_dur(Dur::from_millis(40)), "40ms");
+        assert_eq!(fmt_dur(Dur::from_millis(1500)), "1500ms");
+        assert_eq!(fmt_dur(Dur::from_micros(250)), "250us");
+        assert_eq!(fmt_dur(Dur(123)), "123ns");
+    }
+
+    #[test]
+    fn printed_form_reparses_identically() {
+        let s = Scenario {
+            name: "printer-roundtrip".to_string(),
+            link: Link {
+                rate_mbps: 24.5,
+                buffer: Buffer::Bdp { n: 1.5, rtt: Dur::from_millis(40) },
+                ecn_bytes: Some(30000),
+            },
+            duration: Dur::from_millis(1500),
+            sample_every: Some(Dur::from_millis(5)),
+            flows: vec![
+                Flow {
+                    id: "f0".to_string(),
+                    cca: CcaId::DelayAimd,
+                    rtt: Dur::from_millis(40),
+                    jitter: Some(JitterSpec { max: Dur::from_millis(12), seed: 9 }),
+                    loss: Some(LossSpec { rate: 0.02, seed: 7 }),
+                    datagram: true,
+                    start: Some(Dur::from_millis(250)),
+                    mss: Some(1200),
+                    audit_jitter_bound: Some(Dur::from_millis(1)),
+                },
+                Flow {
+                    id: "f1".to_string(),
+                    cca: CcaId::Reno,
+                    rtt: Dur::from_millis(20),
+                    jitter: None,
+                    loss: None,
+                    datagram: false,
+                    start: None,
+                    mss: None,
+                    audit_jitter_bound: None,
+                },
+            ],
+        };
+        let printed = s.to_string();
+        let reparsed = parse(&printed).expect("canonical form parses");
+        assert_eq!(reparsed, s, "print → parse must be identity:\n{printed}");
+        assert_eq!(reparsed.to_string(), printed, "printing is idempotent");
+    }
+}

@@ -1,0 +1,146 @@
+//! Fuzzer determinism and oracle tests.
+//!
+//! * Same `--seed` + corpus ⇒ byte-identical `coverage.txt` and
+//!   `findings.jsonl`, across repeat runs and across worker counts
+//!   (`--jobs 4` vs serial): planning is serial from one seeded stream
+//!   and execution preserves job order.
+//! * A seeded invariant violation in the corpus (a flow whose declared
+//!   audit jitter bound sits far below its real jitter) is found, shrunk
+//!   to a *minimal* scenario, and written as a replayable reproducer.
+
+use scenario::{parse, FuzzOptions, Scenario, ScenarioStrategy};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use testkit::prop::Strategy;
+
+/// A scratch output directory, cleaned before use so stale coverage from
+/// an earlier test run cannot leak into this one (coverage persistence is
+/// exactly the point of the file).
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scenario-fuzz-test-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn committed_corpus() -> Vec<Scenario> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/scenarios");
+    let corpus = scenario::load_dir(&dir).expect("corpus parses");
+    assert_eq!(corpus.len(), 4, "expected the four canonical scenarios in {}", dir.display());
+    corpus
+}
+
+/// Run the fuzzer into a fresh scratch dir; return the bytes of
+/// (coverage.txt, findings.jsonl).
+fn run_once(name: &str, seed: u64, count: usize, jobs: usize, corpus: Vec<Scenario>) -> (String, String) {
+    let out = scratch_dir(name);
+    let mut opts = FuzzOptions::new(seed, out.clone());
+    opts.count = count;
+    opts.jobs = jobs;
+    opts.corpus = corpus;
+    scenario::fuzz(&opts).expect("fuzz run completes");
+    let coverage = std::fs::read_to_string(out.join("coverage.txt")).expect("coverage.txt");
+    let findings = std::fs::read_to_string(out.join("findings.jsonl")).expect("findings.jsonl");
+    (coverage, findings)
+}
+
+#[test]
+fn same_seed_is_byte_identical_across_runs_and_job_counts() {
+    let corpus = committed_corpus();
+    let a = run_once("det-a", 7, 48, 1, corpus.clone());
+    let b = run_once("det-b", 7, 48, 1, corpus.clone());
+    assert_eq!(a, b, "two serial runs with the same seed diverged");
+    let c = run_once("det-c", 7, 48, 4, corpus.clone());
+    assert_eq!(a, c, "--jobs 4 diverged from the serial run");
+    let d = run_once("det-d", 8, 48, 1, corpus);
+    assert_ne!(a.0, d.0, "a different seed must explore differently");
+}
+
+#[test]
+fn coverage_accumulates_across_resumed_runs() {
+    let out = scratch_dir("resume");
+    let corpus = committed_corpus();
+    let mut opts = FuzzOptions::new(7, out.clone());
+    opts.count = 24;
+    opts.jobs = 1;
+    opts.corpus = corpus;
+    let first = scenario::fuzz(&opts).expect("first run");
+    assert_eq!(first.features, first.new_features, "fresh dir starts from zero");
+    opts.seed = 8;
+    let second = scenario::fuzz(&opts).expect("resumed run");
+    assert!(
+        second.features >= first.features,
+        "resumed run lost coverage: {} -> {}",
+        first.features,
+        second.features
+    );
+    let text = std::fs::read_to_string(out.join("coverage.txt")).expect("coverage.txt");
+    let total: u64 = scenario::fuzz::parse_coverage(&text).values().sum();
+    assert_eq!(total, 48, "every executed scenario lands in exactly one coverage bucket");
+}
+
+/// The seeded violation: 20 ms of real jitter against a declared 1 ms
+/// audit bound. The auditor must flag the jitter-hold that exceeds the
+/// declared bound (same fault the trace metamorphic suite injects).
+const SEEDED_VIOLATION: &str = r#"
+scenario "seeded-violation" {
+  link { rate 12mbps buffer ample }
+  duration 1s
+  flow f0 {
+    cca const-cwnd
+    rtt 40ms
+    jitter 20ms seed 5
+    audit-jitter-bound 1ms
+  }
+}
+"#;
+
+fn fails_under_audit(s: &Scenario) -> bool {
+    let cfg = scenario::compile(s).with_audit(true);
+    catch_unwind(AssertUnwindSafe(|| {
+        netsim::Network::new(cfg).run();
+    }))
+    .is_err()
+}
+
+#[test]
+fn seeded_violation_is_found_shrunk_and_replayable() {
+    let out = scratch_dir("oracle");
+    let mut opts = FuzzOptions::new(7, out.clone());
+    opts.count = 40;
+    opts.jobs = 2;
+    // Corpus = the four clean canonical scenarios plus the seeded fault;
+    // mutation preserves the audit bound, so mutants of the faulty entry
+    // keep violating unless the mutation removes the jitter itself.
+    let mut corpus = committed_corpus();
+    corpus.push(parse(SEEDED_VIOLATION).expect("seeded violation parses"));
+    opts.corpus = corpus;
+    let report = scenario::fuzz(&opts).expect("fuzz run completes");
+    assert!(report.violations > 0, "the seeded violation was never hit in {} runs", report.executed);
+    assert!(!report.findings.is_empty(), "violations must produce shrunk findings");
+
+    // The reproducer replays the failure from its file alone.
+    let path = out.join("finding-000.scn");
+    let min = scenario::load_file(&path).expect("reproducer parses");
+    assert!(fails_under_audit(&min), "shrunk reproducer no longer fails");
+
+    // And it is *minimal*: no single shrink step still fails.
+    let strategy = ScenarioStrategy::default();
+    for candidate in strategy.shrink(&min) {
+        assert!(
+            !fails_under_audit(&candidate),
+            "not a local minimum; a simpler scenario still fails:\n{candidate}"
+        );
+    }
+
+    // The finding's message is the auditor's verdict, and the log + the
+    // coverage map both record the violation.
+    assert!(
+        report.findings[0].message.contains("jitter-bound"),
+        "unexpected failure message: {}",
+        report.findings[0].message
+    );
+    let log = std::fs::read_to_string(out.join("findings.jsonl")).expect("findings.jsonl");
+    assert!(log.contains("\"repro\":\"finding-000.scn\""), "log missing reproducer: {log}");
+    let coverage = std::fs::read_to_string(out.join("coverage.txt")).expect("coverage.txt");
+    assert!(coverage.lines().any(|l| l.contains("|violation ")), "coverage missing violation bucket");
+}

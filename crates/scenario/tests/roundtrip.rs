@@ -1,0 +1,56 @@
+//! Parser ⇄ printer round-trip property: for every AST the generator can
+//! produce, `parse(print(s)) == s` and printing is idempotent. Runs under
+//! the testkit property harness, so failures shrink to a minimal scenario
+//! and replay with `TESTKIT_SEED`/`TESTKIT_CASE_SEED`.
+
+use scenario::{parse, ScenarioStrategy};
+use testkit::prop::{check_with, Config};
+
+/// ASTs are cheap to generate and compare, so run a wider net than the
+/// harness default (environment variables still override the seed).
+fn ast_config() -> Config {
+    if std::env::var_os("TESTKIT_CASES").is_some() {
+        Config::from_env()
+    } else {
+        Config::with_cases(256)
+    }
+}
+
+#[test]
+fn print_then_parse_is_identity() {
+    check_with(ast_config(), "print_then_parse_is_identity", ScenarioStrategy::default(), |s| {
+        let printed = s.to_string();
+        let reparsed = parse(&printed)
+            .map_err(|e| format!("canonical form failed to reparse: {e}\n---\n{printed}"))?;
+        if reparsed != *s {
+            return Err(format!(
+                "print → parse is not identity\n--- printed\n{printed}\n--- reparsed AST\n{reparsed:?}"
+            ));
+        }
+        let reprinted = reparsed.to_string();
+        if reprinted != printed {
+            return Err(format!(
+                "printing is not idempotent\n--- first\n{printed}\n--- second\n{reprinted}"
+            ));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn every_generated_scenario_compiles() {
+    // Compilation is documented as infallible on parser output; the
+    // generator must not be able to produce an AST that panics the
+    // compiler (the fuzzer relies on this).
+    check_with(ast_config(), "every_generated_scenario_compiles", ScenarioStrategy::default(), |s| {
+        let sim = scenario::compile(s);
+        if sim.flows.len() != s.flows.len() {
+            return Err(format!(
+                "compile dropped flows: {} declared, {} lowered",
+                s.flows.len(),
+                sim.flows.len()
+            ));
+        }
+        Ok(())
+    });
+}

@@ -52,21 +52,32 @@ pub struct Config {
 }
 
 impl Config {
-    /// The scopes for *this* workspace: panic/float policy over the four
+    /// The scopes for *this* workspace: panic/float policy over the five
     /// library crates, unit-cast over `netsim`, everything else global.
     pub fn for_workspace(root: impl Into<PathBuf>) -> Config {
-        let lib = ["crates/simcore/src", "crates/netsim/src", "crates/cca/src", "crates/core/src"];
+        let lib = [
+            "crates/simcore/src",
+            "crates/netsim/src",
+            "crates/cca/src",
+            "crates/core/src",
+            // The scenario DSL + fuzzer: library code other tools embed
+            // (canon, sweep, the repro CLI), so it carries library policy.
+            "crates/scenario/src",
+        ];
         Config {
             root: root.into(),
             panic_scope: lib.iter().map(|s| s.to_string()).collect(),
             float_scope: lib.iter().map(|s| s.to_string()).collect(),
             cast_scope: vec!["crates/netsim/src".to_string()],
             // The per-event bodies the perfbench suite measures: the sim
-            // loop, the receiver's ACK machinery, the bottleneck queue.
+            // loop, the receiver's ACK machinery, the bottleneck queue —
+            // plus the fuzzer crate, whose batch loop fans simulations out
+            // across workers and must not allocate per generated event.
             alloc_scope: vec![
                 "crates/netsim/src/sim.rs".to_string(),
                 "crates/netsim/src/receiver.rs".to_string(),
                 "crates/netsim/src/link.rs".to_string(),
+                "crates/scenario/src".to_string(),
             ],
             determinism_allow: Vec::new(),
             skip_dirs: vec![

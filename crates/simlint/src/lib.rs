@@ -138,6 +138,34 @@ pub const FIXTURES: &[(RuleId, &str, &str, bool)] = &[
     ),
 ];
 
+/// Scope self-check fixtures: each scoped rule's `bad` source linted under
+/// the *workspace* config at two virtual paths — one inside the rule's
+/// scope, one outside it. The in-scope lint must fire, the out-of-scope
+/// one must not: this pins `Config::for_workspace`'s scope lists (e.g.
+/// that `crates/scenario` is held to the panic and hot-path policies)
+/// the same way [`FIXTURES`] pins the rules themselves.
+/// Layout: (rule, in-scope path, out-of-scope path, source).
+pub const SCOPE_FIXTURES: &[(RuleId, &str, &str, &str)] = &[
+    (
+        RuleId::PanicPolicy,
+        "crates/scenario/src/parser.rs",
+        "crates/bench/src/main.rs",
+        include_str!("../fixtures/panic-policy/bad.rs"),
+    ),
+    (
+        RuleId::HotPathAlloc,
+        "crates/scenario/src/fuzz.rs",
+        "crates/bench/src/main.rs",
+        include_str!("../fixtures/hot-path-alloc/bad.rs"),
+    ),
+    (
+        RuleId::UnitCast,
+        "crates/netsim/src/link.rs",
+        "crates/scenario/src/compile.rs",
+        include_str!("../fixtures/unit-cast/bad.rs"),
+    ),
+];
+
 /// Lint one embedded fixture with scoped rules opened up to every path.
 pub fn lint_fixture(path: &str, src: &str) -> Vec<Diagnostic> {
     let cfg = Config::everything("/");
@@ -176,6 +204,31 @@ pub fn self_check() -> Vec<String> {
             ));
         }
     }
+    // Scope checks run under the workspace config, not `everything`: the
+    // same bad source must trip its rule at the in-scope path and stay
+    // silent (for that rule) at the out-of-scope one. Other rules may
+    // still fire — only the scoped rule's findings are judged.
+    let workspace = Config::for_workspace("/");
+    for &(rule, inside, outside, src) in SCOPE_FIXTURES {
+        let hits = |path: &str| {
+            engine::lint_rust(&workspace, path, src)
+                .into_iter()
+                .filter(|d| d.rule == rule)
+                .count()
+        };
+        if hits(inside) == 0 {
+            failures.push(format!(
+                "{inside}: {} must apply inside its workspace scope, found nothing",
+                rule.slug()
+            ));
+        }
+        if hits(outside) != 0 {
+            failures.push(format!(
+                "{outside}: {} fired outside its workspace scope",
+                rule.slug()
+            ));
+        }
+    }
     failures
 }
 
@@ -187,6 +240,18 @@ mod tests {
     fn self_check_passes() {
         let failures = self_check();
         assert!(failures.is_empty(), "{failures:#?}");
+    }
+
+    #[test]
+    fn scope_fixtures_cover_the_scenario_crate() {
+        // The new crate must be listed in both scoped policies; the scope
+        // self-check above proves the behaviour, this pins the intent.
+        let cfg = Config::for_workspace("/");
+        assert!(cfg.panic_scope.iter().any(|p| p == "crates/scenario/src"));
+        assert!(cfg.alloc_scope.iter().any(|p| p == "crates/scenario/src"));
+        assert!(SCOPE_FIXTURES
+            .iter()
+            .any(|&(_, inside, _, _)| inside.starts_with("crates/scenario/src")));
     }
 
     #[test]

@@ -67,7 +67,11 @@ fn main() -> ExitCode {
     if do_self_check {
         let failures = self_check();
         if failures.is_empty() {
-            println!("simlint self-check: {} fixtures ok", simlint::FIXTURES.len());
+            println!(
+                "simlint self-check: {} fixtures + {} scope checks ok",
+                simlint::FIXTURES.len(),
+                simlint::SCOPE_FIXTURES.len()
+            );
             return ExitCode::SUCCESS;
         }
         for f in &failures {

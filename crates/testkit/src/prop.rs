@@ -360,6 +360,26 @@ pub fn check_with<S: Strategy>(
     }
 }
 
+/// Greedily minimize a failing value outside the [`check`] runner:
+/// repeatedly replace it with the first [`Strategy::shrink`] candidate for
+/// which `fails` still holds, until no candidate fails or the eval budget
+/// runs out. Returns the minimized value and the number of `fails`
+/// evaluations spent.
+///
+/// This is the shrinking core of [`check`] exposed for harnesses whose
+/// failure signal is not a property `Result` — e.g. the scenario fuzzer,
+/// where "fails" means "the simulation panics under the runtime auditor".
+pub fn minimize<S: Strategy>(
+    strategy: &S,
+    value: S::Value,
+    fails: impl Fn(&S::Value) -> bool,
+    max_evals: u32,
+) -> (S::Value, u32) {
+    let property = |v: &S::Value| if fails(v) { Err(String::new()) } else { Ok(()) };
+    let (min, _, evals) = shrink_failure(strategy, &property, value, String::new(), max_evals);
+    (min, evals)
+}
+
 /// Greedy shrink: repeatedly replace the failing value with the first
 /// shrink candidate that still fails, until none fails or the eval budget
 /// runs out. Returns the final value, its error, and evals spent.

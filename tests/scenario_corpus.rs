@@ -1,0 +1,67 @@
+//! Corpus replay: every committed `.scn` scenario file parses, compiles,
+//! and reproduces the golden trace digest recorded for the canonical
+//! scenario of the same name.
+//!
+//! `tests/golden_traces.rs` pins the digests *through the canon registry*
+//! (embedded sources); this suite pins them through the files on disk and
+//! the public DSL entry points, so a parser/compiler change that altered
+//! the lowering — or an edit to a corpus file — shows up even if the
+//! embedded copies drift.
+
+use netsim::Network;
+use simcore::trace::{RingSink, TraceSink};
+use starvation::CANONICAL;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn digest_of(s: &scenario::Scenario) -> String {
+    let ring = RingSink::new(16);
+    let probe = ring.clone();
+    let cfg = scenario::compile(s)
+        .with_trace(Arc::new(move || Box::new(probe.clone()) as Box<dyn TraceSink>))
+        .with_audit(true);
+    Network::new(cfg).run();
+    ring.digest().render()
+}
+
+#[test]
+fn corpus_covers_exactly_the_canonical_scenarios() {
+    let corpus = scenario::load_dir(&repo_root().join("tests/scenarios")).expect("corpus parses");
+    let names: Vec<&str> = corpus.iter().map(|s| s.name.as_str()).collect();
+    let mut want: Vec<&str> = CANONICAL.to_vec();
+    want.sort_unstable();
+    assert_eq!(names, want, "tests/scenarios/ and the canon registry disagree");
+    for s in &corpus {
+        let path = repo_root().join(format!("tests/scenarios/{}.scn", s.name));
+        assert!(path.exists(), "scenario `{}` must live in {}", s.name, path.display());
+    }
+}
+
+#[test]
+fn corpus_files_replay_the_golden_digests() {
+    let root = repo_root();
+    let corpus = scenario::load_dir(&root.join("tests/scenarios")).expect("corpus parses");
+    let mut mismatches = Vec::new();
+    for s in &corpus {
+        let got = digest_of(s);
+        let path = root.join(format!("tests/golden/{}.digest", s.name));
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        if got != want {
+            mismatches.push(format!(
+                "scenario {}: corpus file no longer replays its golden digest\n--- recorded\n{want}--- from .scn\n{got}",
+                s.name
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{}\nEither the DSL lowering changed or a corpus file was edited; corpus files are frozen \
+         (re-record via BLESS=1 cargo test --test golden_traces only for intended behaviour changes).",
+        mismatches.join("\n")
+    );
+}
