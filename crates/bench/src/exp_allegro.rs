@@ -29,7 +29,7 @@ fn link() -> LinkConfig {
 }
 
 fn flow(loss: f64, seed: u64) -> FlowConfig {
-    let f = FlowConfig::bulk(Box::new(cca::Allegro::new(seed)), Dur::from_millis(40)).datagram();
+    let f = FlowConfig::bulk(Box::new(cca::Allegro::new(seed)), Dur::from_millis(40)).with_transport(netsim::Transport::Datagram);
     if loss > 0.0 {
         // Loss stream 7 is the representative stream reported in
         // EXPERIMENTS.md; `repro seeds` publishes the distribution across

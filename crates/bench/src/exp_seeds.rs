@@ -63,11 +63,11 @@ fn vivace_config(seed: u64, secs: u64) -> SimConfig {
     let rm = Dur::from_millis(60);
     let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
     let quantized = FlowConfig::bulk(Box::new(cca::Vivace::new(seed * 2 + 1)), rm)
-        .datagram()
+        .with_transport(netsim::Transport::Datagram)
         .with_ack_policy(AckPolicy::Quantized {
             period: Dur::from_millis(60),
         });
-    let clean = FlowConfig::bulk(Box::new(cca::Vivace::new(seed * 2 + 2)), rm).datagram();
+    let clean = FlowConfig::bulk(Box::new(cca::Vivace::new(seed * 2 + 2)), rm).with_transport(netsim::Transport::Datagram);
     SimConfig::new(link, vec![quantized, clean], Dur::from_secs(secs))
 }
 
@@ -77,13 +77,13 @@ fn allegro_config(seed: u64, secs: u64) -> SimConfig {
         Box::new(cca::Allegro::new(seed * 2 + 1)),
         Dur::from_millis(40),
     )
-    .datagram()
+    .with_transport(netsim::Transport::Datagram)
     .with_loss(0.02, seed * 13 + 7);
     let clean = FlowConfig::bulk(
         Box::new(cca::Allegro::new(seed * 2 + 2)),
         Dur::from_millis(40),
     )
-    .datagram();
+    .with_transport(netsim::Transport::Datagram);
     SimConfig::new(link, vec![lossy, clean], Dur::from_secs(secs))
 }
 

@@ -27,11 +27,11 @@ pub fn run(quick: bool) -> VivaceReport {
     let rm = Dur::from_millis(60);
     let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
     let quantized = FlowConfig::bulk(Box::new(cca::Vivace::new(1)), rm)
-        .datagram()
+        .with_transport(netsim::Transport::Datagram)
         .with_ack_policy(AckPolicy::Quantized {
             period: Dur::from_millis(60),
         });
-    let clean = FlowConfig::bulk(Box::new(cca::Vivace::new(2)), rm).datagram();
+    let clean = FlowConfig::bulk(Box::new(cca::Vivace::new(2)), rm).with_transport(netsim::Transport::Datagram);
     let r = Network::new(SimConfig::new(
         link,
         vec![quantized, clean],

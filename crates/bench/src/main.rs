@@ -26,7 +26,7 @@
 //!   trace      stream a canonical scenario's audited event trace as
 //!              JSON-lines into results/trace/<scenario>.jsonl
 //!              (scenarios: reno-ideal, copa-jitter, bbr-two-flow,
-//!              vivace-lossy)
+//!              vivace-lossy, workload-1k)
 //!   lint       run the simlint workspace invariant checks
 //!              ([--json] [--deny-warnings]; exits 1 on findings)
 //!   fuzz       coverage-guided scenario fuzzing with the runtime

@@ -1,5 +1,5 @@
-//! Canonical trace scenarios: four small, fixed configurations that
-//! exercise every event class the trace subsystem emits.
+//! Canonical trace scenarios: five fixed configurations that exercise
+//! every event class the trace subsystem emits.
 //!
 //! The scenarios live as `.scn` files in `tests/scenarios/` — the
 //! scenario-DSL corpus — compiled in via `include_str!` so this crate
@@ -22,7 +22,8 @@
 use netsim::SimConfig;
 
 /// Names of the canonical scenarios, in registry order.
-pub const CANONICAL: &[&str] = &["reno-ideal", "copa-jitter", "bbr-two-flow", "vivace-lossy"];
+pub const CANONICAL: &[&str] =
+    &["reno-ideal", "copa-jitter", "bbr-two-flow", "vivace-lossy", "workload-1k"];
 
 /// The committed `.scn` sources, embedded so the canon is available
 /// without filesystem access. Same order as [`CANONICAL`].
@@ -31,6 +32,7 @@ const SOURCES: &[(&str, &str)] = &[
     ("copa-jitter", include_str!("../../../tests/scenarios/copa-jitter.scn")),
     ("bbr-two-flow", include_str!("../../../tests/scenarios/bbr-two-flow.scn")),
     ("vivace-lossy", include_str!("../../../tests/scenarios/vivace-lossy.scn")),
+    ("workload-1k", include_str!("../../../tests/scenarios/workload-1k.scn")),
 ];
 
 /// The `.scn` source of a canonical scenario. `None` for unknown names.
@@ -50,6 +52,9 @@ pub fn canonical_source(name: &str) -> Option<&'static str> {
 ///   tail drops, retransmissions, two-flow FIFO interleaving).
 /// * `vivace-lossy` — one PCC Vivace datagram flow with 2% Bernoulli loss
 ///   (SACK-style per-packet ACKs, loss events without retransmission).
+/// * `workload-1k` — a 1000-flow dynamic workload: Poisson arrivals,
+///   heavy-tailed Pareto sizes, NewReno through mild jitter (flow
+///   arrive/complete lifecycle, population-scale FCT and fairness).
 pub fn canonical_scenario(name: &str) -> Option<SimConfig> {
     let src = canonical_source(name)?;
     // The corpus is committed and covered by the golden suite; a parse
@@ -90,7 +95,7 @@ mod tests {
 
     #[test]
     fn canonical_scenarios_pass_audit_and_emit_all_core_classes() {
-        // Union across the four scenarios must cover the full event
+        // Union across the canonical scenarios must cover the full event
         // vocabulary (drop/retransmit/rto come from bbr-two-flow and
         // vivace-lossy; jitter classes appear everywhere).
         let mut seen: std::collections::BTreeSet<&'static str> = Default::default();

@@ -193,7 +193,7 @@ pub fn run_theorem1(factory: &CcaFactory, cfg: Theorem1Config) -> Option<Theorem
         plan,
         x1_mbps: x1,
         x2_mbps: x2,
-        clamped_packets: result.jitter_clamps.iter().sum(),
+        clamped_packets: result.total_jitter_clamps(),
         solo1_mbps: run1.throughput.mbps(),
         solo2_mbps: run2.throughput.mbps(),
         used_case2,

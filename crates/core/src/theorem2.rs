@@ -82,7 +82,7 @@ pub fn run_theorem2(factory: &CcaFactory, cfg: Theorem2Config) -> Theorem2Report
         emulated_mbps: emulated.mbps(),
         d_bound,
         utilization: emulated.bytes_per_sec() / c_prime.bytes_per_sec(),
-        clamped_packets: result.jitter_clamps.iter().sum(),
+        clamped_packets: result.total_jitter_clamps(),
     }
 }
 

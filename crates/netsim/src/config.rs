@@ -122,6 +122,15 @@ pub struct FlowConfig {
     pub start: Time,
     /// Optional application-rate cap (`None` = bulk flow).
     pub app_limit: Option<Rate>,
+    /// Byte budget for a finite transfer: the flow sends
+    /// `ceil(size / mss)` packets and retires once they are delivered
+    /// (reliable) or resolved (datagram). `None` = bulk, runs to the end.
+    pub size: Option<u64>,
+    /// Audited jitter-bound override for this flow. A test hook: declaring
+    /// a bound *below* the jitter policy's real one seeds a violation the
+    /// auditor must catch — the mutation test for the audit machinery
+    /// itself. Not for production configs.
+    pub audit_jitter_bound: Option<Dur>,
 }
 
 impl FlowConfig {
@@ -138,6 +147,8 @@ impl FlowConfig {
             loss_seed: 0,
             start: Time::ZERO,
             app_limit: None,
+            size: None,
+            audit_jitter_bound: None,
         }
     }
 
@@ -153,9 +164,9 @@ impl FlowConfig {
         self
     }
 
-    /// Builder: UDP-like datagram transport (PCC flows).
-    pub fn datagram(mut self) -> FlowConfig {
-        self.transport = Transport::Datagram;
+    /// Builder: replace the transport reliability model.
+    pub fn with_transport(mut self, t: Transport) -> FlowConfig {
+        self.transport = t;
         self
     }
 
@@ -167,7 +178,7 @@ impl FlowConfig {
     }
 
     /// Builder: delayed start.
-    pub fn starting_at(mut self, t: Time) -> FlowConfig {
+    pub fn with_start(mut self, t: Time) -> FlowConfig {
         self.start = t;
         self
     }
@@ -181,6 +192,20 @@ impl FlowConfig {
     /// Builder: cap the application's sending rate (`None` = bulk flow).
     pub fn with_app_limit(mut self, limit: Option<Rate>) -> FlowConfig {
         self.app_limit = limit;
+        self
+    }
+
+    /// Builder: a finite transfer of `bytes`; the flow retires when its
+    /// budget is delivered, recording a completion time.
+    pub fn with_size(mut self, bytes: u64) -> FlowConfig {
+        self.size = Some(bytes);
+        self
+    }
+
+    /// Builder: override the audited jitter bound for this flow (the
+    /// fault-injection hook; see [`FlowConfig::audit_jitter_bound`]).
+    pub fn with_audit_jitter_bound(mut self, bound: Dur) -> FlowConfig {
+        self.audit_jitter_bound = Some(bound);
         self
     }
 }
@@ -206,11 +231,10 @@ pub struct SimConfig {
     /// downstream consumer. A violation panics with event context, which
     /// the sweep engine's per-job isolation reports as a failed row.
     pub audit: bool,
-    /// Per-flow jitter-bound overrides `(flow, bound)` for the auditor.
-    /// This exists for mutation tests: declaring a bound *below* the
-    /// jitter policy's real one must make the audit fail through the full
-    /// simulation pipeline. Not for production configs.
-    pub audit_jitter_override: Vec<(usize, Dur)>,
+    /// Optional dynamic workload: a schedule of flow arrivals with finite
+    /// sizes that spawns flows mid-run (their ids continue after `flows`
+    /// in arrival order) and retires them when delivered.
+    pub workload: Option<crate::workload::Workload>,
 }
 
 impl SimConfig {
@@ -223,7 +247,7 @@ impl SimConfig {
             sample_every: Dur::from_millis(10),
             trace: None,
             audit: false,
-            audit_jitter_override: Vec::new(),
+            workload: None,
         }
     }
 
@@ -246,12 +270,10 @@ impl SimConfig {
         self
     }
 
-    /// Builder: override the audited jitter bound for `flow`. A test hook:
-    /// setting a bound tighter than the configured jitter policy's real
-    /// bound seeds a violation the auditor must catch (and report with
-    /// event context) — the mutation test for the audit machinery itself.
-    pub fn with_audit_jitter_bound(mut self, flow: usize, bound: Dur) -> SimConfig {
-        self.audit_jitter_override.push((flow, bound));
+    /// Builder: attach a dynamic workload (scheduled flow arrivals with
+    /// finite sizes; see [`crate::workload::Workload`]).
+    pub fn with_workload(mut self, w: crate::workload::Workload) -> SimConfig {
+        self.workload = Some(w);
         self
     }
 }
@@ -412,9 +434,11 @@ mod tests {
             .with_ack_policy(AckPolicy::Quantized {
                 period: Dur::from_millis(60),
             })
-            .starting_at(Time::from_secs(1));
+            .with_start(Time::from_secs(1))
+            .with_size(600_000);
         assert_eq!(f.loss_rate, 0.02);
         assert_eq!(f.start, Time::from_secs(1));
+        assert_eq!(f.size, Some(600_000));
         assert!(matches!(f.ack_policy, AckPolicy::Quantized { .. }));
     }
 }

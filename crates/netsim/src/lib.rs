@@ -60,9 +60,12 @@ pub mod packet;
 pub mod receiver;
 pub mod sender;
 pub mod sim;
+pub mod workload;
 
 pub use config::{AckPolicy, FlowConfig, LinkConfig, PathSpec, SimConfig, Transport};
 pub use jitter::Jitter;
-pub use metrics::{FlowMetrics, SimResult};
+pub use metrics::{FlowMetrics, FlowRecord, Percentiles, PopulationSummary, SimResult};
+pub use packet::FlowId;
 pub use sender::Accounting;
 pub use sim::Network;
+pub use workload::{ArrivalProcess, SizeDist, Workload};

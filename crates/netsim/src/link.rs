@@ -5,7 +5,7 @@
 //! delay-bounding CCAs; the loss-based experiments (Figure 7, §5.4) need a
 //! finite buffer (60 packets / 1 BDP), so the buffer is a parameter.
 
-use crate::packet::Packet;
+use crate::packet::{FlowId, Packet};
 use simcore::units::{Dur, Rate, Time};
 use std::collections::VecDeque;
 
@@ -95,8 +95,8 @@ impl Bottleneck {
     }
 
     /// Tail drops recorded for `flow`.
-    pub fn drops(&self, flow: usize) -> u64 {
-        self.drops.get(flow).copied().unwrap_or(0)
+    pub fn drops(&self, flow: FlowId) -> u64 {
+        self.drops.get(flow.index()).copied().unwrap_or(0)
     }
 
     /// Fraction of `[0, now]` the link spent transmitting.
@@ -121,7 +121,7 @@ impl Bottleneck {
             }
         }
         if self.queued_bytes + pkt.bytes > self.buffer_bytes {
-            let f = pkt.flow;
+            let f = pkt.flow.index();
             if self.drops.len() <= f {
                 self.drops.resize(f + 1, 0);
             }
@@ -188,7 +188,7 @@ mod tests {
 
     fn pkt(flow: usize, seq: u64) -> Packet {
         Packet {
-            flow,
+            flow: FlowId::from_index(flow),
             seq,
             bytes: 1500,
             sent_at: Time::ZERO,
@@ -218,12 +218,12 @@ mod tests {
         l.enqueue(Time::ZERO, pkt(1, 0));
         l.enqueue(Time::ZERO, pkt(0, 1));
         let (p1, n1) = l.depart(Time::from_millis(1));
-        assert_eq!((p1.flow, p1.seq), (0, 0));
+        assert_eq!((p1.flow, p1.seq), (FlowId::from_index(0), 0));
         assert_eq!(n1, Some(Time::from_millis(2)));
         let (p2, _) = l.depart(Time::from_millis(2));
-        assert_eq!((p2.flow, p2.seq), (1, 0));
+        assert_eq!((p2.flow, p2.seq), (FlowId::from_index(1), 0));
         let (p3, n3) = l.depart(Time::from_millis(3));
-        assert_eq!((p3.flow, p3.seq), (0, 1));
+        assert_eq!((p3.flow, p3.seq), (FlowId::from_index(0), 1));
         assert_eq!(n3, None);
     }
 
@@ -233,8 +233,8 @@ mod tests {
         assert_ne!(l.enqueue(Time::ZERO, pkt(0, 0)), Enqueue::Dropped);
         assert_ne!(l.enqueue(Time::ZERO, pkt(0, 1)), Enqueue::Dropped);
         assert_eq!(l.enqueue(Time::ZERO, pkt(1, 2)), Enqueue::Dropped);
-        assert_eq!(l.drops(1), 1);
-        assert_eq!(l.drops(0), 0);
+        assert_eq!(l.drops(FlowId::from_index(1)), 1);
+        assert_eq!(l.drops(FlowId::from_index(0)), 0);
     }
 
     #[test]

@@ -2,8 +2,7 @@
 
 use simcore::units::Time;
 
-/// Index of a flow within a simulation.
-pub type FlowId = usize;
+pub use simcore::flow::FlowId;
 
 /// A data packet in flight. Sequence numbers count packets (all packets of
 /// a flow are MSS-sized), which keeps loss detection simple without
@@ -77,7 +76,7 @@ mod tests {
     #[test]
     fn ack_semantics() {
         let a = Ack {
-            flow: 0,
+            flow: FlowId::from_index(0),
             cum_seq: None,
             echo_seq: 3,
             echo_sent_at: Time::ZERO,

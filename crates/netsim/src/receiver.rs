@@ -365,9 +365,13 @@ mod tests {
     use super::*;
     use simcore::units::Dur;
 
+    fn fid(i: usize) -> FlowId {
+        FlowId::from_index(i)
+    }
+
     fn pkt(seq: u64, sent_ms: u64) -> Packet {
         Packet {
-            flow: 0,
+            flow: fid(0),
             seq,
             bytes: 1500,
             sent_at: Time::from_millis(sent_ms),
@@ -380,7 +384,7 @@ mod tests {
 
     #[test]
     fn per_packet_acks_everything() {
-        let mut r = Receiver::new(0, AckPolicy::PerPacket);
+        let mut r = Receiver::new(fid(0), AckPolicy::PerPacket);
         let out = r.on_data(Time::from_millis(1), pkt(0, 0));
         let ack = out.ack().unwrap();
         assert_eq!(ack.cum_seq, Some(0));
@@ -391,7 +395,7 @@ mod tests {
 
     #[test]
     fn out_of_order_hole_tracked() {
-        let mut r = Receiver::new(0, AckPolicy::PerPacket);
+        let mut r = Receiver::new(fid(0), AckPolicy::PerPacket);
         r.on_data(Time::from_millis(1), pkt(0, 0));
         // Packet 2 arrives before 1: dup-ack with ooo hint.
         let out = r.on_data(Time::from_millis(2), pkt(2, 1));
@@ -406,7 +410,7 @@ mod tests {
 
     #[test]
     fn duplicate_data_still_acked() {
-        let mut r = Receiver::new(0, AckPolicy::PerPacket);
+        let mut r = Receiver::new(fid(0), AckPolicy::PerPacket);
         r.on_data(Time::from_millis(1), pkt(0, 0));
         let out = r.on_data(Time::from_millis(2), pkt(0, 0));
         assert_eq!(out.ack().unwrap().cum_seq, Some(0));
@@ -415,7 +419,7 @@ mod tests {
     #[test]
     fn delayed_acks_every_nth() {
         let mut r = Receiver::new(
-            0,
+            fid(0),
             AckPolicy::Delayed {
                 max_pkts: 4,
                 timeout: Dur::from_millis(40),
@@ -433,7 +437,7 @@ mod tests {
     #[test]
     fn delayed_ack_timeout_flushes() {
         let mut r = Receiver::new(
-            0,
+            fid(0),
             AckPolicy::Delayed {
                 max_pkts: 4,
                 timeout: Dur::from_millis(40),
@@ -450,7 +454,7 @@ mod tests {
     #[test]
     fn stale_flush_ignored() {
         let mut r = Receiver::new(
-            0,
+            fid(0),
             AckPolicy::Delayed {
                 max_pkts: 2,
                 timeout: Dur::from_millis(40),
@@ -466,7 +470,7 @@ mod tests {
     #[test]
     fn delayed_ack_defeated_by_ooo() {
         let mut r = Receiver::new(
-            0,
+            fid(0),
             AckPolicy::Delayed {
                 max_pkts: 4,
                 timeout: Dur::from_millis(40),
@@ -482,7 +486,7 @@ mod tests {
     #[test]
     fn quantized_releases_on_boundary() {
         let mut r = Receiver::new(
-            0,
+            fid(0),
             AckPolicy::Quantized {
                 period: Dur::from_millis(60),
             },
@@ -503,7 +507,7 @@ mod tests {
     #[test]
     fn quantized_boundary_is_exact_multiple() {
         let mut r = Receiver::new(
-            0,
+            fid(0),
             AckPolicy::Quantized {
                 period: Dur::from_millis(60),
             },
@@ -515,7 +519,7 @@ mod tests {
 
     #[test]
     fn cum_none_before_first_packet() {
-        let r = Receiver::new(0, AckPolicy::PerPacket);
+        let r = Receiver::new(fid(0), AckPolicy::PerPacket);
         assert_eq!(r.cum_seq(), None);
     }
 }

@@ -65,6 +65,13 @@ pub struct Sender {
     mss: u64,
     transport: Transport,
     app_limit: Option<Rate>,
+    /// Finite flows: packets to send before the flow is done
+    /// (`ceil(size / mss)`). `None` means bulk (runs to the end).
+    budget_pkts: Option<u64>,
+    /// When the flow finished delivering its byte budget.
+    completed: Option<Time>,
+    /// Completion not yet reported to the simulator (take-once).
+    completion_pending: bool,
     /// Next never-sent sequence number.
     next_seq: u64,
     /// Highest cumulative ACK received.
@@ -121,6 +128,9 @@ impl Sender {
             mss,
             transport: Transport::Reliable,
             app_limit,
+            budget_pkts: None,
+            completed: None,
+            completion_pending: false,
             next_seq: 0,
             cum_acked: None,
             outstanding: BTreeMap::new(),
@@ -178,6 +188,58 @@ impl Sender {
         self.transport = t;
     }
 
+    /// Give the flow a finite byte budget (set once, before the run).
+    /// `None` keeps the default bulk behaviour.
+    pub fn set_size(&mut self, size: Option<u64>) {
+        self.budget_pkts = size.map(|s| s.max(1).div_ceil(self.mss));
+    }
+
+    /// When the flow delivered its full byte budget (`None` while active
+    /// or for bulk flows).
+    pub fn completed(&self) -> Option<Time> {
+        self.completed
+    }
+
+    /// Take the not-yet-reported completion time, if any. Returns
+    /// `Some` exactly once per flow, so the simulator emits exactly one
+    /// retirement event.
+    pub fn take_completion(&mut self) -> Option<Time> {
+        if self.completion_pending {
+            self.completion_pending = false;
+            self.completed
+        } else {
+            None
+        }
+    }
+
+    /// Check whether a finite flow has just delivered its whole budget;
+    /// if so, record completion and disarm the retransmission timer.
+    fn check_complete(&mut self, now: Time) {
+        let Some(budget) = self.budget_pkts else {
+            return;
+        };
+        if self.completed.is_some() {
+            return;
+        }
+        let done = match self.transport {
+            // Reliable delivery: the cumulative ACK must cover the budget.
+            Transport::Reliable => self.cum_acked.is_some_and(|c| c + 1 >= budget),
+            // Datagrams are never retransmitted: the flow is done when
+            // everything has been sent and every packet's fate is known.
+            Transport::Datagram => {
+                self.next_seq >= budget
+                    && self.outstanding.is_empty()
+                    && self.retx_queue.is_empty()
+            }
+        };
+        if done {
+            self.completed = Some(now);
+            self.completion_pending = true;
+            self.metrics.completed = Some(now);
+            self.rto_deadline = None;
+        }
+    }
+
     /// Whether the sender is in NewReno recovery.
     pub fn in_recovery(&self) -> bool {
         self.recover.is_some()
@@ -229,6 +291,11 @@ impl Sender {
         let (seq, is_retx) = match self.retx_queue.front() {
             Some(&seq) => (seq, true),
             None => {
+                // Finite flows stop producing fresh data once the budget is
+                // fully sent (retransmissions above still drain).
+                if self.budget_pkts.is_some_and(|b| self.next_seq >= b) {
+                    return Emit::Blocked;
+                }
                 if self.in_flight() + self.mss > self.cca.cwnd() {
                     return Emit::Blocked;
                 }
@@ -400,6 +467,7 @@ impl Sender {
         } else {
             self.arm_rto(now);
         }
+        self.check_complete(now);
         true
     }
 
@@ -478,6 +546,7 @@ impl Sender {
         } else {
             self.arm_rto(now);
         }
+        self.check_complete(now);
         true
     }
 
@@ -573,6 +642,9 @@ impl Sender {
         });
         self.next_send_time = now;
         self.arm_rto(now);
+        // A datagram flow whose last packets the timeout just wrote off may
+        // now be finished (nothing outstanding, nothing to retransmit).
+        self.check_complete(now);
         true
     }
 }
@@ -582,9 +654,13 @@ mod tests {
     use super::*;
     use cca::ConstCwnd;
 
+    fn fid(i: usize) -> FlowId {
+        FlowId::from_index(i)
+    }
+
     fn sender(cwnd_pkts: u64) -> Sender {
         Sender::new(
-            0,
+            fid(0),
             Box::new(ConstCwnd::new(cwnd_pkts * 1500)),
             1500,
             None,
@@ -595,7 +671,7 @@ mod tests {
 
     fn ack_for(sender_flow: usize, cum: u64, echo: u64, sent_at: Time) -> Ack {
         Ack {
-            flow: sender_flow,
+            flow: fid(sender_flow),
             cum_seq: Some(cum),
             echo_seq: echo,
             echo_sent_at: sent_at,
@@ -614,7 +690,7 @@ mod tests {
             sack_blocks[i] = Some(b);
         }
         Ack {
-            flow: 0,
+            flow: fid(0),
             cum_seq: cum,
             echo_seq: 99,
             echo_sent_at: Time::ZERO,
@@ -822,7 +898,7 @@ mod tests {
     fn pacing_gates_transmissions() {
         // A CCA with pacing: use Vivace which paces.
         let mut s = Sender::new(
-            0,
+            fid(0),
             Box::new(cca::Vivace::default_params()),
             1500,
             None,
@@ -844,7 +920,7 @@ mod tests {
     #[test]
     fn app_limit_caps_rate() {
         let mut s = Sender::new(
-            0,
+            fid(0),
             Box::new(ConstCwnd::new(100 * 1500)),
             1500,
             Some(Rate::from_mbps(12.0)), // 1 ms per packet
@@ -860,9 +936,103 @@ mod tests {
     }
 
     #[test]
+    fn finite_flow_stops_at_budget_and_completes_on_full_ack() {
+        let mut s = sender(10);
+        s.set_size(Some(3 * 1500)); // exactly 3 packets
+        let t0 = Time::from_millis(1);
+        for i in 0..3 {
+            match s.try_emit(t0) {
+                Emit::Pkt(p) => assert_eq!(p.seq, i),
+                other => panic!("{other:?}"),
+            }
+        }
+        // Budget exhausted: no fresh data even though the window is open.
+        assert_eq!(s.try_emit(t0), Emit::Blocked);
+        assert_eq!(s.completed(), None);
+        let t1 = Time::from_millis(41);
+        s.process_ack(t1, &ack_for(0, 2, 2, t0));
+        assert_eq!(s.completed(), Some(t1));
+        assert_eq!(s.take_completion(), Some(t1));
+        // Take-once: a second take yields nothing.
+        assert_eq!(s.take_completion(), None);
+        assert_eq!(s.rto_deadline(), None);
+        assert_eq!(s.delivered(), 3 * 1500);
+    }
+
+    #[test]
+    fn budget_rounds_partial_packet_up() {
+        let mut s = sender(10);
+        s.set_size(Some(1501)); // 1.0007 packets -> 2
+        let t0 = Time::from_millis(1);
+        assert!(matches!(s.try_emit(t0), Emit::Pkt(_)));
+        assert!(matches!(s.try_emit(t0), Emit::Pkt(_)));
+        assert_eq!(s.try_emit(t0), Emit::Blocked);
+    }
+
+    #[test]
+    fn finite_flow_completion_survives_loss_and_retransmit() {
+        let mut s = sender(10);
+        s.set_size(Some(5 * 1500));
+        let t0 = Time::from_millis(1);
+        for _ in 0..5 {
+            s.try_emit(t0);
+        }
+        s.process_ack(Time::from_millis(40), &ack_for(0, 0, 0, t0));
+        let t = Time::from_millis(45);
+        // Packet 1 lost; SACKs reveal the hole.
+        s.process_ack(t, &dup_ack(Some(0), &[(2, 2)]));
+        s.process_ack(t, &dup_ack(Some(0), &[(2, 3)]));
+        s.process_ack(t, &dup_ack(Some(0), &[(2, 4)]));
+        assert!(s.in_recovery());
+        assert_eq!(s.completed(), None);
+        // Retransmit the hole, then the cumulative ACK covers the budget.
+        let t2 = Time::from_millis(46);
+        match s.try_emit(t2) {
+            Emit::Pkt(p) => assert!(p.retransmit),
+            other => panic!("{other:?}"),
+        }
+        let t3 = Time::from_millis(86);
+        s.process_ack(t3, &ack_for(0, 4, 4, t0));
+        assert_eq!(s.completed(), Some(t3));
+    }
+
+    #[test]
+    fn datagram_finite_flow_completes_when_every_fate_is_known() {
+        let mut s = sender(10);
+        s.set_transport(Transport::Datagram);
+        s.set_size(Some(2 * 1500));
+        let t0 = Time::from_millis(1);
+        s.try_emit(t0);
+        s.try_emit(t0);
+        assert_eq!(s.try_emit(t0), Emit::Blocked);
+        let mut a = ack_for(0, 0, 0, t0);
+        a.cum_seq = None;
+        a.sack_seq = Some(0);
+        s.process_ack(Time::from_millis(41), &a);
+        assert_eq!(s.completed(), None);
+        let mut b = ack_for(0, 0, 1, t0);
+        b.cum_seq = None;
+        b.sack_seq = Some(1);
+        let t1 = Time::from_millis(42);
+        s.process_ack(t1, &b);
+        assert_eq!(s.completed(), Some(t1));
+    }
+
+    #[test]
+    fn bulk_flow_never_completes() {
+        let mut s = sender(2);
+        let t0 = Time::from_millis(1);
+        s.try_emit(t0);
+        s.try_emit(t0);
+        s.process_ack(Time::from_millis(41), &ack_for(0, 1, 1, t0));
+        assert_eq!(s.completed(), None);
+        assert_eq!(s.take_completion(), None);
+    }
+
+    #[test]
     fn start_time_respected() {
         let mut s = Sender::new(
-            0,
+            fid(0),
             Box::new(ConstCwnd::ten_packets()),
             1500,
             None,

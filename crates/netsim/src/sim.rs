@@ -15,13 +15,14 @@
 //! target full-RTT trajectories directly (as the proofs of Theorems 1–3
 //! require).
 
-use crate::config::SimConfig;
+use crate::config::{FlowConfig, SimConfig, Transport};
 use crate::jitter::JitterElement;
 use crate::link::{Bottleneck, Enqueue};
-use crate::metrics::SimResult;
+use crate::metrics::{FlowRecord, SimResult};
 use crate::packet::{Ack, FlowId, Packet};
 use crate::receiver::Receiver;
 use crate::sender::{Emit, Sender};
+use crate::workload::WorkloadRun;
 use simcore::engine::EventQueue;
 use simcore::rng::Xoshiro256;
 use simcore::trace::{Auditor, Event, FlowAuditSpec, TraceSink};
@@ -42,6 +43,8 @@ enum Ev {
     RxFlush(FlowId, Time),
     /// A sender's retransmission timer fires.
     Rto(FlowId, Time),
+    /// The workload's next flow arrives (self-rescheduling).
+    FlowArrival,
 }
 
 /// A runnable network scenario.
@@ -63,6 +66,9 @@ pub struct Network {
     /// Trace sink (possibly an [`Auditor`] wrapping the configured sink).
     /// `None` — the default — costs one branch per instrumentation point.
     trace: Option<Box<dyn TraceSink>>,
+    /// Dynamic arrival schedule, if the scenario carries one.
+    workload: Option<WorkloadRun>,
+    sample_every: Dur,
     end: Time,
 }
 
@@ -70,23 +76,20 @@ impl Network {
     /// Build a network from a scenario description.
     pub fn new(cfg: SimConfig) -> Network {
         // Build the trace sink first: the audit specs need per-flow MSS and
-        // jitter bounds before `cfg.flows` is consumed below.
+        // jitter bounds before `cfg.flows` is consumed below. Only the
+        // statically-configured flows are registered here; workload flows
+        // announce themselves to the auditor via `flow-arrive` events.
         let trace: Option<Box<dyn TraceSink>> = {
             let inner: Option<Box<dyn TraceSink>> = cfg.trace.as_ref().map(|factory| factory());
             if cfg.audit {
-                let mut specs: Vec<FlowAuditSpec> = cfg
+                let specs: Vec<FlowAuditSpec> = cfg
                     .flows
                     .iter()
                     .map(|f| FlowAuditSpec {
                         mss: f.mss,
-                        jitter_bound: f.jitter.bound(),
+                        jitter_bound: f.audit_jitter_bound.or(f.jitter.bound()),
                     })
                     .collect();
-                for &(flow, bound) in &cfg.audit_jitter_override {
-                    if let Some(spec) = specs.get_mut(flow) {
-                        spec.jitter_bound = Some(bound);
-                    }
-                }
                 Some(Box::new(Auditor::new(specs, inner)))
             } else {
                 inner
@@ -94,50 +97,79 @@ impl Network {
         };
         let mut link = Bottleneck::new(cfg.link.rate, cfg.link.buffer_bytes);
         link.set_ecn_threshold(cfg.link.ecn_threshold);
-        let mut q = EventQueue::new();
-        let mut senders = Vec::new();
-        let mut receivers = Vec::new();
-        let mut jitters = Vec::new();
-        let mut rm = Vec::new();
-        let mut loss = Vec::new();
-        for (i, f) in cfg.flows.into_iter().enumerate() {
-            let mut sender = Sender::new(i, f.cca, f.mss, f.app_limit, f.start, cfg.sample_every);
-            sender.set_transport(f.transport);
-            senders.push(sender);
-            receivers.push(match f.transport {
-                crate::config::Transport::Reliable => Receiver::new(i, f.ack_policy),
-                crate::config::Transport::Datagram => Receiver::new_datagram(i, f.ack_policy),
-            });
-            jitters.push(JitterElement::new(f.jitter));
-            rm.push(f.rm);
-            loss.push(if f.loss_rate > 0.0 {
-                Some((f.loss_rate, Xoshiro256::new(f.loss_seed)))
-            } else {
-                None
-            });
-            q.schedule_at(f.start, Ev::Wake(i));
-        }
         let end = Time::ZERO + cfg.duration;
-        let wake_armed = vec![None; rm.len()];
-        let rto_scheduled = vec![None; rm.len()];
-        Network {
-            q,
+        let mut net = Network {
+            q: EventQueue::new(),
             link,
-            senders,
-            receivers,
-            jitters,
-            rm,
-            loss,
-            wake_armed,
-            rto_scheduled,
+            senders: Vec::new(),
+            receivers: Vec::new(),
+            jitters: Vec::new(),
+            rm: Vec::new(),
+            loss: Vec::new(),
+            wake_armed: Vec::new(),
+            rto_scheduled: Vec::new(),
             trace,
+            workload: cfg.workload.map(WorkloadRun::new),
+            sample_every: cfg.sample_every,
             end,
+        };
+        for f in cfg.flows {
+            net.add_flow(f, false);
         }
+        if let Some(run) = &net.workload {
+            let first = run.spec.start;
+            if run.spec.count > 0 && first < net.end {
+                net.q.schedule_at(first, Ev::FlowArrival);
+            }
+        }
+        net
+    }
+
+    /// Wire one flow into the network: endpoints, path elements, and its
+    /// start-time wake. `dynamic` flows (workload arrivals) additionally
+    /// announce themselves on the trace so the auditor can begin tracking
+    /// them mid-run; static flows stay silent, keeping pre-workload trace
+    /// digests byte-identical.
+    fn add_flow(&mut self, f: FlowConfig, dynamic: bool) -> FlowId {
+        let fid = FlowId::from_index(self.senders.len());
+        if dynamic {
+            if let Some(tr) = self.trace.as_mut() {
+                tr.event(
+                    self.q.now(),
+                    &Event::FlowArrive {
+                        flow: fid,
+                        mss: f.mss,
+                        jitter_bound: f.audit_jitter_bound.or(f.jitter.bound()),
+                        size: f.size,
+                    },
+                );
+            }
+        }
+        let mut sender =
+            Sender::new(fid, f.cca, f.mss, f.app_limit, f.start, self.sample_every);
+        sender.set_transport(f.transport);
+        sender.set_size(f.size);
+        self.senders.push(sender);
+        self.receivers.push(match f.transport {
+            Transport::Reliable => Receiver::new(fid, f.ack_policy),
+            Transport::Datagram => Receiver::new_datagram(fid, f.ack_policy),
+        });
+        self.jitters.push(JitterElement::new(f.jitter));
+        self.rm.push(f.rm);
+        self.loss.push(if f.loss_rate > 0.0 {
+            Some((f.loss_rate, Xoshiro256::new(f.loss_seed)))
+        } else {
+            None
+        });
+        self.wake_armed.push(None);
+        self.rto_scheduled.push(None);
+        self.q.schedule_at(f.start, Ev::Wake(fid));
+        fid
     }
 
     /// Direct access to a sender (warm starts, inspection).
     pub fn sender_mut(&mut self, flow: FlowId) -> &mut Sender {
-        &mut self.senders[flow]
+        &mut self.senders[flow.index()]
     }
 
     /// Direct access to the bottleneck (warm starts, inspection).
@@ -146,7 +178,7 @@ impl Network {
     }
 
     /// Flow id used for warm-start filler packets that belong to no sender.
-    pub const PHANTOM: FlowId = usize::MAX;
+    pub const PHANTOM: FlowId = FlowId::from_raw(u32::MAX);
 
     /// Pre-fill the bottleneck queue with `bytes` of phantom traffic before
     /// the run starts, creating an initial queueing delay of
@@ -182,12 +214,12 @@ impl Network {
     fn pump(&mut self, flow: FlowId) {
         let now = self.q.now();
         loop {
-            match self.senders[flow].try_emit(now) {
+            match self.senders[flow.index()].try_emit(now) {
                 Emit::Blocked => break,
                 Emit::WaitUntil(t) => {
-                    let stale = self.wake_armed[flow].is_some_and(|armed| armed <= t);
+                    let stale = self.wake_armed[flow.index()].is_some_and(|armed| armed <= t);
                     if t > now && t < self.end && !stale {
-                        self.wake_armed[flow] = Some(t);
+                        self.wake_armed[flow.index()] = Some(t);
                         self.q.schedule_at(t, Ev::Wake(flow));
                     }
                     break;
@@ -214,7 +246,7 @@ impl Network {
     /// Push a packet into the path: loss element, then the bottleneck.
     fn inject(&mut self, pkt: Packet) {
         let now = self.q.now();
-        if let Some((p, rng)) = &mut self.loss[pkt.flow] {
+        if let Some((p, rng)) = &mut self.loss[pkt.flow.index()] {
             if rng.bernoulli(*p) {
                 return; // vanished on the path; RTO/dupacks will notice
             }
@@ -246,10 +278,33 @@ impl Network {
     }
 
     fn arm_rto(&mut self, flow: FlowId) {
-        if let Some(deadline) = self.senders[flow].rto_deadline() {
-            if deadline < self.end && self.rto_scheduled[flow] != Some(deadline) {
-                self.rto_scheduled[flow] = Some(deadline);
+        if let Some(deadline) = self.senders[flow.index()].rto_deadline() {
+            if deadline < self.end && self.rto_scheduled[flow.index()] != Some(deadline) {
+                self.rto_scheduled[flow.index()] = Some(deadline);
                 self.q.schedule_at(deadline, Ev::Rto(flow, deadline));
+            }
+        }
+    }
+
+    /// Report a just-finished flow's retirement on the trace (take-once:
+    /// the sender yields the completion exactly one time).
+    fn report_completion(&mut self, flow: FlowId) {
+        let now = self.q.now();
+        if self.senders[flow.index()].take_completion().is_some() && self.trace.is_some() {
+            let acct = self.senders[flow.index()].accounting();
+            if let Some(tr) = self.trace.as_mut() {
+                tr.event(
+                    now,
+                    &Event::FlowComplete {
+                        flow,
+                        sent: acct.sent,
+                        delivered: acct.delivered,
+                        in_flight: acct.in_flight,
+                        lost: acct.lost,
+                        unresolved: acct.unresolved,
+                        spurious_rtx: acct.spurious_rtx,
+                    },
+                );
             }
         }
     }
@@ -267,7 +322,7 @@ impl Network {
         // a predictable branch instead of an env lookup (or, previously, an
         // unconditional array write) in the hot loop.
         let evstats = std::env::var_os("NETSIM_EVSTATS").is_some();
-        let mut evcount = [0u64; 6];
+        let mut evcount = [0u64; 7];
         while let Some((now, ev)) = self.q.pop_at_or_before(self.end) {
             if evstats {
                 evcount[match ev {
@@ -277,14 +332,38 @@ impl Network {
                     Ev::AckArrive(_) => 3,
                     Ev::RxFlush(..) => 4,
                     Ev::Rto(..) => 5,
+                    Ev::FlowArrival => 6,
                 }] += 1;
             }
             match ev {
                 Ev::Wake(f) => {
-                    if self.wake_armed[f] == Some(now) {
-                        self.wake_armed[f] = None;
+                    if self.wake_armed[f.index()] == Some(now) {
+                        self.wake_armed[f.index()] = None;
                     }
                     self.pump(f);
+                }
+                Ev::FlowArrival => {
+                    let Some(run) = self.workload.as_mut() else {
+                        continue;
+                    };
+                    if run.spawned >= run.spec.count {
+                        continue;
+                    }
+                    let k = run.spawned;
+                    let size = run.draw_size();
+                    let fc = run.spec.flow_config(k, now, size);
+                    run.spawned += 1;
+                    let next = if run.spawned < run.spec.count {
+                        Some(now + run.next_interarrival())
+                    } else {
+                        None
+                    };
+                    self.add_flow(fc, true);
+                    if let Some(t) = next {
+                        if t < self.end {
+                            self.q.schedule_at(t, Ev::FlowArrival);
+                        }
+                    }
                 }
                 Ev::Depart => {
                     let (pkt, next) = self.link.depart(now);
@@ -306,8 +385,9 @@ impl Network {
                             },
                         );
                     }
-                    let at_element = now + self.rm[f];
-                    let release = self.jitters[f].release_time(at_element, pkt.sent_at, pkt.bytes);
+                    let at_element = now + self.rm[f.index()];
+                    let release =
+                        self.jitters[f.index()].release_time(at_element, pkt.sent_at, pkt.bytes);
                     if let Some(tr) = self.trace.as_mut() {
                         tr.event(
                             now,
@@ -326,7 +406,7 @@ impl Network {
                     if let Some(tr) = self.trace.as_mut() {
                         tr.event(now, &Event::JitterRelease { flow: f, seq: pkt.seq });
                     }
-                    let out = self.receivers[f].on_data(now, pkt);
+                    let out = self.receivers[f.index()].on_data(now, pkt);
                     if let Some(deadline) = out.arm_flush {
                         self.q.schedule_at(deadline, Ev::RxFlush(f, deadline));
                     }
@@ -336,16 +416,16 @@ impl Network {
                     }
                 }
                 Ev::RxFlush(f, deadline) => {
-                    for ack in self.receivers[f].on_flush(deadline) {
+                    for ack in self.receivers[f.index()].on_flush(deadline) {
                         self.q.schedule_at(now, Ev::AckArrive(ack));
                     }
                 }
                 Ev::AckArrive(ack) => {
                     let f = ack.flow;
-                    let rtt_before = self.senders[f].metrics.rtt.len();
-                    self.senders[f].process_ack(now, &ack);
+                    let rtt_before = self.senders[f.index()].metrics.rtt.len();
+                    self.senders[f.index()].process_ack(now, &ack);
                     if self.trace.is_some() {
-                        let s = &self.senders[f];
+                        let s = &self.senders[f.index()];
                         // A new point in the RTT series means this ACK
                         // yielded a (Karn-valid) sample.
                         let rtt = if s.metrics.rtt.len() > rtt_before {
@@ -383,19 +463,23 @@ impl Network {
                             }
                         }
                     }
+                    self.report_completion(f);
                     self.arm_rto(f);
                     self.pump(f);
                 }
                 Ev::Rto(f, deadline) => {
-                    if self.senders[f].on_rto(now, deadline) {
+                    if self.senders[f.index()].on_rto(now, deadline) {
                         if self.trace.is_some() {
-                            let cwnd = self.senders[f].cwnd();
-                            let pacing = self.senders[f].cca().pacing_rate();
+                            let cwnd = self.senders[f.index()].cwnd();
+                            let pacing = self.senders[f.index()].cca().pacing_rate();
                             if let Some(tr) = self.trace.as_mut() {
                                 tr.event(now, &Event::Rto { flow: f });
                                 tr.event(now, &Event::CwndUpdate { flow: f, cwnd, pacing });
                             }
                         }
+                        // A timeout that writes off a datagram flow's last
+                        // outstanding packets can retire the flow.
+                        self.report_completion(f);
                         self.arm_rto(f);
                         self.pump(f);
                     }
@@ -406,9 +490,9 @@ impl Network {
         // (this is how the pacing-timer duplication bug was found).
         if evstats {
             eprintln!(
-                "evstats: wake={} depart={} data={} ack={} flush={} rto={} heap={}",
+                "evstats: wake={} depart={} data={} ack={} flush={} rto={} arrive={} heap={}",
                 evcount[0], evcount[1], evcount[2], evcount[3], evcount[4], evcount[5],
-                self.q.len()
+                evcount[6], self.q.len()
             );
         }
         let end = self.end;
@@ -423,17 +507,27 @@ impl Network {
         }
         let utilization = self.link.utilization(end);
         // simlint: allow(hot-path-alloc): end-of-run result assembly, once per run
-        let drops = (0..self.senders.len()).map(|f| self.link.drops(f)).collect();
-        // simlint: allow(hot-path-alloc): end-of-run result assembly, once per run
-        let jitter_clamps = self.jitters.iter().map(|j| j.clamp_violations()).collect();
-        // simlint: allow(hot-path-alloc): end-of-run result assembly, once per run
         let ccas: Vec<cca::BoxCca> = self.senders.iter().map(|s| s.cca_snapshot()).collect();
-        let result = SimResult {
+        let link = self.link;
+        let jitters = self.jitters;
+        let flows = self
+            .senders
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let id = FlowId::from_index(i);
+                FlowRecord {
+                    id,
+                    metrics: s.metrics,
+                    drops: link.drops(id),
+                    jitter_clamps: jitters[i].clamp_violations(),
+                }
+            })
             // simlint: allow(hot-path-alloc): end-of-run result assembly, once per run
-            flows: self.senders.into_iter().map(|s| s.metrics).collect(),
+            .collect();
+        let result = SimResult {
+            flows,
             utilization,
-            drops,
-            jitter_clamps,
             end,
         };
         (result, ccas)
@@ -526,7 +620,7 @@ mod tests {
         let link = LinkConfig::new(Rate::from_mbps(6.0), 10 * 1500);
         let flow = FlowConfig::bulk(Box::new(ConstCwnd::new(100 * 1500)), Dur::from_millis(40));
         let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(5))).run();
-        assert!(r.drops[0] > 0, "expected tail drops");
+        assert!(r.flows[0].drops > 0, "expected tail drops");
         // A constant window 10× the buffer is pathological — most of every
         // window drops, retransmissions drop too, and RTO backoff stretches
         // recovery exponentially — but the flow must keep making *some*
@@ -571,7 +665,7 @@ mod tests {
     fn delayed_start_respected() {
         let link = LinkConfig::ample_buffer(Rate::from_mbps(12.0));
         let flow = FlowConfig::bulk(Box::new(ConstCwnd::new(10 * 1500)), Dur::from_millis(40))
-            .starting_at(Time::from_secs(2));
+            .with_start(Time::from_secs(2));
         let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(4))).run();
         let first = r.flows[0].delivered.first().map(|(t, _)| t).unwrap();
         assert!(first >= Time::from_secs(2));
@@ -600,7 +694,7 @@ mod tests {
         // goodput near (1 − p)·window-rate: no go-back-N collapse.
         let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
         let flow = FlowConfig::bulk(Box::new(ConstCwnd::new(100 * 1500)), Dur::from_millis(40))
-            .datagram()
+            .with_transport(Transport::Datagram)
             .with_loss(0.05, 77);
         let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(10))).run();
         let m = &r.flows[0];
@@ -681,5 +775,130 @@ mod tests {
         // minus at most a window is delivered.
         assert!(m.sent_bytes >= m.total_delivered());
         assert!(m.sent_bytes - m.total_delivered() <= 21 * 1500);
+    }
+
+    #[test]
+    fn finite_flow_records_completion_time() {
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(12.0));
+        let flow = FlowConfig::bulk(Box::new(ConstCwnd::new(10 * 1500)), Dur::from_millis(40))
+            .with_size(30 * 1500);
+        let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(10))).run();
+        let m = &r.flows[0];
+        assert_eq!(m.total_delivered(), 30 * 1500);
+        let fct = m.fct().expect("a 45 kB flow finishes well inside 10 s");
+        // 3 windows of 10 packets at ~41 ms per round trip.
+        assert!(fct >= Dur::from_millis(80), "fct={fct}");
+        assert!(fct < Dur::from_millis(500), "fct={fct}");
+        // Throughput is measured over the flow's lifetime, not the run.
+        assert!(m.throughput_at(r.end).mbps() > 1.0);
+    }
+
+    #[test]
+    fn workload_spawns_flows_on_schedule_and_retires_them() {
+        use crate::workload::{ArrivalProcess, SizeDist, Workload};
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(48.0));
+        let wl = Workload::new(
+            3,
+            ArrivalProcess::Fixed { interval: Dur::from_millis(200) },
+            SizeDist::Fixed { bytes: 20 * 1500 },
+            Box::new(ConstCwnd::ten_packets()),
+            Dur::from_millis(20),
+        )
+        .with_start(Time::from_millis(100));
+        let cfg = SimConfig::new(link, vec![], Dur::from_secs(5)).with_workload(wl);
+        let r = Network::new(cfg).run();
+        assert_eq!(r.flows.len(), 3);
+        for (i, f) in r.flows.iter().enumerate() {
+            let expect_start = Time::from_millis(100 + 200 * count_as_u64(i));
+            assert_eq!(f.start, expect_start, "flow {i}");
+            assert_eq!(f.total_delivered(), 20 * 1500, "flow {i}");
+            assert!(f.fct().is_some(), "flow {i} never completed");
+        }
+        // All three finished: every FCT is well under the arrival spacing
+        // plus a few RTTs.
+        assert!(r.fcts().len() == 3);
+    }
+
+    #[test]
+    fn workload_arrivals_past_the_end_are_dropped() {
+        use crate::workload::{ArrivalProcess, SizeDist, Workload};
+        let link = LinkConfig::ample_buffer(Rate::from_mbps(48.0));
+        let wl = Workload::new(
+            100,
+            ArrivalProcess::Fixed { interval: Dur::from_millis(300) },
+            SizeDist::Fixed { bytes: 1500 },
+            Box::new(ConstCwnd::ten_packets()),
+            Dur::from_millis(20),
+        );
+        let cfg = SimConfig::new(link, vec![], Dur::from_secs(1)).with_workload(wl);
+        let r = Network::new(cfg).run();
+        // Arrivals at 0, 300, 600, 900 ms fit inside the 1 s run.
+        assert_eq!(r.flows.len(), 4);
+    }
+
+    #[test]
+    fn audited_workload_with_loss_and_jitter_passes_and_traces_lifecycle() {
+        // Mid-run arrivals and departures under loss and jitter must satisfy
+        // every auditor invariant, including the flow-retire byte identity:
+        // a retired flow's in-flight bytes all resolve before completion.
+        use crate::workload::{ArrivalProcess, SizeDist, Workload};
+        use simcore::trace::{RingSink, TraceSink};
+        use std::sync::Arc;
+        let ring = RingSink::new(64);
+        let probe = ring.clone();
+        let link = LinkConfig::new(Rate::from_mbps(24.0), 60 * 1500);
+        let wl = Workload::new(
+            20,
+            ArrivalProcess::Poisson { mean: Dur::from_millis(120), seed: 21 },
+            SizeDist::Pareto {
+                min_bytes: 12_000,
+                alpha: 1.3,
+                cap_bytes: 150_000,
+                seed: 22,
+            },
+            Box::new(ConstCwnd::ten_packets()),
+            Dur::from_millis(30),
+        )
+        .with_jitter(Dur::from_millis(4), 23)
+        .with_loss(0.01, 24);
+        let cfg = SimConfig::new(link, vec![], Dur::from_secs(8))
+            .with_workload(wl)
+            .with_trace(Arc::new(move || Box::new(probe.clone()) as Box<dyn TraceSink>))
+            .with_audit(true);
+        let r = Network::new(cfg).run();
+        assert_eq!(r.flows.len(), 20);
+        let digest = ring.digest();
+        assert_eq!(digest.count("flow-arrive"), 20);
+        let completed = r.fcts().len();
+        assert!(completed >= 15, "only {completed}/20 flows completed");
+        assert_eq!(digest.count("flow-complete"), count_as_u64(completed));
+    }
+
+    #[test]
+    fn workload_runs_are_deterministic() {
+        use crate::workload::{ArrivalProcess, SizeDist, Workload};
+        let run = || {
+            let link = LinkConfig::new(Rate::from_mbps(24.0), 60 * 1500);
+            let wl = Workload::new(
+                12,
+                ArrivalProcess::Poisson { mean: Dur::from_millis(100), seed: 5 },
+                SizeDist::Pareto {
+                    min_bytes: 10_000,
+                    alpha: 1.2,
+                    cap_bytes: 200_000,
+                    seed: 6,
+                },
+                Box::new(ConstCwnd::ten_packets()),
+                Dur::from_millis(25),
+            )
+            .with_loss(0.02, 7);
+            let cfg = SimConfig::new(link, vec![], Dur::from_secs(6)).with_workload(wl);
+            let r = Network::new(cfg).run();
+            r.flows
+                .iter()
+                .map(|f| (f.start, f.completed, f.sent_bytes, f.total_delivered()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -23,6 +23,9 @@ pub struct Scenario {
     pub sample_every: Option<Dur>,
     /// The competing flows, in declaration order.
     pub flows: Vec<Flow>,
+    /// Optional dynamic workload: a population of finite flows arriving
+    /// mid-run. A scenario may be workload-only (zero `flow` blocks).
+    pub workload: Option<WorkloadSpec>,
 }
 
 /// Bottleneck link description.
@@ -76,6 +79,67 @@ pub struct Flow {
     /// jitter element's real one seeds an invariant violation; the fuzzer
     /// oracle tests use this, generation never emits it.
     pub audit_jitter_bound: Option<Dur>,
+}
+
+/// A `workload { ... }` block: `count` finite flows arrive mid-run from a
+/// deterministic arrival process, each transferring a drawn size through a
+/// clone of one template CCA/path. Source-level mirror of
+/// `netsim::Workload`; jitter/loss seeds are per-flow decorrelated at
+/// runtime, so the block stores only the base seeds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of flows the schedule spawns (`flows N`).
+    pub count: u64,
+    /// Arrival spacing.
+    pub arrivals: ArrivalSpec,
+    /// Flow-size distribution.
+    pub sizes: SizeSpec,
+    /// Template CCA driving every spawned flow.
+    pub cca: CcaId,
+    /// Propagation RTT of every spawned flow's path.
+    pub rtt: Dur,
+    /// Optional per-flow random jitter (base seed, decorrelated per flow).
+    pub jitter: Option<JitterSpec>,
+    /// Optional Bernoulli loss (base seed, decorrelated per flow).
+    pub loss: Option<LossSpec>,
+    /// Delay of the first arrival from t = 0.
+    pub start: Option<Dur>,
+    /// Packet-size override (default 1500).
+    pub mss: Option<u64>,
+}
+
+/// How workload arrivals are spaced (source-level `netsim::ArrivalProcess`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalSpec {
+    /// `arrivals every <dur>` — one arrival per fixed interval.
+    Every(Dur),
+    /// `arrivals poisson <dur> seed <int>` — exponential inter-arrivals
+    /// with the given mean, from a seeded stream.
+    Poisson {
+        /// Mean inter-arrival time.
+        mean: Dur,
+        /// Seed of the arrival stream.
+        seed: u64,
+    },
+}
+
+/// How workload flow sizes are drawn (source-level `netsim::SizeDist`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SizeSpec {
+    /// `sizes fixed <bytes>` — every flow transfers exactly this much.
+    Fixed(u64),
+    /// `sizes pareto <min> <alpha> <cap> seed <int>` — bounded Pareto,
+    /// the heavy-tailed mice-and-elephants mix.
+    Pareto {
+        /// Minimum flow size in bytes.
+        min: u64,
+        /// Tail index α.
+        alpha: f64,
+        /// Upper truncation in bytes.
+        cap: u64,
+        /// Seed of the size stream.
+        seed: u64,
+    },
 }
 
 /// Random-jitter element: uniform delay in `[0, max]` from a seeded stream.

@@ -8,11 +8,11 @@
 //! and the Rust constructor it replaces produce bit-identical configs
 //! (the golden-trace suite holds the canonical corpus to this).
 
-use crate::ast::{Buffer, CcaId, Flow, Scenario};
+use crate::ast::{ArrivalSpec, Buffer, CcaId, Flow, Scenario, SizeSpec, WorkloadSpec};
 use cca::delay_aimd::DelayAimdConfig;
 use cca::jitter_aware::JitterAwareConfig;
 use cca::BoxCca;
-use netsim::{FlowConfig, Jitter, LinkConfig, SimConfig};
+use netsim::{ArrivalProcess, FlowConfig, Jitter, LinkConfig, SimConfig, SizeDist, Workload};
 use simcore::rng::Xoshiro256;
 use simcore::units::{Dur, Rate, Time};
 
@@ -59,15 +59,46 @@ fn flow_config(f: &Flow) -> FlowConfig {
         cfg = cfg.with_loss(l.rate, l.seed);
     }
     if f.datagram {
-        cfg = cfg.datagram();
+        cfg = cfg.with_transport(netsim::Transport::Datagram);
     }
     if let Some(start) = f.start {
-        cfg = cfg.starting_at(Time(start.as_nanos()));
+        cfg = cfg.with_start(Time(start.as_nanos()));
     }
     if let Some(mss) = f.mss {
         cfg = cfg.with_mss(mss);
     }
+    if let Some(bound) = f.audit_jitter_bound {
+        cfg = cfg.with_audit_jitter_bound(bound);
+    }
     cfg
+}
+
+fn workload_config(w: &WorkloadSpec) -> Workload {
+    let arrivals = match w.arrivals {
+        ArrivalSpec::Every(interval) => ArrivalProcess::Fixed { interval },
+        ArrivalSpec::Poisson { mean, seed } => ArrivalProcess::Poisson { mean, seed },
+    };
+    let sizes = match w.sizes {
+        SizeSpec::Fixed(bytes) => SizeDist::Fixed { bytes },
+        SizeSpec::Pareto { min, alpha, cap, seed } => {
+            SizeDist::Pareto { min_bytes: min, alpha, cap_bytes: cap, seed }
+        }
+    };
+    let cca = build_cca(w.cca, w.rtt, w.jitter.map(|j| j.max));
+    let mut wl = Workload::new(w.count, arrivals, sizes, cca, w.rtt);
+    if let Some(start) = w.start {
+        wl = wl.with_start(Time(start.as_nanos()));
+    }
+    if let Some(mss) = w.mss {
+        wl = wl.with_mss(mss);
+    }
+    if let Some(j) = w.jitter {
+        wl = wl.with_jitter(j.max, j.seed);
+    }
+    if let Some(l) = w.loss {
+        wl = wl.with_loss(l.rate, l.seed);
+    }
+    wl
 }
 
 /// Lower a scenario to a runnable simulation configuration.
@@ -87,10 +118,8 @@ pub fn compile(s: &Scenario) -> SimConfig {
     if let Some(every) = s.sample_every {
         cfg = cfg.with_sample_every(every);
     }
-    for (i, f) in s.flows.iter().enumerate() {
-        if let Some(bound) = f.audit_jitter_bound {
-            cfg = cfg.with_audit_jitter_bound(i, bound);
-        }
+    if let Some(w) = &s.workload {
+        cfg = cfg.with_workload(workload_config(w));
     }
     cfg
 }
@@ -161,7 +190,7 @@ scenario "builders" {
     }
 
     #[test]
-    fn audit_jitter_bound_lowers_to_the_override_hook() {
+    fn audit_jitter_bound_lowers_to_the_flow_config() {
         let cfg = compile_src(
             r#"
 scenario "seeded-violation" {
@@ -171,7 +200,63 @@ scenario "seeded-violation" {
 }
 "#,
         );
-        assert_eq!(cfg.audit_jitter_override, vec![(0, Dur::from_millis(1))]);
+        assert_eq!(cfg.flows[0].audit_jitter_bound, Some(Dur::from_millis(1)));
+    }
+
+    #[test]
+    fn workload_block_lowers_to_a_netsim_workload() {
+        let cfg = compile_src(
+            r#"
+scenario "population" {
+  link { rate 48mbps buffer ample }
+  duration 4s
+  workload {
+    flows 16
+    arrivals poisson 50ms seed 9
+    sizes pareto 12000B 1.3 300000B seed 5
+    cca reno
+    rtt 20ms
+    jitter 2ms seed 3
+    start 100ms
+    mss 1200
+  }
+}
+"#,
+        );
+        assert!(cfg.flows.is_empty());
+        let w = cfg.workload.as_ref().expect("workload lowered");
+        assert_eq!(w.count, 16);
+        assert_eq!(w.arrivals, ArrivalProcess::Poisson { mean: Dur::from_millis(50), seed: 9 });
+        assert_eq!(
+            w.sizes,
+            SizeDist::Pareto { min_bytes: 12_000, alpha: 1.3, cap_bytes: 300_000, seed: 5 }
+        );
+        assert_eq!(w.start, Time::from_millis(100));
+        assert_eq!(w.mss, 1200);
+        assert_eq!(w.jitter, Some((Dur::from_millis(2), 3)));
+        assert_eq!(w.loss, None);
+        // And the whole thing runs audited: flows spawn, deliver, retire.
+        let r = Network::new(compile_src(
+            r#"
+scenario "population" {
+  link { rate 48mbps buffer ample }
+  duration 4s
+  workload {
+    flows 16
+    arrivals poisson 50ms seed 9
+    sizes pareto 12000B 1.3 300000B seed 5
+    cca reno
+    rtt 20ms
+    jitter 2ms seed 3
+    start 100ms
+    mss 1200
+  }
+}
+"#,
+        ).with_audit(true))
+        .run();
+        assert_eq!(r.flows.len(), 16);
+        assert!(r.fcts().len() >= 12, "most flows should complete: {}", r.fcts().len());
     }
 
     #[test]

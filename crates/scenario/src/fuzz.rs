@@ -136,29 +136,45 @@ pub fn render_coverage(map: &Coverage) -> String {
 }
 
 /// The CCA component of a feature key: sorted slugs joined with `+`
-/// (`bbr+copa`, or a single slug for one-flow scenarios).
-fn cca_key(flows: &[Flow]) -> String {
-    let mut slugs: Vec<&str> = flows.iter().map(|f| f.cca.slug()).collect();
+/// (`bbr+copa`, or a single slug for one-flow scenarios). A workload
+/// block contributes its template CCA as `wl-<slug>`, so population
+/// scenarios occupy their own coverage region.
+fn cca_key(s: &Scenario) -> String {
+    let mut slugs: Vec<String> = s.flows.iter().map(|f| f.cca.slug().to_string()).collect();
+    if let Some(w) = &s.workload {
+        slugs.push(format!("wl-{}", w.cca.slug()));
+    }
     slugs.sort_unstable();
     slugs.join("+")
 }
 
 /// The jitter/2δ bucket: where the scenario's largest jitter bound sits
-/// relative to the paper's starvation boundary for its CCAs.
+/// relative to the paper's starvation boundary for its CCAs (workload
+/// jitter and CCA included).
 fn jitter_bucket(s: &Scenario) -> &'static str {
+    let wl_jitter = s
+        .workload
+        .as_ref()
+        .and_then(|w| w.jitter.map(|j| j.max.as_millis_f64()))
+        .unwrap_or(0.0);
     let jitter_ms = s
         .flows
         .iter()
         .filter_map(|f| f.jitter.map(|j| j.max.as_millis_f64()))
-        .fold(0.0f64, f64::max);
+        .fold(wl_jitter, f64::max);
     if jitter_ms <= 0.0 {
         return "j0";
     }
+    let wl_delta = s
+        .workload
+        .as_ref()
+        .map(|w| w.cca.delta_hint().as_millis_f64())
+        .unwrap_or(1.0);
     let delta_ms = s
         .flows
         .iter()
         .map(|f| f.cca.delta_hint().as_millis_f64())
-        .fold(1.0f64, f64::max);
+        .fold(1.0f64.max(wl_delta), f64::max);
     let ratio = jitter_ms / (2.0 * delta_ms);
     if ratio < 0.5 {
         "jlt0.5"
@@ -207,7 +223,7 @@ fn outcome_class(result: &SimResult) -> &'static str {
 
 /// The full feature key of a scenario and its outcome class.
 fn feature_key(s: &Scenario, outcome: &str) -> String {
-    format!("{}|{}|{}|{}", cca_key(&s.flows), jitter_bucket(s), rate_bucket(s.link.rate_mbps), outcome)
+    format!("{}|{}|{}|{}", cca_key(s), jitter_bucket(s), rate_bucket(s.link.rate_mbps), outcome)
 }
 
 /// CCA sets with no coverage entry at all yet, in registry-pair order.
@@ -267,6 +283,7 @@ fn targeted(rng: &mut Xoshiro256, coverage: &Coverage) -> Scenario {
             mk("f0", a, Some(JitterSpec { max: jitter, seed: rng.range_u64(1000) })),
             mk("f1", b, None),
         ],
+        workload: None,
     }
 }
 

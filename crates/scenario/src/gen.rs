@@ -16,7 +16,10 @@
 //! *seed* violations from corpus files; mutation and shrinking preserve
 //! it so a seeded failure stays a failure while it minimizes.
 
-use crate::ast::{Buffer, CcaId, Flow, JitterSpec, Link, LossSpec, Scenario, ALL_CCAS};
+use crate::ast::{
+    ArrivalSpec, Buffer, CcaId, Flow, JitterSpec, Link, LossSpec, Scenario, SizeSpec, WorkloadSpec,
+    ALL_CCAS,
+};
 use simcore::rng::Xoshiro256;
 use simcore::units::Dur;
 use testkit::prop::Strategy;
@@ -46,6 +49,23 @@ const BUFFER_BYTES: &[u64] = &[30_000, 60_000, 120_000];
 
 /// Packet-size overrides.
 const MSS: &[u64] = &[600, 1200];
+
+/// Workload population sizes the generator draws — deliberately small so
+/// every fuzz execution stays cheap. Corpus entries may carry
+/// population-scale counts; [`mutate`] clamps those back down.
+const WORKLOAD_COUNTS: &[u64] = &[4, 8, 16, 32];
+
+/// Mean inter-arrival gaps (fixed or Poisson), in milliseconds.
+const ARRIVAL_MS: &[u64] = &[10, 25, 50, 100];
+
+/// Fixed workload flow sizes, in bytes.
+const WORKLOAD_SIZES: &[u64] = &[15_000, 30_000, 60_000];
+
+/// Pareto tail indices for heavy-tailed size mixes.
+const PARETO_ALPHAS: &[f64] = &[1.1, 1.3, 1.7];
+
+/// The largest workload count a fuzz mutant may carry.
+const MAX_FUZZ_WORKLOAD: u64 = 40;
 
 /// The shortest duration shrinking may reach.
 const MIN_DURATION: Dur = Dur(200_000_000); // 200 ms
@@ -102,6 +122,53 @@ impl ScenarioStrategy {
         }
     }
 
+    fn gen_workload(&self, rng: &mut Xoshiro256) -> WorkloadSpec {
+        let arrivals = if rng.bernoulli(0.5) {
+            ArrivalSpec::Every(Dur::from_millis(pick(rng, ARRIVAL_MS)))
+        } else {
+            ArrivalSpec::Poisson {
+                mean: Dur::from_millis(pick(rng, ARRIVAL_MS)),
+                seed: rng.range_u64(1000),
+            }
+        };
+        let sizes = if rng.bernoulli(0.5) {
+            SizeSpec::Fixed(pick(rng, WORKLOAD_SIZES))
+        } else {
+            SizeSpec::Pareto {
+                min: 12_000,
+                alpha: pick(rng, PARETO_ALPHAS),
+                cap: 120_000,
+                seed: rng.range_u64(1000),
+            }
+        };
+        WorkloadSpec {
+            count: pick(rng, WORKLOAD_COUNTS),
+            arrivals,
+            sizes,
+            cca: pick_cca(rng),
+            rtt: Dur::from_millis(pick(rng, RTTS_MS)),
+            jitter: if rng.bernoulli(0.4) {
+                Some(JitterSpec {
+                    max: Dur::from_millis(pick(rng, JITTERS_MS)),
+                    seed: rng.range_u64(1000),
+                })
+            } else {
+                None
+            },
+            loss: if rng.bernoulli(0.2) {
+                Some(LossSpec { rate: pick(rng, LOSSES), seed: rng.range_u64(1000) })
+            } else {
+                None
+            },
+            start: if rng.bernoulli(0.3) {
+                Some(Dur::from_millis(pick(rng, STARTS_MS)))
+            } else {
+                None
+            },
+            mss: if rng.bernoulli(0.1) { Some(pick(rng, MSS)) } else { None },
+        }
+    }
+
     fn gen_link(&self, rng: &mut Xoshiro256, rtt: Dur) -> Link {
         let buffer = match rng.range_u64(10) {
             0..=4 => Buffer::Ample,
@@ -129,6 +196,7 @@ impl Strategy for ScenarioStrategy {
             duration: Dur::from_millis(pick(rng, DURATIONS_MS)),
             sample_every: if rng.bernoulli(0.2) { Some(Dur::from_millis(20)) } else { None },
             flows,
+            workload: if rng.bernoulli(0.25) { Some(self.gen_workload(rng)) } else { None },
         }
     }
 
@@ -142,6 +210,40 @@ impl Strategy for ScenarioStrategy {
                 let mut t = s.clone();
                 t.flows.remove(i);
                 out.push(t);
+            }
+        }
+        if let Some(w) = &s.workload {
+            // Dropping the workload entirely is only valid while a static
+            // flow keeps the scenario non-empty.
+            if !s.flows.is_empty() {
+                let mut t = s.clone();
+                t.workload = None;
+                out.push(t);
+            }
+            let with = |edit: &dyn Fn(&mut WorkloadSpec)| {
+                let mut t = s.clone();
+                if let Some(w) = &mut t.workload {
+                    edit(w);
+                }
+                t
+            };
+            if w.count > 2 {
+                out.push(with(&|w| w.count = (w.count / 2).max(2)));
+            }
+            if w.jitter.is_some() {
+                out.push(with(&|w| w.jitter = None));
+            }
+            if w.loss.is_some() {
+                out.push(with(&|w| w.loss = None));
+            }
+            if w.start.is_some() {
+                out.push(with(&|w| w.start = None));
+            }
+            if w.mss.is_some() {
+                out.push(with(&|w| w.mss = None));
+            }
+            if w.cca != CcaId::ConstCwnd {
+                out.push(with(&|w| w.cca = CcaId::ConstCwnd));
             }
         }
         if s.duration > MIN_DURATION {
@@ -217,8 +319,15 @@ impl Strategy for ScenarioStrategy {
 pub fn mutate(rng: &mut Xoshiro256, strategy: &ScenarioStrategy, mut s: Scenario) -> Scenario {
     let edits = 1 + rng.range_u64(3);
     for _ in 0..edits {
-        let i = rng.range_u64(s.flows.len() as u64) as usize;
-        match rng.range_u64(10) {
+        let arm = rng.range_u64(11);
+        // Flow-targeted arms need a flow to target; a workload-only
+        // scenario redirects them at the workload instead.
+        if s.flows.is_empty() && matches!(arm, 0 | 1 | 2 | 4 | 5 | 7) {
+            mutate_workload(rng, strategy, &mut s);
+            continue;
+        }
+        let i = if s.flows.is_empty() { 0 } else { rng.range_u64(s.flows.len() as u64) as usize };
+        match arm {
             0 => s.flows[i].cca = pick_cca(rng),
             1 => {
                 let max = boundary_jitter(rng, s.flows[i].cca);
@@ -261,16 +370,54 @@ pub fn mutate(rng: &mut Xoshiro256, strategy: &ScenarioStrategy, mut s: Scenario
             }
             7 => s.flows[i].datagram = !s.flows[i].datagram,
             8 => s.duration = Dur::from_millis(pick(rng, DURATIONS_MS)),
-            _ => {
+            9 => {
+                let rtt = s
+                    .flows
+                    .first()
+                    .map(|f| f.rtt)
+                    .or_else(|| s.workload.as_ref().map(|w| w.rtt))
+                    .unwrap_or(Dur::from_millis(20));
                 s.link.buffer = match rng.range_u64(3) {
                     0 => Buffer::Ample,
-                    1 => Buffer::Bdp { n: pick(rng, &[0.5, 1.0, 2.0]), rtt: s.flows[0].rtt },
+                    1 => Buffer::Bdp { n: pick(rng, &[0.5, 1.0, 2.0]), rtt },
                     _ => Buffer::Bytes(pick(rng, BUFFER_BYTES)),
                 };
             }
+            _ => mutate_workload(rng, strategy, &mut s),
         }
     }
+    // Corpus scenarios may carry population-scale counts (the 1000-flow
+    // canonical workload); mutants clamp back to fuzzer scale so every
+    // execution stays cheap.
+    if let Some(w) = &mut s.workload {
+        w.count = w.count.min(MAX_FUZZ_WORKLOAD);
+    }
     s
+}
+
+/// One workload edit: add a workload when absent; otherwise remove it
+/// (when static flows remain), re-draw it, or tweak count/CCA/arrivals.
+fn mutate_workload(rng: &mut Xoshiro256, strategy: &ScenarioStrategy, s: &mut Scenario) {
+    let Some(w) = &mut s.workload else {
+        s.workload = Some(strategy.gen_workload(rng));
+        return;
+    };
+    match rng.range_u64(5) {
+        0 if !s.flows.is_empty() => s.workload = None,
+        1 => s.workload = Some(strategy.gen_workload(rng)),
+        2 => w.count = pick(rng, WORKLOAD_COUNTS),
+        3 => w.cca = pick_cca(rng),
+        _ => {
+            w.arrivals = if rng.bernoulli(0.5) {
+                ArrivalSpec::Every(Dur::from_millis(pick(rng, ARRIVAL_MS)))
+            } else {
+                ArrivalSpec::Poisson {
+                    mean: Dur::from_millis(pick(rng, ARRIVAL_MS)),
+                    seed: rng.range_u64(1000),
+                }
+            };
+        }
+    }
 }
 
 /// A jitter bound within ±20% of `2·δ_max` for the CCA — the region where

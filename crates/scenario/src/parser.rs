@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! scenario     ::= "scenario" STRING "{" item* "}"
-//! item         ::= link | "duration" dur | "sample-every" dur | flow
+//! item         ::= link | "duration" dur | "sample-every" dur | flow | workload
 //! link         ::= "link" "{" ("rate" rate | "buffer" buffer | "ecn" bytes)* "}"
 //! buffer       ::= "ample" | bytes | "bdp" number dur
 //! flow         ::= "flow" IDENT "{" field* "}"
@@ -12,17 +12,29 @@
 //!                | "jitter" dur "seed" int | "loss" number "seed" int
 //!                | "transport" ("reliable" | "datagram")
 //!                | "start" dur | "mss" int | "audit-jitter-bound" dur
+//! workload     ::= "workload" "{" wfield* "}"
+//! wfield       ::= "flows" int | "arrivals" arrivals | "sizes" sizes
+//!                | "cca" IDENT | "rtt" dur
+//!                | "jitter" dur "seed" int | "loss" number "seed" int
+//!                | "start" dur | "mss" int
+//! arrivals     ::= "every" dur | "poisson" dur "seed" int
+//! sizes        ::= "fixed" bytes | "pareto" bytes number bytes "seed" int
 //! dur          ::= NUMBER with unit s | ms | us | ns
 //! rate         ::= NUMBER with unit gbps | mbps | kbps
 //! bytes        ::= NUMBER with unit B
 //! ```
 //!
 //! Required: one `link` block (with `rate` and `buffer`), a `duration`,
-//! and at least one flow (each with `cca` and `rtt`). Everything else is
-//! optional. Errors are fail-fast and carry a 1-based line/column plus a
-//! *stable* message — the negative-parse suite pins the exact wording.
+//! and at least one flow — a `flow` block or a `workload` block (flows
+//! need `cca` and `rtt`; a workload needs `flows`, `arrivals`, `sizes`,
+//! `cca` and `rtt`). Everything else is optional. Errors are fail-fast
+//! and carry a 1-based line/column plus a *stable* message — the
+//! negative-parse suite pins the exact wording.
 
-use crate::ast::{Buffer, CcaId, Flow, JitterSpec, Link, LossSpec, Scenario, ALL_CCAS};
+use crate::ast::{
+    ArrivalSpec, Buffer, CcaId, Flow, JitterSpec, Link, LossSpec, Scenario, SizeSpec, WorkloadSpec,
+    ALL_CCAS,
+};
 use crate::lexer::{lex, ParseError, TokKind, Token};
 use simcore::units::Dur;
 
@@ -82,6 +94,7 @@ impl Parser {
         let mut sample_every: Option<Dur> = None;
         let mut flows: Vec<Flow> = Vec::new();
         let mut flow_pos: Vec<(String, u32, u32)> = Vec::new();
+        let mut workload: Option<WorkloadSpec> = None;
 
         loop {
             let t = self.advance();
@@ -122,11 +135,17 @@ impl Parser {
                         flow_pos.push((flow.id.clone(), id_tok.line, id_tok.col));
                         flows.push(flow);
                     }
+                    "workload" => {
+                        if workload.is_some() {
+                            return Err(ParseError::at(&t, "duplicate `workload` block"));
+                        }
+                        workload = Some(self.workload_block()?);
+                    }
                     other => {
                         return Err(ParseError::at(
                             &t,
                             format!(
-                                "unknown item `{other}` in scenario block (expected: link, duration, sample-every, flow)"
+                                "unknown item `{other}` in scenario block (expected: link, duration, sample-every, flow, workload)"
                             ),
                         ));
                     }
@@ -146,10 +165,13 @@ impl Parser {
         let Some(duration) = duration else {
             return Err(ParseError::at(&kw, "scenario is missing required field `duration`"));
         };
-        if flows.is_empty() {
-            return Err(ParseError::at(&kw, "scenario has no flows (at least one `flow` block is required)"));
+        if flows.is_empty() && workload.is_none() {
+            return Err(ParseError::at(
+                &kw,
+                "scenario has no flows (at least one `flow` or `workload` block is required)",
+            ));
         }
-        Ok(Scenario { name: name.text, link, duration, sample_every, flows })
+        Ok(Scenario { name: name.text, link, duration, sample_every, flows, workload })
     }
 
     fn link_block(&mut self) -> Result<Link, ParseError> {
@@ -261,19 +283,7 @@ impl Parser {
                             if cca.is_some() {
                                 return Err(dup("cca"));
                             }
-                            let tok = self.expect_kind(TokKind::Ident, "a CCA name")?;
-                            let Some(c) = CcaId::from_slug(&tok.text) else {
-                                let known: Vec<&str> = ALL_CCAS.iter().map(|c| c.slug()).collect();
-                                return Err(ParseError::at(
-                                    &tok,
-                                    format!(
-                                        "unknown CCA `{}` (expected one of: {})",
-                                        tok.text,
-                                        known.join(", ")
-                                    ),
-                                ));
-                            };
-                            cca = Some(c);
+                            cca = Some(self.cca_name()?);
                         }
                         "rtt" => {
                             if rtt.is_some() {
@@ -377,6 +387,219 @@ impl Parser {
             Flow { id, cca, rtt, jitter, loss, datagram, start, mss, audit_jitter_bound },
             id_tok,
         ))
+    }
+
+    fn workload_block(&mut self) -> Result<WorkloadSpec, ParseError> {
+        let open = self.expect_kind(TokKind::LBrace, "`{`")?;
+        let mut count: Option<u64> = None;
+        let mut arrivals: Option<ArrivalSpec> = None;
+        let mut sizes: Option<SizeSpec> = None;
+        let mut cca: Option<CcaId> = None;
+        let mut rtt: Option<Dur> = None;
+        let mut jitter: Option<JitterSpec> = None;
+        let mut loss: Option<LossSpec> = None;
+        let mut start: Option<Dur> = None;
+        let mut mss: Option<u64> = None;
+
+        loop {
+            let t = self.advance();
+            match t.kind {
+                TokKind::RBrace => break,
+                TokKind::Ident => {
+                    let dup = |field: &str| {
+                        ParseError::at(&t, format!("duplicate field `{field}` in workload block"))
+                    };
+                    match t.text.as_str() {
+                        "flows" => {
+                            if count.is_some() {
+                                return Err(dup("flows"));
+                            }
+                            let tok = self.expect_kind(TokKind::Number, "a flow count")?;
+                            let n = parse_bare_int(&tok)?;
+                            if n == 0 {
+                                return Err(ParseError::at(&tok, "workload flow count must be positive"));
+                            }
+                            count = Some(n);
+                        }
+                        "arrivals" => {
+                            if arrivals.is_some() {
+                                return Err(dup("arrivals"));
+                            }
+                            arrivals = Some(self.arrival_spec()?);
+                        }
+                        "sizes" => {
+                            if sizes.is_some() {
+                                return Err(dup("sizes"));
+                            }
+                            sizes = Some(self.size_spec()?);
+                        }
+                        "cca" => {
+                            if cca.is_some() {
+                                return Err(dup("cca"));
+                            }
+                            cca = Some(self.cca_name()?);
+                        }
+                        "rtt" => {
+                            if rtt.is_some() {
+                                return Err(dup("rtt"));
+                            }
+                            rtt = Some(self.positive_dur("rtt")?);
+                        }
+                        "jitter" => {
+                            if jitter.is_some() {
+                                return Err(dup("jitter"));
+                            }
+                            let tok = self.expect_kind(TokKind::Number, "a duration")?;
+                            let max = parse_dur(&tok)?;
+                            self.expect_keyword("seed")?;
+                            let seed_tok = self.expect_kind(TokKind::Number, "a seed")?;
+                            jitter = Some(JitterSpec { max, seed: parse_bare_int(&seed_tok)? });
+                        }
+                        "loss" => {
+                            if loss.is_some() {
+                                return Err(dup("loss"));
+                            }
+                            let tok = self.expect_kind(TokKind::Number, "a loss probability")?;
+                            let rate = parse_bare_f64(&tok)?;
+                            if !(0.0..=1.0).contains(&rate) {
+                                return Err(ParseError::at(
+                                    &tok,
+                                    format!("loss probability must be in [0, 1], got `{}`", tok.text),
+                                ));
+                            }
+                            self.expect_keyword("seed")?;
+                            let seed_tok = self.expect_kind(TokKind::Number, "a seed")?;
+                            loss = Some(LossSpec { rate, seed: parse_bare_int(&seed_tok)? });
+                        }
+                        "start" => {
+                            if start.is_some() {
+                                return Err(dup("start"));
+                            }
+                            let tok = self.expect_kind(TokKind::Number, "a duration")?;
+                            start = Some(parse_dur(&tok)?);
+                        }
+                        "mss" => {
+                            if mss.is_some() {
+                                return Err(dup("mss"));
+                            }
+                            let tok = self.expect_kind(TokKind::Number, "a packet size")?;
+                            let v = parse_bare_int(&tok)?;
+                            if v == 0 {
+                                return Err(ParseError::at(&tok, "mss must be positive"));
+                            }
+                            mss = Some(v);
+                        }
+                        other => {
+                            return Err(ParseError::at(
+                                &t,
+                                format!(
+                                    "unknown field `{other}` in workload block (expected: flows, arrivals, sizes, cca, rtt, jitter, loss, start, mss)"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                _ => {
+                    return Err(ParseError::at(
+                        &t,
+                        format!("expected a workload field or `}}`, got `{}`", display(&t)),
+                    ));
+                }
+            }
+        }
+
+        let Some(count) = count else {
+            return Err(ParseError::at(&open, "workload is missing required field `flows`"));
+        };
+        let Some(arrivals) = arrivals else {
+            return Err(ParseError::at(&open, "workload is missing required field `arrivals`"));
+        };
+        let Some(sizes) = sizes else {
+            return Err(ParseError::at(&open, "workload is missing required field `sizes`"));
+        };
+        let Some(cca) = cca else {
+            return Err(ParseError::at(&open, "workload is missing required field `cca`"));
+        };
+        let Some(rtt) = rtt else {
+            return Err(ParseError::at(&open, "workload is missing required field `rtt`"));
+        };
+        Ok(WorkloadSpec { count, arrivals, sizes, cca, rtt, jitter, loss, start, mss })
+    }
+
+    /// `every <dur>` or `poisson <dur> seed <int>`.
+    fn arrival_spec(&mut self) -> Result<ArrivalSpec, ParseError> {
+        let t = self.advance();
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "every") => Ok(ArrivalSpec::Every(self.positive_dur("arrivals every")?)),
+            (TokKind::Ident, "poisson") => {
+                let mean = self.positive_dur("arrivals poisson mean")?;
+                self.expect_keyword("seed")?;
+                let seed_tok = self.expect_kind(TokKind::Number, "a seed")?;
+                Ok(ArrivalSpec::Poisson { mean, seed: parse_bare_int(&seed_tok)? })
+            }
+            _ => Err(ParseError::at(
+                &t,
+                format!(
+                    "expected an arrival process: `every <dur>` or `poisson <mean> seed <n>`; got `{}`",
+                    display(&t)
+                ),
+            )),
+        }
+    }
+
+    /// `fixed <bytes>` or `pareto <min> <alpha> <cap> seed <int>`.
+    fn size_spec(&mut self) -> Result<SizeSpec, ParseError> {
+        let t = self.advance();
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "fixed") => {
+                let tok = self.expect_kind(TokKind::Number, "a byte count")?;
+                let bytes = parse_bytes(&tok)?;
+                if bytes == 0 {
+                    return Err(ParseError::at(&tok, "flow size must be positive"));
+                }
+                Ok(SizeSpec::Fixed(bytes))
+            }
+            (TokKind::Ident, "pareto") => {
+                let min_tok = self.expect_kind(TokKind::Number, "a byte count")?;
+                let min = parse_bytes(&min_tok)?;
+                if min == 0 {
+                    return Err(ParseError::at(&min_tok, "pareto minimum size must be positive"));
+                }
+                let alpha_tok = self.expect_kind(TokKind::Number, "a tail index")?;
+                let alpha = parse_bare_f64(&alpha_tok)?;
+                if alpha <= 0.0 {
+                    return Err(ParseError::at(&alpha_tok, "pareto tail index must be positive"));
+                }
+                let cap_tok = self.expect_kind(TokKind::Number, "a byte count")?;
+                let cap = parse_bytes(&cap_tok)?;
+                if cap < min {
+                    return Err(ParseError::at(&cap_tok, "pareto cap must be at least the minimum size"));
+                }
+                self.expect_keyword("seed")?;
+                let seed_tok = self.expect_kind(TokKind::Number, "a seed")?;
+                Ok(SizeSpec::Pareto { min, alpha, cap, seed: parse_bare_int(&seed_tok)? })
+            }
+            _ => Err(ParseError::at(
+                &t,
+                format!(
+                    "expected a size distribution: `fixed <bytes>` or `pareto <min> <alpha> <cap> seed <n>`; got `{}`",
+                    display(&t)
+                ),
+            )),
+        }
+    }
+
+    /// A CCA name from the registry.
+    fn cca_name(&mut self) -> Result<CcaId, ParseError> {
+        let tok = self.expect_kind(TokKind::Ident, "a CCA name")?;
+        let Some(c) = CcaId::from_slug(&tok.text) else {
+            let known: Vec<&str> = ALL_CCAS.iter().map(|c| c.slug()).collect();
+            return Err(ParseError::at(
+                &tok,
+                format!("unknown CCA `{}` (expected one of: {})", tok.text, known.join(", ")),
+            ));
+        };
+        Ok(c)
     }
 
     /// A duration value that must be strictly positive (`what` names the
@@ -592,6 +815,77 @@ scenario "reordered" {
         assert_eq!(mk("500kbps"), 0.5);
         assert_eq!(mk("2gbps"), 2000.0);
         assert_eq!(mk("24mbps"), 24.0);
+    }
+
+    #[test]
+    fn parses_a_workload_block() {
+        let src = r#"
+scenario "population" {
+  link { rate 48mbps buffer ample }
+  duration 12s
+  workload {
+    flows 1000
+    arrivals poisson 8ms seed 9
+    sizes pareto 12000B 1.3 300000B seed 5
+    cca reno
+    rtt 20ms
+    jitter 2ms seed 3
+    loss 0.001 seed 4
+    start 100ms
+    mss 1200
+  }
+}
+"#;
+        let s = parse(src).expect("parses");
+        assert!(s.flows.is_empty(), "workload-only scenario needs no static flows");
+        let w = s.workload.expect("workload present");
+        assert_eq!(w.count, 1000);
+        assert_eq!(
+            w.arrivals,
+            crate::ast::ArrivalSpec::Poisson { mean: Dur::from_millis(8), seed: 9 }
+        );
+        assert_eq!(
+            w.sizes,
+            crate::ast::SizeSpec::Pareto { min: 12_000, alpha: 1.3, cap: 300_000, seed: 5 }
+        );
+        assert_eq!(w.cca, CcaId::Reno);
+        assert_eq!(w.rtt, Dur::from_millis(20));
+        assert_eq!(w.jitter, Some(JitterSpec { max: Dur::from_millis(2), seed: 3 }));
+        assert_eq!(w.loss, Some(LossSpec { rate: 0.001, seed: 4 }));
+        assert_eq!(w.start, Some(Dur::from_millis(100)));
+        assert_eq!(w.mss, Some(1200));
+    }
+
+    #[test]
+    fn workload_fixed_arrivals_and_sizes_parse() {
+        let src = r#"
+scenario "steady" {
+  link { rate 8mbps buffer ample }
+  duration 2s
+  flow f0 { cca reno rtt 20ms }
+  workload { flows 8 arrivals every 100ms sizes fixed 30000B cca cubic rtt 40ms }
+}
+"#;
+        let s = parse(src).expect("parses");
+        assert_eq!(s.flows.len(), 1);
+        let w = s.workload.expect("workload present");
+        assert_eq!(w.arrivals, crate::ast::ArrivalSpec::Every(Dur::from_millis(100)));
+        assert_eq!(w.sizes, crate::ast::SizeSpec::Fixed(30_000));
+        assert_eq!(w.jitter, None);
+    }
+
+    #[test]
+    fn workload_requires_its_core_fields() {
+        let err = parse(
+            "scenario \"w\" { link { rate 8mbps buffer ample } duration 1s workload { flows 4 arrivals every 10ms sizes fixed 1000B cca reno } }",
+        )
+        .expect_err("missing rtt");
+        assert_eq!(err.msg, "workload is missing required field `rtt`");
+        let err = parse(
+            "scenario \"w\" { link { rate 8mbps buffer ample } duration 1s workload { arrivals every 10ms sizes fixed 1000B cca reno rtt 20ms } }",
+        )
+        .expect_err("missing flows");
+        assert_eq!(err.msg, "workload is missing required field `flows`");
     }
 
     #[test]

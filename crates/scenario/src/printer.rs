@@ -8,7 +8,7 @@
 //! what lets the fuzzer hand a mutated AST to the shrinker and write the
 //! minimal reproducer back out as a file.
 
-use crate::ast::{Buffer, Flow, Link, Scenario};
+use crate::ast::{ArrivalSpec, Buffer, Flow, Link, Scenario, SizeSpec, WorkloadSpec};
 use simcore::units::Dur;
 use std::fmt;
 
@@ -71,6 +71,40 @@ impl fmt::Display for Flow {
     }
 }
 
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  workload {{")?;
+        writeln!(f, "    flows {}", self.count)?;
+        match self.arrivals {
+            ArrivalSpec::Every(d) => writeln!(f, "    arrivals every {}", fmt_dur(d))?,
+            ArrivalSpec::Poisson { mean, seed } => {
+                writeln!(f, "    arrivals poisson {} seed {seed}", fmt_dur(mean))?
+            }
+        }
+        match self.sizes {
+            SizeSpec::Fixed(bytes) => writeln!(f, "    sizes fixed {bytes}B")?,
+            SizeSpec::Pareto { min, alpha, cap, seed } => {
+                writeln!(f, "    sizes pareto {min}B {alpha} {cap}B seed {seed}")?
+            }
+        }
+        writeln!(f, "    cca {}", self.cca.slug())?;
+        writeln!(f, "    rtt {}", fmt_dur(self.rtt))?;
+        if let Some(j) = self.jitter {
+            writeln!(f, "    jitter {} seed {}", fmt_dur(j.max), j.seed)?;
+        }
+        if let Some(l) = self.loss {
+            writeln!(f, "    loss {} seed {}", l.rate, l.seed)?;
+        }
+        if let Some(start) = self.start {
+            writeln!(f, "    start {}", fmt_dur(start))?;
+        }
+        if let Some(mss) = self.mss {
+            writeln!(f, "    mss {mss}")?;
+        }
+        write!(f, "  }}")
+    }
+}
+
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "scenario \"{}\" {{", self.name)?;
@@ -82,6 +116,9 @@ impl fmt::Display for Scenario {
         for flow in &self.flows {
             writeln!(f, "{flow}")?;
         }
+        if let Some(w) = &self.workload {
+            writeln!(f, "{w}")?;
+        }
         write!(f, "}}")
     }
 }
@@ -91,6 +128,20 @@ mod tests {
     use super::*;
     use crate::ast::{CcaId, JitterSpec, LossSpec};
     use crate::parser::parse;
+
+    fn sample_workload() -> WorkloadSpec {
+        WorkloadSpec {
+            count: 24,
+            arrivals: ArrivalSpec::Poisson { mean: Dur::from_millis(25), seed: 11 },
+            sizes: SizeSpec::Pareto { min: 12_000, alpha: 1.3, cap: 300_000, seed: 5 },
+            cca: CcaId::Reno,
+            rtt: Dur::from_millis(20),
+            jitter: Some(JitterSpec { max: Dur::from_millis(2), seed: 3 }),
+            loss: Some(LossSpec { rate: 0.001, seed: 4 }),
+            start: Some(Dur::from_millis(100)),
+            mss: Some(1200),
+        }
+    }
 
     #[test]
     fn durations_pick_the_largest_even_unit() {
@@ -136,10 +187,36 @@ mod tests {
                     audit_jitter_bound: None,
                 },
             ],
+            workload: Some(sample_workload()),
         };
         let printed = s.to_string();
         let reparsed = parse(&printed).expect("canonical form parses");
         assert_eq!(reparsed, s, "print → parse must be identity:\n{printed}");
         assert_eq!(reparsed.to_string(), printed, "printing is idempotent");
+    }
+
+    #[test]
+    fn workload_only_scenario_round_trips() {
+        let s = Scenario {
+            name: "population".to_string(),
+            link: Link { rate_mbps: 48.0, buffer: Buffer::Ample, ecn_bytes: None },
+            duration: Dur::from_secs(12),
+            sample_every: None,
+            flows: vec![],
+            workload: Some(WorkloadSpec {
+                count: 1000,
+                arrivals: ArrivalSpec::Every(Dur::from_millis(8)),
+                sizes: SizeSpec::Fixed(30_000),
+                cca: CcaId::Cubic,
+                rtt: Dur::from_millis(40),
+                jitter: None,
+                loss: None,
+                start: None,
+                mss: None,
+            }),
+        };
+        let printed = s.to_string();
+        let reparsed = parse(&printed).expect("canonical form parses");
+        assert_eq!(reparsed, s, "print → parse must be identity:\n{printed}");
     }
 }

@@ -40,7 +40,7 @@ const FIXTURES: &[(&str, &str, &str)] = &[
     (
         "no-flows",
         include_str!("bad/no-flows.scn"),
-        "3:1: scenario has no flows (at least one `flow` block is required)",
+        "3:1: scenario has no flows (at least one `flow` or `workload` block is required)",
     ),
 ];
 

@@ -25,7 +25,7 @@ fn scratch_dir(name: &str) -> PathBuf {
 fn committed_corpus() -> Vec<Scenario> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/scenarios");
     let corpus = scenario::load_dir(&dir).expect("corpus parses");
-    assert_eq!(corpus.len(), 4, "expected the four canonical scenarios in {}", dir.display());
+    assert_eq!(corpus.len(), 5, "expected the five canonical scenarios in {}", dir.display());
     corpus
 }
 
@@ -108,7 +108,7 @@ fn seeded_violation_is_found_shrunk_and_replayable() {
     let mut opts = FuzzOptions::new(7, out.clone());
     opts.count = 40;
     opts.jobs = 2;
-    // Corpus = the four clean canonical scenarios plus the seeded fault;
+    // Corpus = the clean canonical scenarios plus the seeded fault;
     // mutation preserves the audit bound, so mutants of the faulty entry
     // keep violating unless the mutation removes the jitter itself.
     let mut corpus = committed_corpus();

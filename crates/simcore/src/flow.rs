@@ -1,0 +1,92 @@
+//! Flow identity: the typed per-flow key used across the simulator.
+//!
+//! Historically the simulator indexed flows with bare `usize`s, which made
+//! every per-flow array an index-parallel sibling of every other and let
+//! any integer masquerade as a flow. [`FlowId`] is the replacement: a
+//! compact newtype that all flow-keyed state (trace events, audit specs,
+//! per-flow results) shares. The wire format is unchanged — a `FlowId`
+//! hashes and prints as the bare index it wraps, so trace digests and
+//! JSONL output are bit-identical to the `usize` era.
+//!
+//! Ids are dense: statically-configured flows take `0..n` in declaration
+//! order, and workload-spawned flows continue the sequence in arrival
+//! order. That keeps iteration order deterministic and lets hot-path
+//! per-flow state live in plain `Vec`s indexed by [`FlowId::index`].
+
+use std::fmt;
+
+/// A flow's identity within one simulation run.
+///
+/// Construct with [`FlowId::from_index`] (or `From<usize>`); recover the
+/// dense index with [`FlowId::index`]. The raw value `u32::MAX` is
+/// reserved for sentinel uses (the warm-fill phantom flow).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(u32);
+
+impl FlowId {
+    /// Wrap a raw id without range checking (sentinel construction).
+    pub const fn from_raw(raw: u32) -> FlowId {
+        FlowId(raw)
+    }
+
+    /// The id for the flow at dense index `i`.
+    pub fn from_index(i: usize) -> FlowId {
+        assert!(i < u32::MAX as usize, "flow index {i} out of FlowId range");
+        FlowId(i as u32)
+    }
+
+    /// The dense index this id wraps (slot in per-flow `Vec`s).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The id as a `u64`, for hashing and accounting arithmetic.
+    pub const fn as_u64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+impl From<usize> for FlowId {
+    fn from(i: usize) -> FlowId {
+        FlowId::from_index(i)
+    }
+}
+
+impl fmt::Display for FlowId {
+    /// Prints the bare index — the same text a `usize` id produced, which
+    /// keeps JSONL trace output and audit messages stable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_index() {
+        for i in [0usize, 1, 7, 1000] {
+            assert_eq!(FlowId::from_index(i).index(), i);
+            assert_eq!(FlowId::from(i).as_u64(), i as u64);
+        }
+    }
+
+    #[test]
+    fn displays_as_the_bare_index() {
+        assert_eq!(FlowId::from_index(3).to_string(), "3");
+        assert_eq!(format!("{}", FlowId::from_index(42)), "42");
+    }
+
+    #[test]
+    fn orders_by_index() {
+        assert!(FlowId::from_index(1) < FlowId::from_index(2));
+        assert_eq!(FlowId::from_index(5), FlowId::from_index(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of FlowId range")]
+    fn rejects_indices_at_the_sentinel() {
+        let _ = FlowId::from_index(u32::MAX as usize);
+    }
+}

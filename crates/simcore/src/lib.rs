@@ -11,6 +11,8 @@
 //!   exact and runs are bit-reproducible.
 //! * [`engine`] — the event queue API with deterministic tie-breaking,
 //!   backed by [`wheel`].
+//! * [`flow`] — the [`FlowId`] newtype keying all per-flow state (trace
+//!   events, audit specs, per-flow results) with dense deterministic ids.
 //! * [`wheel`] — a hierarchical timer wheel: `O(1)` near-horizon
 //!   schedule/pop with the exact `(time, seq)` firing order of a binary
 //!   heap, plus an overflow heap for the far future.
@@ -38,6 +40,7 @@
 
 pub mod engine;
 pub mod filter;
+pub mod flow;
 pub mod inlinevec;
 pub mod par;
 pub mod rng;
@@ -48,6 +51,7 @@ pub mod units;
 pub mod wheel;
 
 pub use engine::EventQueue;
+pub use flow::FlowId;
 pub use inlinevec::InlineVec;
 pub use rng::Xoshiro256;
 pub use series::TimeSeries;

@@ -29,8 +29,7 @@ use crate::units::{Dur, Rate, Time};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-/// Flow identifier as the simulator uses it (index into the flow list).
-pub type FlowId = usize;
+pub use crate::flow::FlowId;
 
 /// One traced simulator event.
 ///
@@ -157,6 +156,39 @@ pub enum Event {
         /// Current value (units are key-specific).
         value: f64,
     },
+    /// A workload-scheduled flow arrived and was spawned mid-run. The
+    /// auditor registers the flow from this event; statically-configured
+    /// flows are registered at construction and never emit it, which keeps
+    /// the canonical golden digests free of workload classes.
+    FlowArrive {
+        /// The new flow (must extend the dense id sequence).
+        flow: FlowId,
+        /// The flow's packet size (min-cwnd invariant).
+        mss: u64,
+        /// Jitter displacement bound, when the flow's policy has one.
+        jitter_bound: Option<Dur>,
+        /// Byte budget for finite flows (`None` = bulk, runs to the end).
+        size: Option<u64>,
+    },
+    /// A finite flow delivered its byte budget and retired. Carries the
+    /// sender's final accounting snapshot; the auditor checks a retired
+    /// flow leaks nothing (`in_flight = 0` and the byte identity balances).
+    FlowComplete {
+        /// The retiring flow.
+        flow: FlowId,
+        /// Lifetime bytes transmitted (including retransmissions).
+        sent: u64,
+        /// Lifetime bytes delivered.
+        delivered: u64,
+        /// Bytes still outstanding (must be zero at retirement).
+        in_flight: u64,
+        /// Lifetime bytes declared lost.
+        lost: u64,
+        /// Bytes SACKed or orphaned above the cumulative point.
+        unresolved: u64,
+        /// Spuriously retransmitted bytes.
+        spurious_rtx: u64,
+    },
     /// The run ended; `queued_pkts` packets (excluding warm-start phantoms)
     /// were still in the bottleneck queue.
     RunEnd {
@@ -181,6 +213,8 @@ impl Event {
             Event::Rto { .. } => "rto",
             Event::CwndUpdate { .. } => "cwnd",
             Event::Probe { .. } => "probe",
+            Event::FlowArrive { .. } => "flow-arrive",
+            Event::FlowComplete { .. } => "flow-complete",
             Event::RunEnd { .. } => "run-end",
         }
     }
@@ -197,7 +231,9 @@ impl Event {
             | Event::Ack { flow, .. }
             | Event::Rto { flow }
             | Event::CwndUpdate { flow, .. }
-            | Event::Probe { flow, .. } => Some(*flow),
+            | Event::Probe { flow, .. }
+            | Event::FlowArrive { flow, .. }
+            | Event::FlowComplete { flow, .. } => Some(*flow),
             Event::RunEnd { .. } => None,
         }
     }
@@ -208,20 +244,20 @@ impl Event {
         h.u64(at.as_nanos());
         match self {
             Event::Send { flow, seq, bytes, retransmit } => {
-                h.u64(*flow as u64).u64(*seq).u64(*bytes).u64(*retransmit as u64);
+                h.u64(flow.as_u64()).u64(*seq).u64(*bytes).u64(*retransmit as u64);
             }
             Event::Enqueue { flow, seq, bytes, queued_bytes }
             | Event::Dequeue { flow, seq, bytes, queued_bytes } => {
-                h.u64(*flow as u64).u64(*seq).u64(*bytes).u64(*queued_bytes);
+                h.u64(flow.as_u64()).u64(*seq).u64(*bytes).u64(*queued_bytes);
             }
             Event::Drop { flow, seq, bytes } => {
-                h.u64(*flow as u64).u64(*seq).u64(*bytes);
+                h.u64(flow.as_u64()).u64(*seq).u64(*bytes);
             }
             Event::JitterHold { flow, seq, arrive, release } => {
-                h.u64(*flow as u64).u64(*seq).u64(arrive.as_nanos()).u64(release.as_nanos());
+                h.u64(flow.as_u64()).u64(*seq).u64(arrive.as_nanos()).u64(release.as_nanos());
             }
             Event::JitterRelease { flow, seq } => {
-                h.u64(*flow as u64).u64(*seq);
+                h.u64(flow.as_u64()).u64(*seq);
             }
             Event::Ack {
                 flow,
@@ -234,7 +270,7 @@ impl Event {
                 unresolved,
                 spurious_rtx,
             } => {
-                h.u64(*flow as u64)
+                h.u64(flow.as_u64())
                     .opt_u64(cum_seq.as_ref().copied())
                     .opt_u64(rtt.map(|d| d.as_nanos()))
                     .u64(*sent)
@@ -245,15 +281,38 @@ impl Event {
                     .u64(*spurious_rtx);
             }
             Event::Rto { flow } => {
-                h.u64(*flow as u64);
+                h.u64(flow.as_u64());
             }
             Event::CwndUpdate { flow, cwnd, pacing } => {
-                h.u64(*flow as u64)
+                h.u64(flow.as_u64())
                     .u64(*cwnd)
                     .opt_u64(pacing.map(|r| r.bytes_per_sec().to_bits()));
             }
             Event::Probe { flow, key, value } => {
-                h.u64(*flow as u64).bytes(key.as_bytes()).u64(value.to_bits());
+                h.u64(flow.as_u64()).bytes(key.as_bytes()).u64(value.to_bits());
+            }
+            Event::FlowArrive { flow, mss, jitter_bound, size } => {
+                h.u64(flow.as_u64())
+                    .u64(*mss)
+                    .opt_u64(jitter_bound.map(|d| d.as_nanos()))
+                    .opt_u64(*size);
+            }
+            Event::FlowComplete {
+                flow,
+                sent,
+                delivered,
+                in_flight,
+                lost,
+                unresolved,
+                spurious_rtx,
+            } => {
+                h.u64(flow.as_u64())
+                    .u64(*sent)
+                    .u64(*delivered)
+                    .u64(*in_flight)
+                    .u64(*lost)
+                    .u64(*unresolved)
+                    .u64(*spurious_rtx);
             }
             Event::RunEnd { queued_pkts } => {
                 h.u64(*queued_pkts);
@@ -318,6 +377,28 @@ impl Event {
             }
             Event::Probe { key, value, .. } => {
                 s.push_str(&format!(",\"key\":\"{key}\",\"value\":{value}"));
+            }
+            Event::FlowArrive { mss, jitter_bound, size, .. } => {
+                s.push_str(&format!(",\"mss\":{mss}"));
+                if let Some(b) = jitter_bound {
+                    s.push_str(&format!(",\"jitter_bound_ns\":{}", b.as_nanos()));
+                }
+                if let Some(sz) = size {
+                    s.push_str(&format!(",\"size\":{sz}"));
+                }
+            }
+            Event::FlowComplete {
+                sent,
+                delivered,
+                in_flight,
+                lost,
+                unresolved,
+                spurious_rtx,
+                ..
+            } => {
+                s.push_str(&format!(
+                    ",\"sent\":{sent},\"delivered\":{delivered},\"in_flight\":{in_flight},\"lost\":{lost},\"unresolved\":{unresolved},\"spurious_rtx\":{spurious_rtx}"
+                ));
             }
             Event::RunEnd { queued_pkts } => {
                 s.push_str(&format!(",\"queued_pkts\":{queued_pkts}"));
@@ -550,6 +631,10 @@ struct AckCounters {
 /// 6. **Per-flow byte accounting** — the exact identity
 ///    `sent + spurious_rtx = delivered + in_flight + lost + unresolved`
 ///    holds at every ACK, and the lifetime counters are monotone.
+/// 7. **Flow lifecycle** — workload-spawned flows register via
+///    [`Event::FlowArrive`] in dense id order, and a retired flow
+///    ([`Event::FlowComplete`]) leaks nothing: zero bytes in flight, the
+///    byte identity balanced, lifetime counters extending the last ACK.
 ///
 /// Failing fast inside the event loop means the panic lands in the sweep
 /// engine's per-job isolation (`par::map` catches it) or aborts a CLI run
@@ -570,7 +655,9 @@ pub struct Auditor {
 }
 
 impl Auditor {
-    /// An auditor for the given flows, forwarding events to `inner`.
+    /// An auditor for the given statically-configured flows, forwarding
+    /// events to `inner`. Workload-spawned flows register later via
+    /// [`Event::FlowArrive`].
     pub fn new(flows: Vec<FlowAuditSpec>, inner: Option<Box<dyn TraceSink>>) -> Auditor {
         let n = flows.len();
         Auditor {
@@ -601,7 +688,7 @@ impl Auditor {
     }
 
     fn spec(&self, at: Time, ev: &Event, flow: FlowId) -> FlowAuditSpec {
-        match self.flows.get(flow) {
+        match self.flows.get(flow.index()) {
             Some(s) => *s,
             None => self.fail(at, ev, "flow-id", format!("unknown flow {flow}")),
         }
@@ -677,7 +764,7 @@ impl TraceSink for Auditor {
                         );
                     }
                 }
-                if let Some(prev) = self.last_release[*flow] {
+                if let Some(prev) = self.last_release[flow.index()] {
                     if *release < prev {
                         self.fail(
                             at,
@@ -691,7 +778,7 @@ impl TraceSink for Auditor {
                         );
                     }
                 }
-                self.last_release[*flow] = Some(*release);
+                self.last_release[flow.index()] = Some(*release);
             }
             Event::Ack {
                 flow,
@@ -705,7 +792,7 @@ impl TraceSink for Auditor {
             } => {
                 // Invariant 6: byte accounting.
                 self.spec(at, ev, *flow);
-                let prev = self.prev[*flow];
+                let prev = self.prev[flow.index()];
                 if *sent < prev.sent
                     || *delivered < prev.delivered
                     || *lost < prev.lost
@@ -731,7 +818,82 @@ impl TraceSink for Auditor {
                         ),
                     );
                 }
-                self.prev[*flow] = AckCounters {
+                self.prev[flow.index()] = AckCounters {
+                    sent: *sent,
+                    delivered: *delivered,
+                    lost: *lost,
+                    spurious_rtx: *spurious_rtx,
+                };
+            }
+            Event::FlowArrive { flow, mss, jitter_bound, .. } => {
+                // Invariant 7: flow lifecycle. Ids are dense and arrive in
+                // order; a gap or a duplicate means the workload scheduler
+                // and the trace disagree about flow identity.
+                if flow.index() != self.flows.len() {
+                    self.fail(
+                        at,
+                        ev,
+                        "flow-id",
+                        format!(
+                            "flow {flow} arrived out of order (next dense index is {})",
+                            self.flows.len()
+                        ),
+                    );
+                }
+                self.flows.push(FlowAuditSpec { mss: *mss, jitter_bound: *jitter_bound });
+                self.last_release.push(None);
+                self.prev.push(AckCounters::default());
+            }
+            Event::FlowComplete {
+                flow,
+                sent,
+                delivered,
+                in_flight,
+                lost,
+                unresolved,
+                spurious_rtx,
+            } => {
+                // Invariant 7: a retired flow leaks nothing. Everything the
+                // sender ever put on the wire must be resolved (delivered,
+                // lost, or unresolved-at-receiver) — zero bytes in flight —
+                // and the final snapshot must extend the last ACK's
+                // monotone lifetime counters.
+                self.spec(at, ev, *flow);
+                if *in_flight != 0 {
+                    self.fail(
+                        at,
+                        ev,
+                        "flow-retire",
+                        format!("flow {flow} retired with {in_flight} bytes still in flight"),
+                    );
+                }
+                if sent + spurious_rtx != delivered + in_flight + lost + unresolved {
+                    self.fail(
+                        at,
+                        ev,
+                        "flow-retire",
+                        format!(
+                            "flow {flow} retired unbalanced: sent({sent}) + spurious_rtx({spurious_rtx}) != delivered({delivered}) + in_flight({in_flight}) + lost({lost}) + unresolved({unresolved})"
+                        ),
+                    );
+                }
+                let prev = self.prev[flow.index()];
+                if *sent < prev.sent
+                    || *delivered < prev.delivered
+                    || *lost < prev.lost
+                    || *spurious_rtx < prev.spurious_rtx
+                {
+                    self.fail(
+                        at,
+                        ev,
+                        "flow-retire",
+                        format!(
+                            "flow {flow} retirement snapshot regressed lifetime counters (prev sent={} delivered={} lost={} spurious={})",
+                            prev.sent, prev.delivered, prev.lost, prev.spurious_rtx
+                        ),
+                    );
+                }
+                self.prev[flow.index()] = AckCounters {
                     sent: *sent,
                     delivered: *delivered,
                     lost: *lost,
@@ -796,6 +958,10 @@ mod tests {
         }]
     }
 
+    fn fid(i: usize) -> FlowId {
+        FlowId::from_index(i)
+    }
+
     fn catch(f: impl FnOnce() + std::panic::UnwindSafe) -> Option<String> {
         std::panic::catch_unwind(f).err().map(|e| {
             e.downcast_ref::<String>()
@@ -806,11 +972,11 @@ mod tests {
     }
 
     fn enq(seq: u64) -> Event {
-        Event::Enqueue { flow: 0, seq, bytes: 1500, queued_bytes: 1500 }
+        Event::Enqueue { flow: fid(0), seq, bytes: 1500, queued_bytes: 1500 }
     }
 
     fn deq(seq: u64) -> Event {
-        Event::Dequeue { flow: 0, seq, bytes: 1500, queued_bytes: 0 }
+        Event::Dequeue { flow: fid(0), seq, bytes: 1500, queued_bytes: 0 }
     }
 
     #[test]
@@ -820,13 +986,13 @@ mod tests {
         a.event(t, &enq(0));
         a.event(Time::from_millis(2), &deq(0));
         a.event(Time::from_millis(2), &Event::JitterHold {
-            flow: 0,
+            flow: fid(0),
             seq: 0,
             arrive: Time::from_millis(42),
             release: Time::from_millis(45),
         });
         a.event(Time::from_millis(45), &Event::Ack {
-            flow: 0,
+            flow: fid(0),
             cum_seq: Some(0),
             rtt: Some(Dur::from_millis(44)),
             sent: 1500,
@@ -836,7 +1002,7 @@ mod tests {
             unresolved: 0,
             spurious_rtx: 0,
         });
-        a.event(Time::from_millis(45), &Event::CwndUpdate { flow: 0, cwnd: 3000, pacing: None });
+        a.event(Time::from_millis(45), &Event::CwndUpdate { flow: fid(0), cwnd: 3000, pacing: None });
         a.event(Time::from_secs(1), &Event::RunEnd { queued_pkts: 0 });
         a.finish(Time::from_secs(1));
     }
@@ -879,7 +1045,7 @@ mod tests {
         let msg = catch(|| {
             let mut a = Auditor::new(spec(), None);
             a.event(Time::from_millis(1), &Event::JitterHold {
-                flow: 0,
+                flow: fid(0),
                 seq: 0,
                 arrive: Time::from_millis(40),
                 release: Time::from_millis(60), // 20 ms > 10 ms bound
@@ -894,13 +1060,13 @@ mod tests {
         let msg = catch(|| {
             let mut a = Auditor::new(spec(), None);
             a.event(Time::from_millis(1), &Event::JitterHold {
-                flow: 0,
+                flow: fid(0),
                 seq: 0,
                 arrive: Time::from_millis(40),
                 release: Time::from_millis(45),
             });
             a.event(Time::from_millis(2), &Event::JitterHold {
-                flow: 0,
+                flow: fid(0),
                 seq: 1,
                 arrive: Time::from_millis(41),
                 release: Time::from_millis(44), // before seq 0's release
@@ -925,7 +1091,7 @@ mod tests {
     fn min_cwnd_violation_detected() {
         let msg = catch(|| {
             let mut a = Auditor::new(spec(), None);
-            a.event(Time::from_millis(1), &Event::CwndUpdate { flow: 0, cwnd: 1499, pacing: None });
+            a.event(Time::from_millis(1), &Event::CwndUpdate { flow: fid(0), cwnd: 1499, pacing: None });
         })
         .expect("must panic");
         assert!(msg.contains("min-cwnd"), "{msg}");
@@ -936,7 +1102,7 @@ mod tests {
         let msg = catch(|| {
             let mut a = Auditor::new(spec(), None);
             a.event(Time::from_millis(1), &Event::Ack {
-                flow: 0,
+                flow: fid(0),
                 cum_seq: Some(0),
                 rtt: None,
                 sent: 3000,
@@ -956,7 +1122,7 @@ mod tests {
         let msg = catch(|| {
             let mut a = Auditor::new(spec(), None);
             let ack = |sent: u64, delivered: u64| Event::Ack {
-                flow: 0,
+                flow: fid(0),
                 cum_seq: Some(0),
                 rtt: None,
                 sent,
@@ -1032,7 +1198,7 @@ mod tests {
         let path = dir.join("t.jsonl");
         let mut sink = JsonlSink::create(&path).unwrap();
         sink.event(Time::from_millis(1), &enq(0));
-        sink.event(Time::from_millis(2), &Event::Probe { flow: 0, key: "x", value: 1.5 });
+        sink.event(Time::from_millis(2), &Event::Probe { flow: fid(0), key: "x", value: 1.5 });
         sink.finish(Time::from_millis(2));
         drop(sink);
         let text = std::fs::read_to_string(&path).unwrap();
@@ -1045,9 +1211,129 @@ mod tests {
 
     #[test]
     fn retransmit_classifies_separately() {
-        let fresh = Event::Send { flow: 0, seq: 1, bytes: 1500, retransmit: false };
-        let retx = Event::Send { flow: 0, seq: 1, bytes: 1500, retransmit: true };
+        let fresh = Event::Send { flow: fid(0), seq: 1, bytes: 1500, retransmit: false };
+        let retx = Event::Send { flow: fid(0), seq: 1, bytes: 1500, retransmit: true };
         assert_eq!(fresh.class(), "send");
         assert_eq!(retx.class(), "retransmit");
+    }
+
+    fn arrive(i: usize) -> Event {
+        Event::FlowArrive {
+            flow: fid(i),
+            mss: 1500,
+            jitter_bound: None,
+            size: Some(3000),
+        }
+    }
+
+    #[test]
+    fn flow_arrive_registers_a_new_flow() {
+        // Flow 1 is unknown at construction (spec() declares only flow 0);
+        // after FlowArrive its ACKs and cwnd updates audit cleanly.
+        let mut a = Auditor::new(spec(), None);
+        a.event(Time::from_millis(1), &arrive(1));
+        a.event(Time::from_millis(2), &Event::CwndUpdate {
+            flow: fid(1),
+            cwnd: 3000,
+            pacing: None,
+        });
+        a.event(Time::from_millis(3), &Event::Ack {
+            flow: fid(1),
+            cum_seq: Some(0),
+            rtt: None,
+            sent: 1500,
+            delivered: 1500,
+            in_flight: 0,
+            lost: 0,
+            unresolved: 0,
+            spurious_rtx: 0,
+        });
+    }
+
+    #[test]
+    fn unregistered_flow_detected() {
+        let msg = catch(|| {
+            let mut a = Auditor::new(spec(), None);
+            a.event(Time::from_millis(1), &Event::CwndUpdate {
+                flow: fid(5),
+                cwnd: 3000,
+                pacing: None,
+            });
+        })
+        .expect("must panic");
+        assert!(msg.contains("unknown flow 5"), "{msg}");
+    }
+
+    #[test]
+    fn flow_arrive_out_of_dense_order_detected() {
+        let msg = catch(|| {
+            let mut a = Auditor::new(spec(), None);
+            a.event(Time::from_millis(1), &arrive(2)); // next dense index is 1
+        })
+        .expect("must panic");
+        assert!(msg.contains("arrived out of order"), "{msg}");
+    }
+
+    #[test]
+    fn flow_complete_with_clean_accounting_passes() {
+        let mut a = Auditor::new(spec(), None);
+        a.event(Time::from_millis(5), &Event::FlowComplete {
+            flow: fid(0),
+            sent: 4500,
+            delivered: 3000,
+            in_flight: 0,
+            lost: 1500,
+            unresolved: 0,
+            spurious_rtx: 0,
+        });
+    }
+
+    #[test]
+    fn flow_complete_with_in_flight_leak_detected() {
+        let msg = catch(|| {
+            let mut a = Auditor::new(spec(), None);
+            a.event(Time::from_millis(5), &Event::FlowComplete {
+                flow: fid(0),
+                sent: 3000,
+                delivered: 1500,
+                in_flight: 1500, // retired while bytes are still on the wire
+                lost: 0,
+                unresolved: 0,
+                spurious_rtx: 0,
+            });
+        })
+        .expect("must panic");
+        assert!(msg.contains("flow-retire"), "{msg}");
+        assert!(msg.contains("still in flight"), "{msg}");
+    }
+
+    #[test]
+    fn flow_complete_counter_regression_detected() {
+        let msg = catch(|| {
+            let mut a = Auditor::new(spec(), None);
+            a.event(Time::from_millis(1), &Event::Ack {
+                flow: fid(0),
+                cum_seq: Some(1),
+                rtt: None,
+                sent: 3000,
+                delivered: 3000,
+                in_flight: 0,
+                lost: 0,
+                unresolved: 0,
+                spurious_rtx: 0,
+            });
+            a.event(Time::from_millis(2), &Event::FlowComplete {
+                flow: fid(0),
+                sent: 1500, // below the last ACK's lifetime counter
+                delivered: 1500,
+                in_flight: 0,
+                lost: 0,
+                unresolved: 0,
+                spurious_rtx: 0,
+            });
+        })
+        .expect("must panic");
+        assert!(msg.contains("flow-retire"), "{msg}");
+        assert!(msg.contains("regressed"), "{msg}");
     }
 }

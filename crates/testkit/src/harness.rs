@@ -6,7 +6,9 @@
 //! exactly one place, and tests/benches measure the same configuration.
 
 use cca::BoxCca;
-use netsim::{AckPolicy, FlowConfig, Jitter, LinkConfig, Network, PathSpec, SimConfig, SimResult};
+use netsim::{
+    AckPolicy, FlowConfig, Jitter, LinkConfig, Network, PathSpec, SimConfig, SimResult, Transport,
+};
 use simcore::rng::Xoshiro256;
 use simcore::units::{Dur, Rate, Time};
 
@@ -84,7 +86,8 @@ pub fn allegro_link() -> LinkConfig {
 /// `repro seeds` (see EXPERIMENTS.md). `seed` only varies the CCA's own
 /// probing phase.
 pub fn allegro_flow(loss: f64, seed: u64) -> FlowConfig {
-    let f = FlowConfig::bulk(Box::new(cca::Allegro::new(seed)), Dur::from_millis(40)).datagram();
+    let f = FlowConfig::bulk(Box::new(cca::Allegro::new(seed)), Dur::from_millis(40))
+        .with_transport(Transport::Datagram);
     if loss > 0.0 {
         f.with_loss(loss, 7)
     } else {

@@ -66,11 +66,11 @@ fn main() {
     // --- Vivace: ACK quantization (§5.3) ---
     let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
     let quantized = FlowConfig::bulk(Box::new(cca::Vivace::new(1)), Dur::from_millis(60))
-        .datagram()
+        .with_transport(netsim::Transport::Datagram)
         .with_ack_policy(AckPolicy::Quantized {
             period: Dur::from_millis(60),
         });
-    let clean = FlowConfig::bulk(Box::new(cca::Vivace::new(2)), Dur::from_millis(60)).datagram();
+    let clean = FlowConfig::bulk(Box::new(cca::Vivace::new(2)), Dur::from_millis(60)).with_transport(netsim::Transport::Datagram);
     let r = Network::new(SimConfig::new(link, vec![quantized, clean], secs)).run();
     report(
         "PCC Vivace, one flow's ACKs quantized to 60 ms (paper: 9.9 vs 99.4)",

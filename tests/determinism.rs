@@ -44,10 +44,12 @@ fn series_bits(s: &TimeSeries) -> Vec<(u128, u64)> {
 fn assert_bit_identical(a: &SimResult, b: &SimResult) {
     assert_eq!(a.end, b.end);
     assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
-    assert_eq!(a.drops, b.drops);
-    assert_eq!(a.jitter_clamps, b.jitter_clamps);
     assert_eq!(a.flows.len(), b.flows.len());
     for (i, (fa, fb)) in a.flows.iter().zip(&b.flows).enumerate() {
+        assert_eq!(fa.id, fb.id, "flow {i} id");
+        assert_eq!(fa.drops, fb.drops, "flow {i} drops");
+        assert_eq!(fa.jitter_clamps, fb.jitter_clamps, "flow {i} jitter clamps");
+        assert_eq!(fa.completed, fb.completed, "flow {i} completion");
         assert_eq!(fa.start, fb.start, "flow {i} start");
         assert_eq!(fa.sent_bytes, fb.sent_bytes, "flow {i} sent");
         assert_eq!(fa.lost_bytes, fb.lost_bytes, "flow {i} lost");
@@ -166,6 +168,59 @@ fn audited_parallel_sweep_is_bit_identical_to_serial() {
     for (s, p) in serial.rows.iter().zip(&parallel.rows) {
         assert_eq!(s.index, p.index);
         assert_eq!(s.label, p.label);
+        assert_bit_identical(s.result(), p.result());
+    }
+}
+
+/// The population-scale variant: the `workload-1k` canonical scenario
+/// (1000 dynamically-arriving flows, heavy-tailed sizes) swept over four
+/// arrival seeds, audited, at `jobs = 1` and `jobs = 4`. Dynamic spawn
+/// and retirement run through the same event queue as packet delivery,
+/// so worker-pool interleaving must not perturb a single lifecycle
+/// timestamp — every row comes back bit-identical to serial.
+#[test]
+fn workload_1k_parallel_sweep_is_bit_identical_to_serial() {
+    use netsim::ArrivalProcess;
+    use starvation::sweep::{Sweep, SweepJob};
+
+    let jobs: Vec<SweepJob> = [9u64, 10, 11, 12]
+        .iter()
+        .map(|&seed| {
+            let mut cfg = starvation::canonical_scenario("workload-1k").expect("registered");
+            let w = cfg.workload.as_mut().expect("workload-1k has a workload block");
+            match &mut w.arrivals {
+                ArrivalProcess::Poisson { seed: s, .. } => *s = seed,
+                ArrivalProcess::Fixed { .. } => {
+                    panic!("workload-1k uses Poisson arrivals")
+                }
+            }
+            SweepJob::new(format!("wl-seed-{seed}"), cfg)
+        })
+        .collect();
+
+    let serial = Sweep::new("wl-serial")
+        .jobs(1)
+        .audit(true)
+        .timing_off()
+        .run(jobs.clone());
+    let parallel = Sweep::new("wl-parallel")
+        .jobs(4)
+        .audit(true)
+        .timing_off()
+        .run(jobs);
+
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(s.index, p.index);
+        assert_eq!(s.label, p.label);
+        let r = s.result();
+        assert_eq!(r.flows.len(), 1000, "{}: every arrival spawned", s.label);
+        assert!(
+            r.fcts().len() > 900,
+            "{}: most flows should complete, got {}",
+            s.label,
+            r.fcts().len()
+        );
         assert_bit_identical(s.result(), p.result());
     }
 }

@@ -84,7 +84,7 @@ fn byte_conservation(&(cwnd, rate, loss, seed): &(u64, f64, f64, u64)) -> Result
     let stall_windows = 8 + 10 * m.timeouts;
     let accounted = m.total_delivered() + m.lost_bytes + stall_windows * (cwnd + 4) * 1500;
     require!(
-        m.sent_bytes <= accounted + r.drops[0] * 1500,
+        m.sent_bytes <= accounted + r.flows[0].drops * 1500,
         "sent={} accounted={}",
         m.sent_bytes,
         accounted

@@ -1,0 +1,94 @@
+//! Integration: population-scale metrics of the `workload-1k` canonical
+//! scenario. A thousand flows arrive by a Poisson process, draw
+//! heavy-tailed sizes, and retire when their byte budget is delivered —
+//! under the runtime invariant auditor the whole way (packet
+//! conservation and exact byte accounting across every mid-run
+//! departure). The run must emit the full population story: an FCT
+//! distribution, a per-flow starvation-duration distribution, and a Jain
+//! fairness index over all N flows.
+
+use netsim::Network;
+use simcore::units::{Dur, Rate};
+
+/// Starvation floor for the population summary: a flow making less than
+/// this in any window slice is counted as starving there.
+fn floor() -> Rate {
+    Rate::from_mbps(0.1)
+}
+const WINDOW: Dur = Dur(100_000_000); // 100 ms slices
+
+#[test]
+fn workload_1k_runs_audited_and_reports_population_metrics() {
+    let cfg = starvation::canonical_scenario("workload-1k")
+        .expect("workload-1k is registered")
+        .with_audit(true); // auditor panics on any invariant violation
+    let r = Network::new(cfg).run();
+
+    assert_eq!(r.flows.len(), 1000, "every scheduled arrival spawned");
+    // Records stay keyed in dense id order even though flows depart out
+    // of arrival order.
+    for (i, f) in r.flows.iter().enumerate() {
+        assert_eq!(f.id.index(), i, "records keyed by FlowId");
+    }
+
+    let pop = r.population(floor(), WINDOW);
+    assert_eq!(pop.n, 1000);
+    assert_eq!(pop.completed, r.fcts().len());
+    assert!(
+        pop.completed > 900,
+        "most flows finish inside the run, got {}",
+        pop.completed
+    );
+
+    let fct = pop.fct_secs.expect("completed flows yield an FCT distribution");
+    assert!(fct.p50 > 0.0, "median FCT must be positive");
+    assert!(
+        fct.p50 <= fct.p95 && fct.p95 <= fct.p99,
+        "percentiles must be ordered: p50 {} p95 {} p99 {}",
+        fct.p50,
+        fct.p95,
+        fct.p99
+    );
+    // Heavy-tailed sizes (Pareto alpha 1.3) must show up as a stretched
+    // FCT tail, not a point mass.
+    assert!(
+        fct.p99 > fct.p50,
+        "Pareto sizes imply a spread FCT distribution: p50 {} p99 {}",
+        fct.p50,
+        fct.p99
+    );
+
+    let starve = pop.starvation_secs.expect("active flows yield a starvation distribution");
+    assert!(starve.p50 >= 0.0 && starve.p50 <= starve.p95 && starve.p95 <= starve.p99);
+    assert!((0.0..=1.0).contains(&pop.starved_fraction));
+
+    assert!(
+        pop.jain > 0.0 && pop.jain <= 1.0 + 1e-9,
+        "Jain index over N flows must land in (0, 1], got {}",
+        pop.jain
+    );
+}
+
+/// The same run twice must agree on every population number bit for bit —
+/// the distribution summaries are pure functions of the deterministic
+/// per-flow records.
+#[test]
+fn population_summary_is_deterministic() {
+    let run = || {
+        let cfg = starvation::canonical_scenario("workload-1k").expect("registered");
+        Network::new(cfg).run().population(floor(), WINDOW)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.n, b.n);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.starved_fraction.to_bits(), b.starved_fraction.to_bits());
+    assert_eq!(a.jain.to_bits(), b.jain.to_bits());
+    let (fa, fb) = (a.fct_secs.expect("fct"), b.fct_secs.expect("fct"));
+    assert_eq!(fa.p50.to_bits(), fb.p50.to_bits());
+    assert_eq!(fa.p95.to_bits(), fb.p95.to_bits());
+    assert_eq!(fa.p99.to_bits(), fb.p99.to_bits());
+    let (sa, sb) = (a.starvation_secs.expect("starve"), b.starvation_secs.expect("starve"));
+    assert_eq!(sa.p50.to_bits(), sb.p50.to_bits());
+    assert_eq!(sa.p95.to_bits(), sb.p95.to_bits());
+    assert_eq!(sa.p99.to_bits(), sb.p99.to_bits());
+}

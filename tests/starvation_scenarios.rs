@@ -79,11 +79,11 @@ fn vivace_quantized_acks_starve_that_flow() {
     let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
     let rm = Dur::from_millis(60);
     let quantized = FlowConfig::bulk(Box::new(cca::Vivace::new(1)), rm)
-        .datagram()
+        .with_transport(netsim::Transport::Datagram)
         .with_ack_policy(AckPolicy::Quantized {
             period: Dur::from_millis(60),
         });
-    let clean = FlowConfig::bulk(Box::new(cca::Vivace::new(2)), rm).datagram();
+    let clean = FlowConfig::bulk(Box::new(cca::Vivace::new(2)), rm).with_transport(netsim::Transport::Datagram);
     let r = Network::new(SimConfig::new(
         link,
         vec![quantized, clean],
@@ -99,7 +99,7 @@ fn vivace_quantized_acks_starve_that_flow() {
 fn vivace_fills_clean_link_alone() {
     // Control: the same CCA with clean ACKs is f-efficient on this path.
     let link = LinkConfig::ample_buffer(Rate::from_mbps(120.0));
-    let flow = FlowConfig::bulk(Box::new(cca::Vivace::new(2)), Dur::from_millis(60)).datagram();
+    let flow = FlowConfig::bulk(Box::new(cca::Vivace::new(2)), Dur::from_millis(60)).with_transport(netsim::Transport::Datagram);
     let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(20))).run();
     let half = Time(r.end.as_nanos() / 2);
     let tail = r.flows[0].throughput_over(half, r.end).mbps();

@@ -49,10 +49,10 @@ fn series_bits(s: &TimeSeries) -> Vec<(u128, u64)> {
 fn assert_bit_identical(a: &SimResult, b: &SimResult, what: &str) {
     assert_eq!(a.end, b.end, "{what}: end");
     assert_eq!(a.utilization.to_bits(), b.utilization.to_bits(), "{what}: utilization");
-    assert_eq!(a.drops, b.drops, "{what}: drops");
-    assert_eq!(a.jitter_clamps, b.jitter_clamps, "{what}: jitter_clamps");
     assert_eq!(a.flows.len(), b.flows.len(), "{what}: flow count");
     for (i, (fa, fb)) in a.flows.iter().zip(&b.flows).enumerate() {
+        assert_eq!(fa.drops, fb.drops, "{what}: flow {i} drops");
+        assert_eq!(fa.jitter_clamps, fb.jitter_clamps, "{what}: flow {i} jitter clamps");
         assert_eq!(fa.sent_bytes, fb.sent_bytes, "{what}: flow {i} sent");
         assert_eq!(fa.lost_bytes, fb.lost_bytes, "{what}: flow {i} lost");
         assert_eq!(
@@ -152,10 +152,9 @@ fn auditor_catches_seeded_jitter_violation_with_context() {
         .with_jitter(Jitter::Random {
             max: Dur::from_millis(20),
             rng: Xoshiro256::new(5),
-        });
-    let cfg = SimConfig::new(link, vec![flow], Dur::from_secs(2))
-        .with_audit(true)
-        .with_audit_jitter_bound(0, Dur::from_millis(1));
+        })
+        .with_audit_jitter_bound(Dur::from_millis(1));
+    let cfg = SimConfig::new(link, vec![flow], Dur::from_secs(2)).with_audit(true);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         Network::new(cfg).run()
     }));
@@ -195,10 +194,10 @@ fn seeded_violation_surfaces_as_failed_sweep_row() {
                 .with_jitter(Jitter::Random {
                     max: Dur::from_millis(20),
                     rng: Xoshiro256::new(5),
-                })],
+                })
+                .with_audit_jitter_bound(Dur::from_millis(1))],
             Dur::from_secs(1),
-        )
-        .with_audit_jitter_bound(0, Dur::from_millis(1)),
+        ),
     );
     let report = Sweep::new("audit-isolation")
         .jobs(2)

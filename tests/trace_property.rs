@@ -100,7 +100,7 @@ fn audited_datagram_point(
     let rm = Dur::from_millis(rtt_ms);
     let link = LinkConfig::ample_buffer(rate);
     let flow = FlowConfig::bulk(Box::new(cca::Vivace::default_params()), rm)
-        .datagram()
+        .with_transport(netsim::Transport::Datagram)
         .with_loss(loss_pm as f64 / 1000.0, seed + 5);
     let cfg = SimConfig::new(link, vec![flow], Dur::from_secs(2)).with_audit(true);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
