@@ -29,6 +29,7 @@ pub mod perfbench;
 pub mod fig2;
 pub mod fig3;
 pub mod fig7;
+pub mod report;
 pub mod table;
 
 /// Where CSV outputs land (created on demand).

@@ -22,7 +22,14 @@
 //!   ecn        §6.4: ECN-reactive vs loss-reactive AIMD under asymmetric loss
 //!   boundary   the D vs 2δ phase diagram (oscillation × jitter sweep)
 //!   seeds      seed-robustness sweep of the randomized §5 scenarios
-//!   sweep      scenario-grid demo (CCA × rate × jitter × seed)
+//!   sweep      incremental scenario-grid demo (CCA × rate × jitter ×
+//!              seed); rows persist content-addressed in results/store,
+//!              re-runs execute only missing rows, killed sweeps resume
+//!              ([--fresh] [--store DIR])
+//!   report     query the result store: filter by grid coordinates,
+//!              render table/CSV/JSON ([--store DIR] [--cca NAME]
+//!              [--jitter-ms X] [--rate-mbps X] [--seed N]
+//!              [--format table|csv|json] [--out FILE])
 //!   trace      stream a canonical scenario's audited event trace as
 //!              JSON-lines into results/trace/<scenario>.jsonl
 //!              (scenarios: reno-ideal, copa-jitter, bbr-two-flow,
@@ -203,10 +210,114 @@ fn run_ccmc(quick: bool) {
     save(&r.table(), "ccmc.csv");
 }
 
-fn run_sweep(quick: bool, jobs: usize) {
-    let r = exp_sweep::run_with(quick, jobs);
+/// `repro sweep [--fresh] [--store DIR]`: run the demo grid incrementally
+/// against the content-addressed result store. Re-runs execute only
+/// missing rows (a completed grid executes zero simulations); a killed
+/// sweep resumes from its last atomic checkpoint on the next invocation.
+/// `--fresh` recomputes every row; `--store DIR` overrides the store
+/// location (default `results/store`, or `SWEEP_STORE_DIR`).
+///
+/// Fault-injection hook (tests and the CI resume smoke only): the
+/// `SWEEP_KILL_AFTER` environment variable aborts the run after N rows
+/// have been persisted, without writing a final checkpoint — exactly what
+/// a `kill -9` between a row commit and the next checkpoint leaves
+/// behind. An aborted run exits 3.
+fn run_sweep(args: &[String], quick: bool, jobs: usize) {
+    let fresh = args.iter().any(|a| a == "--fresh");
+    let store_dir = parse_opt(args, "--store")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(starvation::sweep::default_store_dir);
+    let kill_after = std::env::var("SWEEP_KILL_AFTER")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
+    let opts = starvation::sweep::StoreOptions::new(&store_dir)
+        .fresh(fresh)
+        .kill_after(kill_after);
+    let r = exp_sweep::run_stored(quick, jobs, &opts);
+    if r.aborted {
+        eprintln!(
+            "sweep: aborted by SWEEP_KILL_AFTER after {} row(s); run again to resume",
+            r.executed
+        );
+        std::process::exit(3);
+    }
     println!("{r}");
+    println!("  store: {}", store_dir.display());
     save(&r.table(), "sweep.csv");
+}
+
+/// `repro report [--store DIR] [--cca NAME] [--jitter-ms X]
+/// [--rate-mbps X] [--seed N] [--format table|csv|json] [--out FILE]`:
+/// query the result store. Scans every persisted row, applies the grid
+/// filters, and renders the selection. Output order and bytes depend only
+/// on store contents — a fresh serial sweep and a killed-and-resumed
+/// parallel sweep report identically. Invalid store entries are listed on
+/// stderr and excluded (exit 0 still; they recompute on the next sweep).
+fn run_report(args: &[String]) {
+    let store_dir = parse_opt(args, "--store")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(starvation::sweep::default_store_dir);
+    let parse_f64 = |flag: &str| -> Option<f64> {
+        parse_opt(args, flag).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: {flag} expects a number (got {v:?})");
+                std::process::exit(2);
+            })
+        })
+    };
+    let query = report::Query {
+        cca: parse_opt(args, "--cca"),
+        jitter_ms: parse_f64("--jitter-ms"),
+        rate_mbps: parse_f64("--rate-mbps"),
+        seed: parse_opt(args, "--seed").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --seed expects an integer (got {v:?})");
+                std::process::exit(2);
+            })
+        }),
+    };
+    let format = parse_opt(args, "--format").unwrap_or_else(|| "table".to_string());
+    let scan = report::scan(&store_dir).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    for (digest, reason) in &scan.invalid {
+        eprintln!("report: invalid store entry {digest}: {reason}");
+    }
+    let rows = report::filter(scan.rows, &query);
+    let rendered = match format.as_str() {
+        "csv" => report::to_csv(&rows),
+        "json" => report::to_json(&rows),
+        "table" => {
+            let agg = report::aggregate(&rows);
+            format!(
+                "store: {} ({} row(s) selected, {} invalid entr(ies))\n{}\n{}\n",
+                store_dir.display(),
+                rows.len(),
+                scan.invalid.len(),
+                report::to_table(&rows).render(),
+                agg.render()
+            )
+        }
+        other => {
+            eprintln!("error: --format expects table, csv or json (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+    match parse_opt(args, "--out") {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            std::fs::write(&path, &rendered).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            println!("  → {}", path.display());
+        }
+        None => print!("{rendered}"),
+    }
 }
 
 /// Run a canonical scenario under the auditor, streaming its full event
@@ -499,8 +610,10 @@ fn main() {
         .enumerate()
         .filter(|(i, a)| {
             // Skip flags and the values of value-taking flags.
-            const VALUE_FLAGS: &[&str] =
-                &["--jobs", "--label", "--seed", "--count", "--out", "--replay"];
+            const VALUE_FLAGS: &[&str] = &[
+                "--jobs", "--label", "--seed", "--count", "--out", "--replay", "--store",
+                "--format", "--cca", "--jitter-ms", "--rate-mbps",
+            ];
             !a.starts_with("--")
                 && (*i == 0 || !VALUE_FLAGS.contains(&args[*i - 1].as_str()))
         })
@@ -528,7 +641,8 @@ fn main() {
         "ecn" => run_ecn(quick),
         "boundary" => run_boundary(quick, jobs),
         "seeds" => run_seeds(quick, jobs),
-        "sweep" => run_sweep(quick, jobs),
+        "sweep" => run_sweep(&args, quick, jobs),
+        "report" => run_report(&args),
         "trace" => run_trace(positional.get(1).copied()),
         "lint" => run_lint(&args),
         "fuzz" => run_fuzz(&args, quick, jobs),
@@ -551,11 +665,11 @@ fn main() {
             run_ecn(quick);
             run_boundary(quick, jobs);
             run_seeds(quick, jobs);
-            run_sweep(quick, jobs);
+            run_sweep(&args, quick, jobs);
         }
         _ => {
             println!(
-                "usage: repro <glossary|fig1|fig2|fig3|thm|fig7|copa|bbr|vivace|allegro|merit|algo1|ccmc|ablations|ecn|boundary|seeds|sweep|trace|lint|fuzz|perfbench|all> [--quick] [--jobs N] [--progress] [--audit] [--label NAME] [--check] [--seed N] [--count N] [--out DIR] [--replay FILE]"
+                "usage: repro <glossary|fig1|fig2|fig3|thm|fig7|copa|bbr|vivace|allegro|merit|algo1|ccmc|ablations|ecn|boundary|seeds|sweep|report|trace|lint|fuzz|perfbench|all> [--quick] [--jobs N] [--progress] [--audit] [--label NAME] [--check] [--seed N] [--count N] [--out DIR] [--replay FILE] [--store DIR] [--fresh] [--format table|csv|json] [--cca NAME] [--jitter-ms X] [--rate-mbps X]"
             );
             return;
         }

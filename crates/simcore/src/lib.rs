@@ -28,7 +28,13 @@
 //!   (BBR's bandwidth max-filter, Copa's standing-RTT min-filter, …).
 //! * [`series`] — time-series recording used for RTT/rate trajectories
 //!   (Figures 1, 5, 6 of the paper).
-//! * [`stats`] — summary statistics, percentiles and Jain's fairness index.
+//! * [`stats`] — summary statistics, percentiles and Jain's fairness index,
+//!   plus the fixed-bucket [`stats::Histogram`] the sweep service folds
+//!   row summaries into (streaming aggregation, no per-row allocation).
+//! * [`store`] — the content-addressed result store behind incremental
+//!   sweeps: 128-bit FNV job digests over (canonical config bytes, seed,
+//!   code tag), crash-safe write-temp-then-rename entries with validated
+//!   headers, and atomic sweep checkpoints ([`store::Manifest`]).
 //! * [`trace`] — structured event tracing ([`trace::TraceSink`] with null,
 //!   ring-buffer and JSON-lines sinks) and the runtime invariant
 //!   [`trace::Auditor`]. Zero-cost when disabled: the simulator holds an
@@ -46,6 +52,7 @@ pub mod par;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod store;
 pub mod trace;
 pub mod units;
 pub mod wheel;

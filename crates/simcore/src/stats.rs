@@ -97,6 +97,110 @@ impl Summary {
     }
 }
 
+/// Number of log-spaced buckets in a [`Histogram`] (plus an underflow
+/// bucket below `lo` and an overflow bucket at/above `hi`).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed-size log-spaced histogram for streaming aggregation: a
+/// million-row sweep folds one value at a time into 34 counters instead
+/// of holding a million samples for an exact percentile pass. Folding is
+/// allocation-free and order-independent (integer counters), so a
+/// histogram built at `jobs = 4` is identical to one built serially.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    /// `counts[0]` is the underflow bucket (`x < lo`, including zero and
+    /// negatives); `counts[33]` is the overflow bucket (`x >= hi`).
+    counts: [u64; HISTOGRAM_BUCKETS + 2],
+    total: u64,
+}
+
+impl Histogram {
+    /// Log-spaced buckets covering `[lo, hi)`; `lo` must be positive and
+    /// below `hi`.
+    pub fn new(lo: f64, hi: f64) -> Histogram {
+        assert!(lo > 0.0 && lo < hi, "need 0 < lo < hi, got [{lo}, {hi})");
+        Histogram { lo, hi, counts: [0; HISTOGRAM_BUCKETS + 2], total: 0 }
+    }
+
+    /// Fold one sample in (per-row hot path: no allocation, O(1)).
+    pub fn fold(&mut self, x: f64) {
+        let i = if x.is_nan() || x < self.lo {
+            // NaN and underflow both land in bucket 0: the histogram is an
+            // aggregate view, not a validator.
+            0
+        } else if x >= self.hi {
+            HISTOGRAM_BUCKETS + 1
+        } else {
+            let frac = (x / self.lo).ln() / (self.hi / self.lo).ln();
+            1 + ((frac * HISTOGRAM_BUCKETS as f64) as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.counts[i] += 1;
+        self.total += 1;
+    }
+
+    /// Samples folded so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below `lo` (the underflow bucket).
+    pub fn underflow(&self) -> u64 {
+        self.counts[0]
+    }
+
+    /// Samples at or above `hi` (the overflow bucket).
+    pub fn overflow(&self) -> u64 {
+        self.counts[HISTOGRAM_BUCKETS + 1]
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the lower edge of the bucket
+    /// holding the `q`-th sample (`lo`/`hi` for the extreme buckets).
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * (self.total - 1) as f64) as u64).min(self.total - 1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen > rank {
+                return Some(self.bucket_lo(i));
+            }
+        }
+        Some(self.hi)
+    }
+
+    /// The lower edge of bucket `i` (0 = underflow ⇒ 0.0).
+    fn bucket_lo(&self, i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else if i > HISTOGRAM_BUCKETS {
+            self.hi
+        } else {
+            self.lo * (self.hi / self.lo).powf((i - 1) as f64 / HISTOGRAM_BUCKETS as f64)
+        }
+    }
+
+    /// One-line render: `n=…  p50≈…  p95≈…  over=…` — the sweep service's
+    /// terminal summary of a distribution.
+    pub fn render(&self, unit: &str) -> String {
+        match (self.quantile(0.5), self.quantile(0.95)) {
+            (Some(p50), Some(p95)) => format!(
+                "n={}  p50≈{:.3}{unit}  p95≈{:.3}{unit}  under={}  over={}",
+                self.total,
+                p50,
+                p95,
+                self.underflow(),
+                self.overflow()
+            ),
+            _ => format!("n=0 ({unit})"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +211,39 @@ mod tests {
         assert_eq!(mean(&xs), Some(2.5));
         assert_eq!(variance(&xs), Some(1.25));
         assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn histogram_folds_and_quantiles() {
+        let mut h = Histogram::new(0.001, 1000.0);
+        assert_eq!(h.quantile(0.5), None);
+        for i in 1..=100 {
+            h.fold(i as f64);
+        }
+        h.fold(0.0); // underflow
+        h.fold(1e9); // overflow
+        h.fold(f64::NAN); // counted, bucketed as underflow
+        assert_eq!(h.total(), 103);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.overflow(), 1);
+        let p50 = h.quantile(0.5).expect("non-empty histogram has a median");
+        assert!(p50 > 10.0 && p50 < 100.0, "{p50}");
+        assert!(h.quantile(0.0).expect("q0") <= p50);
+        assert!(h.quantile(1.0).expect("q1") >= p50);
+    }
+
+    #[test]
+    fn histogram_fold_order_is_immaterial() {
+        let mut a = Histogram::new(0.01, 100.0);
+        let mut b = Histogram::new(0.01, 100.0);
+        let xs: Vec<f64> = (0..64).map(|i| (i as f64) * 0.37).collect();
+        for x in &xs {
+            a.fold(*x);
+        }
+        for x in xs.iter().rev() {
+            b.fold(*x);
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -72,12 +72,16 @@ impl Config {
             // The per-event bodies the perfbench suite measures: the sim
             // loop, the receiver's ACK machinery, the bottleneck queue —
             // plus the fuzzer crate, whose batch loop fans simulations out
-            // across workers and must not allocate per generated event.
+            // across workers and must not allocate per generated event,
+            // and the sweep service's per-row hot paths (entry checksums,
+            // streaming histogram folds) that run once per store row.
             alloc_scope: vec![
                 "crates/netsim/src/sim.rs".to_string(),
                 "crates/netsim/src/receiver.rs".to_string(),
                 "crates/netsim/src/link.rs".to_string(),
                 "crates/scenario/src".to_string(),
+                "crates/simcore/src/store.rs".to_string(),
+                "crates/simcore/src/stats.rs".to_string(),
             ],
             determinism_allow: Vec::new(),
             skip_dirs: vec![

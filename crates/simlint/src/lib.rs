@@ -164,6 +164,20 @@ pub const SCOPE_FIXTURES: &[(RuleId, &str, &str, &str)] = &[
         "crates/scenario/src/compile.rs",
         include_str!("../fixtures/unit-cast/bad.rs"),
     ),
+    // The content-addressed store carries library panic policy and, as a
+    // per-row hot path of million-row sweeps, the allocation policy.
+    (
+        RuleId::PanicPolicy,
+        "crates/simcore/src/store.rs",
+        "crates/bench/src/report.rs",
+        include_str!("../fixtures/panic-policy/bad.rs"),
+    ),
+    (
+        RuleId::HotPathAlloc,
+        "crates/simcore/src/store.rs",
+        "crates/bench/src/report.rs",
+        include_str!("../fixtures/hot-path-alloc/bad.rs"),
+    ),
 ];
 
 /// Lint one embedded fixture with scoped rules opened up to every path.
@@ -252,6 +266,27 @@ mod tests {
         assert!(SCOPE_FIXTURES
             .iter()
             .any(|&(_, inside, _, _)| inside.starts_with("crates/scenario/src")));
+    }
+
+    #[test]
+    fn scope_fixtures_cover_the_store_module() {
+        // simcore::store is library code on the sweep hot path: it must
+        // carry both panic policy (simcore/src is panic-scoped) and the
+        // hot-path allocation policy (store.rs is alloc-scoped), with
+        // fixtures proving both rules actually fire there.
+        let cfg = Config::for_workspace("/");
+        assert!(cfg.panic_scope.iter().any(|p| "crates/simcore/src/store.rs".starts_with(p.as_str())));
+        assert!(cfg.alloc_scope.iter().any(|p| p == "crates/simcore/src/store.rs"));
+        assert!(cfg.alloc_scope.iter().any(|p| p == "crates/simcore/src/stats.rs"));
+        for rule in [RuleId::PanicPolicy, RuleId::HotPathAlloc] {
+            assert!(
+                SCOPE_FIXTURES
+                    .iter()
+                    .any(|&(r, inside, _, _)| r == rule && inside == "crates/simcore/src/store.rs"),
+                "{} lacks a store.rs scope fixture",
+                rule.slug()
+            );
+        }
     }
 
     #[test]

@@ -466,6 +466,11 @@ const HOT_FNS: &[&str] = &[
     "make_ack",
     "make_sack",
     "one_ack",
+    // The sweep service's per-row paths: the store's entry checksum
+    // (hashes every persisted byte) and the streaming aggregation fold
+    // (runs once per row of a potentially million-row sweep).
+    "checksum",
+    "fold",
 ];
 
 fn is_hot_fn(name: &str) -> bool {
