@@ -353,12 +353,15 @@ fn run_trace(scenario: Option<&str>) {
     println!("  → {}", path.display());
 }
 
-/// `repro lint [--json] [--deny-warnings]`: run the `simlint` workspace
-/// invariant checks (see `crates/simlint`). Exits 0 when clean, 1 when
+/// `repro lint [--json] [--deny-warnings] [--no-cache]`: run the `simlint`
+/// workspace invariant checks (see `crates/simlint`). Per-file analysis is
+/// reused from `target/simlint.cache` when file contents are unchanged;
+/// `--no-cache` re-analyzes everything. Exits 0 when clean, 1 when
 /// findings fail the run, 2 when the workspace root cannot be located.
 fn run_lint(args: &[String]) -> ! {
     let json = args.iter().any(|a| a == "--json");
     let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
     // Resolve the workspace root the same way from `cargo run` (manifest
     // dir is crates/bench) and from an installed binary (walk up from cwd).
     let start = match std::env::var("CARGO_MANIFEST_DIR") {
@@ -369,7 +372,11 @@ fn run_lint(args: &[String]) -> ! {
         eprintln!("error: no [workspace] manifest found above {}", start.display());
         std::process::exit(2);
     };
-    let report = simlint::lint_workspace(&simlint::Config::for_workspace(&root));
+    let mut cfg = simlint::Config::for_workspace(&root);
+    if !no_cache {
+        cfg.cache_path = Some(root.join("target/simlint.cache"));
+    }
+    let report = simlint::lint_workspace(&cfg);
     for d in &report.diags {
         if json {
             println!("{}", d.render_json());
@@ -377,14 +384,16 @@ fn run_lint(args: &[String]) -> ! {
             println!("{}", d.render_human());
         }
     }
-    if !json {
-        eprintln!(
-            "lint: {} file(s) checked, {} error(s), {} warning(s)",
-            report.files_checked,
-            report.errors(),
-            report.warnings()
-        );
-    }
+    // Stats always go to stderr so `--json` stdout stays machine-clean
+    // while CI can still assert the warm run analyzed nothing.
+    eprintln!(
+        "lint: {} file(s) checked ({} from cache, {} analyzed), {} error(s), {} warning(s)",
+        report.files_checked,
+        report.files_reused,
+        report.files_checked - report.files_reused,
+        report.errors(),
+        report.warnings()
+    );
     std::process::exit(if report.failed(deny_warnings) { 1 } else { 0 });
 }
 

@@ -235,6 +235,7 @@ impl Allegro {
         }
     }
 
+    // simlint: cold: runs once per concluded 4-MI trial, not per ack
     fn conclude_trial(&mut self) {
         let ups: Vec<f64> = (0..4)
             .filter(|&i| self.trial_dirs[i])

@@ -110,6 +110,7 @@ impl MiTracker {
 
     /// Close the current MI (if any) at `now` and open a new one probing
     /// `rate` with `tag`. Returns the new MI's id.
+    // simlint: cold: opens one MI per measurement interval, not per packet
     pub fn begin(&mut self, now: Time, rate: Rate, tag: u32) -> u64 {
         if let Some(cur) = self.intervals.back_mut() {
             if cur.end.is_none() {

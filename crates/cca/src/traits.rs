@@ -113,6 +113,7 @@ pub trait CongestionControl: Send {
 }
 
 impl Clone for Box<dyn CongestionControl> {
+    // simlint: cold: boxed CCAs are cloned at snapshot/warm-start, never per event
     fn clone(&self) -> Self {
         self.clone_box()
     }

@@ -60,6 +60,7 @@ pub struct StepChoice {
 
 impl StepChoice {
     /// All `3 × 3 = 9` choices (3 service levels × 3 splits).
+    // simlint: cold: offline model checker; shares method names with the simulator's event loop but never runs inside it
     pub fn all() -> Vec<StepChoice> {
         let mut v = Vec::with_capacity(9);
         for service_level in 0..3 {
@@ -203,6 +204,7 @@ impl ModelState {
     }
 
     /// Advance one step under the adversary's `choice`.
+    // simlint: cold: offline model checker; shares method names with the simulator's event loop but never runs inside it
     pub fn advance(&mut self, choice: StepChoice) {
         let cfg = self.cfg;
         let bps = cfg.bytes_per_step();

@@ -275,6 +275,15 @@ impl Sweep {
         self
     }
 
+    /// The sweep layer's one wall-clock read, isolated (like
+    /// `store::Checkpointer::wall_now`) so the timing-sidecar edge can be
+    /// contained at its one call site instead of tainting every caller of
+    /// [`Sweep::run`].
+    fn sweep_clock() -> Instant {
+        // simlint: allow(determinism): sweep wall time feeds the (gated) timing sidecar only
+        Instant::now()
+    }
+
     /// Run the job list. Rows come back in job-list order regardless of
     /// worker count or completion order.
     pub fn run(self, jobs_list: Vec<SweepJob>) -> SweepReport {
@@ -301,8 +310,7 @@ impl Sweep {
             }
         };
 
-        // simlint: allow(determinism): sweep wall time feeds the (gated) timing sidecar only
-        let t0 = Instant::now();
+        let t0 = Self::sweep_clock(); // simlint: allow(determinism-taint): timing sidecar only, gated off golden outputs
         let reports = par::map(
             configs,
             self.jobs,
@@ -638,6 +646,7 @@ impl Default for SweepAggregate {
 impl SweepAggregate {
     /// Fold one row in (per-row hot path: counters and histogram buckets
     /// only).
+    // simlint: hot-root: runs once per row over million-row sweeps
     pub fn fold(&mut self, row: &RowSummary) {
         self.rows += 1;
         for f in &row.flows {

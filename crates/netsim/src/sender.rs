@@ -179,6 +179,7 @@ impl Sender {
     }
 
     /// Clone the CCA's current state.
+    // simlint: cold: end-of-run state capture (and warm-start setup), never per event
     pub fn cca_snapshot(&self) -> BoxCca {
         self.cca.clone_box()
     }
@@ -492,6 +493,7 @@ impl Sender {
             .outstanding
             .range(..seq)
             .map(|(&s, p)| (s, p.sent_at))
+            // simlint: allow(hot-path-alloc): loss-event only; snapshot decouples the range scan from map removal
             .collect();
         for (s, sent_at) in lost {
             self.outstanding.remove(&s);
@@ -572,6 +574,7 @@ impl Sender {
             .range(..=limit)
             .filter(|(s, p)| !self.retx_done.contains(s) && !p.retransmit)
             .map(|(&s, p)| (s, p.sent_at))
+            // simlint: allow(hot-path-alloc): SACK-loss detection only; snapshot decouples the scan from retx bookkeeping
             .collect();
         if holes.is_empty() {
             return;
@@ -613,6 +616,7 @@ impl Sender {
         }
         // Everything in flight is presumed lost; reliable transports
         // go-back-N, datagram transports just move on.
+        // simlint: allow(hot-path-alloc): RTO firing is rare; snapshot decouples iteration from clearing the map
         let lost: Vec<u64> = self.outstanding.keys().copied().collect();
         let lost_bytes = count_as_u64(lost.len()) * self.mss;
         self.outstanding.clear();

@@ -130,6 +130,7 @@ impl Network {
     /// announce themselves on the trace so the auditor can begin tracking
     /// them mid-run; static flows stay silent, keeping pre-workload trace
     /// digests byte-identical.
+    // simlint: cold: runs once per flow arrival, not per packet event
     fn add_flow(&mut self, f: FlowConfig, dynamic: bool) -> FlowId {
         let fid = FlowId::from_index(self.senders.len());
         if dynamic {
@@ -211,6 +212,7 @@ impl Network {
 
     /// Let a sender transmit everything it can right now; schedule its next
     /// wake if it is pacing-gated.
+    // simlint: hot-root: the per-send path, reached once per emitted packet
     fn pump(&mut self, flow: FlowId) {
         let now = self.q.now();
         loop {
@@ -317,6 +319,7 @@ impl Network {
     /// Run to completion, returning the results **and** each sender's final
     /// CCA state (cloned). The theorem constructions use the snapshots as
     /// the "converged initial states" of the 2-flow scenario (proof step 3).
+    // simlint: hot-root: the event loop — everything it reaches runs per event
     pub fn run_capture(mut self) -> (SimResult, Vec<cca::BoxCca>) {
         // Diagnostic event tally, read once so the per-event bookkeeping is
         // a predictable branch instead of an env lookup (or, previously, an

@@ -114,7 +114,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    run_pool(n, jobs, f, log)
+    run_pool(n, jobs, f, log) // simlint: allow(determinism-taint): per-job wall time is diagnostics only, reports are index-ordered
 }
 
 /// Run `f(i, item_i)` for every item across `jobs` workers, returning the
@@ -128,7 +128,7 @@ where
 {
     let n = items.len();
     let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
-    run_pool(
+    run_pool( // simlint: allow(determinism-taint): per-job wall time is diagnostics only, reports are index-ordered
         n,
         jobs,
         |i| {

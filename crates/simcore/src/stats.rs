@@ -125,6 +125,7 @@ impl Histogram {
     }
 
     /// Fold one sample in (per-row hot path: no allocation, O(1)).
+    // simlint: hot-root: per-sample fold on the sweep aggregation path
     pub fn fold(&mut self, x: f64) {
         let i = if x.is_nan() || x < self.lo {
             // NaN and underflow both land in bucket 0: the histogram is an

@@ -68,6 +68,7 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
 
 /// Payload checksum: one FNV-1a-64 lane. Stored in the entry header and
 /// re-verified on every read, so a flipped byte in an entry is detected.
+// simlint: hot-root: hashed over every entry payload on both read and write
 pub fn checksum(bytes: &[u8]) -> u64 {
     fnv1a(FNV_OFFSET_A, bytes)
 }
@@ -441,6 +442,7 @@ impl Checkpointer {
     /// A cadence of every `every_rows` rows or `every_wall`, first wins.
     /// `every_rows = 0` means "rows never trigger" (wall cadence only).
     pub fn new(every_rows: usize, every_wall: Duration) -> Checkpointer {
+        // simlint: allow(determinism-taint): cadence decides *when* to snapshot, never file contents
         Checkpointer { every_rows, every_wall, rows_since: 0, last: Self::wall_now() }
     }
 
@@ -449,9 +451,11 @@ impl Checkpointer {
     pub fn row_done(&mut self) -> bool {
         self.rows_since += 1;
         let due = (self.every_rows > 0 && self.rows_since >= self.every_rows)
+            // simlint: allow(determinism-taint): cadence decides *when* to snapshot, never file contents
             || Self::wall_now().duration_since(self.last) >= self.every_wall;
         if due {
             self.rows_since = 0;
+            // simlint: allow(determinism-taint): cadence decides *when* to snapshot, never file contents
             self.last = Self::wall_now();
         }
         due

@@ -194,6 +194,7 @@ impl<E> TimerWheel<E> {
     /// pending outside `ready`). Called only when `ready` is empty.
     fn advance(&mut self) {
         debug_assert!(self.ready.is_empty());
+        // simlint: allow(hot-path-alloc): Vec::new is allocation-free until first push; the batch only fills while cascading coarse slots
         let mut batch: Vec<Entry<E>> = Vec::new();
         while batch.is_empty() {
             let mut progressed = false;

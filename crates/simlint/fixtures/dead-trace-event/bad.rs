@@ -1,0 +1,18 @@
+//! SL009 fixture: a trace::Event variant never constructed anywhere is
+//! dead instrumentation — matched below, emitted nowhere.
+
+pub enum Event {
+    Send { seq: u64 },
+    Probe,
+}
+
+pub fn emit(seq: u64) -> Event {
+    Event::Send { seq }
+}
+
+pub fn classify(ev: &Event) -> u32 {
+    match ev {
+        Event::Send { .. } => 1,
+        Event::Probe => 2,
+    }
+}

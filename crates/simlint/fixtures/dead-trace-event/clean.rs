@@ -1,0 +1,14 @@
+//! SL009 fixture: every variant is constructed somewhere in scope.
+
+pub enum Event {
+    Send { seq: u64 },
+    Probe,
+}
+
+pub fn emit(seq: u64) -> Event {
+    Event::Send { seq }
+}
+
+pub fn probe() -> Event {
+    Event::Probe
+}

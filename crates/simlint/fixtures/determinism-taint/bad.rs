@@ -1,0 +1,15 @@
+//! SL008 fixture: a leaf allow(determinism) no longer blesses callers —
+//! the taint propagates and every call edge toward it is flagged.
+
+fn wall_now() -> u64 {
+    let t0 = Instant::now(); // simlint: allow(determinism): timing sink only
+    t0.elapsed().as_nanos()
+}
+
+pub fn stamp_row() -> u64 {
+    wall_now()
+}
+
+pub fn summarize() -> u64 {
+    stamp_row()
+}

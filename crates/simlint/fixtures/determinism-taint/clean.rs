@@ -1,0 +1,15 @@
+//! SL008 fixture: the deterministic counterpart — the clock comes out of
+//! one timing-only probe whose call edge is a declared boundary.
+
+fn wall_now() -> u64 {
+    let t0 = Instant::now(); // simlint: allow(determinism): bench timing sink
+    t0.elapsed().as_nanos()
+}
+
+pub fn bench_probe() -> u64 {
+    wall_now() // simlint: allow(determinism-taint): timing-only probe, not sim state
+}
+
+pub fn report() -> u64 {
+    bench_probe()
+}

@@ -1,0 +1,12 @@
+//! SL010 fixture: an expression statement dropping a workspace Result.
+
+fn persist(row: u64) -> Result<(), String> {
+    if row == 0 {
+        return Err("empty row".to_string());
+    }
+    Ok(())
+}
+
+pub fn flush(row: u64) {
+    persist(row);
+}

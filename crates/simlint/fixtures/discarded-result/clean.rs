@@ -1,0 +1,20 @@
+//! SL010 fixture: Results are propagated, handled, or explicitly bound.
+
+fn persist(row: u64) -> Result<(), String> {
+    if row == 0 {
+        return Err("empty row".to_string());
+    }
+    Ok(())
+}
+
+pub fn flush(row: u64) -> Result<(), String> {
+    persist(row)?;
+    persist(row + 1)
+}
+
+pub fn flush_best_effort(row: u64) {
+    let _ = persist(row);
+    if persist(row).is_err() {
+        // best-effort fixture path: the error is deliberately ignored
+    }
+}

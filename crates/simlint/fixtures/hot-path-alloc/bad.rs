@@ -1,19 +1,19 @@
-//! SL007 fixture: per-event heap allocation inside event-handling fns.
-//! Every allocation here runs once per simulated packet or ACK.
+//! SL007 v2 fixture: the hot set is the closure of `hot-root`; an
+//! allocation two calls deep is caught with the chain in the message.
 
-pub fn on_data(seq: u64) -> Vec<u64> {
-    let mut acks = Vec::new(); // line 5: fresh Vec per packet
-    acks.push(seq);
-    let dup = acks.to_vec(); // line 7: clone per packet
-    let boxed = Box::new(seq); // line 8: box per packet
-    let all: Vec<u64> = dup.iter().map(|s| s + *boxed).collect(); // line 9
-    all
+// simlint: hot-root
+pub fn pump(n: u64) {
+    process_ack(n);
 }
 
-pub fn depart(n: usize) -> Vec<u8> {
-    vec![0; n] // line 14: macro allocation per departure
+fn process_ack(n: u64) {
+    make_sack(n);
 }
 
-pub fn enqueue(n: usize) -> Vec<u8> {
-    Vec::with_capacity(n) // line 18: sized, but still per enqueue
+fn make_sack(n: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    for i in 0..n {
+        v.push(i);
+    }
+    v
 }

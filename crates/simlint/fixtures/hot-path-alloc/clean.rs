@@ -1,21 +1,19 @@
-//! SL007 fixture: event-handling code that stays allocation-free, plus
-//! the two sanctioned escapes — allocation in a non-event fn, and a
-//! justified `allow` on a genuinely once-per-run site.
+//! SL007 v2 fixture: a hot loop that reuses caller buffers stays clean,
+//! and a `cold` marker prunes the once-per-run refill subtree.
 
-pub fn build_state(n: usize) -> Vec<u64> {
-    let mut v = Vec::new(); // constructors may allocate: not an event fn
-    v.reserve(n);
-    v
+// simlint: hot-root
+pub fn pump(buf: &mut Vec<u64>, n: u64) {
+    step(buf, n);
 }
 
-pub fn on_data(buf: &mut Vec<u64>, seq: u64) -> usize {
-    buf.push(seq); // reuses the caller-owned buffer: nothing per event
-    buf.len()
+fn step(buf: &mut Vec<u64>, n: u64) {
+    buf.push(n);
+    if buf.is_empty() {
+        refill();
+    }
 }
 
-pub fn on_flush(buf: &mut Vec<u64>) -> Vec<u64> {
-    // simlint: allow(hot-path-alloc): runs once at end of run, not per event
-    let out: Vec<u64> = buf.iter().copied().collect();
-    buf.clear();
-    out
+// simlint: cold: refill runs once per capture, not per event
+fn refill() -> Vec<u64> {
+    vec![0; 4]
 }

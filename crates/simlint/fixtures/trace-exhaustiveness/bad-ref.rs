@@ -1,0 +1,9 @@
+//! SL005 fixture: a match over a `&&Event` scrutinee whose arms are all
+//! catch-alls — no `Event::` pattern reveals the event match, so the
+//! param-type scrutinee check must catch it.
+
+fn kind_of(ev: &&Event) -> u32 {
+    match **ev {
+        _ => 0,
+    }
+}

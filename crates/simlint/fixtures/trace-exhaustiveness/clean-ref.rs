@@ -1,0 +1,9 @@
+//! SL005 fixture: reference matches that list every variant without a
+//! catch-all stay clean.
+
+fn kind_of(ev: &trace::Event) -> u32 {
+    match *ev {
+        Event::Send { .. } => 1,
+        Event::Probe => 2,
+    }
+}

@@ -44,8 +44,18 @@ pub enum RuleId {
     TraceExhaustiveness,
     /// SL006 — registry dependencies in workspace manifests.
     DepHygiene,
-    /// SL007 — per-event heap allocation in netsim's event-handling fns.
+    /// SL007 — heap allocation in any fn reachable from a
+    /// `// simlint: hot-root` annotated event-dispatch root.
     HotPathAlloc,
+    /// SL008 — call edge into a fn that transitively reaches a wall clock
+    /// or unseeded RNG (determinism taint does not stop at leaf allows).
+    DeterminismTaint,
+    /// SL009 — `trace::Event` variant never constructed by the simulator
+    /// (dead instrumentation).
+    DeadTraceEvent,
+    /// SL010 — `Result` of a workspace fn discarded by an expression
+    /// statement in a library crate.
+    DiscardedResult,
 }
 
 /// Every rule, in ID order — the registry the CLI lists and the engine runs.
@@ -58,6 +68,9 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::TraceExhaustiveness,
     RuleId::DepHygiene,
     RuleId::HotPathAlloc,
+    RuleId::DeterminismTaint,
+    RuleId::DeadTraceEvent,
+    RuleId::DiscardedResult,
 ];
 
 impl RuleId {
@@ -72,6 +85,9 @@ impl RuleId {
             RuleId::TraceExhaustiveness => "SL005",
             RuleId::DepHygiene => "SL006",
             RuleId::HotPathAlloc => "SL007",
+            RuleId::DeterminismTaint => "SL008",
+            RuleId::DeadTraceEvent => "SL009",
+            RuleId::DiscardedResult => "SL010",
         }
     }
 
@@ -86,6 +102,9 @@ impl RuleId {
             RuleId::TraceExhaustiveness => "trace-exhaustiveness",
             RuleId::DepHygiene => "dep-hygiene",
             RuleId::HotPathAlloc => "hot-path-alloc",
+            RuleId::DeterminismTaint => "determinism-taint",
+            RuleId::DeadTraceEvent => "dead-trace-event",
+            RuleId::DiscardedResult => "discarded-result",
         }
     }
 
@@ -100,6 +119,9 @@ impl RuleId {
             RuleId::TraceExhaustiveness => Severity::Error,
             RuleId::DepHygiene => Severity::Error,
             RuleId::HotPathAlloc => Severity::Warning,
+            RuleId::DeterminismTaint => Severity::Error,
+            RuleId::DeadTraceEvent => Severity::Warning,
+            RuleId::DiscardedResult => Severity::Warning,
         }
     }
 
@@ -122,8 +144,18 @@ impl RuleId {
             }
             RuleId::DepHygiene => "registry dependency in a workspace manifest (must be path-only)",
             RuleId::HotPathAlloc => {
-                "heap allocation (Vec::new, vec![], Box::new, .collect(), .to_vec()) inside an \
-                 event-handling fn on the simulator hot path"
+                "heap allocation (Vec::new, vec![], Box::new, .collect(), .to_vec()) in a fn \
+                 reachable from a `// simlint: hot-root` annotated event-dispatch root"
+            }
+            RuleId::DeterminismTaint => {
+                "call into a fn that transitively reaches a wall clock or unseeded RNG \
+                 (a leaf allow(determinism) does not bless the callers)"
+            }
+            RuleId::DeadTraceEvent => {
+                "trace::Event variant never constructed by the simulator (dead instrumentation)"
+            }
+            RuleId::DiscardedResult => {
+                "expression statement discards the Result of a workspace fn in a library crate"
             }
         }
     }
@@ -216,7 +248,10 @@ mod tests {
         let ids: Vec<&str> = ALL_RULES.iter().map(|r| r.id()).collect();
         assert_eq!(
             ids,
-            vec!["SL000", "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007"]
+            vec![
+                "SL000", "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007", "SL008",
+                "SL009", "SL010"
+            ]
         );
         let slugs: std::collections::BTreeSet<&str> = ALL_RULES.iter().map(|r| r.slug()).collect();
         assert_eq!(slugs.len(), ALL_RULES.len());

@@ -131,6 +131,19 @@ pub fn lex(src: &str) -> Vec<Token> {
     let mut c = Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
     let mut out = Vec::new();
 
+    // A leading shebang (`#!/usr/bin/env …`) is legal at the very start of
+    // a Rust source file and is lexically a comment. It must not collide
+    // with `#![…]` inner attributes, which also start with `#!`.
+    if c.starts_with("#!") && c.peek(2) != Some(b'[') {
+        while let Some(b) = c.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            c.bump();
+        }
+        out.push(Token { kind: TokenKind::LineComment, text: src[..c.pos].to_string(), line: 1, col: 1 });
+    }
+
     while let Some(b) = c.peek(0) {
         let (line, col, start) = (c.line, c.col, c.pos);
         let text = |c: &Cursor, start: usize| src[start..c.pos].to_string();
@@ -569,6 +582,83 @@ mod tests {
         assert_eq!(toks[0].kind, TokenKind::LineComment);
         assert_eq!(toks[1].kind, TokenKind::LineComment);
         assert!(toks[2].is_ident("code"));
+    }
+
+    #[test]
+    fn shebang_line_is_a_comment() {
+        let toks = lex("#!/usr/bin/env run-cargo-script\nfn main() {}\n");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert_eq!(toks[0].text, "#!/usr/bin/env run-cargo-script");
+        assert!(toks[1].is_ident("fn"), "{:?}", toks[1]);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        // `#![cfg(test)]` starts with `#!` but is an attribute, not a shebang.
+        let toks = lex("#![allow(dead_code)]\nfn f() {}\n");
+        assert!(toks[0].is_punct("#"), "{:?}", toks[0]);
+        assert!(toks[1].is_punct("!"), "{:?}", toks[1]);
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn shebang_mid_file_is_not_special() {
+        // `#!` anywhere but offset 0 lexes as two punctuation tokens.
+        let toks = lex("fn f() {}\n#!/not/a/shebang\n");
+        let after: Vec<&str> = toks.iter().skip(6).map(|t| t.text.as_str()).collect();
+        assert_eq!(&after[..2], &["#", "!"], "{after:?}");
+    }
+
+    #[test]
+    fn shift_right_is_one_token_closing_nested_generics() {
+        // The parser splits `>>` when it closes two generic levels; the
+        // lexer must deliver it as a single maximal-munch token.
+        let t = kinds("Vec<Vec<u8>> x >> y");
+        assert_eq!(
+            t,
+            vec![
+                (TokenKind::Ident, "Vec".into()),
+                (TokenKind::Punct, "<".into()),
+                (TokenKind::Ident, "Vec".into()),
+                (TokenKind::Punct, "<".into()),
+                (TokenKind::Ident, "u8".into()),
+                (TokenKind::Punct, ">>".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, ">>".into()),
+                (TokenKind::Ident, "y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_known_answer_multiple_hashes() {
+        // Two- and three-hash raw strings, including an embedded `"#` that
+        // must not terminate the two-hash literal early.
+        let src = "r##\"one \"# inside\"## r###\"two \"## inside\"### tail";
+        let t = kinds(src);
+        assert_eq!(
+            t,
+            vec![
+                (TokenKind::Str, "r##\"one \"# inside\"##".into()),
+                (TokenKind::Str, "r###\"two \"## inside\"###".into()),
+                (TokenKind::Ident, "tail".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_header_qualifiers_lex_as_plain_idents() {
+        // `const fn` / `async fn` / `pub(crate) fn`: the parser leans on
+        // these arriving as ident/punct sequences, nothing fused.
+        let t = kinds("pub(crate) const fn a() {} pub async unsafe fn b() {}");
+        let texts: Vec<&str> = t.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(
+            &texts[..7],
+            &["pub", "(", "crate", ")", "const", "fn", "a"]
+        );
+        let b_at = texts.iter().position(|s| *s == "b").expect("fn b lexed");
+        assert_eq!(&texts[b_at - 3..b_at], &["async", "unsafe", "fn"]);
     }
 
     #[test]

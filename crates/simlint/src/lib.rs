@@ -27,11 +27,22 @@
 //! | SL004 | unit-cast | warning | raw `as f64`/`as u64` unit casts in `netsim` |
 //! | SL005 | trace-exhaustiveness | error | wildcard arms in `match` over `trace::Event` |
 //! | SL006 | dep-hygiene | error | registry/git dependencies in any manifest |
-//! | SL007 | hot-path-alloc | warning | heap allocation in netsim's per-event fns |
+//! | SL007 | hot-path-alloc | warning | heap allocation reachable from a `// simlint: hot-root` fn |
+//! | SL008 | determinism-taint | error | calls that transitively reach a wall clock / unseeded RNG |
+//! | SL009 | dead-trace-event | warning | `trace::Event` variants never constructed in `netsim` |
+//! | SL010 | discarded-result | warning | expression statements dropping a workspace `Result` |
+//!
+//! SL001–SL006 are single-file rules; SL007–SL010 run on a conservative
+//! workspace call graph built by [`parse`] and [`graph`] (v2). Per-file
+//! analysis is cached content-addressed ([`cache`]) so warm runs re-lex
+//! nothing; the graph pass is always recomputed from the cached facts.
 
+pub mod cache;
 pub mod diag;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 pub use diag::{Diagnostic, RuleId, Severity, ALL_RULES};
@@ -101,6 +112,18 @@ pub const FIXTURES: &[(RuleId, &str, &str, bool)] = &[
         false,
     ),
     (
+        RuleId::TraceExhaustiveness,
+        "fixtures/trace-exhaustiveness/bad-ref.rs",
+        include_str!("../fixtures/trace-exhaustiveness/bad-ref.rs"),
+        true,
+    ),
+    (
+        RuleId::TraceExhaustiveness,
+        "fixtures/trace-exhaustiveness/clean-ref.rs",
+        include_str!("../fixtures/trace-exhaustiveness/clean-ref.rs"),
+        false,
+    ),
+    (
         RuleId::DepHygiene,
         "fixtures/dep-hygiene/bad.toml",
         include_str!("../fixtures/dep-hygiene/bad.toml"),
@@ -125,6 +148,42 @@ pub const FIXTURES: &[(RuleId, &str, &str, bool)] = &[
         false,
     ),
     (
+        RuleId::DeterminismTaint,
+        "fixtures/determinism-taint/bad.rs",
+        include_str!("../fixtures/determinism-taint/bad.rs"),
+        true,
+    ),
+    (
+        RuleId::DeterminismTaint,
+        "fixtures/determinism-taint/clean.rs",
+        include_str!("../fixtures/determinism-taint/clean.rs"),
+        false,
+    ),
+    (
+        RuleId::DeadTraceEvent,
+        "fixtures/dead-trace-event/bad.rs",
+        include_str!("../fixtures/dead-trace-event/bad.rs"),
+        true,
+    ),
+    (
+        RuleId::DeadTraceEvent,
+        "fixtures/dead-trace-event/clean.rs",
+        include_str!("../fixtures/dead-trace-event/clean.rs"),
+        false,
+    ),
+    (
+        RuleId::DiscardedResult,
+        "fixtures/discarded-result/bad.rs",
+        include_str!("../fixtures/discarded-result/bad.rs"),
+        true,
+    ),
+    (
+        RuleId::DiscardedResult,
+        "fixtures/discarded-result/clean.rs",
+        include_str!("../fixtures/discarded-result/clean.rs"),
+        false,
+    ),
+    (
         RuleId::UnusedAllow,
         "fixtures/allow/unused.rs",
         include_str!("../fixtures/allow/unused.rs"),
@@ -142,8 +201,8 @@ pub const FIXTURES: &[(RuleId, &str, &str, bool)] = &[
 /// the *workspace* config at two virtual paths — one inside the rule's
 /// scope, one outside it. The in-scope lint must fire, the out-of-scope
 /// one must not: this pins `Config::for_workspace`'s scope lists (e.g.
-/// that `crates/scenario` is held to the panic and hot-path policies)
-/// the same way [`FIXTURES`] pins the rules themselves.
+/// that `crates/scenario` is held to the panic and discarded-result
+/// policies) the same way [`FIXTURES`] pins the rules themselves.
 /// Layout: (rule, in-scope path, out-of-scope path, source).
 pub const SCOPE_FIXTURES: &[(RuleId, &str, &str, &str)] = &[
     (
@@ -152,11 +211,13 @@ pub const SCOPE_FIXTURES: &[(RuleId, &str, &str, &str)] = &[
         "crates/bench/src/main.rs",
         include_str!("../fixtures/panic-policy/bad.rs"),
     ),
+    // The fuzzer is library code other tools embed: dropped `Result`s
+    // there would silently skip scenario coverage.
     (
-        RuleId::HotPathAlloc,
+        RuleId::DiscardedResult,
         "crates/scenario/src/fuzz.rs",
         "crates/bench/src/main.rs",
-        include_str!("../fixtures/hot-path-alloc/bad.rs"),
+        include_str!("../fixtures/discarded-result/bad.rs"),
     ),
     (
         RuleId::UnitCast,
@@ -164,8 +225,8 @@ pub const SCOPE_FIXTURES: &[(RuleId, &str, &str, &str)] = &[
         "crates/scenario/src/compile.rs",
         include_str!("../fixtures/unit-cast/bad.rs"),
     ),
-    // The content-addressed store carries library panic policy and, as a
-    // per-row hot path of million-row sweeps, the allocation policy.
+    // The content-addressed store carries library panic policy, and as
+    // deterministic-replay infrastructure it must not reach a wall clock.
     (
         RuleId::PanicPolicy,
         "crates/simcore/src/store.rs",
@@ -173,10 +234,10 @@ pub const SCOPE_FIXTURES: &[(RuleId, &str, &str, &str)] = &[
         include_str!("../fixtures/panic-policy/bad.rs"),
     ),
     (
-        RuleId::HotPathAlloc,
+        RuleId::DeterminismTaint,
         "crates/simcore/src/store.rs",
         "crates/bench/src/report.rs",
-        include_str!("../fixtures/hot-path-alloc/bad.rs"),
+        include_str!("../fixtures/determinism-taint/bad.rs"),
     ),
 ];
 
@@ -258,11 +319,13 @@ mod tests {
 
     #[test]
     fn scope_fixtures_cover_the_scenario_crate() {
-        // The new crate must be listed in both scoped policies; the scope
+        // The scenario crate is library code: it must be held to the
+        // panic, taint, and discarded-result policies; the scope
         // self-check above proves the behaviour, this pins the intent.
         let cfg = Config::for_workspace("/");
         assert!(cfg.panic_scope.iter().any(|p| p == "crates/scenario/src"));
-        assert!(cfg.alloc_scope.iter().any(|p| p == "crates/scenario/src"));
+        assert!(cfg.taint_scope.iter().any(|p| p == "crates/scenario/src"));
+        assert!(cfg.result_scope.iter().any(|p| p == "crates/scenario/src"));
         assert!(SCOPE_FIXTURES
             .iter()
             .any(|&(_, inside, _, _)| inside.starts_with("crates/scenario/src")));
@@ -270,19 +333,19 @@ mod tests {
 
     #[test]
     fn scope_fixtures_cover_the_store_module() {
-        // simcore::store is library code on the sweep hot path: it must
-        // carry both panic policy (simcore/src is panic-scoped) and the
-        // hot-path allocation policy (store.rs is alloc-scoped), with
+        // simcore::store is deterministic-replay infrastructure: it must
+        // carry panic policy and the determinism-taint policy (a store
+        // helper reaching a wall clock would poison every replay), with
         // fixtures proving both rules actually fire there.
         let cfg = Config::for_workspace("/");
-        assert!(cfg.panic_scope.iter().any(|p| "crates/simcore/src/store.rs".starts_with(p.as_str())));
-        assert!(cfg.alloc_scope.iter().any(|p| p == "crates/simcore/src/store.rs"));
-        assert!(cfg.alloc_scope.iter().any(|p| p == "crates/simcore/src/stats.rs"));
-        for rule in [RuleId::PanicPolicy, RuleId::HotPathAlloc] {
+        let store = "crates/simcore/src/store.rs";
+        assert!(cfg.panic_scope.iter().any(|p| store.starts_with(p.as_str())));
+        assert!(cfg.taint_scope.iter().any(|p| store.starts_with(p.as_str())));
+        for rule in [RuleId::PanicPolicy, RuleId::DeterminismTaint] {
             assert!(
                 SCOPE_FIXTURES
                     .iter()
-                    .any(|&(r, inside, _, _)| r == rule && inside == "crates/simcore/src/store.rs"),
+                    .any(|&(r, inside, _, _)| r == rule && inside == store),
                 "{} lacks a store.rs scope fixture",
                 rule.slug()
             );

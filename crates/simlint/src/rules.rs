@@ -271,11 +271,107 @@ pub fn unit_cast(path: &str, code: &[Token], spans: &[(usize, usize)], out: &mut
 /// `Event` variant silently falls through a sink or the auditor, and the
 /// golden digests drift without any compile- or lint-time signal.
 pub fn trace_exhaustiveness(path: &str, code: &[Token], out: &mut Vec<Diagnostic>) {
+    let event_params = event_param_names(code);
     for i in 0..code.len() {
         if code[i].is_ident("match") {
-            check_match(path, code, i, out);
+            check_match(path, code, i, &event_params, out);
         }
     }
+}
+
+/// Names of fn parameters whose declared type mentions `Event` (`ev:
+/// &Event`, `ev: &&trace::Event`, …), collected file-wide. A `match` whose
+/// scrutinee is one of these names (possibly behind `&`/`*`/parens) is an
+/// event match even when no arm spells `Event::` — the case a match of
+/// nothing but catch-alls over a reference would otherwise slip through.
+fn event_param_names(code: &[Token]) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        // `fn name …(params)` — scan to the param list's `(`.
+        let mut j = i + 1;
+        while j < code.len()
+            && !code[j].is_punct("(")
+            && !code[j].is_punct("{")
+            && !code[j].is_punct(";")
+        {
+            j += 1;
+        }
+        if j >= code.len() || !code[j].is_punct("(") {
+            i = j.max(i + 1);
+            continue;
+        }
+        let open = j;
+        let mut depth = 0i32;
+        let mut close = None;
+        while j < code.len() {
+            if code[j].is_punct("(") {
+                depth += 1;
+            } else if code[j].is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(j);
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let Some(close) = close else { break };
+        // Each `name: Type` at top level: does Type mention `Event`?
+        let mut k = open + 1;
+        let (mut p, mut br) = (0i32, 0i32);
+        while k < close {
+            let t = &code[k];
+            match t.text.as_str() {
+                "(" => p += 1,
+                ")" => p -= 1,
+                "[" => br += 1,
+                "]" => br -= 1,
+                _ => {}
+            }
+            if p == 0
+                && br == 0
+                && t.is_punct(":")
+                && k > open + 1
+                && code[k - 1].kind == TokenKind::Ident
+            {
+                let (mut p2, mut br2, mut ang) = (0i32, 0i32, 0i32);
+                let mut has_event = false;
+                let mut m = k + 1;
+                while m < close {
+                    let u = &code[m];
+                    match u.text.as_str() {
+                        "(" => p2 += 1,
+                        ")" => p2 -= 1,
+                        "[" => br2 += 1,
+                        "]" => br2 -= 1,
+                        "<" => ang += 1,
+                        ">" => ang -= 1,
+                        "<<" => ang += 2,
+                        ">>" => ang -= 2,
+                        "," if p2 == 0 && br2 == 0 && ang <= 0 => break,
+                        _ => {}
+                    }
+                    if u.is_ident("Event") {
+                        has_event = true;
+                    }
+                    m += 1;
+                }
+                if has_event {
+                    out.insert(code[k - 1].text.clone());
+                }
+                k = m;
+                continue;
+            }
+            k += 1;
+        }
+        i = close + 1;
+    }
+    out
 }
 
 /// Index of the `}` matching the `{` at `code[open]`.
@@ -296,7 +392,13 @@ fn matching_brace(code: &[Token], open: usize) -> usize {
     code.len().saturating_sub(1)
 }
 
-fn check_match(path: &str, code: &[Token], kw: usize, out: &mut Vec<Diagnostic>) {
+fn check_match(
+    path: &str,
+    code: &[Token],
+    kw: usize,
+    event_params: &std::collections::BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
     // Scrutinee: everything up to the first `{` at bracket/paren depth 0.
     // (Rust forbids bare struct literals in match scrutinees, so the first
     // such brace is the match body.)
@@ -323,7 +425,16 @@ fn check_match(path: &str, code: &[Token], kw: usize, out: &mut Vec<Diagnostic>)
     let Some(body) = body else { return };
     let close = matching_brace(code, body);
 
-    let mut is_event_match = false;
+    // A scrutinee that is just an event-typed parameter (behind any mix of
+    // `&`/`*`/parens) makes this an event match even if no arm names a
+    // variant — `match **ev { _ => 0 }` over `ev: &&Event` must not pass.
+    let scrut: Vec<&Token> = code[kw + 1..body]
+        .iter()
+        .filter(|t| !matches!(t.text.as_str(), "&" | "&&" | "*" | "(" | ")"))
+        .collect();
+    let mut is_event_match = scrut.len() == 1
+        && scrut[0].kind == TokenKind::Ident
+        && event_params.contains(&scrut[0].text);
     // (line, col, what) of arms that would swallow new variants.
     let mut wildcards: Vec<(u32, u32, String)> = Vec::new();
 
@@ -445,124 +556,11 @@ fn analyze_pattern(pat: &[Token], wildcards: &mut Vec<(u32, u32, String)>) {
     }
 }
 
-/// Event-handling functions held allocation-free by SL007, beyond the
-/// `on_*` naming convention. These are the bodies executed once per
-/// simulated event (or per packet/ACK within one): the per-event loop
-/// itself, the send/receive handlers it dispatches to, and the bottleneck
-/// queue operations. Constructors, prefill/warm-start helpers, and
-/// analysis code in the same files are deliberately absent — allocating
-/// once per run is fine.
-const HOT_FNS: &[&str] = &[
-    "run_capture",
-    "pump",
-    "inject",
-    "arm_rto",
-    "process_ack",
-    "try_emit",
-    "enqueue",
-    "depart",
-    "datagram_on_data",
-    "drain_pending",
-    "make_ack",
-    "make_sack",
-    "one_ack",
-    // The sweep service's per-row paths: the store's entry checksum
-    // (hashes every persisted byte) and the streaming aggregation fold
-    // (runs once per row of a potentially million-row sweep).
-    "checksum",
-    "fold",
-];
-
-fn is_hot_fn(name: &str) -> bool {
-    name.starts_with("on_") || HOT_FNS.contains(&name)
-}
-
-/// SL007 — hot-path-alloc: heap allocation inside an event-handling fn.
-/// The perfbench suite showed per-event `Vec` churn (ACK batches, SACK
-/// rescans, trace probe buffers) dominating simulator wall-clock; those
-/// paths now reuse buffers or use `simcore::InlineVec`. This rule keeps
-/// new allocations from creeping back into the per-event bodies: inside a
-/// hot fn (named in [`HOT_FNS`] or `on_*`) it flags `Vec::new` /
-/// `Vec::with_capacity`, `vec![…]`, `Box::new`, `.collect()` and
-/// `.to_vec()`. Genuinely once-per-run sites inside a hot fn (end-of-run
-/// result assembly, collects into `InlineVec`) carry justified
-/// `simlint: allow(hot-path-alloc)` escapes.
-pub fn hot_path_alloc(path: &str, code: &[Token], spans: &[(usize, usize)], out: &mut Vec<Diagnostic>) {
-    let mut i = 0;
-    while i < code.len() {
-        if !code[i].is_ident("fn") || in_spans(spans, i) {
-            i += 1;
-            continue;
-        }
-        let Some(name) = code.get(i + 1) else { break };
-        if name.kind != TokenKind::Ident || !is_hot_fn(&name.text) {
-            i += 2;
-            continue;
-        }
-        // Body: first `{` past the signature at paren/bracket depth 0
-        // (`;` first means a bodiless trait method — skip it).
-        let (mut paren, mut bracket) = (0i32, 0i32);
-        let mut open = None;
-        for (j, t) in code.iter().enumerate().skip(i + 2) {
-            match t.text.as_str() {
-                "(" => paren += 1,
-                ")" => paren -= 1,
-                "[" => bracket += 1,
-                "]" => bracket -= 1,
-                "{" if paren == 0 && bracket == 0 => {
-                    open = Some(j);
-                    break;
-                }
-                ";" if paren == 0 && bracket == 0 => break,
-                _ => {}
-            }
-        }
-        let Some(open) = open else {
-            i += 2;
-            continue;
-        };
-        let close = matching_brace(code, open);
-        for j in open..=close.min(code.len().saturating_sub(1)) {
-            let t = &code[j];
-            let what = if t.is_ident("Vec")
-                && code.get(j + 1).is_some_and(|t| t.is_punct("::"))
-                && code
-                    .get(j + 2)
-                    .is_some_and(|t| t.is_ident("new") || t.is_ident("with_capacity"))
-            {
-                format!("`Vec::{}`", code[j + 2].text)
-            } else if t.is_ident("Box")
-                && code.get(j + 1).is_some_and(|t| t.is_punct("::"))
-                && code.get(j + 2).is_some_and(|t| t.is_ident("new"))
-            {
-                "`Box::new`".to_string()
-            } else if t.is_ident("vec") && code.get(j + 1).is_some_and(|t| t.is_punct("!")) {
-                "`vec![…]`".to_string()
-            } else if t.is_punct(".")
-                && code
-                    .get(j + 1)
-                    .is_some_and(|t| t.is_ident("collect") || t.is_ident("to_vec"))
-            {
-                format!("`.{}()`", code[j + 1].text)
-            } else {
-                continue;
-            };
-            let at = if t.is_punct(".") { &code[j + 1] } else { t };
-            out.push(Diagnostic::new(
-                RuleId::HotPathAlloc,
-                path,
-                at.line,
-                at.col,
-                format!(
-                    "{what} allocates inside event-handling fn `{}`; reuse a buffer, use \
-                     simcore::InlineVec, or justify a once-per-run site with an allow",
-                    name.text
-                ),
-            ));
-        }
-        i = close + 1;
-    }
-}
+// SL007 (hot-path-alloc) lives in [`crate::graph`] since v2: the hot set
+// is the call-graph closure of `// simlint: hot-root` annotations rather
+// than a name list, so allocation extraction happens during fact
+// extraction and the findings are emitted by the graph pass with the
+// reaching call chain in the message.
 
 /// SL006 — dep-hygiene: every dependency in every workspace manifest must
 /// be an in-repo `path` dependency (or inherit one via `workspace = true`).
@@ -837,46 +835,33 @@ mod tests {
     }
 
     #[test]
-    fn hot_path_alloc_flags_all_five_forms_in_hot_fns() {
-        let src = "fn on_data(n: usize) { let a = Vec::new(); let b = vec![0; n]; \
-                   let c = Box::new(n); let d: Vec<u8> = b.iter().copied().collect(); \
-                   let e = d.to_vec(); let f = Vec::with_capacity(n); }";
+    fn trace_exhaustiveness_covers_reference_matches_without_event_patterns() {
+        // `ev: &&Event`, all arms catch-alls: no `Event::` window exists,
+        // so only the param-type scrutinee check can catch this.
+        let src = "fn f(ev: &&Event) -> u8 { match **ev { _ => 0 } }";
         let toks = code(src);
         let mut out = Vec::new();
-        hot_path_alloc("f.rs", &toks, &[], &mut out);
-        assert_eq!(out.len(), 6, "{out:#?}");
-        assert!(out.iter().all(|d| d.rule == RuleId::HotPathAlloc));
-        assert!(out[0].message.contains("on_data"), "{}", out[0].message);
+        trace_exhaustiveness("f.rs", &toks, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, RuleId::TraceExhaustiveness);
     }
 
     #[test]
-    fn hot_path_alloc_ignores_cold_fns_and_non_allocating_hot_fns() {
-        let src = "fn new(n: usize) -> Vec<u8> { vec![0; n] }\n\
-                   fn prefill_queue(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n\
-                   fn on_data(buf: &mut Vec<u8>, b: u8) { buf.push(b); }";
+    fn trace_exhaustiveness_reference_param_single_deref() {
+        let src = "fn f(ev: &trace::Event) -> u8 { match *ev { _ => 0 } }";
         let toks = code(src);
         let mut out = Vec::new();
-        hot_path_alloc("f.rs", &toks, &test_spans(&toks), &mut out);
+        trace_exhaustiveness("f.rs", &toks, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+    }
+
+    #[test]
+    fn trace_exhaustiveness_ignores_non_event_param_matches() {
+        let src = "fn f(x: &u8, ev: &Event) -> u8 { let _ = ev; match *x { _ => 0 } }";
+        let toks = code(src);
+        let mut out = Vec::new();
+        trace_exhaustiveness("f.rs", &toks, &mut out);
         assert!(out.is_empty(), "{out:#?}");
-    }
-
-    #[test]
-    fn hot_path_alloc_skips_test_spans() {
-        let src = "#[cfg(test)]\nmod tests { fn on_data() -> Vec<u8> { Vec::new() } }";
-        let toks = code(src);
-        let mut out = Vec::new();
-        hot_path_alloc("f.rs", &toks, &test_spans(&toks), &mut out);
-        assert!(out.is_empty(), "{out:#?}");
-    }
-
-    #[test]
-    fn hot_path_alloc_covers_listed_event_fns() {
-        let src = "fn depart() -> Vec<u8> { Vec::new() }\n\
-                   fn process_ack() -> Vec<u8> { Vec::new() }";
-        let toks = code(src);
-        let mut out = Vec::new();
-        hot_path_alloc("f.rs", &toks, &[], &mut out);
-        assert_eq!(out.len(), 2, "{out:#?}");
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Workspace-level integration: the real repository must lint clean, the
+//! `hot-root` annotations must attach to fns that actually exist (the v1
+//! `HOT_FNS` name list rotted silently; marker attachment is now checked
+//! every run), and a warm cache run must reproduce the cold run byte for
+//! byte.
+
+use std::path::PathBuf;
+
+use simlint::{lint_workspace, Config};
+
+fn workspace_root() -> PathBuf {
+    // crates/simlint → crates → repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("simlint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn the_workspace_lints_clean_with_hot_roots_attached() {
+    let report = lint_workspace(&Config::for_workspace(workspace_root()));
+    // Clean means: no findings at all — in particular no SL000 from a
+    // marker or allow that attaches to nothing (the rot class), and no
+    // SL007 "no hot-root annotations" guard (roots exist and resolve).
+    let rendered: Vec<String> = report.diags.iter().map(|d| d.render_human()).collect();
+    assert!(rendered.is_empty(), "workspace not clean:\n{}", rendered.join("\n"));
+    assert!(report.files_checked > 20, "suspiciously few files: {}", report.files_checked);
+}
+
+#[test]
+fn warm_cache_run_is_byte_identical_to_cold() {
+    let cache = std::env::temp_dir().join(format!("simlint-ws-{}.cache", std::process::id()));
+    let _ = std::fs::remove_file(&cache);
+    let mut cfg = Config::for_workspace(workspace_root());
+    cfg.cache_path = Some(cache.clone());
+
+    let cold = lint_workspace(&cfg);
+    assert_eq!(cold.files_reused, 0, "first run must start from an empty cache");
+    let warm = lint_workspace(&cfg);
+    let _ = std::fs::remove_file(&cache);
+
+    assert_eq!(
+        warm.files_reused, warm.files_checked,
+        "warm run re-analyzed {} file(s)",
+        warm.files_checked - warm.files_reused
+    );
+    let render = |r: &simlint::LintReport| {
+        r.diags.iter().map(|d| d.render_json()).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(render(&cold), render(&warm));
+}
