@@ -43,10 +43,12 @@
 //!              and minimal finding-NNN.scn reproducers into the out
 //!              dir; exits 1 on findings; --quick caps the run for CI)
 //!   perfbench  hot-path performance suite (EventQueue micro-benches,
-//!              canonical-scenario and sweep macro-benches); appends
-//!              labelled records to BENCH_netsim.json at the repo root
+//!              canonical-scenario, workload-10k and sweep macro-benches);
+//!              appends labelled records to BENCH_netsim.json at the repo
+//!              root, or to target/perfbench-quick.json under --quick
 //!              ([--label NAME], default "dev"; --check validates the
-//!              file's schema and exits without benchmarking)
+//!              committed file's schema, rejects quick-mode records, and
+//!              exits without benchmarking)
 //!   all        everything above (CSV into results/; excludes lint and
 //!              perfbench)
 //!
@@ -398,9 +400,13 @@ fn run_lint(args: &[String]) -> ! {
 }
 
 /// `repro perfbench [--quick] [--label NAME] [--check]`: run the hot-path
-/// performance suite, appending labelled records to `BENCH_netsim.json`
-/// at the repo root. `--check` only validates the committed trajectory's
-/// schema (CI runs it after the quick suite).
+/// performance suite. Full runs append labelled records to
+/// `BENCH_netsim.json` at the repo root; `--quick` runs append to the
+/// `target/perfbench-quick.json` scratch file instead (quick iteration
+/// counts are not comparable across labels and must never poison the
+/// committed trajectory). `--check` validates the committed trajectory's
+/// schema and rejects any quick-mode record in it (CI runs it after the
+/// quick smoke).
 fn run_perfbench(args: &[String]) {
     let check_only = args.iter().any(|a| a == "--check");
     if check_only {
@@ -413,6 +419,13 @@ fn run_perfbench(args: &[String]) {
             Ok(n) => println!("perfbench: {} valid {} record(s) in {}", n, perfbench::SCHEMA, path.display()),
             Err(e) => {
                 eprintln!("error: {} failed schema validation: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        match perfbench::check_full_mode(&text) {
+            Ok(n) => println!("perfbench: all {n} record(s) are full-mode (no \"quick\":true)"),
+            Err(e) => {
+                eprintln!("error: {} violates the quick-vs-full policy: {e}", path.display());
                 std::process::exit(1);
             }
         }

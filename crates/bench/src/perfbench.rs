@@ -10,6 +10,15 @@
 //! cut canonical two-flow wall-clock by ≥ 20% — is checked directly against
 //! this file by [`check`].
 //!
+//! **Quick runs never touch the canonical trajectory.** `--quick` uses
+//! too few iterations to be comparable across labels; mixing quick and
+//! full records under one file silently poisons every cross-label
+//! comparison (it happened: the original `workload-api` records were
+//! appended in quick mode and `run/workload-1k` had no valid baseline).
+//! Quick records are routed to a scratch file under `target/` instead
+//! ([`output_path`]), and [`check_full_mode`] — run by `--check` and CI —
+//! rejects any `"quick":true` record that reaches the canonical file.
+//!
 //! The suite:
 //!
 //! * **micro** — `EventQueue` schedule/pop patterns: uniform pseudorandom
@@ -32,6 +41,14 @@
 //!  "min_ns":1,"max_ns":1}
 //! ```
 //!
+//! Macro benches that run a single simulation additionally append two
+//! derived fields after the required ones: `"events"` (the deterministic
+//! event count of one run, from [`netsim::SimResult::events`]) and
+//! `"ns_per_event"` (`mean_ns / events`) — the normalized cost metric the
+//! arena/batching work tracks. Old records without the fields stay valid;
+//! [`validate`] only checks the required prefix order plus, when present,
+//! that the extras parse.
+//!
 //! No wall-clock timestamps are recorded: two runs of the same label on the
 //! same machine differ only in the measured numbers.
 
@@ -53,6 +70,7 @@ pub const TRAJECTORY_FILE: &str = "BENCH_netsim.json";
 pub const SCHEMA: &str = "netsim-perfbench-v1";
 
 /// The required record fields, in the exact order they must appear.
+/// Optional derived fields (`events`, `ns_per_event`) follow `max_ns`.
 pub const FIELDS: &[&str] = &[
     "schema", "label", "group", "bench", "quick", "warmup_iters", "iters",
     "mean_ns", "p50_ns", "p99_ns", "min_ns", "max_ns",
@@ -68,15 +86,21 @@ pub struct Record {
     pub quick: bool,
     /// The measurement itself (name + timing summary).
     pub m: Measurement,
+    /// Deterministic event count of one benchmark iteration, for macro
+    /// benches that run exactly one simulation (`None` elsewhere). Emits
+    /// the derived `events`/`ns_per_event` record fields.
+    pub events: Option<u64>,
 }
 
 impl Record {
-    /// The JSON line, fields exactly in [`FIELDS`] order.
+    /// The JSON line: the [`FIELDS`] prefix in exact order, then the
+    /// derived `events`/`ns_per_event` pair when the bench carries an
+    /// event count.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "{{\"schema\":\"{SCHEMA}\",\"label\":\"{}\",\"group\":\"{}\",\
              \"bench\":\"{}\",\"quick\":{},\"warmup_iters\":{},\"iters\":{},\
-             \"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+             \"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"min_ns\":{},\"max_ns\":{}",
             json_escape(&self.label),
             self.group,
             json_escape(&self.m.name),
@@ -88,13 +112,24 @@ impl Record {
             self.m.p99_ns,
             self.m.min_ns,
             self.m.max_ns,
-        )
+        );
+        if let Some(events) = self.events {
+            let per_event = if events > 0 { self.m.mean_ns / events } else { 0 };
+            line.push_str(&format!(",\"events\":{events},\"ns_per_event\":{per_event}"));
+        }
+        line.push('}');
+        line
     }
 }
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
+
+/// File name of the quick-mode scratch trajectory, under `target/`
+/// (gitignored): quick records land here so they can never poison the
+/// committed cross-label history.
+pub const SCRATCH_FILE: &str = "target/perfbench-quick.json";
 
 /// Resolve the workspace root (where `BENCH_netsim.json` lives): the
 /// manifest dir's grandparent under `cargo run`, else walk up from cwd.
@@ -106,6 +141,22 @@ pub fn trajectory_path() -> PathBuf {
     match simlint::find_workspace_root(&start) {
         Some(root) => root.join(TRAJECTORY_FILE),
         None => PathBuf::from(TRAJECTORY_FILE),
+    }
+}
+
+/// Where a run's records go: full runs append to the committed canonical
+/// trajectory, quick runs to the `target/` scratch file. This split is the
+/// quick-vs-full policy; [`check_full_mode`] enforces it on the committed
+/// side.
+pub fn output_path(quick: bool) -> PathBuf {
+    let canonical = trajectory_path();
+    if quick {
+        match canonical.parent() {
+            Some(root) => root.join(SCRATCH_FILE),
+            None => PathBuf::from(SCRATCH_FILE),
+        }
+    } else {
+        canonical
     }
 }
 
@@ -186,11 +237,31 @@ fn queue_far_future_10k() -> u64 {
 
 /// A one-flow link-saturating run: cwnd 100 pkts ≫ BDP on a 12 Mbit/s,
 /// 40 ms path — the densest event stream per simulated second.
-fn one_flow_saturating(secs: u64) -> u64 {
+fn one_flow_saturating(secs: u64) -> netsim::SimResult {
     let link = LinkConfig::ample_buffer(Rate::from_mbps(12.0));
     let flow = FlowConfig::bulk(Box::new(ConstCwnd::new(100 * 1500)), Dur::from_millis(40));
-    let r = Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(secs))).run();
-    r.flows[0].total_delivered()
+    Network::new(SimConfig::new(link, vec![flow], Dur::from_secs(secs))).run()
+}
+
+/// The million-event population bench: 10× the `workload-1k` canonical
+/// scenario — same 48 Mbit/s ample link, Poisson(8 ms) arrivals,
+/// bounded-Pareto sizes, NewReno on a jittered 20 ms path — but 10 000
+/// flows over 90 s of simulated time (~1M dispatched events). This is the
+/// regression canary for population-scale sweeps (ROADMAP item 1): the
+/// arena/batching work is judged on its `ns_per_event` here as much as on
+/// the two-flow scenarios.
+fn workload_10k() -> netsim::SimResult {
+    let link = LinkConfig::ample_buffer(Rate::from_mbps(48.0));
+    let wl = netsim::Workload::new(
+        10_000,
+        netsim::ArrivalProcess::Poisson { mean: Dur::from_millis(8), seed: 9 },
+        netsim::SizeDist::Pareto { min_bytes: 12_000, alpha: 1.3, cap_bytes: 300_000, seed: 5 },
+        Box::new(cca::NewReno::default_params()),
+        Dur::from_millis(20),
+    )
+    .with_start(Time::from_millis(100))
+    .with_jitter(Dur::from_millis(2), 3);
+    Network::new(SimConfig::new(link, vec![], Dur::from_secs(90)).with_workload(wl)).run()
 }
 
 /// A small serial sweep over the two-flow asymmetric-jitter topology.
@@ -211,14 +282,20 @@ fn quick_sweep_grid(secs: u64) -> usize {
     report.rows.len()
 }
 
-/// Run the full suite, append records to `BENCH_netsim.json`, and print a
-/// label-over-label comparison. Returns the records written.
+/// Run the full suite, append records to the mode's output file (the
+/// committed `BENCH_netsim.json` in full mode, the `target/` scratch file
+/// under `--quick`), and print a label-over-label comparison. Returns the
+/// records written.
 pub fn run(quick: bool, label: &str) -> Vec<Record> {
     let (warmup, iters) = if quick { (1, 3) } else { (2, 10) };
     let mut records: Vec<Record> = Vec::new();
-    let mut add = |group: &'static str, m: Measurement| {
+    let mut add = |group: &'static str, m: Measurement, events: Option<u64>| {
+        let per_event = match events {
+            Some(n) if n > 0 => format!("  {:>6} ns/event", m.mean_ns / n),
+            _ => String::new(),
+        };
         println!(
-            "perfbench {:<34} mean {:>12} ns  p50 {:>12} ns  ({} iters)",
+            "perfbench {:<34} mean {:>12} ns  p50 {:>12} ns  ({} iters){per_event}",
             m.name, m.mean_ns, m.p50_ns, m.iters
         );
         records.push(Record {
@@ -226,39 +303,54 @@ pub fn run(quick: bool, label: &str) -> Vec<Record> {
             group,
             quick,
             m,
+            events,
         });
     };
 
     add("micro", measure("queue/uniform_10k", warmup, iters, || {
         black_box(queue_uniform_10k())
-    }));
+    }), None);
     add("micro", measure("queue/interleaved_10k", warmup, iters, || {
         black_box(queue_interleaved_10k())
-    }));
+    }), None);
     add("micro", measure("queue/ties_10k", warmup, iters, || {
         black_box(queue_ties_10k())
-    }));
+    }), None);
     add("micro", measure("queue/far_future_10k", warmup, iters, || {
         black_box(queue_far_future_10k())
-    }));
+    }), None);
 
+    // Macro benches that run exactly one simulation carry their event
+    // count (deterministic per scenario, counted by an untimed pre-run)
+    // so the trajectory records the derived `ns_per_event` metric.
     let run_secs = if quick { 2 } else { 5 };
+    let events = one_flow_saturating(run_secs).events;
     add("macro", measure("run/one-flow-saturating", warmup, iters, || {
-        black_box(one_flow_saturating(run_secs))
-    }));
+        black_box(one_flow_saturating(run_secs).flows[0].total_delivered())
+    }), Some(events));
     for name in starvation::CANONICAL {
+        let cfg = starvation::canonical_scenario(name).expect("canonical name");
+        let events = Network::new(cfg).run().events;
         add("macro", measure(&format!("run/{name}"), warmup, iters, || {
             let cfg = starvation::canonical_scenario(name).expect("canonical name");
             let r = Network::new(cfg).run();
             black_box(r.flows[0].total_delivered())
-        }));
+        }), Some(events));
     }
+    let events = workload_10k().events;
+    add("macro", measure("run/workload-10k", warmup, iters, || {
+        black_box(workload_10k().flows.len())
+    }), Some(events));
     let sweep_secs = if quick { 1 } else { 3 };
     add("macro", measure("sweep/vegas-2x2-grid", warmup, iters, || {
         black_box(quick_sweep_grid(sweep_secs))
-    }));
+    }), None);
 
-    let path = trajectory_path();
+    let path = output_path(quick);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    }
     let mut f = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -267,7 +359,8 @@ pub fn run(quick: bool, label: &str) -> Vec<Record> {
     for r in &records {
         writeln!(f, "{}", r.render()).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
     }
-    println!("perfbench: {} records appended -> {}", records.len(), path.display());
+    let kind = if quick { "scratch (quick)" } else { "canonical" };
+    println!("perfbench: {} records appended -> {} [{kind}]", records.len(), path.display());
     drop(f);
 
     match compare(&std::fs::read_to_string(&path).unwrap_or_default()) {
@@ -328,6 +421,33 @@ pub fn validate(text: &str) -> Result<usize, String> {
             Some("true") | Some("false") => {}
             other => return Err(format!("line {lineno}: field \"quick\" is not a bool (got {other:?})")),
         }
+        for key in ["events", "ns_per_event"] {
+            if let Some(raw) = field(line, key) {
+                raw.parse::<u64>()
+                    .map_err(|_| format!("line {lineno}: field \"{key}\" is not a u64 (got {raw:?})"))?;
+            }
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Enforce the quick-vs-full policy on the committed trajectory: every
+/// record must be a full-mode run (`"quick":false`). Quick iteration
+/// counts are not comparable across labels; quick records belong in the
+/// [`SCRATCH_FILE`] under `target/`. Returns the record count on success.
+pub fn check_full_mode(text: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if field(line, "quick") == Some("true") {
+            return Err(format!(
+                "line {}: quick-mode record in the canonical trajectory (quick runs go to {SCRATCH_FILE})",
+                i + 1
+            ));
+        }
         n += 1;
     }
     Ok(n)
@@ -387,11 +507,11 @@ pub fn compare(text: &str) -> Result<Vec<String>, String> {
 mod tests {
     use super::*;
 
-    fn record_line(label: &str, bench: &str, mean: u64) -> String {
+    fn record(label: &str, bench: &str, mean: u64, quick: bool, events: Option<u64>) -> Record {
         Record {
             label: label.into(),
             group: "macro",
-            quick: true,
+            quick,
             m: Measurement {
                 name: bench.into(),
                 warmup_iters: 1,
@@ -402,8 +522,12 @@ mod tests {
                 min_ns: mean,
                 max_ns: mean,
             },
+            events,
         }
-        .render()
+    }
+
+    fn record_line(label: &str, bench: &str, mean: u64) -> String {
+        record(label, bench, mean, true, None).render()
     }
 
     #[test]
@@ -447,6 +571,38 @@ mod tests {
         let lines = compare(&text).unwrap();
         assert!(lines[0].contains("\"base\" -> \"wheel\""), "{lines:?}");
         assert!(lines[1].contains("+30.0%"), "{lines:?}");
+    }
+
+    #[test]
+    fn events_render_derived_fields_and_validate() {
+        let line = record("base", "run/workload-10k", 1_000_000, false, Some(4_000)).render();
+        assert!(line.ends_with(",\"events\":4000,\"ns_per_event\":250}"), "{line}");
+        assert_eq!(validate(&line), Ok(1));
+        // Zero events must not divide by zero.
+        let z = record("base", "x", 10, false, Some(0)).render();
+        assert!(z.contains("\"ns_per_event\":0"), "{z}");
+        assert_eq!(validate(&z), Ok(1));
+    }
+
+    #[test]
+    fn quick_runs_route_to_scratch_not_canonical() {
+        let full = output_path(false);
+        let quick = output_path(true);
+        assert!(full.ends_with(TRAJECTORY_FILE), "{}", full.display());
+        assert!(quick.ends_with(SCRATCH_FILE), "{}", quick.display());
+        assert_ne!(full, quick);
+        // Same root: the scratch file sits under the workspace's target/.
+        assert_eq!(full.parent(), quick.parent().and_then(|p| p.parent()));
+    }
+
+    #[test]
+    fn check_full_mode_rejects_quick_records() {
+        let full_line = record("wheel", "run/bbr-two-flow", 70, false, None).render();
+        assert_eq!(check_full_mode(&full_line), Ok(1));
+        let mixed = format!("{}\n{}\n", full_line, record_line("api", "run/workload-1k", 9));
+        let err = check_full_mode(&mixed).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("quick"), "{err}");
     }
 
     #[test]

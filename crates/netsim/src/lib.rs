@@ -57,6 +57,7 @@ pub mod jitter;
 pub mod link;
 pub mod metrics;
 pub mod packet;
+pub mod pktstore;
 pub mod receiver;
 pub mod sender;
 pub mod sim;
@@ -66,6 +67,7 @@ pub use config::{AckPolicy, FlowConfig, LinkConfig, PathSpec, SimConfig, Transpo
 pub use jitter::Jitter;
 pub use metrics::{FlowMetrics, FlowRecord, Percentiles, PopulationSummary, SimResult};
 pub use packet::FlowId;
+pub use pktstore::{PktStore, RefStore, SentPkt, SeqStore};
 pub use sender::Accounting;
 pub use sim::Network;
 pub use workload::{ArrivalProcess, SizeDist, Workload};

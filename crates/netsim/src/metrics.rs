@@ -261,6 +261,10 @@ pub struct SimResult {
     pub utilization: f64,
     /// When the run ended.
     pub end: Time,
+    /// Total simulator events dispatched during the run. Deterministic for
+    /// a given scenario; `repro perfbench` divides wall-clock by this to
+    /// derive its `ns_per_event` trajectory metric.
+    pub events: u64,
 }
 
 impl SimResult {
@@ -481,6 +485,7 @@ mod tests {
             flows: vec![rec(0, early), rec(1, late), rec(2, inside)],
             utilization: 0.9,
             end: Time::from_secs(5),
+            events: 0,
         };
         let steady = r.steady_throughputs(Dur::from_secs(2));
         assert!(steady[0].mbps() > 0.0);
@@ -517,6 +522,7 @@ mod tests {
             flows: vec![rec(0, a), rec(1, b)],
             utilization: 0.9,
             end: Time::from_secs(1),
+            events: 0,
         };
         assert!((r.throughput_ratio() - 10.0).abs() < 1e-9);
         assert!(r.jain() < 1.0);
@@ -528,6 +534,7 @@ mod tests {
             flows: vec![rec(0, FlowMetrics::new(Time::ZERO)), rec(1, FlowMetrics::new(Time::ZERO))],
             utilization: 0.0,
             end: Time::from_secs(1),
+            events: 0,
         };
         assert!(r.flow(FlowId::from_index(1)).is_some());
         assert!(r.flow(FlowId::from_index(2)).is_none());
@@ -552,6 +559,7 @@ mod tests {
             flows: vec![rec(0, fast), rec(1, slow), rec(2, bulk)],
             utilization: 0.9,
             end: Time::from_secs(4),
+            events: 0,
         };
         let p = r.population(Rate::from_mbps(1.0), Dur::from_secs(1));
         assert_eq!(p.n, 3);

@@ -10,18 +10,11 @@
 use crate::config::Transport;
 use crate::metrics::FlowMetrics;
 use crate::packet::{Ack, FlowId, Packet};
+use crate::pktstore::{PktStore, SentPkt, SeqStore};
 use cca::{AckEvent, BoxCca, LossEvent, LossKind};
 use simcore::filter::RttEstimator;
 use simcore::units::{bytes_as_f64, count_as_u64, Dur, Rate, Time};
-use std::collections::{BTreeMap, VecDeque};
-
-/// A transmitted-but-unacknowledged packet.
-#[derive(Clone, Copy, Debug)]
-struct SentPkt {
-    sent_at: Time,
-    delivered_at_send: u64,
-    retransmit: bool,
-}
+use std::collections::VecDeque;
 
 /// Result of asking the sender for its next transmission.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -59,7 +52,11 @@ pub struct Accounting {
 }
 
 /// Sending endpoint of one flow.
-pub struct Sender {
+///
+/// Generic over the per-sequence packet store: [`PktStore`] (the flat
+/// arena, the default) or [`RefStore`](crate::pktstore::RefStore) (the
+/// original B-tree containers, kept as the equivalence oracle).
+pub struct Sender<S: SeqStore = PktStore> {
     flow: FlowId,
     cca: BoxCca,
     mss: u64,
@@ -76,21 +73,16 @@ pub struct Sender {
     next_seq: u64,
     /// Highest cumulative ACK received.
     cum_acked: Option<u64>,
-    /// Unacknowledged packets (including retransmissions in flight).
-    outstanding: BTreeMap<u64, SentPkt>,
+    /// Per-sequence packet state: outstanding / sacked / limbo /
+    /// retx-done, with exact per-packet byte accounting.
+    store: S,
     /// Sequences queued for retransmission (sent before new data).
     retx_queue: VecDeque<u64>,
-    /// Out-of-order sequences the receiver has SACKed (received above the
-    /// cumulative point; no longer in flight).
-    sacked: std::collections::BTreeSet<u64>,
-    /// Holes already retransmitted in the current recovery episode
-    /// (RFC 6675-style: each hole is retransmitted once per episode).
-    retx_done: std::collections::BTreeSet<u64>,
-    /// SACKed sequences orphaned by an RTO (`sacked` is cleared on
-    /// timeout, but the receiver still holds those packets above the
-    /// cumulative point). Kept so byte accounting stays exact: these bytes
-    /// are neither in flight nor delivered nor lost.
-    limbo: std::collections::BTreeSet<u64>,
+    /// Reusable scratch for hole collection (`detect_sack_losses`,
+    /// `process_sack`) — keeps the per-ACK path allocation-free.
+    hole_buf: Vec<(u64, Time, u64)>,
+    /// Reusable scratch for RTO drains.
+    rto_buf: Vec<u64>,
     /// Bytes declared lost whose original transmission was cumulatively
     /// acknowledged before the retransmission left (spurious go-back-N
     /// declarations; the sim-level test notes this over-count).
@@ -112,7 +104,7 @@ pub struct Sender {
     last_sample: Time,
 }
 
-impl Sender {
+impl<S: SeqStore> Sender<S> {
     /// A sender for `flow` driving `cca`, starting at `start`.
     pub fn new(
         flow: FlowId,
@@ -133,11 +125,10 @@ impl Sender {
             completion_pending: false,
             next_seq: 0,
             cum_acked: None,
-            outstanding: BTreeMap::new(),
+            store: S::default(),
             retx_queue: VecDeque::new(),
-            sacked: std::collections::BTreeSet::new(),
-            retx_done: std::collections::BTreeSet::new(),
-            limbo: std::collections::BTreeSet::new(),
+            hole_buf: Vec::new(),
+            rto_buf: Vec::new(),
             spurious_rtx: 0,
             delivered: 0,
             dup_acks: 0,
@@ -153,9 +144,11 @@ impl Sender {
         }
     }
 
-    /// Bytes currently in flight.
+    /// Bytes currently in flight: the sum of the wire lengths of every
+    /// outstanding packet (not `count * mss`, which over-counts a final
+    /// segment shorter than one MSS).
     pub fn in_flight(&self) -> u64 {
-        count_as_u64(self.outstanding.len()) * self.mss
+        self.store.outstanding_bytes()
     }
 
     /// Total bytes cumulatively acknowledged.
@@ -229,7 +222,7 @@ impl Sender {
             // everything has been sent and every packet's fate is known.
             Transport::Datagram => {
                 self.next_seq >= budget
-                    && self.outstanding.is_empty()
+                    && self.store.is_outstanding_empty()
                     && self.retx_queue.is_empty()
             }
         };
@@ -253,7 +246,7 @@ impl Sender {
             delivered: self.delivered,
             in_flight: self.in_flight(),
             lost: self.metrics.lost_bytes,
-            unresolved: count_as_u64(self.sacked.len() + self.limbo.len()) * self.mss,
+            unresolved: self.store.unresolved_bytes(),
             spurious_rtx: self.spurious_rtx,
         }
     }
@@ -318,11 +311,12 @@ impl Sender {
             retransmit: is_retx,
             ecn: false,
         };
-        self.outstanding.insert(
+        self.store.insert(
             seq,
             SentPkt {
                 sent_at: now,
                 delivered_at_send: self.delivered,
+                bytes: self.mss,
                 retransmit: is_retx,
             },
         );
@@ -359,22 +353,15 @@ impl Sender {
 
         // Merge SACK blocks: those packets reached the receiver and are no
         // longer in flight (the delivery-rate echo lookup happens first).
-        let echo = self.outstanding.get(&ack.echo_seq).copied();
+        let echo = self.store.get(ack.echo_seq);
         for block in ack.sack_blocks.iter().flatten() {
             let (lo, hi) = *block;
-            // Walk only the sequences still outstanding inside the block.
-            // Blocks repeat on every ACK of a loss episode and are mostly
-            // already merged; probing each seq in `lo..=hi` made this the
-            // simulator's hottest loop.
-            while let Some((&seq, _)) = self.outstanding.range(lo..=hi).next() {
-                self.outstanding.remove(&seq);
-                self.sacked.insert(seq);
-            }
+            self.store.sack_range(lo, hi);
         }
 
         if !progress {
             // Duplicate ACK handling: only count ACKs that signal a hole.
-            if ack.ooo_count > 0 && !self.outstanding.is_empty() {
+            if ack.ooo_count > 0 && !self.store.is_outstanding_empty() {
                 self.dup_acks += 1;
             }
             self.detect_sack_losses(now);
@@ -390,15 +377,12 @@ impl Sender {
         self.dup_acks = 0;
         self.rto_backoff = 0;
 
-        for seq in old_next..=new_cum {
-            self.outstanding.remove(&seq);
-        }
-        // Prune bookkeeping below the new cumulative point. Pending
-        // retransmissions the cumulative ACK overtakes were spurious loss
-        // declarations (the "lost" original actually arrived); count them
-        // so byte accounting stays an exact identity.
-        self.sacked = self.sacked.split_off(&(new_cum + 1));
-        self.limbo = self.limbo.split_off(&(new_cum + 1));
+        // Drop every tracked state at or below the new cumulative point
+        // (outstanding, sacked, and limbo alike). Pending retransmissions
+        // the cumulative ACK overtakes were spurious loss declarations
+        // (the "lost" original actually arrived); count them so byte
+        // accounting stays an exact identity.
+        self.store.advance_cum(new_cum);
         let before = self.retx_queue.len();
         self.retx_queue.retain(|&s| s > new_cum);
         self.spurious_rtx += count_as_u64(before - self.retx_queue.len()) * self.mss;
@@ -407,7 +391,7 @@ impl Sender {
         if let Some(recover) = self.recover {
             if new_cum >= recover {
                 self.recover = None;
-                self.retx_done.clear();
+                self.store.clear_retx_done();
             }
         }
         self.detect_sack_losses(now);
@@ -463,7 +447,7 @@ impl Sender {
         };
         self.cca.on_ack(&ev);
 
-        if self.outstanding.is_empty() && self.retx_queue.is_empty() {
+        if self.store.is_outstanding_empty() && self.retx_queue.is_empty() {
             self.rto_deadline = None;
         } else {
             self.arm_rto(now);
@@ -479,33 +463,39 @@ impl Sender {
         let Some(seq) = ack.sack_seq else {
             return false;
         };
-        let Some(pkt) = self.outstanding.remove(&seq) else {
+        let Some(pkt) = self.store.remove(seq) else {
             return false; // duplicate
         };
-        self.delivered += self.mss;
+        self.delivered += pkt.bytes;
         self.rto_backoff = 0;
 
         // Everything older than the acked packet is lost (seq order ==
         // send order: datagram flows never retransmit). Report each loss
         // with its exact send time so PCC's monitor intervals attribute it
-        // to the right probe.
-        let lost: Vec<(u64, Time)> = self
-            .outstanding
-            .range(..seq)
-            .map(|(&s, p)| (s, p.sent_at))
-            // simlint: allow(hot-path-alloc): loss-event only; snapshot decouples the range scan from map removal
-            .collect();
-        for (s, sent_at) in lost {
-            self.outstanding.remove(&s);
-            self.metrics.lost_bytes += self.mss;
+        // to the right probe. The snapshot decouples the scan from the
+        // interleaved removals: the CCA observes in-flight shrinking one
+        // packet at a time, exactly as before.
+        let mut lost = std::mem::take(&mut self.hole_buf);
+        self.store.collect_below(seq, &mut lost);
+        for &(s, sent_at, bytes) in &lost {
+            self.store.remove(s);
+            self.metrics.lost_bytes += bytes;
             self.cca.on_loss(&LossEvent {
                 now,
-                lost_bytes: self.mss,
+                lost_bytes: bytes,
                 in_flight: self.in_flight(),
                 kind: LossKind::FastRetransmit,
                 sent_at: Some(sent_at),
             });
         }
+        lost.clear();
+        self.hole_buf = lost;
+        // Everything at or below `seq` is now resolved (delivered or
+        // lost), and datagram flows never retransmit — advance the
+        // store's floor so its scans and compaction stay bounded by the
+        // live window. (For the reference store this is a no-op: its
+        // containers are already empty below `seq`.)
+        self.store.advance_cum(seq);
 
         let rtt = now.since(pkt.sent_at);
         self.rtt_est.update(rtt);
@@ -535,7 +525,7 @@ impl Sender {
         self.cca.on_ack(&AckEvent {
             now,
             rtt,
-            newly_acked: self.mss,
+            newly_acked: pkt.bytes,
             in_flight: self.in_flight(),
             delivered: self.delivered,
             delivered_at_send: pkt.delivered_at_send,
@@ -543,7 +533,7 @@ impl Sender {
             app_limited: self.app_limit.is_some(),
             ecn: ack.ecn_echo,
         });
-        if self.outstanding.is_empty() {
+        if self.store.is_outstanding_empty() {
             self.rto_deadline = None;
         } else {
             self.arm_rto(now);
@@ -560,7 +550,7 @@ impl Sender {
         if self.dup_acks < 3 && !self.in_recovery() {
             return;
         }
-        let Some(&high) = self.sacked.iter().next_back() else {
+        let Some(high) = self.store.max_sacked() else {
             return;
         };
         // During recovery, only holes from the episode's window count; new
@@ -569,23 +559,21 @@ impl Sender {
             Some(r) => high.min(r),
             None => high,
         };
-        let holes: Vec<(u64, Time)> = self
-            .outstanding
-            .range(..=limit)
-            .filter(|(s, p)| !self.retx_done.contains(s) && !p.retransmit)
-            .map(|(&s, p)| (s, p.sent_at))
-            // simlint: allow(hot-path-alloc): SACK-loss detection only; snapshot decouples the scan from retx bookkeeping
-            .collect();
+        let mut holes = std::mem::take(&mut self.hole_buf);
+        self.store.collect_holes(limit, &mut holes);
         if holes.is_empty() {
+            self.hole_buf = holes;
             return;
         }
         let first_sent = holes[0].1;
-        let lost_bytes = count_as_u64(holes.len()) * self.mss;
-        for (s, _) in &holes {
-            self.outstanding.remove(s);
-            self.retx_queue.push_back(*s);
-            self.retx_done.insert(*s);
+        let mut lost_bytes = 0;
+        for &(s, _, bytes) in &holes {
+            lost_bytes += bytes;
+            self.store.mark_hole_retx(s);
+            self.retx_queue.push_back(s);
         }
+        holes.clear();
+        self.hole_buf = holes;
         self.metrics.lost_bytes += lost_bytes;
         if !self.in_recovery() {
             self.recover = self.next_seq.checked_sub(1);
@@ -610,31 +598,31 @@ impl Sender {
         if self.rto_deadline != Some(deadline) {
             return false; // stale timer
         }
-        if self.outstanding.is_empty() && self.retx_queue.is_empty() {
+        if self.store.is_outstanding_empty() && self.retx_queue.is_empty() {
             self.rto_deadline = None;
             return false;
         }
         // Everything in flight is presumed lost; reliable transports
-        // go-back-N, datagram transports just move on.
-        // simlint: allow(hot-path-alloc): RTO firing is rare; snapshot decouples iteration from clearing the map
-        let lost: Vec<u64> = self.outstanding.keys().copied().collect();
-        let lost_bytes = count_as_u64(lost.len()) * self.mss;
-        self.outstanding.clear();
+        // go-back-N, datagram transports just move on. `rto_reset` also
+        // orphans the SACKed packets into limbo (the receiver still holds
+        // them above the cumulative point, so their bytes stay accounted
+        // until the cumulative ACK passes them) and ends the recovery
+        // episode's retx-done marks.
+        let lost_bytes = self.store.outstanding_bytes();
+        let mut lost = std::mem::take(&mut self.rto_buf);
+        self.store.rto_reset(&mut lost);
         if self.transport == Transport::Reliable {
-            for seq in lost {
+            for &seq in &lost {
                 if !self.retx_queue.contains(&seq) {
                     self.retx_queue.push_back(seq);
                 }
             }
         }
+        lost.clear();
+        self.rto_buf = lost;
         self.metrics.lost_bytes += lost_bytes;
         self.metrics.timeouts += 1;
         self.recover = None;
-        self.retx_done.clear();
-        // The receiver still holds the SACKed packets above the cumulative
-        // point; they are no longer tracked for recovery but their bytes
-        // stay accounted (in `limbo`) until the cumulative ACK passes them.
-        self.limbo.append(&mut self.sacked);
         self.dup_acks = 0;
         self.rto_backoff += 1;
         self.cca.on_loss(&LossEvent {
@@ -901,7 +889,7 @@ mod tests {
     #[test]
     fn pacing_gates_transmissions() {
         // A CCA with pacing: use Vivace which paces.
-        let mut s = Sender::new(
+        let mut s: Sender = Sender::new(
             fid(0),
             Box::new(cca::Vivace::default_params()),
             1500,
@@ -923,7 +911,7 @@ mod tests {
 
     #[test]
     fn app_limit_caps_rate() {
-        let mut s = Sender::new(
+        let mut s: Sender = Sender::new(
             fid(0),
             Box::new(ConstCwnd::new(100 * 1500)),
             1500,
@@ -1035,7 +1023,7 @@ mod tests {
 
     #[test]
     fn start_time_respected() {
-        let mut s = Sender::new(
+        let mut s: Sender = Sender::new(
             fid(0),
             Box::new(ConstCwnd::ten_packets()),
             1500,

@@ -21,6 +21,7 @@ use crate::link::{Bottleneck, Enqueue};
 use crate::metrics::{FlowRecord, SimResult};
 use crate::packet::{Ack, FlowId, Packet};
 use crate::receiver::Receiver;
+use crate::pktstore::{PktStore, SeqStore};
 use crate::sender::{Emit, Sender};
 use crate::workload::WorkloadRun;
 use simcore::engine::EventQueue;
@@ -48,10 +49,14 @@ enum Ev {
 }
 
 /// A runnable network scenario.
-pub struct Network {
+/// Generic over the sender's per-sequence packet store: [`PktStore`]
+/// (the flat arena, the default every call site gets) or
+/// [`RefStore`](crate::pktstore::RefStore) via [`Network::with_store`]
+/// (the original B-tree containers, kept as the equivalence oracle).
+pub struct Network<S: SeqStore = PktStore> {
     q: EventQueue<Ev>,
     link: Bottleneck,
-    senders: Vec<Sender>,
+    senders: Vec<Sender<S>>,
     receivers: Vec<Receiver>,
     jitters: Vec<JitterElement>,
     rm: Vec<Dur>,
@@ -73,8 +78,18 @@ pub struct Network {
 }
 
 impl Network {
-    /// Build a network from a scenario description.
+    /// Build a network from a scenario description (arena-backed senders).
     pub fn new(cfg: SimConfig) -> Network {
+        Network::with_store(cfg)
+    }
+}
+
+impl<S: SeqStore> Network<S> {
+    /// Build a network whose senders use packet store `S`. The default
+    /// alias [`Network::new`] resolves `S = PktStore`; the metamorphic
+    /// equivalence suite instantiates `Network::<RefStore>` to replay the
+    /// same scenarios through the original B-tree bookkeeping.
+    pub fn with_store(cfg: SimConfig) -> Network<S> {
         // Build the trace sink first: the audit specs need per-flow MSS and
         // jitter bounds before `cfg.flows` is consumed below. Only the
         // statically-configured flows are registered here; workload flows
@@ -169,7 +184,7 @@ impl Network {
     }
 
     /// Direct access to a sender (warm starts, inspection).
-    pub fn sender_mut(&mut self, flow: FlowId) -> &mut Sender {
+    pub fn sender_mut(&mut self, flow: FlowId) -> &mut Sender<S> {
         &mut self.senders[flow.index()]
     }
 
@@ -326,165 +341,176 @@ impl Network {
         // unconditional array write) in the hot loop.
         let evstats = std::env::var_os("NETSIM_EVSTATS").is_some();
         let mut evcount = [0u64; 7];
-        while let Some((now, ev)) = self.q.pop_at_or_before(self.end) {
-            if evstats {
-                evcount[match ev {
-                    Ev::Wake(_) => 0,
-                    Ev::Depart => 1,
-                    Ev::DataArrive(_) => 2,
-                    Ev::AckArrive(_) => 3,
-                    Ev::RxFlush(..) => 4,
-                    Ev::Rto(..) => 5,
-                    Ev::FlowArrival => 6,
-                }] += 1;
-            }
-            match ev {
-                Ev::Wake(f) => {
-                    if self.wake_armed[f.index()] == Some(now) {
-                        self.wake_armed[f.index()] = None;
-                    }
-                    self.pump(f);
+        let mut events: u64 = 0;
+        // Same-time events drain in one slot search and dispatch in
+        // insertion order — the exact order the per-event pop loop
+        // produced; events a handler schedules at the current instant
+        // land in the next batch. The buffer grows once to the largest
+        // same-time cohort and is reused for the rest of the run.
+        // simlint: allow(hot-path-alloc): single reused batch buffer, amortized across the run
+        let mut batch: Vec<Ev> = Vec::new();
+        while let Some(now) = self.q.pop_batch_at_or_before(self.end, &mut batch) {
+            for ev in batch.drain(..) {
+                events += 1;
+                if evstats {
+                    evcount[match ev {
+                        Ev::Wake(_) => 0,
+                        Ev::Depart => 1,
+                        Ev::DataArrive(_) => 2,
+                        Ev::AckArrive(_) => 3,
+                        Ev::RxFlush(..) => 4,
+                        Ev::Rto(..) => 5,
+                        Ev::FlowArrival => 6,
+                    }] += 1;
                 }
-                Ev::FlowArrival => {
-                    let Some(run) = self.workload.as_mut() else {
-                        continue;
-                    };
-                    if run.spawned >= run.spec.count {
-                        continue;
-                    }
-                    let k = run.spawned;
-                    let size = run.draw_size();
-                    let fc = run.spec.flow_config(k, now, size);
-                    run.spawned += 1;
-                    let next = if run.spawned < run.spec.count {
-                        Some(now + run.next_interarrival())
-                    } else {
-                        None
-                    };
-                    self.add_flow(fc, true);
-                    if let Some(t) = next {
-                        if t < self.end {
-                            self.q.schedule_at(t, Ev::FlowArrival);
+                match ev {
+                    Ev::Wake(f) => {
+                        if self.wake_armed[f.index()] == Some(now) {
+                            self.wake_armed[f.index()] = None;
                         }
+                        self.pump(f);
                     }
-                }
-                Ev::Depart => {
-                    let (pkt, next) = self.link.depart(now);
-                    if let Some(t) = next {
-                        self.q.schedule_at(t, Ev::Depart);
-                    }
-                    let f = pkt.flow;
-                    if f == Self::PHANTOM {
-                        continue; // warm-start filler: occupies queue only
-                    }
-                    if let Some(tr) = self.trace.as_mut() {
-                        tr.event(
-                            now,
-                            &Event::Dequeue {
-                                flow: f,
-                                seq: pkt.seq,
-                                bytes: pkt.bytes,
-                                queued_bytes: self.link.queued_bytes(),
-                            },
-                        );
-                    }
-                    let at_element = now + self.rm[f.index()];
-                    let release =
-                        self.jitters[f.index()].release_time(at_element, pkt.sent_at, pkt.bytes);
-                    if let Some(tr) = self.trace.as_mut() {
-                        tr.event(
-                            now,
-                            &Event::JitterHold {
-                                flow: f,
-                                seq: pkt.seq,
-                                arrive: at_element,
-                                release,
-                            },
-                        );
-                    }
-                    self.q.schedule_at(release, Ev::DataArrive(pkt));
-                }
-                Ev::DataArrive(pkt) => {
-                    let f = pkt.flow;
-                    if let Some(tr) = self.trace.as_mut() {
-                        tr.event(now, &Event::JitterRelease { flow: f, seq: pkt.seq });
-                    }
-                    let out = self.receivers[f.index()].on_data(now, pkt);
-                    if let Some(deadline) = out.arm_flush {
-                        self.q.schedule_at(deadline, Ev::RxFlush(f, deadline));
-                    }
-                    for ack in out.acks {
-                        // ACK path is instantaneous (Rm is on the data path).
-                        self.q.schedule_at(now, Ev::AckArrive(ack));
-                    }
-                }
-                Ev::RxFlush(f, deadline) => {
-                    for ack in self.receivers[f.index()].on_flush(deadline) {
-                        self.q.schedule_at(now, Ev::AckArrive(ack));
-                    }
-                }
-                Ev::AckArrive(ack) => {
-                    let f = ack.flow;
-                    let rtt_before = self.senders[f.index()].metrics.rtt.len();
-                    self.senders[f.index()].process_ack(now, &ack);
-                    if self.trace.is_some() {
-                        let s = &self.senders[f.index()];
-                        // A new point in the RTT series means this ACK
-                        // yielded a (Karn-valid) sample.
-                        let rtt = if s.metrics.rtt.len() > rtt_before {
-                            s.metrics
-                                .rtt
-                                .last()
-                                .map(|(_, secs)| Dur::from_secs_f64(secs))
+                    Ev::FlowArrival => {
+                        let Some(run) = self.workload.as_mut() else {
+                            continue;
+                        };
+                        if run.spawned >= run.spec.count {
+                            continue;
+                        }
+                        let k = run.spawned;
+                        let size = run.draw_size();
+                        let fc = run.spec.flow_config(k, now, size);
+                        run.spawned += 1;
+                        let next = if run.spawned < run.spec.count {
+                            Some(now + run.next_interarrival())
                         } else {
                             None
                         };
-                        let acct = s.accounting();
-                        let cwnd = s.cwnd();
-                        let pacing = s.cca().pacing_rate();
-                        let mut probes: simcore::InlineVec<(&'static str, f64), 4> =
-                            simcore::InlineVec::new();
-                        s.cca().internals(&mut |k, v| probes.push((k, v)));
-                        if let Some(tr) = self.trace.as_mut() {
-                            tr.event(
-                                now,
-                                &Event::Ack {
-                                    flow: f,
-                                    cum_seq: ack.cum_seq,
-                                    rtt,
-                                    sent: acct.sent,
-                                    delivered: acct.delivered,
-                                    in_flight: acct.in_flight,
-                                    lost: acct.lost,
-                                    unresolved: acct.unresolved,
-                                    spurious_rtx: acct.spurious_rtx,
-                                },
-                            );
-                            tr.event(now, &Event::CwndUpdate { flow: f, cwnd, pacing });
-                            for (key, value) in probes {
-                                tr.event(now, &Event::Probe { flow: f, key, value });
+                        self.add_flow(fc, true);
+                        if let Some(t) = next {
+                            if t < self.end {
+                                self.q.schedule_at(t, Ev::FlowArrival);
                             }
                         }
                     }
-                    self.report_completion(f);
-                    self.arm_rto(f);
-                    self.pump(f);
-                }
-                Ev::Rto(f, deadline) => {
-                    if self.senders[f.index()].on_rto(now, deadline) {
+                    Ev::Depart => {
+                        let (pkt, next) = self.link.depart(now);
+                        if let Some(t) = next {
+                            self.q.schedule_at(t, Ev::Depart);
+                        }
+                        let f = pkt.flow;
+                        if f == Self::PHANTOM {
+                            continue; // warm-start filler: occupies queue only
+                        }
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.event(
+                                now,
+                                &Event::Dequeue {
+                                    flow: f,
+                                    seq: pkt.seq,
+                                    bytes: pkt.bytes,
+                                    queued_bytes: self.link.queued_bytes(),
+                                },
+                            );
+                        }
+                        let at_element = now + self.rm[f.index()];
+                        let release =
+                            self.jitters[f.index()].release_time(at_element, pkt.sent_at, pkt.bytes);
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.event(
+                                now,
+                                &Event::JitterHold {
+                                    flow: f,
+                                    seq: pkt.seq,
+                                    arrive: at_element,
+                                    release,
+                                },
+                            );
+                        }
+                        self.q.schedule_at(release, Ev::DataArrive(pkt));
+                    }
+                    Ev::DataArrive(pkt) => {
+                        let f = pkt.flow;
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.event(now, &Event::JitterRelease { flow: f, seq: pkt.seq });
+                        }
+                        let out = self.receivers[f.index()].on_data(now, pkt);
+                        if let Some(deadline) = out.arm_flush {
+                            self.q.schedule_at(deadline, Ev::RxFlush(f, deadline));
+                        }
+                        for ack in out.acks {
+                            // ACK path is instantaneous (Rm is on the data path).
+                            self.q.schedule_at(now, Ev::AckArrive(ack));
+                        }
+                    }
+                    Ev::RxFlush(f, deadline) => {
+                        for ack in self.receivers[f.index()].on_flush(deadline) {
+                            self.q.schedule_at(now, Ev::AckArrive(ack));
+                        }
+                    }
+                    Ev::AckArrive(ack) => {
+                        let f = ack.flow;
+                        let rtt_before = self.senders[f.index()].metrics.rtt.len();
+                        self.senders[f.index()].process_ack(now, &ack);
                         if self.trace.is_some() {
-                            let cwnd = self.senders[f.index()].cwnd();
-                            let pacing = self.senders[f.index()].cca().pacing_rate();
+                            let s = &self.senders[f.index()];
+                            // A new point in the RTT series means this ACK
+                            // yielded a (Karn-valid) sample.
+                            let rtt = if s.metrics.rtt.len() > rtt_before {
+                                s.metrics
+                                    .rtt
+                                    .last()
+                                    .map(|(_, secs)| Dur::from_secs_f64(secs))
+                            } else {
+                                None
+                            };
+                            let acct = s.accounting();
+                            let cwnd = s.cwnd();
+                            let pacing = s.cca().pacing_rate();
+                            let mut probes: simcore::InlineVec<(&'static str, f64), 4> =
+                                simcore::InlineVec::new();
+                            s.cca().internals(&mut |k, v| probes.push((k, v)));
                             if let Some(tr) = self.trace.as_mut() {
-                                tr.event(now, &Event::Rto { flow: f });
+                                tr.event(
+                                    now,
+                                    &Event::Ack {
+                                        flow: f,
+                                        cum_seq: ack.cum_seq,
+                                        rtt,
+                                        sent: acct.sent,
+                                        delivered: acct.delivered,
+                                        in_flight: acct.in_flight,
+                                        lost: acct.lost,
+                                        unresolved: acct.unresolved,
+                                        spurious_rtx: acct.spurious_rtx,
+                                    },
+                                );
                                 tr.event(now, &Event::CwndUpdate { flow: f, cwnd, pacing });
+                                for (key, value) in probes {
+                                    tr.event(now, &Event::Probe { flow: f, key, value });
+                                }
                             }
                         }
-                        // A timeout that writes off a datagram flow's last
-                        // outstanding packets can retire the flow.
                         self.report_completion(f);
                         self.arm_rto(f);
                         self.pump(f);
+                    }
+                    Ev::Rto(f, deadline) => {
+                        if self.senders[f.index()].on_rto(now, deadline) {
+                            if self.trace.is_some() {
+                                let cwnd = self.senders[f.index()].cwnd();
+                                let pacing = self.senders[f.index()].cca().pacing_rate();
+                                if let Some(tr) = self.trace.as_mut() {
+                                    tr.event(now, &Event::Rto { flow: f });
+                                    tr.event(now, &Event::CwndUpdate { flow: f, cwnd, pacing });
+                                }
+                            }
+                            // A timeout that writes off a datagram flow's last
+                            // outstanding packets can retire the flow.
+                            self.report_completion(f);
+                            self.arm_rto(f);
+                            self.pump(f);
+                        }
                     }
                 }
             }
@@ -532,6 +558,7 @@ impl Network {
             flows,
             utilization,
             end,
+            events,
         };
         (result, ccas)
     }

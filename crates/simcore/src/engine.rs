@@ -73,6 +73,17 @@ impl<E> EventQueue<E> {
         self.wheel.pop_at_or_before(limit)
     }
 
+    /// Pop *every* event sharing the earliest timestamp `<= limit` into
+    /// `out` (in insertion order), advancing the clock once; returns that
+    /// timestamp, or `None` if nothing is due by `limit`. The dispatch
+    /// order across repeated calls is bit-identical to a
+    /// [`pop_at_or_before`](Self::pop_at_or_before) loop — same-time
+    /// events a handler schedules mid-batch simply arrive in the next
+    /// batch. See [`TimerWheel::pop_batch_at_or_before`].
+    pub fn pop_batch_at_or_before(&mut self, limit: Time, out: &mut Vec<E>) -> Option<Time> {
+        self.wheel.pop_batch_at_or_before(limit, out)
+    }
+
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Time> {
         self.wheel.peek_time()

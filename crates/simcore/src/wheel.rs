@@ -287,6 +287,48 @@ impl<E> TimerWheel<E> {
         self.pop()
     }
 
+    /// Pop *every* event sharing the earliest timestamp `<= limit` into
+    /// `out`, advancing the clock once. Returns that timestamp, or `None`
+    /// if nothing is due by `limit` (then `out` is untouched).
+    ///
+    /// Batch completeness: `ready` is sorted by `(at, seq)` and anything
+    /// still in the wheel slots or overflow heap has tick `> cursor >=`
+    /// the front entry's tick — so the front equal-`at` run of `ready` is
+    /// the *entire* set of pending events at that instant. Events a
+    /// handler schedules at the same timestamp mid-batch get a higher
+    /// insertion seq and land in the *next* batch, which still dispatches
+    /// before any later-time event: the total dispatch order is
+    /// bit-identical to calling [`pop`](Self::pop) in a loop. One slot
+    /// search and one monotonicity check then cover the whole batch,
+    /// which is what makes same-time dispatch cheaper than per-event
+    /// popping.
+    // simlint: hot-root
+    pub fn pop_batch_at_or_before(&mut self, limit: Time, out: &mut Vec<E>) -> Option<Time> {
+        if self.ready.is_empty() {
+            self.advance();
+        }
+        let t = self.ready.front()?.at;
+        if t > limit {
+            return None;
+        }
+        // Hard (non-debug) monotonicity check; see the module docs.
+        assert!(
+            t >= self.now,
+            "event queue clock went backwards: popped at={t:?} now={:?}",
+            self.now
+        );
+        self.now = t;
+        while let Some(e) = self.ready.front() {
+            if e.at != t {
+                break;
+            }
+            let e = self.ready.pop_front().expect("front entry present");
+            self.len -= 1;
+            out.push(e.ev);
+        }
+        Some(t)
+    }
+
     /// Timestamp of the next event without popping it. Read-only: scans the
     /// occupancy bitmaps instead of draining slots.
     pub fn peek_time(&self) -> Option<Time> {
@@ -435,6 +477,53 @@ mod tests {
         w.schedule_at(at, 1);
         let (t, _) = w.pop().expect("event");
         assert_eq!(t, Time::from_millis(15));
+    }
+
+    #[test]
+    fn batch_pop_drains_exactly_the_tied_run() {
+        let mut w = TimerWheel::new();
+        let t = Time::from_millis(5);
+        for i in 0..4 {
+            w.schedule_at(t, i);
+        }
+        w.schedule_at(Time::from_millis(7), 99);
+        let mut out = Vec::new();
+        assert_eq!(w.pop_batch_at_or_before(Time::from_millis(10), &mut out), Some(t));
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        out.clear();
+        // Limit refusal leaves the queue intact.
+        assert_eq!(w.pop_batch_at_or_before(Time::from_millis(6), &mut out), None);
+        assert!(out.is_empty());
+        assert_eq!(
+            w.pop_batch_at_or_before(Time::from_millis(10), &mut out),
+            Some(Time::from_millis(7))
+        );
+        assert_eq!(out, vec![99]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn batch_pop_same_time_reschedule_lands_in_next_batch() {
+        // A handler scheduling at the batch's own timestamp must see its
+        // event dispatched in the *next* batch at the same time — exactly
+        // the order a single-pop loop would produce.
+        let mut w = TimerWheel::new();
+        let t = Time::from_millis(3);
+        w.schedule_at(t, "a");
+        w.schedule_at(Time::from_millis(9), "later");
+        let mut out = Vec::new();
+        assert_eq!(w.pop_batch_at_or_before(Time::from_millis(20), &mut out), Some(t));
+        assert_eq!(out, vec!["a"]);
+        out.clear();
+        w.schedule_at(t, "child"); // mid-dispatch follow-up at the same instant
+        assert_eq!(w.pop_batch_at_or_before(Time::from_millis(20), &mut out), Some(t));
+        assert_eq!(out, vec!["child"]);
+        out.clear();
+        assert_eq!(
+            w.pop_batch_at_or_before(Time::from_millis(20), &mut out),
+            Some(Time::from_millis(9))
+        );
+        assert_eq!(out, vec!["later"]);
     }
 
     #[test]
